@@ -1,0 +1,31 @@
+//! Ablation: the B-bit bypass path (§4.1.2). Without it, single-request
+//! rows go through the builder and ship as 64 B packets, wasting 48 B of
+//! payload per lone FLIT.
+
+use mac_bench::{paper_config, pct, scale_from_args};
+use mac_sim::experiment::run_all;
+use mac_sim::figures::render_table;
+use mac_workloads::all_workloads;
+
+fn main() {
+    let scale = scale_from_args();
+    let mut rows = Vec::new();
+    for (name, bypass) in [("bypass on (paper)", true), ("bypass off", false)] {
+        let mut cfg = paper_config(scale);
+        cfg.system.mac.bypass_enabled = bypass;
+        let reports = run_all(&all_workloads(), &cfg);
+        let n = reports.len() as f64;
+        let bw = reports.iter().map(|(_, r)| r.bandwidth_efficiency()).sum::<f64>() / n;
+        let util = reports.iter().map(|(_, r)| r.hmc.data_utilization()).sum::<f64>() / n;
+        let lat = reports.iter().map(|(_, r)| r.mean_access_latency()).sum::<f64>() / n;
+        rows.push(vec![name.to_string(), pct(bw), pct(util), format!("{lat:.0} cyc")]);
+    }
+    print!(
+        "{}",
+        render_table(
+            "Ablation: B-bit bypass",
+            &["config", "bw efficiency", "data utilization", "mean latency"],
+            &rows
+        )
+    );
+}

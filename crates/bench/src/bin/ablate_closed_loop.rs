@@ -1,0 +1,34 @@
+//! Ablation: open-loop trace replay (the paper's methodology) vs a
+//! closed-loop core that stalls on every outstanding request (§3's
+//! strict stall-until-complete semantics).
+
+use mac_bench::{paper_config, pct, scale_from_args};
+use mac_sim::experiment::run_all;
+use mac_sim::figures::render_table;
+use mac_workloads::all_workloads;
+
+fn main() {
+    let scale = scale_from_args();
+    let mut rows = Vec::new();
+    for (name, window) in [
+        ("open loop (paper eval)", usize::MAX),
+        ("8 outstanding/thread", 8),
+        ("1 outstanding/thread (strict §3)", 1),
+    ] {
+        let mut cfg = paper_config(scale);
+        cfg.system.soc.max_outstanding_per_thread = window;
+        let reports = run_all(&all_workloads(), &cfg);
+        let n = reports.len() as f64;
+        let eff = reports.iter().map(|(_, r)| r.coalescing_efficiency()).sum::<f64>() / n;
+        let rpc = reports.iter().map(|(_, r)| r.sustained_rpc()).sum::<f64>() / n;
+        rows.push(vec![name.to_string(), pct(eff), format!("{rpc:.3}")]);
+    }
+    print!(
+        "{}",
+        render_table(
+            "Ablation: core concurrency model",
+            &["core model", "coalescing", "sustained RPC"],
+            &rows
+        )
+    );
+}

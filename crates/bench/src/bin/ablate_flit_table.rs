@@ -1,0 +1,43 @@
+//! Ablation: the FLIT-table sizing policy (§4.2.1 vs the §2.3.2
+//! strawmen). SpanRounded is the paper's adaptive table; Always256 is
+//! "just use the biggest packet"; PerChunk64 is MSHR-style fixed 64 B.
+
+use mac_bench::{paper_config, pct, scale_from_args};
+use mac_sim::experiment::run_all;
+use mac_sim::figures::render_table;
+use mac_types::FlitTablePolicy;
+use mac_workloads::all_workloads;
+
+fn main() {
+    let scale = scale_from_args();
+    let mut rows = Vec::new();
+    for (name, policy) in [
+        ("span-rounded (paper)", FlitTablePolicy::SpanRounded),
+        ("always-256B", FlitTablePolicy::Always256),
+        ("per-chunk-64B", FlitTablePolicy::PerChunk64),
+    ] {
+        let mut cfg = paper_config(scale);
+        cfg.system.mac.flit_table = policy;
+        let reports = run_all(&all_workloads(), &cfg);
+        let n = reports.len() as f64;
+        let eff = reports.iter().map(|(_, r)| r.coalescing_efficiency()).sum::<f64>() / n;
+        let bw = reports.iter().map(|(_, r)| r.bandwidth_efficiency()).sum::<f64>() / n;
+        let util = reports.iter().map(|(_, r)| r.hmc.data_utilization()).sum::<f64>() / n;
+        let lat = reports.iter().map(|(_, r)| r.mean_access_latency()).sum::<f64>() / n;
+        rows.push(vec![
+            name.to_string(),
+            pct(eff),
+            pct(bw),
+            pct(util),
+            format!("{lat:.0} cyc"),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            "Ablation: FLIT-table policy",
+            &["policy", "coalescing", "bw efficiency", "data utilization", "mean latency"],
+            &rows
+        )
+    );
+}

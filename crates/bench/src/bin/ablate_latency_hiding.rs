@@ -1,0 +1,35 @@
+//! Ablation: the §4.1 latency-hiding fill mechanism (comparator-skipping
+//! bulk loads when the ARQ is half empty with a backlog waiting).
+
+use mac_bench::{paper_config, pct, scale_from_args};
+use mac_sim::experiment::run_all;
+use mac_sim::figures::render_table;
+use mac_workloads::all_workloads;
+
+fn main() {
+    let scale = scale_from_args();
+    let mut rows = Vec::new();
+    for (name, lh) in [("latency hiding on (paper)", true), ("latency hiding off", false)] {
+        let mut cfg = paper_config(scale);
+        cfg.system.mac.latency_hiding = lh;
+        let reports = run_all(&all_workloads(), &cfg);
+        let n = reports.len() as f64;
+        let eff = reports.iter().map(|(_, r)| r.coalescing_efficiency()).sum::<f64>() / n;
+        let bursts: u64 = reports.iter().map(|(_, r)| r.mac.fill_bursts).sum();
+        let cycles: u64 = reports.iter().map(|(_, r)| r.cycles).sum();
+        rows.push(vec![
+            name.to_string(),
+            pct(eff),
+            bursts.to_string(),
+            cycles.to_string(),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            "Ablation: latency-hiding fill",
+            &["config", "coalescing", "fill bursts", "total cycles"],
+            &rows
+        )
+    );
+}

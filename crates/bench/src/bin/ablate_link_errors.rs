@@ -1,0 +1,33 @@
+//! Ablation: HMC link-retry overhead. Sweeps the injected packet error
+//! rate and measures the latency cost of the CRC/retry protocol whose
+//! header fields §2.2.2 describes.
+
+use mac_bench::{paper_config, scale_from_args};
+use mac_sim::experiment::run_workload;
+use mac_sim::figures::render_table;
+use mac_workloads::by_name;
+
+fn main() {
+    let scale = scale_from_args();
+    let w = by_name("sg").expect("sg registered");
+    let mut rows = Vec::new();
+    for ber in [0.0f64, 0.001, 0.01, 0.05] {
+        let mut cfg = paper_config(scale);
+        cfg.system.hmc.link_error_rate = ber;
+        let r = run_workload(w.as_ref(), &cfg);
+        rows.push(vec![
+            format!("{ber}"),
+            format!("{:.1}", r.mean_access_latency()),
+            r.latency_quantile(0.99).to_string(),
+            r.cycles.to_string(),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            "Ablation: link packet error rate (SG)",
+            &["error rate", "mean latency", "p99 latency", "total cycles"],
+            &rows
+        )
+    );
+}

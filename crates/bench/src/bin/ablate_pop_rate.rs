@@ -1,0 +1,31 @@
+//! Ablation: ARQ pop interval (§4.4 fixes it at one pop per 2 cycles to
+//! match the builder's issue rate). Faster pops shrink the merge window;
+//! slower pops add queueing latency.
+
+use mac_bench::{paper_config, pct, scale_from_args};
+use mac_sim::experiment::run_all;
+use mac_sim::figures::render_table;
+use mac_workloads::all_workloads;
+
+fn main() {
+    let scale = scale_from_args();
+    let mut rows = Vec::new();
+    for interval in [1u64, 2, 4, 8] {
+        let mut cfg = paper_config(scale);
+        cfg.system.mac.pop_interval = interval;
+        let reports = run_all(&all_workloads(), &cfg);
+        let n = reports.len() as f64;
+        let eff = reports.iter().map(|(_, r)| r.coalescing_efficiency()).sum::<f64>() / n;
+        let lat = reports.iter().map(|(_, r)| r.mean_access_latency()).sum::<f64>() / n;
+        let label = if interval == 2 { "2 (paper)".to_string() } else { interval.to_string() };
+        rows.push(vec![label, pct(eff), format!("{lat:.0} cyc")]);
+    }
+    print!(
+        "{}",
+        render_table(
+            "Ablation: ARQ pop interval",
+            &["cycles/pop", "coalescing", "mean latency"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,34 @@
+//! Ablation: temporal multithreading (§3's sketched extension). Sweeps
+//! the context-switch penalty for a node whose 8 threads share fewer
+//! cores (2), measuring how switch cost erodes the concurrency that
+//! feeds the MAC.
+
+use mac_bench::{paper_config, pct, scale_from_args};
+use mac_sim::experiment::run_all;
+use mac_sim::figures::render_table;
+use mac_workloads::all_workloads;
+
+fn main() {
+    let scale = scale_from_args();
+    let mut rows = Vec::new();
+    for penalty in [0u64, 2, 8, 32] {
+        let mut cfg = paper_config(scale);
+        cfg.system.soc.cores = 2; // force thread multiplexing
+        cfg.system.soc.context_switch_penalty = penalty;
+        let reports = run_all(&all_workloads(), &cfg);
+        let n = reports.len() as f64;
+        let eff = reports.iter().map(|(_, r)| r.coalescing_efficiency()).sum::<f64>() / n;
+        let cycles: u64 = reports.iter().map(|(_, r)| r.cycles).sum();
+        let label =
+            if penalty == 0 { "0 (free switching)".to_string() } else { penalty.to_string() };
+        rows.push(vec![label, pct(eff), cycles.to_string()]);
+    }
+    print!(
+        "{}",
+        render_table(
+            "Ablation: context-switch penalty (8 threads on 2 cores)",
+            &["penalty (cycles)", "coalescing", "total cycles"],
+            &rows
+        )
+    );
+}

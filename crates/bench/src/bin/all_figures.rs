@@ -1,0 +1,187 @@
+//! Regenerate every table and figure in one run, writing aligned-text and
+//! CSV outputs under `results/`.
+//!
+//! ```text
+//! cargo run --release -p mac-bench --bin all_figures -- [scale] [outdir]
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use mac_bench::{human_bytes, paper_config, pct};
+use mac_sim::figures;
+
+struct Out {
+    dir: PathBuf,
+}
+
+impl Out {
+    fn save(&self, name: &str, text: &str, csv: &str) {
+        std::fs::write(self.dir.join(format!("{name}.txt")), text).expect("write txt");
+        std::fs::write(self.dir.join(format!("{name}.csv")), csv).expect("write csv");
+        println!("wrote results/{name}.{{txt,csv}}");
+    }
+}
+
+fn csv_of(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut s = header.join(",");
+    s.push('\n');
+    for r in rows {
+        let _ = writeln!(s, "{}", r.join(","));
+    }
+    s
+}
+
+fn main() {
+    let scale: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let dir = std::env::args().nth(2).unwrap_or_else(|| "results".to_string());
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let out = Out { dir: PathBuf::from(dir) };
+    let cfg = paper_config(scale);
+
+    // Table 1 (static).
+    let rows: Vec<Vec<String>> =
+        figures::table1().into_iter().map(|(k, v)| vec![k, v]).collect();
+    out.save(
+        "table1",
+        &figures::render_table("Table 1", &["parameter", "value"], &rows),
+        &csv_of(&["parameter", "value"], &rows),
+    );
+
+    // Figure 1.
+    let rates = figures::fig01_missrates(scale, 0xF16);
+    let rows: Vec<Vec<String>> =
+        rates.iter().map(|(n, r)| vec![n.clone(), pct(*r)]).collect();
+    let sweep = figures::fig01_sweep(400_000, 0xF16);
+    let sweep_rows: Vec<Vec<String>> = sweep
+        .iter()
+        .map(|(b, s, r)| vec![human_bytes(*b as i128), pct(*s), pct(*r)])
+        .collect();
+    let mut txt = figures::render_table("Figure 1 (left)", &["benchmark", "miss rate"], &rows);
+    txt.push_str(&figures::render_table(
+        "Figure 1 (right)",
+        &["dataset", "sequential", "random"],
+        &sweep_rows,
+    ));
+    let mut csv = csv_of(&["benchmark", "miss_rate"], &rows);
+    csv.push_str(&csv_of(&["dataset", "seq", "random"], &sweep_rows));
+    out.save("fig01", &txt, &csv);
+
+    // Figure 3 (analytic).
+    let rows: Vec<Vec<String>> = figures::fig03()
+        .iter()
+        .map(|(s, e, o)| vec![format!("{s}"), pct(*e), pct(*o)])
+        .collect();
+    out.save(
+        "fig03",
+        &figures::render_table("Figure 3", &["size", "efficiency", "overhead"], &rows),
+        &csv_of(&["size_bytes", "efficiency", "overhead"], &rows),
+    );
+
+    // Figure 9.
+    let rows: Vec<Vec<String>> = figures::fig09(&cfg)
+        .iter()
+        .map(|(n, r)| vec![n.clone(), format!("{r:.3}")])
+        .collect();
+    out.save(
+        "fig09",
+        &figures::render_table("Figure 9", &["benchmark", "rpc"], &rows),
+        &csv_of(&["benchmark", "rpc"], &rows),
+    );
+
+    // Figure 10.
+    let data = figures::fig10(&[2, 4, 8], scale);
+    let names: Vec<String> = data[0].1.iter().map(|(n, _)| n.clone()).collect();
+    let rows: Vec<Vec<String>> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            let mut row = vec![n.clone()];
+            for (_, series) in &data {
+                row.push(pct(series[i].1));
+            }
+            row
+        })
+        .collect();
+    out.save(
+        "fig10",
+        &figures::render_table("Figure 10", &["benchmark", "t2", "t4", "t8"], &rows),
+        &csv_of(&["benchmark", "t2", "t4", "t8"], &rows),
+    );
+
+    // Figure 11.
+    let rows: Vec<Vec<String>> = figures::fig11(&[8, 16, 32, 64], scale)
+        .iter()
+        .map(|(n, e)| vec![n.to_string(), pct(*e)])
+        .collect();
+    out.save(
+        "fig11",
+        &figures::render_table("Figure 11", &["arq_entries", "efficiency"], &rows),
+        &csv_of(&["arq_entries", "efficiency"], &rows),
+    );
+
+    // Figures 12/13/14/17 from one paired sweep.
+    let pairs = figures::paired_runs(&cfg);
+    let rows: Vec<Vec<String>> = figures::fig12(&pairs)
+        .iter()
+        .map(|(n, wo, wi, rm)| {
+            vec![n.clone(), wo.to_string(), wi.to_string(), rm.to_string()]
+        })
+        .collect();
+    out.save(
+        "fig12",
+        &figures::render_table("Figure 12", &["benchmark", "raw", "mac", "removed"], &rows),
+        &csv_of(&["benchmark", "conflicts_raw", "conflicts_mac", "removed"], &rows),
+    );
+    let rows: Vec<Vec<String>> = figures::fig13(&pairs)
+        .iter()
+        .map(|(n, w, wo)| vec![n.clone(), pct(*w), pct(*wo)])
+        .collect();
+    out.save(
+        "fig13",
+        &figures::render_table("Figure 13", &["benchmark", "with_mac", "raw"], &rows),
+        &csv_of(&["benchmark", "with_mac", "raw"], &rows),
+    );
+    let rows: Vec<Vec<String>> = figures::fig14(&pairs)
+        .iter()
+        .map(|(n, s)| vec![n.clone(), s.to_string()])
+        .collect();
+    out.save(
+        "fig14",
+        &figures::render_table("Figure 14", &["benchmark", "bytes_saved"], &rows),
+        &csv_of(&["benchmark", "bytes_saved"], &rows),
+    );
+    let rows: Vec<Vec<String>> = figures::fig17(&pairs)
+        .iter()
+        .map(|(n, s)| vec![n.clone(), format!("{s:.2}")])
+        .collect();
+    out.save(
+        "fig17",
+        &figures::render_table("Figure 17", &["benchmark", "speedup_pct"], &rows),
+        &csv_of(&["benchmark", "speedup_pct"], &rows),
+    );
+
+    // Figure 15.
+    let rows: Vec<Vec<String>> = figures::fig15(&cfg)
+        .iter()
+        .map(|(n, avg, max)| vec![n.clone(), format!("{avg:.3}"), max.to_string()])
+        .collect();
+    out.save(
+        "fig15",
+        &figures::render_table("Figure 15", &["benchmark", "avg_targets", "max"], &rows),
+        &csv_of(&["benchmark", "avg_targets", "max"], &rows),
+    );
+
+    // Figure 16 (analytic).
+    let rows: Vec<Vec<String>> = figures::fig16()
+        .iter()
+        .map(|(n, b)| vec![n.to_string(), b.to_string()])
+        .collect();
+    out.save(
+        "fig16",
+        &figures::render_table("Figure 16", &["arq_entries", "bytes"], &rows),
+        &csv_of(&["arq_entries", "bytes"], &rows),
+    );
+
+    println!("all figures regenerated at scale {scale}");
+}

@@ -1,0 +1,32 @@
+//! Generalization beyond the paper's 12 benchmarks: the remaining GAP
+//! kernels (CC, SSSP, TC) through the same with/without-MAC comparison.
+
+use mac_bench::{paper_config, pct, scale_from_args};
+use mac_sim::experiment::run_all_pairs;
+use mac_sim::figures::render_table;
+use mac_workloads::extended_workloads;
+
+fn main() {
+    let cfg = paper_config(scale_from_args());
+    let pairs = run_all_pairs(&extended_workloads(), &cfg);
+    let rows: Vec<Vec<String>> = pairs
+        .iter()
+        .map(|(n, with, without)| {
+            vec![
+                n.clone(),
+                pct(with.coalescing_efficiency()),
+                pct(with.bandwidth_efficiency()),
+                format!("{}", without.bank_conflicts().saturating_sub(with.bank_conflicts())),
+                format!("{:.1}%", with.memory_speedup_vs(without)),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Extended suite (12 paper benchmarks + GAP CC/SSSP/TC)",
+            &["benchmark", "coalescing", "bw efficiency", "conflicts removed", "speedup"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,38 @@
+//! Regenerates Figure 1: LLC miss rates per benchmark (left) and the SG
+//! sequential-vs-random dataset sweep from 80 KB to 32 GB (right).
+
+use mac_bench::{pct, scale_from_args};
+use mac_sim::figures;
+
+fn main() {
+    let scale = scale_from_args();
+    let rates = figures::fig01_missrates(scale, 0xF16);
+    let mean = rates.iter().map(|(_, r)| r).sum::<f64>() / rates.len() as f64;
+    let mut rows: Vec<Vec<String>> =
+        rates.into_iter().map(|(n, r)| vec![n, pct(r)]).collect();
+    rows.push(vec!["MEAN".into(), pct(mean)]);
+    print!(
+        "{}",
+        figures::render_table(
+            "Figure 1 (left): LLC Miss Rates (paper mean: 49.09%)",
+            &["benchmark", "miss rate"],
+            &rows
+        )
+    );
+
+    let sweep = figures::fig01_sweep(400_000, 0xF16);
+    let rows: Vec<Vec<String>> = sweep
+        .into_iter()
+        .map(|(bytes, seq, rnd)| {
+            vec![mac_bench::human_bytes(bytes as i128), pct(seq), pct(rnd)]
+        })
+        .collect();
+    print!(
+        "{}",
+        figures::render_table(
+            "Figure 1 (right): SG seq vs random (paper: 2.36% vs 63.85% at 32 GB)",
+            &["dataset", "sequential", "random"],
+            &rows
+        )
+    );
+}

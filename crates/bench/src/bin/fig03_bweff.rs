@@ -1,0 +1,20 @@
+//! Regenerates Figure 3: analytic bandwidth efficiency and control
+//! overhead per HMC request size (Eq. 1).
+
+use mac_bench::pct;
+use mac_sim::figures;
+
+fn main() {
+    let rows: Vec<Vec<String>> = figures::fig03()
+        .into_iter()
+        .map(|(size, eff, ovh)| vec![format!("{size}B"), pct(eff), pct(ovh)])
+        .collect();
+    print!(
+        "{}",
+        figures::render_table(
+            "Figure 3: Bandwidth Efficiency and Overhead",
+            &["request", "efficiency", "overhead"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,22 @@
+//! Regenerates Figure 9: raw requests per cycle per benchmark (Eq. 2,
+//! demand form — the concurrency available to enter the ARQ).
+
+use mac_bench::{paper_config, scale_from_args};
+use mac_sim::figures;
+
+fn main() {
+    let cfg = paper_config(scale_from_args());
+    let rows_data = figures::fig09(&cfg);
+    let mean = rows_data.iter().map(|(_, r)| r).sum::<f64>() / rows_data.len() as f64;
+    let mut rows: Vec<Vec<String>> =
+        rows_data.into_iter().map(|(n, r)| vec![n, format!("{r:.2}")]).collect();
+    rows.push(vec!["MEAN".into(), format!("{mean:.2}")]);
+    print!(
+        "{}",
+        figures::render_table(
+            "Figure 9: Raw Requests per Cycle (paper mean: 9.32)",
+            &["benchmark", "RPC"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,34 @@
+//! Regenerates Figure 10: coalescing efficiency per benchmark at 2, 4,
+//! and 8 threads (paper means: 48.37%, 50.51%, 52.86%).
+
+use mac_bench::{pct, scale_from_args};
+use mac_sim::figures;
+
+fn main() {
+    let scale = scale_from_args();
+    let data = figures::fig10(&[2, 4, 8], scale);
+    // Pivot: one row per benchmark, one column per thread count.
+    let names: Vec<String> = data[0].1.iter().map(|(n, _)| n.clone()).collect();
+    let mut rows = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        let mut row = vec![name.clone()];
+        for (_, series) in &data {
+            row.push(pct(series[i].1));
+        }
+        rows.push(row);
+    }
+    let mut mean_row = vec!["MEAN".to_string()];
+    for (_, series) in &data {
+        let m = series.iter().map(|(_, e)| e).sum::<f64>() / series.len() as f64;
+        mean_row.push(pct(m));
+    }
+    rows.push(mean_row);
+    print!(
+        "{}",
+        figures::render_table(
+            "Figure 10: Coalescing Efficiency (paper means: 48.37/50.51/52.86%)",
+            &["benchmark", "2 threads", "4 threads", "8 threads"],
+            &rows
+        )
+    );
+}

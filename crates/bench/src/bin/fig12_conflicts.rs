@@ -1,0 +1,26 @@
+//! Regenerates Figure 12: bank-conflict reduction per benchmark.
+
+use mac_bench::{paper_config, scale_from_args};
+use mac_sim::figures;
+
+fn main() {
+    let cfg = paper_config(scale_from_args());
+    let pairs = figures::paired_runs(&cfg);
+    let data = figures::fig12(&pairs);
+    let total: u64 = data.iter().map(|(_, _, _, d)| d).sum();
+    let mut rows: Vec<Vec<String>> = data
+        .into_iter()
+        .map(|(n, without, with, removed)| {
+            vec![n, without.to_string(), with.to_string(), removed.to_string()]
+        })
+        .collect();
+    rows.push(vec!["TOTAL".into(), String::new(), String::new(), total.to_string()]);
+    print!(
+        "{}",
+        figures::render_table(
+            "Figure 12: Bank Conflict Reductions (raw vs MAC)",
+            &["benchmark", "conflicts (raw)", "conflicts (MAC)", "removed"],
+            &rows
+        )
+    );
+}

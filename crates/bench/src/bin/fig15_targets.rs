@@ -1,0 +1,25 @@
+//! Regenerates Figure 15: average merged targets per ARQ entry (paper:
+//! 2.13 average, 3.14 maximum; the 12-target 64 B entry is never the
+//! bottleneck).
+
+use mac_bench::{paper_config, scale_from_args};
+use mac_sim::figures;
+
+fn main() {
+    let cfg = paper_config(scale_from_args());
+    let data = figures::fig15(&cfg);
+    let mean = data.iter().map(|(_, m, _)| m).sum::<f64>() / data.len() as f64;
+    let mut rows: Vec<Vec<String>> = data
+        .into_iter()
+        .map(|(n, avg, max)| vec![n, format!("{avg:.2}"), max.to_string()])
+        .collect();
+    rows.push(vec!["MEAN".into(), format!("{mean:.2}"), String::new()]);
+    print!(
+        "{}",
+        figures::render_table(
+            "Figure 15: Avg Targets per ARQ Entry (paper: 2.13 avg, 3.14 max)",
+            &["benchmark", "avg targets", "max"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,30 @@
+//! Regenerates Figure 16: ARQ space overhead vs. entry count, plus the
+//! §5.3.3 total-area accounting for the default MAC.
+
+use mac_bench::human_bytes;
+use mac_coalescer::area;
+use mac_sim::figures;
+use mac_types::MacConfig;
+
+fn main() {
+    let rows: Vec<Vec<String>> = figures::fig16()
+        .into_iter()
+        .map(|(entries, bytes)| {
+            vec![entries.to_string(), bytes.to_string(), human_bytes(bytes as i128)]
+        })
+        .collect();
+    print!(
+        "{}",
+        figures::render_table(
+            "Figure 16: ARQ Space Overhead",
+            &["ARQ entries", "bytes", "human"],
+            &rows
+        )
+    );
+    let r = area::area(&MacConfig::default());
+    println!(
+        "\nDefault MAC total: {} bytes of storage, {} comparators, {} OR gates",
+        r.total_bytes, r.comparators, r.or_gates
+    );
+    println!("(paper §5.3.3: 2062 bytes, 32 comparators, 4 OR gates)");
+}

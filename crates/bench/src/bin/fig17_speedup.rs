@@ -1,0 +1,23 @@
+//! Regenerates Figure 17: memory-system speedup from MAC (paper: 60.73%
+//! average; MG, GRAPPOLO, SG, SPARSELU above 70%).
+
+use mac_bench::{paper_config, scale_from_args};
+use mac_sim::figures;
+
+fn main() {
+    let cfg = paper_config(scale_from_args());
+    let pairs = figures::paired_runs(&cfg);
+    let data = figures::fig17(&pairs);
+    let mean = data.iter().map(|(_, s)| s).sum::<f64>() / data.len() as f64;
+    let mut rows: Vec<Vec<String>> =
+        data.into_iter().map(|(n, s)| vec![n, format!("{s:.2}%")]).collect();
+    rows.push(vec!["MEAN".into(), format!("{mean:.2}%")]);
+    print!(
+        "{}",
+        figures::render_table(
+            "Figure 17: Memory System Speedup (paper mean: 60.73%)",
+            &["benchmark", "speedup"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,32 @@
+//! Tail-latency study: beyond Figure 17's total-latency reduction, how
+//! the MAC reshapes the access-latency distribution (p50/p95/p99) —
+//! coalescing removes the conflict-queueing tail.
+
+use mac_bench::{paper_config, scale_from_args};
+use mac_sim::experiment::run_pair;
+use mac_sim::figures::render_table;
+use mac_workloads::all_workloads;
+
+fn main() {
+    let cfg = paper_config(scale_from_args());
+    let mut rows = Vec::new();
+    for w in all_workloads() {
+        let (with, without) = run_pair(w.as_ref(), &cfg);
+        rows.push(vec![
+            w.name().to_string(),
+            with.latency_quantile(0.50).to_string(),
+            with.latency_quantile(0.99).to_string(),
+            without.latency_quantile(0.50).to_string(),
+            without.latency_quantile(0.99).to_string(),
+        ]);
+    }
+    println!("access latency quantiles in cycles (log-bucket upper bounds)");
+    print!(
+        "{}",
+        render_table(
+            "Tail latency: MAC vs raw",
+            &["benchmark", "MAC p50", "MAC p99", "raw p50", "raw p99"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,73 @@
+//! Trace pipeline CLI — the paper's §5.1 tracer/analyzer workflow:
+//!
+//! ```text
+//! trace_tools gen <workload> <file> [threads] [scale]   # tracer
+//! trace_tools analyze <file>                            # analyzer
+//! trace_tools run <file> [--no-mac]                     # timed simulator
+//! ```
+
+use mac_sim::analyzer::analyze;
+use mac_sim::SystemSim;
+use mac_types::SystemConfig;
+use mac_workloads::{by_name, WorkloadParams};
+use soc_sim::{read_trace_file, write_trace_file, ReplayProgram, ThreadProgram};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("gen") => {
+            let name = args.get(2).expect("workload name");
+            let path = std::path::Path::new(args.get(3).expect("output path"));
+            let threads = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(8);
+            let scale = args.get(5).and_then(|s| s.parse().ok()).unwrap_or(2);
+            let w = by_name(name).unwrap_or_else(|| panic!("unknown workload `{name}`"));
+            let trace = w.generate(&WorkloadParams { threads, scale, seed: 0xC0FFEE });
+            write_trace_file(path, &trace).expect("write trace");
+            println!(
+                "wrote {} ({} threads, {} memory ops)",
+                path.display(),
+                trace.len(),
+                mac_workloads::count_mem_ops(&trace)
+            );
+        }
+        Some("analyze") => {
+            let path = std::path::Path::new(args.get(2).expect("trace path"));
+            let trace = read_trace_file(path).expect("read trace");
+            let a = analyze(&trace);
+            println!("memory ops        : {}", a.mem_ops);
+            println!("loads/stores      : {} / {}", a.loads, a.stores);
+            println!("atomics/fences    : {} / {}", a.atomics, a.fences);
+            println!("distinct rows     : {}", a.distinct_rows);
+            println!("accesses per row  : {:.2}", a.accesses_per_row);
+            println!("shared rows       : {}", a.shared_rows);
+            println!("same-row run mean : {:.2} (max {})", a.run_length.mean(), a.run_length.max);
+            println!("oracle efficiency : {:.2}%", a.oracle_efficiency() * 100.0);
+        }
+        Some("run") => {
+            let path = std::path::Path::new(args.get(2).expect("trace path"));
+            let no_mac = args.iter().any(|a| a == "--no-mac");
+            let trace = read_trace_file(path).expect("read trace");
+            let mut cfg = SystemConfig::paper(trace.len());
+            cfg.mac_disabled = no_mac;
+            let programs: Vec<Box<dyn ThreadProgram>> = trace
+                .into_iter()
+                .map(|ops| Box::new(ReplayProgram::new(ops)) as Box<dyn ThreadProgram>)
+                .collect();
+            let r = SystemSim::new(&cfg, programs).run(2_000_000_000);
+            println!("mac               : {}", if no_mac { "disabled" } else { "enabled" });
+            println!("cycles            : {}", r.cycles);
+            println!("raw requests      : {}", r.soc.raw_requests);
+            println!("transactions      : {}", r.hmc.accesses());
+            println!("coalescing        : {:.2}%", r.coalescing_efficiency() * 100.0);
+            println!("bandwidth eff     : {:.2}%", r.bandwidth_efficiency() * 100.0);
+            println!("bank conflicts    : {}", r.bank_conflicts());
+            println!("mean latency      : {:.1} cycles", r.mean_access_latency());
+        }
+        _ => {
+            eprintln!("usage: trace_tools gen <workload> <file> [threads] [scale]");
+            eprintln!("       trace_tools analyze <file>");
+            eprintln!("       trace_tools run <file> [--no-mac]");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! # mac-bench
+//!
+//! The benchmark harness: one regenerator binary per table/figure of the
+//! paper (`cargo run --release -p mac-bench --bin fig10_coalescing`),
+//! ablation binaries for the design choices DESIGN.md calls out, and
+//! Criterion micro-benchmarks of the MAC hot paths (`cargo bench`).
+//!
+//! Every binary prints an aligned text table whose rows correspond to the
+//! paper's figure series; EXPERIMENTS.md records paper-vs-measured for
+//! each. Binaries accept an optional scale factor:
+//!
+//! ```text
+//! cargo run --release -p mac-bench --bin fig17_speedup -- [scale]
+//! ```
+//!
+//! Larger scales run bigger workloads (closer to the paper's sizes,
+//! slower to simulate). The default (2) finishes every figure in minutes
+//! on a laptop.
+
+use mac_sim::experiment::ExperimentConfig;
+
+/// Parse the optional scale argument (first CLI arg, default 2).
+pub fn scale_from_args() -> u32 {
+    std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2)
+}
+
+/// The standard experiment configuration for figure regeneration:
+/// Table 1 system, 8 threads, given scale.
+pub fn paper_config(scale: u32) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::paper(8);
+    cfg.workload.scale = scale;
+    cfg
+}
+
+/// Format a fraction as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Format a byte count with a binary-prefix unit.
+pub fn human_bytes(b: i128) -> String {
+    let (sign, b) = if b < 0 { ("-", -b) } else { ("", b) };
+    let f = b as f64;
+    if f >= (1u64 << 30) as f64 {
+        format!("{sign}{:.2} GB", f / (1u64 << 30) as f64)
+    } else if f >= (1 << 20) as f64 {
+        format!("{sign}{:.2} MB", f / (1 << 20) as f64)
+    } else if f >= (1 << 10) as f64 {
+        format!("{sign}{:.2} KB", f / (1 << 10) as f64)
+    } else {
+        format!("{sign}{b} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.5285), "52.85%");
+        assert_eq!(pct(0.0), "0.00%");
+    }
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(2048), "2.00 KB");
+        assert_eq!(human_bytes(3 << 20), "3.00 MB");
+        assert_eq!(human_bytes(22 << 30), "22.00 GB");
+        assert_eq!(human_bytes(-(1 << 20)), "-1.00 MB");
+    }
+
+    #[test]
+    fn paper_config_uses_8_threads() {
+        let c = paper_config(3);
+        assert_eq!(c.system.soc.threads, 8);
+        assert_eq!(c.workload.scale, 3);
+        assert_eq!(c.workload.threads, 8);
+    }
+}

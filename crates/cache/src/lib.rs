@@ -1,0 +1,24 @@
+//! # cache-model
+//!
+//! Set-associative cache and MSHR simulator.
+//!
+//! Two roles in the reproduction:
+//!
+//! 1. **Figure 1** — the paper motivates the cache-less node architecture
+//!    by measuring LLC miss rates of irregular workloads (49.09 % average;
+//!    sequential vs. random SG sweep from 80 KB to 32 GB). [`Cache`]
+//!    replays the same address streams against a configurable LLC model.
+//!    Since a cache simulator needs addresses only (no data), the full
+//!    32 GB x-axis of the paper is reproducible on a laptop.
+//! 2. **§2.3's baseline coalescer** — conventional CPUs/GPUs coalesce via
+//!    miss status holding registers at cache-line (64 B) granularity.
+//!    [`MshrFile`] models that: misses allocate an entry, same-line
+//!    requests merge while the miss is outstanding, and every memory
+//!    transaction is one fixed-size line. The `mac-bench` ablations
+//!    compare it against the MAC's adaptive 64–256 B packets.
+
+pub mod cache;
+pub mod mshr;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use mshr::{MshrFile, MshrOutcome, MshrStats};

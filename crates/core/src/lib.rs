@@ -1,0 +1,42 @@
+//! # mac-coalescer
+//!
+//! The paper's contribution: the **Memory Access Coalescer** (MAC), a
+//! processor-side coalescing unit for packetized 3D-stacked memory.
+//!
+//! Components (paper §3–§4, Figures 4–8):
+//!
+//! * [`router`] — the request router that classifies raw requests into
+//!   local / remote / global FIFO queues (§3.1), and the response router
+//!   that delivers data back to the originating threads (§3.3).
+//! * [`arq`] — the **Raw Request Aggregator**: a FIFO Aggregated Request
+//!   Queue whose entries carry a row-number CAM tag (with the `T` type
+//!   bit), a 16-bit FLIT map, and up to 12 merged 4.5 B targets. Handles
+//!   memory fences (comparators disabled until the fence drains) and the
+//!   latency-hiding fill mechanism (§4.1).
+//! * [`flit_table`] — the 16-entry lookup table mapping the 4-bit chunk
+//!   mask to a coalesced packet start/size (§4.2.1), plus the ablation
+//!   policies DESIGN.md calls out.
+//! * [`builder`] — the two-stage pipelined **Request Builder**: stage 1
+//!   OR-reduces the FLIT map into the chunk mask (1 cycle); stage 2 does
+//!   the FLIT-table lookup and assembles the HMC transaction (2 cycles),
+//!   for the paper's steady-state issue rate of 0.5 requests/cycle (§4.4).
+//! * [`mac`] — the assembled unit: ARQ pop every 2 cycles, `B`-bit bypass
+//!   path for un-mergeable rows, direct path for atomics, fence
+//!   completion, and dispatch toward the device.
+//! * [`area`] — the space-overhead model behind Figure 16.
+//! * [`stats`] — coalescing-efficiency accounting (Eq. 3, Figures 10/15).
+
+pub mod area;
+pub mod arq;
+pub mod builder;
+pub mod flit_table;
+pub mod mac;
+pub mod router;
+pub mod stats;
+
+pub use arq::{Arq, ArqEntry, InsertOutcome};
+pub use builder::RequestBuilder;
+pub use flit_table::{FlitTable, TableEntry};
+pub use mac::{Mac, MacEvent};
+pub use router::{RequestRouter, ResponseRouter, RoutedTo};
+pub use stats::MacStats;

@@ -1,0 +1,128 @@
+//! Property-based tests of the Raw Request Aggregator's invariants.
+
+use proptest::prelude::*;
+
+use mac_coalescer::{Arq, ArqEntry, InsertOutcome};
+use mac_types::{MacConfig, MemOpKind, NodeId, PhysAddr, RawRequest, Target, TransactionId};
+
+fn raw(id: u64, addr: u64, kind: MemOpKind) -> RawRequest {
+    let a = PhysAddr::new(addr);
+    RawRequest {
+        id: TransactionId(id),
+        addr: a,
+        kind,
+        node: NodeId(0),
+        home: NodeId(0),
+        target: Target { tid: id as u16, tag: (id >> 16) as u16, flit: a.flit() },
+        issued_at: 0,
+    }
+}
+
+fn arb_kind() -> impl Strategy<Value = MemOpKind> {
+    prop_oneof![
+        6 => Just(MemOpKind::Load),
+        3 => Just(MemOpKind::Store),
+        1 => Just(MemOpKind::Fence),
+    ]
+}
+
+proptest! {
+    /// Conservation: every accepted request appears in exactly one popped
+    /// entry, with its FLIT bit set and its target recorded.
+    #[test]
+    fn accepted_requests_appear_exactly_once(
+        ops in prop::collection::vec((0u64..(1 << 16), arb_kind()), 1..200),
+        backlog in 0usize..64,
+    ) {
+        let mut arq = Arq::new(&MacConfig::default());
+        let mut accepted = std::collections::HashSet::new();
+        let mut popped = Vec::new();
+        for (i, (addr, kind)) in ops.iter().enumerate() {
+            let r = raw(i as u64, addr & !0xF, *kind);
+            match arq.insert(r, backlog) {
+                InsertOutcome::Full => {
+                    // Drain one entry (keeping it for verification) and
+                    // retry once.
+                    popped.extend(arq.pop());
+                    if arq.insert(r, backlog) != InsertOutcome::Full {
+                        accepted.insert((i as u64, *kind));
+                    }
+                }
+                _ => {
+                    accepted.insert((i as u64, *kind));
+                }
+            }
+        }
+        while let Some(e) = arq.pop() {
+            popped.push(e);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for e in popped {
+            match e {
+                ArqEntry::Fence(f) => {
+                    prop_assert!(seen.insert(f.id.0), "fence duplicated");
+                }
+                ArqEntry::Group(g) => {
+                    prop_assert_eq!(g.targets.len(), g.raw_ids.len());
+                    prop_assert!(!g.flit_map.is_empty());
+                    prop_assert!(g.targets.len() <= 12, "entry capacity");
+                    for (id, t) in g.raw_ids.iter().zip(&g.targets) {
+                        prop_assert!(seen.insert(id.0), "request duplicated");
+                        prop_assert!(g.flit_map.get(t.flit), "target FLIT not in map");
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(seen.len(), accepted.len());
+    }
+
+    /// Type separation: a popped group never mixes loads and stores, and
+    /// all merged requests share one DRAM row.
+    #[test]
+    fn groups_are_homogeneous(
+        ops in prop::collection::vec((0u64..(1 << 12), any::<bool>()), 1..100)
+    ) {
+        let mut arq = Arq::new(&MacConfig { latency_hiding: false, ..MacConfig::default() });
+        let mut rows: std::collections::HashMap<u64, (u64, bool)> =
+            std::collections::HashMap::new();
+        for (i, (addr, is_store)) in ops.iter().enumerate() {
+            let kind = if *is_store { MemOpKind::Store } else { MemOpKind::Load };
+            let r = raw(i as u64, addr & !0xF, kind);
+            rows.insert(i as u64, (r.addr.row().0, *is_store));
+            if arq.insert(r, 0) == InsertOutcome::Full {
+                arq.pop();
+                let _ = arq.insert(r, 0);
+            }
+        }
+        while let Some(ArqEntry::Group(g)) = arq.pop() {
+            for id in &g.raw_ids {
+                if let Some(&(row, is_store)) = rows.get(&id.0) {
+                    prop_assert_eq!(row, g.row.0, "row mismatch");
+                    prop_assert_eq!(is_store, g.is_store, "type mixed");
+                }
+            }
+        }
+    }
+
+    /// FIFO order: entries pop in allocation order regardless of merges.
+    #[test]
+    fn pops_preserve_allocation_order(
+        addrs in prop::collection::vec(0u64..(1 << 10), 2..50)
+    ) {
+        let mut arq = Arq::new(&MacConfig { latency_hiding: false, ..MacConfig::default() });
+        let mut alloc_order = Vec::new();
+        for (i, a) in addrs.iter().enumerate() {
+            let r = raw(i as u64, a & !0xF, MemOpKind::Load);
+            match arq.insert(r, 0) {
+                InsertOutcome::Allocated => alloc_order.push(r.addr.row().0),
+                InsertOutcome::Merged => {}
+                InsertOutcome::Full => break,
+            }
+        }
+        let mut popped = Vec::new();
+        while let Some(ArqEntry::Group(g)) = arq.pop() {
+            popped.push(g.row.0);
+        }
+        prop_assert_eq!(popped, alloc_order);
+    }
+}

@@ -1,0 +1,151 @@
+//! Address-to-vault/bank mapping.
+//!
+//! HMC interleaves consecutive memory blocks across vaults so that
+//! streaming traffic spreads over the cube (the "interleaved vaults" the
+//! paper leans on in §4.1 when it coalesces at DRAM-row granularity: each
+//! 256 B row lives entirely in one bank of one vault, and consecutive rows
+//! land in different vaults).
+//!
+//! Mapping (low-interleaved, HMC 2.1 default "max block size = row size"):
+//!
+//! ```text
+//! physical address bits:
+//!   [ ...  | bank (log2 B) | vault (log2 V) | row offset (8) ]
+//! ```
+
+use mac_types::{HmcConfig, PhysAddr, RowId};
+use serde::{Deserialize, Serialize};
+
+/// Maps physical addresses / row ids onto vaults and banks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddrMap {
+    vaults: u64,
+    banks_per_vault: u64,
+    vault_bits: u32,
+    bank_bits: u32,
+}
+
+/// A fully resolved DRAM location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BankAddr {
+    /// Vault index, `0..vaults`.
+    pub vault: u16,
+    /// Bank index within the vault, `0..banks_per_vault`.
+    pub bank: u16,
+    /// Flat bank index across the cube, `vault * banks_per_vault + bank`.
+    pub flat: u32,
+}
+
+impl AddrMap {
+    /// Build the map for a device configuration. Vault and bank counts
+    /// must be powers of two (they are in every HMC generation).
+    pub fn new(cfg: &HmcConfig) -> Self {
+        assert!(cfg.vaults.is_power_of_two(), "vault count must be a power of two");
+        assert!(cfg.banks_per_vault.is_power_of_two(), "bank count must be a power of two");
+        AddrMap {
+            vaults: cfg.vaults as u64,
+            banks_per_vault: cfg.banks_per_vault as u64,
+            vault_bits: cfg.vaults.trailing_zeros(),
+            bank_bits: cfg.banks_per_vault.trailing_zeros(),
+        }
+    }
+
+    /// Resolve a row id (the coalescing unit) to its bank.
+    #[inline]
+    pub fn locate_row(&self, row: RowId) -> BankAddr {
+        let vault = (row.0 & (self.vaults - 1)) as u16;
+        let bank = ((row.0 >> self.vault_bits) & (self.banks_per_vault - 1)) as u16;
+        BankAddr { vault, bank, flat: vault as u32 * self.banks_per_vault as u32 + bank as u32 }
+    }
+
+    /// Resolve a full physical address to its bank.
+    #[inline]
+    pub fn locate(&self, addr: PhysAddr) -> BankAddr {
+        self.locate_row(addr.row())
+    }
+
+    /// Total banks in the cube.
+    #[inline]
+    pub fn total_banks(&self) -> usize {
+        (self.vaults * self.banks_per_vault) as usize
+    }
+
+    /// Number of vaults.
+    #[inline]
+    pub fn vaults(&self) -> usize {
+        self.vaults as usize
+    }
+
+    /// Bits consumed by the vault+bank fields above the row offset.
+    pub fn interleave_bits(&self) -> u32 {
+        self.vault_bits + self.bank_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mac_types::ROW_BYTES;
+
+    fn map() -> AddrMap {
+        AddrMap::new(&HmcConfig::default())
+    }
+
+    #[test]
+    fn default_geometry() {
+        let m = map();
+        assert_eq!(m.total_banks(), 512);
+        assert_eq!(m.vaults(), 32);
+        assert_eq!(m.interleave_bits(), 9);
+    }
+
+    #[test]
+    fn consecutive_rows_hit_different_vaults() {
+        let m = map();
+        let a = m.locate(PhysAddr::new(0));
+        let b = m.locate(PhysAddr::new(ROW_BYTES));
+        assert_ne!(a.vault, b.vault);
+    }
+
+    #[test]
+    fn same_row_same_bank() {
+        let m = map();
+        let base = PhysAddr::new(7 * ROW_BYTES);
+        for off in 0..ROW_BYTES {
+            assert_eq!(m.locate(base.offset(off)), m.locate(base));
+        }
+    }
+
+    #[test]
+    fn flat_index_is_unique_per_bank() {
+        let m = map();
+        let mut seen = std::collections::HashSet::new();
+        // Walk enough consecutive rows to touch every bank once.
+        for row in 0..512u64 {
+            let loc = m.locate_row(RowId(row));
+            assert!(seen.insert(loc.flat), "bank {loc:?} repeated early");
+            assert!(loc.flat < 512);
+        }
+        assert_eq!(seen.len(), 512);
+    }
+
+    #[test]
+    fn bank_wraps_after_vault_space() {
+        let m = map();
+        // Row 0 and row 32 share vault 0 but differ in bank.
+        let a = m.locate_row(RowId(0));
+        let b = m.locate_row(RowId(32));
+        assert_eq!(a.vault, b.vault);
+        assert_ne!(a.bank, b.bank);
+        // Row 512 wraps back to vault 0, bank 0.
+        let c = m.locate_row(RowId(512));
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_vaults() {
+        let cfg = HmcConfig { vaults: 12, ..HmcConfig::default() };
+        let _ = AddrMap::new(&cfg);
+    }
+}

@@ -1,0 +1,33 @@
+//! The common interface of 3D-stacked memory back ends.
+//!
+//! The MAC is device-agnostic by design (§4.3): it emits packetized
+//! transactions and consumes responses. Both [`crate::HmcDevice`] and
+//! [`crate::HbmDevice`] implement this trait, so the full-system
+//! simulator switches back ends with a configuration flag.
+
+use mac_types::{Cycle, HmcRequest, HmcResponse};
+
+use crate::stats::HmcStats;
+
+/// A transaction-driven 3D-stacked memory device.
+pub trait MemoryDevice {
+    /// Whether the device can enqueue a request for this address at `now`
+    /// (finite internal queues provide backpressure).
+    fn can_accept(&mut self, req: &HmcRequest, now: Cycle) -> bool;
+
+    /// Submit one transaction at cycle `now` (non-decreasing across
+    /// calls); returns its completion cycle.
+    fn submit(&mut self, req: HmcRequest, now: Cycle) -> Cycle;
+
+    /// Pop every response completed by `now`, in completion order.
+    fn drain_completed(&mut self, now: Cycle) -> Vec<HmcResponse>;
+
+    /// Transactions submitted but not yet drained.
+    fn pending(&self) -> usize;
+
+    /// Earliest outstanding completion, if any (idle fast-forwarding).
+    fn next_completion(&self) -> Option<Cycle>;
+
+    /// Accumulated statistics.
+    fn stats(&self) -> &HmcStats;
+}

@@ -1,0 +1,44 @@
+//! # hmc-model
+//!
+//! Cycle-accurate-enough Hybrid Memory Cube device model — the workspace's
+//! replacement for HMCSim-3.0 (Leidel & Chen 2014), which the paper used
+//! as its memory back end.
+//!
+//! The model covers everything the MAC evaluation observes:
+//!
+//! * **Packetized links** (§2.2.2): request/response packets of 1–17 FLITs,
+//!   one control FLIT per packet (32 B overhead per access), serialized on
+//!   4 full-duplex links at 30 GB/s each.
+//! * **Vault/bank structure** (§2.2.1): 32 vaults x 16 banks (512 banks in
+//!   an 8 GB cube), 256 B DRAM rows, vault-interleaved addressing.
+//! * **Closed-page policy** (§2.2.1): every access pays
+//!   activate + column + burst + precharge; there is no row-buffer hit
+//!   path, so requests to a busy bank queue behind it — those stalls are
+//!   counted as **bank conflicts**, the quantity Figure 12 reports.
+//! * **Bandwidth accounting**: data vs. control bytes on the links, from
+//!   which Figures 13 and 14 are computed.
+//!
+//! The device is *transaction-driven*: [`HmcDevice::submit`] analytically
+//! schedules a request through link → crossbar → vault queue → bank →
+//! response link and returns its completion time, provided submissions
+//! arrive in non-decreasing cycle order (which a cycle-driven front end
+//! guarantees). Completed responses are drained with
+//! [`HmcDevice::drain_completed`].
+
+pub mod addrmap;
+pub mod ddr;
+pub mod device;
+mod device_trait;
+pub mod hbm;
+pub mod link;
+pub mod stats;
+pub mod vault;
+
+pub use addrmap::AddrMap;
+pub use device::HmcDevice;
+pub use ddr::DdrDevice;
+pub use device_trait::MemoryDevice;
+pub use hbm::HbmDevice;
+pub use link::LinkSet;
+pub use stats::HmcStats;
+pub use vault::VaultSet;

@@ -1,0 +1,719 @@
+//! A two-pass RV64 assembler for the supported subset.
+//!
+//! Enough syntax to write the workloads and examples in readable
+//! assembly: labels, `#` comments, the base/M/A-subset mnemonics, the
+//! custom `spm.fetch`/`spm.flush` instructions, and the common pseudo-ops
+//! (`li` with full 64-bit materialization, `mv`, `nop`, `j`, `jr`, `ret`,
+//! `call`, `beqz`, `bnez`).
+
+use crate::encode::encode;
+use crate::isa::{AluImmOp, AluOp, AmoOp, BranchOp, Instruction, Reg, Width};
+
+/// A parsed line that may still reference a label.
+enum Item {
+    Ready(Instruction),
+    /// Branch to a label: (op, rs1, rs2, label).
+    Branch(BranchOp, Reg, Reg, String),
+    /// JAL to a label: (rd, label).
+    Jal(Reg, String),
+}
+
+/// Assemble source text into a little-endian program image.
+///
+/// Returns `Err` with a line-numbered message on any syntax error or
+/// out-of-range operand.
+pub fn assemble(src: &str) -> Result<Vec<u8>, String> {
+    let mut items: Vec<Item> = Vec::new();
+    let mut labels: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+
+    for (lineno, raw_line) in src.lines().enumerate() {
+        let line = raw_line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |m: &str| format!("line {}: {m}: `{line}`", lineno + 1);
+
+        let mut rest = line;
+        // Leading labels (possibly several on one line).
+        while let Some(colon) = rest.find(':') {
+            let (label, tail) = rest.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                break;
+            }
+            if labels.insert(label.to_string(), items.len()).is_some() {
+                return Err(err(&format!("duplicate label `{label}`")));
+            }
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+
+        parse_instruction(rest, &mut items).map_err(|m| err(&m))?;
+    }
+
+    // Pass 2: resolve label references.
+    let mut words = Vec::with_capacity(items.len());
+    for (idx, item) in items.iter().enumerate() {
+        let ins = match item {
+            Item::Ready(i) => *i,
+            Item::Branch(op, rs1, rs2, label) => {
+                let target =
+                    *labels.get(label).ok_or(format!("undefined label `{label}`"))?;
+                let offset = (target as i64 - idx as i64) * 4;
+                Instruction::Branch { op: *op, rs1: *rs1, rs2: *rs2, offset }
+            }
+            Item::Jal(rd, label) => {
+                let target =
+                    *labels.get(label).ok_or(format!("undefined label `{label}`"))?;
+                let offset = (target as i64 - idx as i64) * 4;
+                Instruction::Jal { rd: *rd, offset }
+            }
+        };
+        words.push(encode(ins));
+    }
+
+    Ok(words.iter().flat_map(|w| w.to_le_bytes()).collect())
+}
+
+fn parse_int(s: &str) -> Option<i64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        return i64::from_str_radix(hex, 16).ok().or_else(|| {
+            u64::from_str_radix(hex, 16).ok().map(|v| v as i64)
+        });
+    }
+    if let Some(hex) = s.strip_prefix("-0x") {
+        return i64::from_str_radix(hex, 16).ok().map(|v| -v);
+    }
+    s.parse::<i64>().ok().or_else(|| s.parse::<u64>().ok().map(|v| v as i64))
+}
+
+fn reg(s: &str) -> Result<Reg, String> {
+    Reg::parse(s.trim()).ok_or_else(|| format!("bad register `{s}`"))
+}
+
+/// Parse `off(rs)` or `(rs)` memory operands.
+fn mem_operand(s: &str) -> Result<(i64, Reg), String> {
+    let s = s.trim();
+    let open = s.find('(').ok_or_else(|| format!("bad memory operand `{s}`"))?;
+    let close = s.rfind(')').ok_or_else(|| format!("bad memory operand `{s}`"))?;
+    let off_str = s[..open].trim();
+    let off =
+        if off_str.is_empty() { 0 } else { parse_int(off_str).ok_or("bad offset")? };
+    Ok((off, reg(&s[open + 1..close])?))
+}
+
+/// Expand `li rd, value` into a minimal materialization sequence.
+fn li_sequence(rd: Reg, v: i64, out: &mut Vec<Item>) {
+    if (-2048..2048).contains(&v) {
+        out.push(Item::Ready(Instruction::AluImm {
+            op: AluImmOp::Addi,
+            rd,
+            rs1: Reg::ZERO,
+            imm: v,
+        }));
+        return;
+    }
+    if v == (v as i32) as i64 {
+        // lui + addiw covers the signed 32-bit range.
+        let low = (v << 52) >> 52; // sign-extended low 12 bits
+        let hi = v - low;
+        out.push(Item::Ready(Instruction::Lui { rd, imm: hi }));
+        if low != 0 {
+            out.push(Item::Ready(Instruction::AluImm {
+                op: AluImmOp::Addiw,
+                rd,
+                rs1: rd,
+                imm: low,
+            }));
+        }
+        return;
+    }
+    // General 64-bit: materialize the upper part, shift, add low 12 bits.
+    let low = (v << 52) >> 52;
+    let rest = (v - low) >> 12;
+    li_sequence(rd, rest, out);
+    out.push(Item::Ready(Instruction::AluImm { op: AluImmOp::Slli, rd, rs1: rd, imm: 12 }));
+    if low != 0 {
+        out.push(Item::Ready(Instruction::AluImm { op: AluImmOp::Addi, rd, rs1: rd, imm: low }));
+    }
+}
+
+fn parse_instruction(line: &str, out: &mut Vec<Item>) -> Result<(), String> {
+    let (mnemonic, args) = match line.find(char::is_whitespace) {
+        Some(i) => (&line[..i], line[i..].trim()),
+        None => (line, ""),
+    };
+    let ops: Vec<&str> =
+        if args.is_empty() { Vec::new() } else { args.split(',').map(str::trim).collect() };
+    let n = ops.len();
+    let need = |k: usize| -> Result<(), String> {
+        if n == k {
+            Ok(())
+        } else {
+            Err(format!("expected {k} operands, got {n}"))
+        }
+    };
+    use Instruction as I;
+
+    let alu3 = |op: AluOp, ops: &[&str]| -> Result<Item, String> {
+        Ok(Item::Ready(I::Alu { op, rd: reg(ops[0])?, rs1: reg(ops[1])?, rs2: reg(ops[2])? }))
+    };
+    let alu_imm = |op: AluImmOp, ops: &[&str]| -> Result<Item, String> {
+        Ok(Item::Ready(I::AluImm {
+            op,
+            rd: reg(ops[0])?,
+            rs1: reg(ops[1])?,
+            imm: parse_int(ops[2]).ok_or("bad immediate")?,
+        }))
+    };
+    let load = |width: Width, signed: bool, ops: &[&str]| -> Result<Item, String> {
+        let (offset, rs1) = mem_operand(ops[1])?;
+        Ok(Item::Ready(I::Load { rd: reg(ops[0])?, rs1, offset, width, signed }))
+    };
+    let store = |width: Width, ops: &[&str]| -> Result<Item, String> {
+        let (offset, rs1) = mem_operand(ops[1])?;
+        Ok(Item::Ready(I::Store { rs1, rs2: reg(ops[0])?, offset, width }))
+    };
+    let branch = |op: BranchOp, ops: &[&str]| -> Result<Item, String> {
+        let rs1 = reg(ops[0])?;
+        let rs2 = reg(ops[1])?;
+        match parse_int(ops[2]) {
+            Some(off) => Ok(Item::Ready(I::Branch { op, rs1, rs2, offset: off })),
+            None => Ok(Item::Branch(op, rs1, rs2, ops[2].to_string())),
+        }
+    };
+    let amo = |op: AmoOp, width: Width, ops: &[&str]| -> Result<Item, String> {
+        let (_, rs1) = mem_operand(ops[2])?;
+        Ok(Item::Ready(I::Amo { op, rd: reg(ops[0])?, rs1, rs2: reg(ops[1])?, width }))
+    };
+
+    let item = match mnemonic {
+        // --- pseudo-ops ---
+        "nop" => {
+            need(0)?;
+            Item::Ready(I::AluImm { op: AluImmOp::Addi, rd: Reg::ZERO, rs1: Reg::ZERO, imm: 0 })
+        }
+        "li" => {
+            need(2)?;
+            let rd = reg(ops[0])?;
+            let v = parse_int(ops[1]).ok_or("bad immediate")?;
+            li_sequence(rd, v, out);
+            return Ok(());
+        }
+        "mv" => {
+            need(2)?;
+            Item::Ready(I::AluImm { op: AluImmOp::Addi, rd: reg(ops[0])?, rs1: reg(ops[1])?, imm: 0 })
+        }
+        "j" => {
+            need(1)?;
+            match parse_int(ops[0]) {
+                Some(off) => Item::Ready(I::Jal { rd: Reg::ZERO, offset: off }),
+                None => Item::Jal(Reg::ZERO, ops[0].to_string()),
+            }
+        }
+        "call" => {
+            need(1)?;
+            Item::Jal(Reg::RA, ops[0].to_string())
+        }
+        "jr" => {
+            need(1)?;
+            Item::Ready(I::Jalr { rd: Reg::ZERO, rs1: reg(ops[0])?, offset: 0 })
+        }
+        "ret" => {
+            need(0)?;
+            Item::Ready(I::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 })
+        }
+        "beqz" => {
+            need(2)?;
+            return parse_instruction(&format!("beq {}, x0, {}", ops[0], ops[1]), out);
+        }
+        "bnez" => {
+            need(2)?;
+            return parse_instruction(&format!("bne {}, x0, {}", ops[0], ops[1]), out);
+        }
+        // --- U/J types ---
+        "lui" => {
+            need(2)?;
+            Item::Ready(I::Lui {
+                rd: reg(ops[0])?,
+                imm: parse_int(ops[1]).ok_or("bad immediate")? << 12,
+            })
+        }
+        "auipc" => {
+            need(2)?;
+            Item::Ready(I::Auipc {
+                rd: reg(ops[0])?,
+                imm: parse_int(ops[1]).ok_or("bad immediate")? << 12,
+            })
+        }
+        "jal" => match n {
+            1 => Item::Jal(Reg::RA, ops[0].to_string()),
+            2 => match parse_int(ops[1]) {
+                Some(off) => Item::Ready(I::Jal { rd: reg(ops[0])?, offset: off }),
+                None => Item::Jal(reg(ops[0])?, ops[1].to_string()),
+            },
+            _ => return Err("jal takes 1 or 2 operands".into()),
+        },
+        "jalr" => {
+            need(2)?;
+            let (offset, rs1) = mem_operand(ops[1])
+                .or_else(|_| reg(ops[1]).map(|r| (0i64, r)))?;
+            Item::Ready(I::Jalr { rd: reg(ops[0])?, rs1, offset })
+        }
+        // --- branches ---
+        "beq" => {
+            need(3)?;
+            branch(BranchOp::Eq, &ops)?
+        }
+        "bne" => {
+            need(3)?;
+            branch(BranchOp::Ne, &ops)?
+        }
+        "blt" => {
+            need(3)?;
+            branch(BranchOp::Lt, &ops)?
+        }
+        "bge" => {
+            need(3)?;
+            branch(BranchOp::Ge, &ops)?
+        }
+        "bltu" => {
+            need(3)?;
+            branch(BranchOp::Ltu, &ops)?
+        }
+        "bgeu" => {
+            need(3)?;
+            branch(BranchOp::Geu, &ops)?
+        }
+        // --- loads/stores ---
+        "lb" => {
+            need(2)?;
+            load(Width::B, true, &ops)?
+        }
+        "lh" => {
+            need(2)?;
+            load(Width::H, true, &ops)?
+        }
+        "lw" => {
+            need(2)?;
+            load(Width::W, true, &ops)?
+        }
+        "ld" => {
+            need(2)?;
+            load(Width::D, true, &ops)?
+        }
+        "lbu" => {
+            need(2)?;
+            load(Width::B, false, &ops)?
+        }
+        "lhu" => {
+            need(2)?;
+            load(Width::H, false, &ops)?
+        }
+        "lwu" => {
+            need(2)?;
+            load(Width::W, false, &ops)?
+        }
+        "sb" => {
+            need(2)?;
+            store(Width::B, &ops)?
+        }
+        "sh" => {
+            need(2)?;
+            store(Width::H, &ops)?
+        }
+        "sw" => {
+            need(2)?;
+            store(Width::W, &ops)?
+        }
+        "sd" => {
+            need(2)?;
+            store(Width::D, &ops)?
+        }
+        // --- ALU immediate ---
+        "addi" => {
+            need(3)?;
+            alu_imm(AluImmOp::Addi, &ops)?
+        }
+        "slti" => {
+            need(3)?;
+            alu_imm(AluImmOp::Slti, &ops)?
+        }
+        "sltiu" => {
+            need(3)?;
+            alu_imm(AluImmOp::Sltiu, &ops)?
+        }
+        "xori" => {
+            need(3)?;
+            alu_imm(AluImmOp::Xori, &ops)?
+        }
+        "ori" => {
+            need(3)?;
+            alu_imm(AluImmOp::Ori, &ops)?
+        }
+        "andi" => {
+            need(3)?;
+            alu_imm(AluImmOp::Andi, &ops)?
+        }
+        "slli" => {
+            need(3)?;
+            alu_imm(AluImmOp::Slli, &ops)?
+        }
+        "srli" => {
+            need(3)?;
+            alu_imm(AluImmOp::Srli, &ops)?
+        }
+        "srai" => {
+            need(3)?;
+            alu_imm(AluImmOp::Srai, &ops)?
+        }
+        "addiw" => {
+            need(3)?;
+            alu_imm(AluImmOp::Addiw, &ops)?
+        }
+        "slliw" => {
+            need(3)?;
+            alu_imm(AluImmOp::Slliw, &ops)?
+        }
+        "srliw" => {
+            need(3)?;
+            alu_imm(AluImmOp::Srliw, &ops)?
+        }
+        "sraiw" => {
+            need(3)?;
+            alu_imm(AluImmOp::Sraiw, &ops)?
+        }
+        // --- ALU register ---
+        "add" => {
+            need(3)?;
+            alu3(AluOp::Add, &ops)?
+        }
+        "sub" => {
+            need(3)?;
+            alu3(AluOp::Sub, &ops)?
+        }
+        "sll" => {
+            need(3)?;
+            alu3(AluOp::Sll, &ops)?
+        }
+        "slt" => {
+            need(3)?;
+            alu3(AluOp::Slt, &ops)?
+        }
+        "sltu" => {
+            need(3)?;
+            alu3(AluOp::Sltu, &ops)?
+        }
+        "xor" => {
+            need(3)?;
+            alu3(AluOp::Xor, &ops)?
+        }
+        "srl" => {
+            need(3)?;
+            alu3(AluOp::Srl, &ops)?
+        }
+        "sra" => {
+            need(3)?;
+            alu3(AluOp::Sra, &ops)?
+        }
+        "or" => {
+            need(3)?;
+            alu3(AluOp::Or, &ops)?
+        }
+        "and" => {
+            need(3)?;
+            alu3(AluOp::And, &ops)?
+        }
+        "addw" => {
+            need(3)?;
+            alu3(AluOp::Addw, &ops)?
+        }
+        "subw" => {
+            need(3)?;
+            alu3(AluOp::Subw, &ops)?
+        }
+        "sllw" => {
+            need(3)?;
+            alu3(AluOp::Sllw, &ops)?
+        }
+        "srlw" => {
+            need(3)?;
+            alu3(AluOp::Srlw, &ops)?
+        }
+        "sraw" => {
+            need(3)?;
+            alu3(AluOp::Sraw, &ops)?
+        }
+        "mul" => {
+            need(3)?;
+            alu3(AluOp::Mul, &ops)?
+        }
+        "mulh" => {
+            need(3)?;
+            alu3(AluOp::Mulh, &ops)?
+        }
+        "mulhsu" => {
+            need(3)?;
+            alu3(AluOp::Mulhsu, &ops)?
+        }
+        "mulhu" => {
+            need(3)?;
+            alu3(AluOp::Mulhu, &ops)?
+        }
+        "div" => {
+            need(3)?;
+            alu3(AluOp::Div, &ops)?
+        }
+        "divu" => {
+            need(3)?;
+            alu3(AluOp::Divu, &ops)?
+        }
+        "rem" => {
+            need(3)?;
+            alu3(AluOp::Rem, &ops)?
+        }
+        "remu" => {
+            need(3)?;
+            alu3(AluOp::Remu, &ops)?
+        }
+        "mulw" => {
+            need(3)?;
+            alu3(AluOp::Mulw, &ops)?
+        }
+        "divw" => {
+            need(3)?;
+            alu3(AluOp::Divw, &ops)?
+        }
+        "divuw" => {
+            need(3)?;
+            alu3(AluOp::Divuw, &ops)?
+        }
+        "remw" => {
+            need(3)?;
+            alu3(AluOp::Remw, &ops)?
+        }
+        "remuw" => {
+            need(3)?;
+            alu3(AluOp::Remuw, &ops)?
+        }
+        // --- system / atomics / custom ---
+        "fence" => {
+            need(0)?;
+            Item::Ready(I::Fence)
+        }
+        "ecall" => {
+            need(0)?;
+            Item::Ready(I::Ecall)
+        }
+        "lr.w" | "lr.d" => {
+            need(2)?;
+            let (_, rs1) = mem_operand(ops[1])?;
+            let width = if mnemonic.ends_with('d') { Width::D } else { Width::W };
+            Item::Ready(I::LoadReserved { rd: reg(ops[0])?, rs1, width })
+        }
+        "sc.w" | "sc.d" => {
+            need(3)?;
+            let (_, rs1) = mem_operand(ops[2])?;
+            let width = if mnemonic.ends_with('d') { Width::D } else { Width::W };
+            Item::Ready(I::StoreConditional { rd: reg(ops[0])?, rs1, rs2: reg(ops[1])?, width })
+        }
+        "amoswap.w" => {
+            need(3)?;
+            amo(AmoOp::Swap, Width::W, &ops)?
+        }
+        "amoswap.d" => {
+            need(3)?;
+            amo(AmoOp::Swap, Width::D, &ops)?
+        }
+        "amoadd.w" => {
+            need(3)?;
+            amo(AmoOp::Add, Width::W, &ops)?
+        }
+        "amoadd.d" => {
+            need(3)?;
+            amo(AmoOp::Add, Width::D, &ops)?
+        }
+        "amoxor.w" => {
+            need(3)?;
+            amo(AmoOp::Xor, Width::W, &ops)?
+        }
+        "amoxor.d" => {
+            need(3)?;
+            amo(AmoOp::Xor, Width::D, &ops)?
+        }
+        "amoand.w" => {
+            need(3)?;
+            amo(AmoOp::And, Width::W, &ops)?
+        }
+        "amoand.d" => {
+            need(3)?;
+            amo(AmoOp::And, Width::D, &ops)?
+        }
+        "amoor.w" => {
+            need(3)?;
+            amo(AmoOp::Or, Width::W, &ops)?
+        }
+        "amoor.d" => {
+            need(3)?;
+            amo(AmoOp::Or, Width::D, &ops)?
+        }
+        "spm.fetch" => {
+            need(3)?;
+            Item::Ready(I::SpmFetch {
+                rd: reg(ops[0])?,
+                rs1: reg(ops[1])?,
+                imm: parse_int(ops[2]).ok_or("bad length")?,
+            })
+        }
+        "spm.flush" => {
+            need(3)?;
+            Item::Ready(I::SpmFlush {
+                rd: reg(ops[0])?,
+                rs1: reg(ops[1])?,
+                imm: parse_int(ops[2]).ok_or("bad length")?,
+            })
+        }
+        other => return Err(format!("unknown mnemonic `{other}`")),
+    };
+    out.push(item);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode;
+
+    fn words(image: &[u8]) -> Vec<u32> {
+        image.chunks(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect()
+    }
+
+    #[test]
+    fn assembles_and_decodes_basic_block() {
+        let img = assemble("addi a0, x0, 5\nadd a1, a0, a0\necall\n").unwrap();
+        let ws = words(&img);
+        assert_eq!(ws.len(), 3);
+        assert!(decode(ws[0]).is_some());
+        assert_eq!(decode(ws[2]), Some(Instruction::Ecall));
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let img = assemble(
+            r#"
+            li a0, 0
+        top:
+            addi a0, a0, 1
+            beq a0, x0, top     # never taken
+            bne a0, x0, done
+            j top
+        done:
+            ecall
+            "#,
+        )
+        .unwrap();
+        let ws = words(&img);
+        // bne is instruction index 3; done is index 5 -> offset +8.
+        assert_eq!(
+            decode(ws[3]),
+            Some(Instruction::Branch {
+                op: BranchOp::Ne,
+                rs1: Reg(10),
+                rs2: Reg(0),
+                offset: 8
+            })
+        );
+        // beq at index 2 targets top (1) -> offset -4.
+        assert_eq!(
+            decode(ws[2]),
+            Some(Instruction::Branch {
+                op: BranchOp::Eq,
+                rs1: Reg(10),
+                rs2: Reg(0),
+                offset: -4
+            })
+        );
+    }
+
+    #[test]
+    fn li_small_is_one_addi() {
+        let img = assemble("li a0, 100\n").unwrap();
+        assert_eq!(words(&img).len(), 1);
+    }
+
+    #[test]
+    fn li_32bit_uses_lui() {
+        let img = assemble("li a0, 0x12345678\n").unwrap();
+        let ws = words(&img);
+        assert_eq!(ws.len(), 2);
+        assert!(matches!(decode(ws[0]), Some(Instruction::Lui { .. })));
+    }
+
+    #[test]
+    fn li_64bit_materializes_correctly() {
+        use crate::cpu::{Cpu, ExecResult, FlatMemory};
+        for v in [0xFFFF_0000u64, 0xDEAD_BEEF_CAFE_F00Du64, u64::MAX, 1 << 63, 0x8000_0000] {
+            let img = assemble(&format!("li a0, {v}\necall\n")).unwrap();
+            let mut mem = FlatMemory::new(4096);
+            mem.load_image(0, &img);
+            let mut cpu = Cpu::new(0, 64);
+            let (_, r) = cpu.run(&mut mem, 100);
+            assert_eq!(r, ExecResult::Halted);
+            assert_eq!(cpu.reg(Reg(10)), v, "li {v:#x}");
+        }
+    }
+
+    #[test]
+    fn memory_operands_parse() {
+        let img = assemble("ld a1, 8(a0)\nsd a1, -16(sp)\nlr.d a2, (a0)\n").unwrap();
+        let ws = words(&img);
+        assert_eq!(
+            decode(ws[0]),
+            Some(Instruction::Load {
+                rd: Reg(11),
+                rs1: Reg(10),
+                offset: 8,
+                width: Width::D,
+                signed: true
+            })
+        );
+        assert_eq!(
+            decode(ws[1]),
+            Some(Instruction::Store { rs1: Reg(2), rs2: Reg(11), offset: -16, width: Width::D })
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("nop\nbogus a0, a1\n").unwrap_err();
+        assert!(e.contains("line 2"), "{e}");
+        assert!(e.contains("bogus"), "{e}");
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let e = assemble("j nowhere\n").unwrap_err();
+        assert!(e.contains("nowhere"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_label_is_an_error() {
+        let e = assemble("a:\nnop\na:\nnop\n").unwrap_err();
+        assert!(e.contains("duplicate"), "{e}");
+    }
+
+    #[test]
+    fn pseudo_ops_expand() {
+        let img = assemble("nop\nmv a0, a1\nret\nbeqz a0, 8\nbnez a0, 8\n").unwrap();
+        assert_eq!(words(&img).len(), 5);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let img = assemble("# comment only\n\n   \nnop # trailing\n").unwrap();
+        assert_eq!(words(&img).len(), 1);
+    }
+}

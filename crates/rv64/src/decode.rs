@@ -1,0 +1,361 @@
+//! Instruction decoder: 32-bit machine word → decoded form.
+
+use crate::isa::{AluImmOp, AluOp, AmoOp, BranchOp, Instruction, Reg, Width};
+
+#[inline]
+fn rd(w: u32) -> Reg {
+    Reg(((w >> 7) & 0x1F) as u8)
+}
+#[inline]
+fn rs1(w: u32) -> Reg {
+    Reg(((w >> 15) & 0x1F) as u8)
+}
+#[inline]
+fn rs2(w: u32) -> Reg {
+    Reg(((w >> 20) & 0x1F) as u8)
+}
+#[inline]
+fn f3(w: u32) -> u32 {
+    (w >> 12) & 0x7
+}
+#[inline]
+fn f7(w: u32) -> u32 {
+    w >> 25
+}
+
+#[inline]
+fn imm_i(w: u32) -> i64 {
+    ((w as i32) >> 20) as i64
+}
+
+#[inline]
+fn imm_s(w: u32) -> i64 {
+    let hi = ((w as i32) >> 25) as i64; // sign-extended imm[11:5]
+    let lo = ((w >> 7) & 0x1F) as i64;
+    (hi << 5) | lo
+}
+
+#[inline]
+fn imm_b(w: u32) -> i64 {
+    let sign = ((w as i32) >> 31) as i64; // imm[12]
+    let b11 = ((w >> 7) & 1) as i64;
+    let b4_1 = ((w >> 8) & 0xF) as i64;
+    let b10_5 = ((w >> 25) & 0x3F) as i64;
+    (sign << 12) | (b11 << 11) | (b10_5 << 5) | (b4_1 << 1)
+}
+
+#[inline]
+fn imm_u(w: u32) -> i64 {
+    ((w & 0xFFFF_F000) as i32) as i64
+}
+
+#[inline]
+fn imm_j(w: u32) -> i64 {
+    let sign = ((w as i32) >> 31) as i64; // imm[20]
+    let b19_12 = ((w >> 12) & 0xFF) as i64;
+    let b11 = ((w >> 20) & 1) as i64;
+    let b10_1 = ((w >> 21) & 0x3FF) as i64;
+    (sign << 20) | (b19_12 << 12) | (b11 << 11) | (b10_1 << 1)
+}
+
+/// Decode one machine word; `None` for anything outside the supported
+/// subset.
+pub fn decode(w: u32) -> Option<Instruction> {
+    use Instruction as I;
+    let opcode = w & 0x7F;
+    Some(match opcode {
+        0b0110111 => I::Lui { rd: rd(w), imm: imm_u(w) },
+        0b0010111 => I::Auipc { rd: rd(w), imm: imm_u(w) },
+        0b1101111 => I::Jal { rd: rd(w), offset: imm_j(w) },
+        0b1100111 if f3(w) == 0 => I::Jalr { rd: rd(w), rs1: rs1(w), offset: imm_i(w) },
+        0b1100011 => {
+            let op = match f3(w) {
+                0b000 => BranchOp::Eq,
+                0b001 => BranchOp::Ne,
+                0b100 => BranchOp::Lt,
+                0b101 => BranchOp::Ge,
+                0b110 => BranchOp::Ltu,
+                0b111 => BranchOp::Geu,
+                _ => return None,
+            };
+            I::Branch { op, rs1: rs1(w), rs2: rs2(w), offset: imm_b(w) }
+        }
+        0b0000011 => {
+            let (width, signed) = match f3(w) {
+                0b000 => (Width::B, true),
+                0b001 => (Width::H, true),
+                0b010 => (Width::W, true),
+                0b011 => (Width::D, true),
+                0b100 => (Width::B, false),
+                0b101 => (Width::H, false),
+                0b110 => (Width::W, false),
+                _ => return None,
+            };
+            I::Load { rd: rd(w), rs1: rs1(w), offset: imm_i(w), width, signed }
+        }
+        0b0100011 => {
+            let width = match f3(w) {
+                0b000 => Width::B,
+                0b001 => Width::H,
+                0b010 => Width::W,
+                0b011 => Width::D,
+                _ => return None,
+            };
+            I::Store { rs1: rs1(w), rs2: rs2(w), offset: imm_s(w), width }
+        }
+        0b0010011 => {
+            let op = match f3(w) {
+                0b000 => AluImmOp::Addi,
+                0b010 => AluImmOp::Slti,
+                0b011 => AluImmOp::Sltiu,
+                0b100 => AluImmOp::Xori,
+                0b110 => AluImmOp::Ori,
+                0b111 => AluImmOp::Andi,
+                0b001 if f7(w) & !1 == 0 => AluImmOp::Slli,
+                0b101 if f7(w) & !1 == 0 => AluImmOp::Srli,
+                0b101 if f7(w) & !1 == 0b0100000 => AluImmOp::Srai,
+                _ => return None,
+            };
+            let imm = match op {
+                AluImmOp::Slli | AluImmOp::Srli | AluImmOp::Srai => ((w >> 20) & 0x3F) as i64,
+                _ => imm_i(w),
+            };
+            I::AluImm { op, rd: rd(w), rs1: rs1(w), imm }
+        }
+        0b0011011 => {
+            let op = match f3(w) {
+                0b000 => AluImmOp::Addiw,
+                0b001 if f7(w) == 0 => AluImmOp::Slliw,
+                0b101 if f7(w) == 0 => AluImmOp::Srliw,
+                0b101 if f7(w) == 0b0100000 => AluImmOp::Sraiw,
+                _ => return None,
+            };
+            let imm = match op {
+                AluImmOp::Addiw => imm_i(w),
+                _ => ((w >> 20) & 0x1F) as i64,
+            };
+            I::AluImm { op, rd: rd(w), rs1: rs1(w), imm }
+        }
+        0b0110011 | 0b0111011 => {
+            use AluOp::*;
+            let wide = opcode == 0b0111011;
+            let op = match (f7(w), f3(w), wide) {
+                (0b0000000, 0b000, false) => Add,
+                (0b0100000, 0b000, false) => Sub,
+                (0b0000000, 0b001, false) => Sll,
+                (0b0000000, 0b010, false) => Slt,
+                (0b0000000, 0b011, false) => Sltu,
+                (0b0000000, 0b100, false) => Xor,
+                (0b0000000, 0b101, false) => Srl,
+                (0b0100000, 0b101, false) => Sra,
+                (0b0000000, 0b110, false) => Or,
+                (0b0000000, 0b111, false) => And,
+                (0b0000001, 0b000, false) => Mul,
+                (0b0000001, 0b001, false) => Mulh,
+                (0b0000001, 0b010, false) => Mulhsu,
+                (0b0000001, 0b011, false) => Mulhu,
+                (0b0000001, 0b100, false) => Div,
+                (0b0000001, 0b101, false) => Divu,
+                (0b0000001, 0b110, false) => Rem,
+                (0b0000001, 0b111, false) => Remu,
+                (0b0000000, 0b000, true) => Addw,
+                (0b0100000, 0b000, true) => Subw,
+                (0b0000000, 0b001, true) => Sllw,
+                (0b0000000, 0b101, true) => Srlw,
+                (0b0100000, 0b101, true) => Sraw,
+                (0b0000001, 0b000, true) => Mulw,
+                (0b0000001, 0b100, true) => Divw,
+                (0b0000001, 0b101, true) => Divuw,
+                (0b0000001, 0b110, true) => Remw,
+                (0b0000001, 0b111, true) => Remuw,
+                _ => return None,
+            };
+            I::Alu { op, rd: rd(w), rs1: rs1(w), rs2: rs2(w) }
+        }
+        0b0001111 if f3(w) == 0 => I::Fence,
+        0b1110011 if w == 0x0000_0073 => I::Ecall,
+        0b0101111 => {
+            let width = match f3(w) {
+                0b010 => Width::W,
+                0b011 => Width::D,
+                _ => return None,
+            };
+            match f7(w) >> 2 {
+                0b00010 if rs2(w) == Reg(0) => I::LoadReserved { rd: rd(w), rs1: rs1(w), width },
+                0b00011 => I::StoreConditional { rd: rd(w), rs1: rs1(w), rs2: rs2(w), width },
+                0b00000 => I::Amo { op: AmoOp::Add, rd: rd(w), rs1: rs1(w), rs2: rs2(w), width },
+                0b00001 => I::Amo { op: AmoOp::Swap, rd: rd(w), rs1: rs1(w), rs2: rs2(w), width },
+                0b00100 => I::Amo { op: AmoOp::Xor, rd: rd(w), rs1: rs1(w), rs2: rs2(w), width },
+                0b01000 => I::Amo { op: AmoOp::Or, rd: rd(w), rs1: rs1(w), rs2: rs2(w), width },
+                0b01100 => I::Amo { op: AmoOp::And, rd: rd(w), rs1: rs1(w), rs2: rs2(w), width },
+                _ => return None,
+            }
+        }
+        0b0001011 => match f3(w) {
+            0b000 => I::SpmFetch { rd: rd(w), rs1: rs1(w), imm: imm_i(w) },
+            0b001 => I::SpmFlush { rd: rd(w), rs1: rs1(w), imm: imm_i(w) },
+            _ => return None,
+        },
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use proptest::prelude::*;
+
+    #[test]
+    fn decodes_known_words() {
+        assert_eq!(
+            decode(0x0050_0093),
+            Some(Instruction::AluImm { op: AluImmOp::Addi, rd: Reg(1), rs1: Reg(0), imm: 5 })
+        );
+        assert_eq!(decode(0x0000_0073), Some(Instruction::Ecall));
+        assert_eq!(decode(0xFFFF_FFFF), None, "all-ones is not an instruction");
+        assert_eq!(decode(0), None, "zero word is illegal");
+    }
+
+    #[test]
+    fn negative_immediates_sign_extend() {
+        // addi x1, x1, -1
+        let w = encode(Instruction::AluImm {
+            op: AluImmOp::Addi,
+            rd: Reg(1),
+            rs1: Reg(1),
+            imm: -1,
+        });
+        assert_eq!(
+            decode(w),
+            Some(Instruction::AluImm { op: AluImmOp::Addi, rd: Reg(1), rs1: Reg(1), imm: -1 })
+        );
+        // sd x5, -24(x2)
+        let w = encode(Instruction::Store {
+            rs1: Reg(2),
+            rs2: Reg(5),
+            offset: -24,
+            width: Width::D,
+        });
+        assert_eq!(
+            decode(w),
+            Some(Instruction::Store { rs1: Reg(2), rs2: Reg(5), offset: -24, width: Width::D })
+        );
+    }
+
+    fn arb_reg() -> impl Strategy<Value = Reg> {
+        (0u8..32).prop_map(Reg)
+    }
+
+    fn arb_instruction() -> impl Strategy<Value = Instruction> {
+        use Instruction as I;
+        prop_oneof![
+            (arb_reg(), -(1i64 << 31)..(1i64 << 31)).prop_map(|(rd, v)| I::Lui {
+                rd,
+                imm: v & !0xFFF
+            }),
+            (arb_reg(), arb_reg(), -2048i64..2048).prop_map(|(rd, rs1, imm)| I::Jalr {
+                rd,
+                rs1,
+                offset: imm
+            }),
+            (arb_reg(), -(1i64 << 19)..(1i64 << 19)).prop_map(|(rd, o)| I::Jal {
+                rd,
+                offset: o * 2
+            }),
+            (
+                prop_oneof![
+                    Just(BranchOp::Eq),
+                    Just(BranchOp::Ne),
+                    Just(BranchOp::Lt),
+                    Just(BranchOp::Ge),
+                    Just(BranchOp::Ltu),
+                    Just(BranchOp::Geu)
+                ],
+                arb_reg(),
+                arb_reg(),
+                -(1i64 << 11)..(1i64 << 11)
+            )
+                .prop_map(|(op, rs1, rs2, o)| I::Branch { op, rs1, rs2, offset: o * 2 }),
+            (
+                arb_reg(),
+                arb_reg(),
+                -2048i64..2048,
+                prop_oneof![Just(Width::B), Just(Width::H), Just(Width::W), Just(Width::D)],
+                any::<bool>()
+            )
+                .prop_map(|(rd, rs1, offset, width, signed)| I::Load {
+                    rd,
+                    rs1,
+                    offset,
+                    width,
+                    signed: signed || width == Width::D,
+                }),
+            (
+                arb_reg(),
+                arb_reg(),
+                -2048i64..2048,
+                prop_oneof![Just(Width::B), Just(Width::H), Just(Width::W), Just(Width::D)]
+            )
+                .prop_map(|(rs1, rs2, offset, width)| I::Store { rs1, rs2, offset, width }),
+            (
+                prop_oneof![
+                    Just(AluOp::Add),
+                    Just(AluOp::Sub),
+                    Just(AluOp::Mul),
+                    Just(AluOp::Divu),
+                    Just(AluOp::Xor),
+                    Just(AluOp::Sraw),
+                    Just(AluOp::Remw)
+                ],
+                arb_reg(),
+                arb_reg(),
+                arb_reg()
+            )
+                .prop_map(|(op, rd, rs1, rs2)| I::Alu { op, rd, rs1, rs2 }),
+            (
+                prop_oneof![
+                    Just(AluImmOp::Addi),
+                    Just(AluImmOp::Andi),
+                    Just(AluImmOp::Ori),
+                    Just(AluImmOp::Addiw)
+                ],
+                arb_reg(),
+                arb_reg(),
+                -2048i64..2048
+            )
+                .prop_map(|(op, rd, rs1, imm)| I::AluImm { op, rd, rs1, imm }),
+            (arb_reg(), arb_reg(), 0i64..64)
+                .prop_map(|(rd, rs1, imm)| I::AluImm { op: AluImmOp::Slli, rd, rs1, imm }),
+            Just(I::Fence),
+            Just(I::Ecall),
+            (
+                prop_oneof![
+                    Just(AmoOp::Add),
+                    Just(AmoOp::Swap),
+                    Just(AmoOp::Xor),
+                    Just(AmoOp::And),
+                    Just(AmoOp::Or)
+                ],
+                arb_reg(),
+                arb_reg(),
+                arb_reg(),
+                prop_oneof![Just(Width::W), Just(Width::D)]
+            )
+                .prop_map(|(op, rd, rs1, rs2, width)| I::Amo { op, rd, rs1, rs2, width }),
+            (arb_reg(), arb_reg(), 0i64..2048)
+                .prop_map(|(rd, rs1, imm)| I::SpmFetch { rd, rs1, imm }),
+            (arb_reg(), arb_reg(), 0i64..2048)
+                .prop_map(|(rd, rs1, imm)| I::SpmFlush { rd, rs1, imm }),
+        ]
+    }
+
+    proptest! {
+        /// The fundamental ISA invariant: decode(encode(i)) == i.
+        #[test]
+        fn encode_decode_round_trip(ins in arb_instruction()) {
+            let word = encode(ins);
+            prop_assert_eq!(decode(word), Some(ins));
+        }
+    }
+}

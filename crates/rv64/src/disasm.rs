@@ -1,0 +1,222 @@
+//! Disassembler: decoded instructions back to assembler-compatible text.
+//!
+//! `disassemble` produces the same syntax `asm::assemble` parses, so the
+//! three representations round-trip: words → instructions → text → words.
+
+use crate::isa::{AluImmOp, AluOp, AmoOp, BranchOp, Instruction, Width};
+
+fn width_suffix(w: Width) -> &'static str {
+    match w {
+        Width::B => "b",
+        Width::H => "h",
+        Width::W => "w",
+        Width::D => "d",
+    }
+}
+
+/// Render one instruction as assembler text.
+pub fn disassemble(ins: Instruction) -> String {
+    use Instruction as I;
+    match ins {
+        I::Lui { rd, imm } => format!("lui {rd}, {}", imm >> 12),
+        I::Auipc { rd, imm } => format!("auipc {rd}, {}", imm >> 12),
+        I::Jal { rd, offset } => format!("jal {rd}, {offset}"),
+        I::Jalr { rd, rs1, offset } => format!("jalr {rd}, {offset}({rs1})"),
+        I::Branch { op, rs1, rs2, offset } => {
+            let m = match op {
+                BranchOp::Eq => "beq",
+                BranchOp::Ne => "bne",
+                BranchOp::Lt => "blt",
+                BranchOp::Ge => "bge",
+                BranchOp::Ltu => "bltu",
+                BranchOp::Geu => "bgeu",
+            };
+            format!("{m} {rs1}, {rs2}, {offset}")
+        }
+        I::Load { rd, rs1, offset, width, signed } => {
+            let u = if signed || width == Width::D { "" } else { "u" };
+            format!("l{}{u} {rd}, {offset}({rs1})", width_suffix(width))
+        }
+        I::Store { rs1, rs2, offset, width } => {
+            format!("s{} {rs2}, {offset}({rs1})", width_suffix(width))
+        }
+        I::AluImm { op, rd, rs1, imm } => {
+            use AluImmOp::*;
+            let m = match op {
+                Addi => "addi",
+                Slti => "slti",
+                Sltiu => "sltiu",
+                Xori => "xori",
+                Ori => "ori",
+                Andi => "andi",
+                Slli => "slli",
+                Srli => "srli",
+                Srai => "srai",
+                Addiw => "addiw",
+                Slliw => "slliw",
+                Srliw => "srliw",
+                Sraiw => "sraiw",
+            };
+            format!("{m} {rd}, {rs1}, {imm}")
+        }
+        I::Alu { op, rd, rs1, rs2 } => {
+            use AluOp::*;
+            let m = match op {
+                Add => "add",
+                Sub => "sub",
+                Sll => "sll",
+                Slt => "slt",
+                Sltu => "sltu",
+                Xor => "xor",
+                Srl => "srl",
+                Sra => "sra",
+                Or => "or",
+                And => "and",
+                Addw => "addw",
+                Subw => "subw",
+                Sllw => "sllw",
+                Srlw => "srlw",
+                Sraw => "sraw",
+                Mul => "mul",
+                Mulh => "mulh",
+                Mulhsu => "mulhsu",
+                Mulhu => "mulhu",
+                Div => "div",
+                Divu => "divu",
+                Rem => "rem",
+                Remu => "remu",
+                Mulw => "mulw",
+                Divw => "divw",
+                Divuw => "divuw",
+                Remw => "remw",
+                Remuw => "remuw",
+            };
+            format!("{m} {rd}, {rs1}, {rs2}")
+        }
+        I::Fence => "fence".to_string(),
+        I::Ecall => "ecall".to_string(),
+        I::LoadReserved { rd, rs1, width } => {
+            format!("lr.{} {rd}, ({rs1})", width_suffix(width))
+        }
+        I::StoreConditional { rd, rs1, rs2, width } => {
+            format!("sc.{} {rd}, {rs2}, ({rs1})", width_suffix(width))
+        }
+        I::Amo { op, rd, rs1, rs2, width } => {
+            let m = match op {
+                AmoOp::Swap => "amoswap",
+                AmoOp::Add => "amoadd",
+                AmoOp::Xor => "amoxor",
+                AmoOp::And => "amoand",
+                AmoOp::Or => "amoor",
+            };
+            format!("{m}.{} {rd}, {rs2}, ({rs1})", width_suffix(width))
+        }
+        I::SpmFetch { rd, rs1, imm } => format!("spm.fetch {rd}, {rs1}, {imm}"),
+        I::SpmFlush { rd, rs1, imm } => format!("spm.flush {rd}, {rs1}, {imm}"),
+    }
+}
+
+/// Disassemble a program image into one line per word; undecodable words
+/// render as `.word 0x...`.
+pub fn disassemble_image(image: &[u8]) -> Vec<String> {
+    image
+        .chunks(4)
+        .map(|c| {
+            let mut w = [0u8; 4];
+            w[..c.len()].copy_from_slice(c);
+            let word = u32::from_le_bytes(w);
+            match crate::decode::decode(word) {
+                Some(ins) => disassemble(ins),
+                None => format!(".word {word:#010x}"),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::decode::decode;
+    use crate::isa::Reg;
+
+    #[test]
+    fn known_instructions_render() {
+        assert_eq!(
+            disassemble(Instruction::AluImm {
+                op: AluImmOp::Addi,
+                rd: Reg(10),
+                rs1: Reg(0),
+                imm: 5
+            }),
+            "addi x10, x0, 5"
+        );
+        assert_eq!(
+            disassemble(Instruction::Load {
+                rd: Reg(5),
+                rs1: Reg(2),
+                offset: -8,
+                width: Width::D,
+                signed: true
+            }),
+            "ld x5, -8(x2)"
+        );
+        assert_eq!(disassemble(Instruction::Fence), "fence");
+        assert_eq!(
+            disassemble(Instruction::Amo {
+                op: AmoOp::Add,
+                rd: Reg(3),
+                rs1: Reg(4),
+                rs2: Reg(5),
+                width: Width::D
+            }),
+            "amoadd.d x3, x5, (x4)"
+        );
+    }
+
+    #[test]
+    fn disassembly_reassembles_to_the_same_words() {
+        // A program exercising most instruction classes.
+        let src = r#"
+            addi a0, x0, 100
+            lui a1, 74565
+            ld a2, 8(a0)
+            sd a2, -16(sp)
+            lbu a3, 3(a0)
+            mul a4, a2, a3
+            divu a5, a4, a2
+            sraw a6, a4, a2
+            beq a0, a1, 16
+            bltu a2, a3, -8
+            jalr ra, 4(a0)
+            lr.d t0, (a0)
+            sc.w t1, t0, (a0)
+            amoswap.d t2, t0, (a0)
+            spm.fetch t3, a0, 256
+            spm.flush t4, a1, 64
+            fence
+            ecall
+        "#;
+        let image = assemble(src).unwrap();
+        let listing = disassemble_image(&image).join("\n");
+        let image2 = assemble(&listing).unwrap();
+        assert_eq!(image, image2, "disasm -> asm round trip");
+    }
+
+    #[test]
+    fn image_round_trip_per_word() {
+        let src = "add a0, a1, a2\nsubw t0, t1, t2\nsltiu s1, s2, 47\n";
+        let image = assemble(src).unwrap();
+        for (chunk, line) in image.chunks(4).zip(disassemble_image(&image)) {
+            let word = u32::from_le_bytes(chunk.try_into().unwrap());
+            let ins = decode(word).unwrap();
+            assert_eq!(disassemble(ins), line);
+        }
+    }
+
+    #[test]
+    fn undecodable_words_render_as_data() {
+        let lines = disassemble_image(&0xFFFF_FFFFu32.to_le_bytes());
+        assert_eq!(lines, vec![".word 0xffffffff".to_string()]);
+    }
+}

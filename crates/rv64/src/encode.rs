@@ -1,0 +1,252 @@
+//! Instruction encoder: decoded form → 32-bit RISC-V machine word.
+//!
+//! Standard RV64 encodings; the custom scratchpad instructions use the
+//! reserved *custom-0* opcode (0b0001011) in I-type form.
+
+use crate::isa::{AluImmOp, AluOp, AmoOp, BranchOp, Instruction, Reg, Width};
+
+const OP_LUI: u32 = 0b0110111;
+const OP_AUIPC: u32 = 0b0010111;
+const OP_JAL: u32 = 0b1101111;
+const OP_JALR: u32 = 0b1100111;
+const OP_BRANCH: u32 = 0b1100011;
+const OP_LOAD: u32 = 0b0000011;
+const OP_STORE: u32 = 0b0100011;
+const OP_IMM: u32 = 0b0010011;
+const OP_IMM32: u32 = 0b0011011;
+const OP_OP: u32 = 0b0110011;
+const OP_OP32: u32 = 0b0111011;
+const OP_MISC_MEM: u32 = 0b0001111;
+const OP_SYSTEM: u32 = 0b1110011;
+const OP_AMO: u32 = 0b0101111;
+const OP_CUSTOM0: u32 = 0b0001011;
+
+fn r_type(op: u32, rd: Reg, f3: u32, rs1: Reg, rs2: Reg, f7: u32) -> u32 {
+    op | ((rd.0 as u32) << 7)
+        | (f3 << 12)
+        | ((rs1.0 as u32) << 15)
+        | ((rs2.0 as u32) << 20)
+        | (f7 << 25)
+}
+
+fn i_type(op: u32, rd: Reg, f3: u32, rs1: Reg, imm: i64) -> u32 {
+    op | ((rd.0 as u32) << 7)
+        | (f3 << 12)
+        | ((rs1.0 as u32) << 15)
+        | (((imm as u32) & 0xFFF) << 20)
+}
+
+fn s_type(op: u32, f3: u32, rs1: Reg, rs2: Reg, imm: i64) -> u32 {
+    let imm = imm as u32;
+    op | ((imm & 0x1F) << 7)
+        | (f3 << 12)
+        | ((rs1.0 as u32) << 15)
+        | ((rs2.0 as u32) << 20)
+        | (((imm >> 5) & 0x7F) << 25)
+}
+
+fn b_type(op: u32, f3: u32, rs1: Reg, rs2: Reg, offset: i64) -> u32 {
+    let o = offset as u32;
+    op | (((o >> 11) & 1) << 7)
+        | (((o >> 1) & 0xF) << 8)
+        | (f3 << 12)
+        | ((rs1.0 as u32) << 15)
+        | ((rs2.0 as u32) << 20)
+        | (((o >> 5) & 0x3F) << 25)
+        | (((o >> 12) & 1) << 31)
+}
+
+fn u_type(op: u32, rd: Reg, imm: i64) -> u32 {
+    op | ((rd.0 as u32) << 7) | ((imm as u32) & 0xFFFF_F000)
+}
+
+fn j_type(op: u32, rd: Reg, offset: i64) -> u32 {
+    let o = offset as u32;
+    op | ((rd.0 as u32) << 7)
+        | (((o >> 12) & 0xFF) << 12)
+        | (((o >> 11) & 1) << 20)
+        | (((o >> 1) & 0x3FF) << 21)
+        | (((o >> 20) & 1) << 31)
+}
+
+fn load_f3(width: Width, signed: bool) -> u32 {
+    match (width, signed) {
+        (Width::B, true) => 0b000,
+        (Width::H, true) => 0b001,
+        (Width::W, true) => 0b010,
+        (Width::D, _) => 0b011,
+        (Width::B, false) => 0b100,
+        (Width::H, false) => 0b101,
+        (Width::W, false) => 0b110,
+    }
+}
+
+/// Encode one instruction to its machine word.
+pub fn encode(ins: Instruction) -> u32 {
+    use Instruction as I;
+    match ins {
+        I::Lui { rd, imm } => u_type(OP_LUI, rd, imm),
+        I::Auipc { rd, imm } => u_type(OP_AUIPC, rd, imm),
+        I::Jal { rd, offset } => j_type(OP_JAL, rd, offset),
+        I::Jalr { rd, rs1, offset } => i_type(OP_JALR, rd, 0, rs1, offset),
+        I::Branch { op, rs1, rs2, offset } => {
+            let f3 = match op {
+                BranchOp::Eq => 0b000,
+                BranchOp::Ne => 0b001,
+                BranchOp::Lt => 0b100,
+                BranchOp::Ge => 0b101,
+                BranchOp::Ltu => 0b110,
+                BranchOp::Geu => 0b111,
+            };
+            b_type(OP_BRANCH, f3, rs1, rs2, offset)
+        }
+        I::Load { rd, rs1, offset, width, signed } => {
+            i_type(OP_LOAD, rd, load_f3(width, signed), rs1, offset)
+        }
+        I::Store { rs1, rs2, offset, width } => {
+            let f3 = match width {
+                Width::B => 0b000,
+                Width::H => 0b001,
+                Width::W => 0b010,
+                Width::D => 0b011,
+            };
+            s_type(OP_STORE, f3, rs1, rs2, offset)
+        }
+        I::AluImm { op, rd, rs1, imm } => {
+            use AluImmOp::*;
+            match op {
+                Addi => i_type(OP_IMM, rd, 0b000, rs1, imm),
+                Slti => i_type(OP_IMM, rd, 0b010, rs1, imm),
+                Sltiu => i_type(OP_IMM, rd, 0b011, rs1, imm),
+                Xori => i_type(OP_IMM, rd, 0b100, rs1, imm),
+                Ori => i_type(OP_IMM, rd, 0b110, rs1, imm),
+                Andi => i_type(OP_IMM, rd, 0b111, rs1, imm),
+                Slli => i_type(OP_IMM, rd, 0b001, rs1, imm & 0x3F),
+                Srli => i_type(OP_IMM, rd, 0b101, rs1, imm & 0x3F),
+                Srai => i_type(OP_IMM, rd, 0b101, rs1, (imm & 0x3F) | 0x400),
+                Addiw => i_type(OP_IMM32, rd, 0b000, rs1, imm),
+                Slliw => i_type(OP_IMM32, rd, 0b001, rs1, imm & 0x1F),
+                Srliw => i_type(OP_IMM32, rd, 0b101, rs1, imm & 0x1F),
+                Sraiw => i_type(OP_IMM32, rd, 0b101, rs1, (imm & 0x1F) | 0x400),
+            }
+        }
+        I::Alu { op, rd, rs1, rs2 } => {
+            use AluOp::*;
+            let (opc, f3, f7) = match op {
+                Add => (OP_OP, 0b000, 0b0000000),
+                Sub => (OP_OP, 0b000, 0b0100000),
+                Sll => (OP_OP, 0b001, 0b0000000),
+                Slt => (OP_OP, 0b010, 0b0000000),
+                Sltu => (OP_OP, 0b011, 0b0000000),
+                Xor => (OP_OP, 0b100, 0b0000000),
+                Srl => (OP_OP, 0b101, 0b0000000),
+                Sra => (OP_OP, 0b101, 0b0100000),
+                Or => (OP_OP, 0b110, 0b0000000),
+                And => (OP_OP, 0b111, 0b0000000),
+                Mul => (OP_OP, 0b000, 0b0000001),
+                Mulh => (OP_OP, 0b001, 0b0000001),
+                Mulhsu => (OP_OP, 0b010, 0b0000001),
+                Mulhu => (OP_OP, 0b011, 0b0000001),
+                Div => (OP_OP, 0b100, 0b0000001),
+                Divu => (OP_OP, 0b101, 0b0000001),
+                Rem => (OP_OP, 0b110, 0b0000001),
+                Remu => (OP_OP, 0b111, 0b0000001),
+                Addw => (OP_OP32, 0b000, 0b0000000),
+                Subw => (OP_OP32, 0b000, 0b0100000),
+                Sllw => (OP_OP32, 0b001, 0b0000000),
+                Srlw => (OP_OP32, 0b101, 0b0000000),
+                Sraw => (OP_OP32, 0b101, 0b0100000),
+                Mulw => (OP_OP32, 0b000, 0b0000001),
+                Divw => (OP_OP32, 0b100, 0b0000001),
+                Divuw => (OP_OP32, 0b101, 0b0000001),
+                Remw => (OP_OP32, 0b110, 0b0000001),
+                Remuw => (OP_OP32, 0b111, 0b0000001),
+            };
+            r_type(opc, rd, f3, rs1, rs2, f7)
+        }
+        I::Fence => i_type(OP_MISC_MEM, Reg::ZERO, 0b000, Reg::ZERO, 0),
+        I::Ecall => i_type(OP_SYSTEM, Reg::ZERO, 0b000, Reg::ZERO, 0),
+        I::LoadReserved { rd, rs1, width } => {
+            let f3 = if width == Width::D { 0b011 } else { 0b010 };
+            r_type(OP_AMO, rd, f3, rs1, Reg::ZERO, 0b00010 << 2)
+        }
+        I::StoreConditional { rd, rs1, rs2, width } => {
+            let f3 = if width == Width::D { 0b011 } else { 0b010 };
+            r_type(OP_AMO, rd, f3, rs1, rs2, 0b00011 << 2)
+        }
+        I::Amo { op, rd, rs1, rs2, width } => {
+            let f3 = if width == Width::D { 0b011 } else { 0b010 };
+            let f5 = match op {
+                AmoOp::Add => 0b00000,
+                AmoOp::Swap => 0b00001,
+                AmoOp::Xor => 0b00100,
+                AmoOp::Or => 0b01000,
+                AmoOp::And => 0b01100,
+            };
+            r_type(OP_AMO, rd, f3, rs1, rs2, f5 << 2)
+        }
+        I::SpmFetch { rd, rs1, imm } => i_type(OP_CUSTOM0, rd, 0b000, rs1, imm),
+        I::SpmFlush { rd, rs1, imm } => i_type(OP_CUSTOM0, rd, 0b001, rs1, imm),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_encodings() {
+        // addi x1, x0, 5 -> 0x00500093
+        assert_eq!(
+            encode(Instruction::AluImm {
+                op: AluImmOp::Addi,
+                rd: Reg(1),
+                rs1: Reg(0),
+                imm: 5
+            }),
+            0x0050_0093
+        );
+        // add x3, x1, x2 -> 0x002081B3
+        assert_eq!(
+            encode(Instruction::Alu { op: AluOp::Add, rd: Reg(3), rs1: Reg(1), rs2: Reg(2) }),
+            0x0020_81B3
+        );
+        // ld x5, 8(x10) -> 0x00853283
+        assert_eq!(
+            encode(Instruction::Load {
+                rd: Reg(5),
+                rs1: Reg(10),
+                offset: 8,
+                width: Width::D,
+                signed: true
+            }),
+            0x0085_3283
+        );
+        // sd x5, 16(x10) -> 0x00553823
+        assert_eq!(
+            encode(Instruction::Store { rs1: Reg(10), rs2: Reg(5), offset: 16, width: Width::D }),
+            0x0055_3823
+        );
+        // ecall -> 0x00000073
+        assert_eq!(encode(Instruction::Ecall), 0x0000_0073);
+    }
+
+    #[test]
+    fn branch_offset_bits_scatter_correctly() {
+        // beq x1, x2, +16 -> imm[12|10:5]=0, imm[4:1|11]=1000,0
+        let w = encode(Instruction::Branch {
+            op: BranchOp::Eq,
+            rs1: Reg(1),
+            rs2: Reg(2),
+            offset: 16,
+        });
+        assert_eq!(w, 0x0020_8863);
+    }
+
+    #[test]
+    fn negative_jal_offset() {
+        // jal x0, -4 (tight loop back)
+        let w = encode(Instruction::Jal { rd: Reg(0), offset: -4 });
+        assert_eq!(w, 0xFFDF_F06F);
+    }
+}

@@ -1,0 +1,193 @@
+//! Decoded instruction forms and register names.
+
+/// A register index `x0..x31`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// The hard-wired zero register.
+    pub const ZERO: Reg = Reg(0);
+    /// Return-address register (`ra`).
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer (`sp`).
+    pub const SP: Reg = Reg(2);
+
+    /// Parse a register name: `x7`, or an ABI name like `a0`, `t3`, `s5`.
+    pub fn parse(s: &str) -> Option<Reg> {
+        let abi = [
+            "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+            "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+            "t3", "t4", "t5", "t6",
+        ];
+        if let Some(i) = abi.iter().position(|&n| n == s) {
+            return Some(Reg(i as u8));
+        }
+        if s == "fp" {
+            return Some(Reg(8));
+        }
+        let n: u8 = s.strip_prefix('x')?.parse().ok()?;
+        (n < 32).then_some(Reg(n))
+    }
+}
+
+impl std::fmt::Display for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Width of a memory access in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Width {
+    B = 1,
+    H = 2,
+    W = 4,
+    D = 8,
+}
+
+/// Register-register ALU operations (OP / OP-32 / M extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Sll,
+    Slt,
+    Sltu,
+    Xor,
+    Srl,
+    Sra,
+    Or,
+    And,
+    Addw,
+    Subw,
+    Sllw,
+    Srlw,
+    Sraw,
+    Mul,
+    Mulh,
+    Mulhsu,
+    Mulhu,
+    Div,
+    Divu,
+    Rem,
+    Remu,
+    Mulw,
+    Divw,
+    Divuw,
+    Remw,
+    Remuw,
+}
+
+/// Register-immediate ALU operations (OP-IMM / OP-IMM-32).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluImmOp {
+    Addi,
+    Slti,
+    Sltiu,
+    Xori,
+    Ori,
+    Andi,
+    Slli,
+    Srli,
+    Srai,
+    Addiw,
+    Slliw,
+    Srliw,
+    Sraiw,
+}
+
+/// Branch conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchOp {
+    Eq,
+    Ne,
+    Lt,
+    Ge,
+    Ltu,
+    Geu,
+}
+
+/// Atomic memory operations (A extension subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AmoOp {
+    Swap,
+    Add,
+    Xor,
+    And,
+    Or,
+}
+
+/// One decoded instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instruction {
+    /// `lui rd, imm20`
+    Lui { rd: Reg, imm: i64 },
+    /// `auipc rd, imm20`
+    Auipc { rd: Reg, imm: i64 },
+    /// `jal rd, offset`
+    Jal { rd: Reg, offset: i64 },
+    /// `jalr rd, rs1, offset`
+    Jalr { rd: Reg, rs1: Reg, offset: i64 },
+    /// Conditional branch.
+    Branch { op: BranchOp, rs1: Reg, rs2: Reg, offset: i64 },
+    /// Load from memory; `signed` distinguishes LB/LBU etc.
+    Load { rd: Reg, rs1: Reg, offset: i64, width: Width, signed: bool },
+    /// Store to memory.
+    Store { rs1: Reg, rs2: Reg, offset: i64, width: Width },
+    /// Register-immediate ALU.
+    AluImm { op: AluImmOp, rd: Reg, rs1: Reg, imm: i64 },
+    /// Register-register ALU.
+    Alu { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    /// Memory fence.
+    Fence,
+    /// Environment call — halts the hart in this simulator.
+    Ecall,
+    /// `lr.w/.d rd, (rs1)`
+    LoadReserved { rd: Reg, rs1: Reg, width: Width },
+    /// `sc.w/.d rd, rs2, (rs1)`
+    StoreConditional { rd: Reg, rs1: Reg, rs2: Reg, width: Width },
+    /// `amoOP.w/.d rd, rs2, (rs1)`
+    Amo { op: AmoOp, rd: Reg, rs1: Reg, rs2: Reg, width: Width },
+    /// Custom-0: `spm.fetch rd, rs1, imm` — copy `imm` bytes from main
+    /// memory at `[rs1]` into the scratchpad at `[rd]` (paper §5.1's SPM
+    /// prefetch extension).
+    SpmFetch { rd: Reg, rs1: Reg, imm: i64 },
+    /// Custom-0: `spm.flush rd, rs1, imm` — copy `imm` bytes from the
+    /// scratchpad at `[rs1]` back to main memory at `[rd]` (write-back).
+    SpmFlush { rd: Reg, rs1: Reg, imm: i64 },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_parsing_accepts_both_name_spaces() {
+        assert_eq!(Reg::parse("x0"), Some(Reg(0)));
+        assert_eq!(Reg::parse("x31"), Some(Reg(31)));
+        assert_eq!(Reg::parse("zero"), Some(Reg(0)));
+        assert_eq!(Reg::parse("ra"), Some(Reg(1)));
+        assert_eq!(Reg::parse("sp"), Some(Reg(2)));
+        assert_eq!(Reg::parse("a0"), Some(Reg(10)));
+        assert_eq!(Reg::parse("a7"), Some(Reg(17)));
+        assert_eq!(Reg::parse("t6"), Some(Reg(31)));
+        assert_eq!(Reg::parse("s11"), Some(Reg(27)));
+        assert_eq!(Reg::parse("fp"), Some(Reg(8)));
+    }
+
+    #[test]
+    fn reg_parsing_rejects_junk() {
+        assert_eq!(Reg::parse("x32"), None);
+        assert_eq!(Reg::parse("y1"), None);
+        assert_eq!(Reg::parse(""), None);
+        assert_eq!(Reg::parse("a8"), None);
+    }
+
+    #[test]
+    fn widths_are_byte_counts() {
+        assert_eq!(Width::B as u64, 1);
+        assert_eq!(Width::H as u64, 2);
+        assert_eq!(Width::W as u64, 4);
+        assert_eq!(Width::D as u64, 8);
+    }
+}

@@ -1,0 +1,45 @@
+//! Memory-trace events — the hart's externally visible memory behaviour.
+//!
+//! This is the stream the paper's "memory tracer" captured from Spike
+//! (§5.1): every main-memory operation with its program counter and
+//! access width. Scratchpad accesses are node-local and never appear.
+
+/// Kind of traced memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemEventKind {
+    /// Data load from main memory.
+    Load,
+    /// Data store to main memory.
+    Store,
+    /// Atomic read-modify-write (AMO / LR / SC).
+    Atomic,
+    /// Memory fence.
+    Fence,
+}
+
+/// One traced memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemEvent {
+    /// Physical address accessed (irrelevant for fences).
+    pub addr: u64,
+    /// Operation kind.
+    pub kind: MemEventKind,
+    /// Access width in bytes (0 for fences).
+    pub bytes: u8,
+    /// PC of the instruction that produced the event.
+    pub pc: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_compare_by_value() {
+        let a = MemEvent { addr: 0x100, kind: MemEventKind::Load, bytes: 8, pc: 0 };
+        let b = MemEvent { addr: 0x100, kind: MemEventKind::Load, bytes: 8, pc: 0 };
+        assert_eq!(a, b);
+        let c = MemEvent { kind: MemEventKind::Store, ..a };
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,31 @@
+//! # soc-sim
+//!
+//! The cache-less multicore node of Figure 4: simple in-order cores, a
+//! 1 MB-per-core scratchpad, and hardware threads that stall on their
+//! outstanding memory operations (the paper's latency-tolerance-through-
+//! parallelism model, §3).
+//!
+//! * [`program`] — the [`ThreadProgram`] abstraction every workload
+//!   implements: a thread yields compute batches, scratchpad accesses, and
+//!   main-memory operations. Adapters wrap pre-recorded traces
+//!   ([`ReplayProgram`]) and live RV64 harts ([`Rv64Program`]).
+//! * [`core`] — the in-order core: round-robin hardware threads, one
+//!   operation initiated per cycle, threads block on memory completions
+//!   and fences.
+//! * [`node`] — a full node: cores + thread placement + transaction-id
+//!   allocation + the pending table that wakes threads when responses
+//!   return.
+//! * [`metrics`] — IPC / RPI / memory-access-rate accounting and the
+//!   Eq. 2 requests-per-cycle (RPC) computation behind Figure 9.
+
+pub mod core;
+pub mod metrics;
+pub mod node;
+pub mod program;
+pub mod trace_file;
+
+pub use crate::core::{Core, IssueRequest};
+pub use metrics::SocMetrics;
+pub use node::{home_of, Node};
+pub use program::{ReplayProgram, Rv64Program, ThreadOp, ThreadProgram};
+pub use trace_file::{decode_trace, encode_trace, read_trace_file, write_trace_file};

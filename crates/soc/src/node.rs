@@ -1,0 +1,280 @@
+//! A complete node: cores, thread placement, transaction tracking.
+//!
+//! The node turns core-level [`crate::IssueRequest`]s into tagged [`RawRequest`]s
+//! for the request router, and routes completions back to the owning
+//! core/thread.
+
+use std::collections::HashMap;
+
+use mac_types::{Cycle, MemOpKind, NodeId, PhysAddr, RawRequest, SocConfig, Target, TransactionId};
+
+use crate::core::Core;
+use crate::metrics::SocMetrics;
+use crate::program::ThreadProgram;
+
+/// NUMA home-node mapping: DRAM rows are interleaved across nodes, so
+/// consecutive rows of the global address space belong to different nodes
+/// (Figure 4's multi-node organization).
+pub fn home_of(addr: PhysAddr, nodes: usize) -> NodeId {
+    if nodes <= 1 {
+        NodeId(0)
+    } else {
+        NodeId((addr.row().0 % nodes as u64) as u16)
+    }
+}
+
+/// One node of the Figure 4 system.
+pub struct Node {
+    id: NodeId,
+    cores: Vec<Core>,
+    /// tid -> core index.
+    thread_home: HashMap<u16, usize>,
+    /// In-flight raw requests: id -> tid.
+    pending: HashMap<TransactionId, u16>,
+    next_txn: u64,
+    nodes_in_system: usize,
+    metrics: SocMetrics,
+    /// Per-thread tag counters (the 2 B transaction tag of §4.1.1).
+    tags: HashMap<u16, u16>,
+}
+
+impl Node {
+    /// Build a node: `programs[i]` becomes hardware thread `i`, spread
+    /// round-robin across `cfg.cores` cores.
+    pub fn new(id: NodeId, cfg: &SocConfig, programs: Vec<Box<dyn ThreadProgram>>) -> Self {
+        let ncores = cfg.cores.max(1);
+        let mut per_core: Vec<Vec<(u16, Box<dyn ThreadProgram>)>> =
+            (0..ncores).map(|_| Vec::new()).collect();
+        let mut thread_home = HashMap::new();
+        for (i, p) in programs.into_iter().enumerate() {
+            let tid = i as u16;
+            let core = i % ncores;
+            thread_home.insert(tid, core);
+            per_core[core].push((tid, p));
+        }
+        let cores = per_core
+            .into_iter()
+            .map(|ps| {
+                Core::with_switch_penalty(
+                    ps,
+                    cfg.max_outstanding_per_thread,
+                    cfg.spm_latency,
+                    cfg.context_switch_penalty,
+                )
+            })
+            .collect();
+        Node {
+            id,
+            cores,
+            thread_home,
+            pending: HashMap::new(),
+            next_txn: (id.0 as u64) << 48, // node-unique id spaces
+            nodes_in_system: cfg.nodes.max(1),
+            metrics: SocMetrics::default(),
+            tags: HashMap::new(),
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Advance every core one cycle. `sink` receives the raw requests the
+    /// cores issue and returns whether the router accepted each.
+    pub fn tick(&mut self, now: Cycle, mut sink: impl FnMut(RawRequest) -> bool) {
+        let node = self.id;
+        let nodes = self.nodes_in_system;
+        let next_txn = &mut self.next_txn;
+        let tags = &mut self.tags;
+        let pending = &mut self.pending;
+        let metrics = &mut self.metrics;
+        for core in &mut self.cores {
+            core.tick(now, |issue| {
+                let id = TransactionId(*next_txn);
+                let tag = tags.entry(issue.tid).or_insert(0);
+                let raw = RawRequest {
+                    id,
+                    addr: issue.addr,
+                    kind: issue.kind,
+                    node,
+                    home: if issue.kind == MemOpKind::Fence {
+                        node // fences are local to the node's MAC
+                    } else {
+                        home_of(issue.addr, nodes)
+                    },
+                    target: Target { tid: issue.tid, tag: *tag, flit: issue.addr.flit() },
+                    issued_at: now,
+                };
+                if sink(raw) {
+                    *next_txn += 1;
+                    *tag = tag.wrapping_add(1);
+                    pending.insert(id, issue.tid);
+                    metrics.raw_requests += 1;
+                    true
+                } else {
+                    false
+                }
+            });
+        }
+        self.metrics.cycles = now + 1;
+    }
+
+    /// A raw request completed (response data arrived).
+    pub fn complete(&mut self, id: TransactionId, now: Cycle) {
+        if let Some(tid) = self.pending.remove(&id) {
+            if let Some(&core) = self.thread_home.get(&tid) {
+                self.cores[core].complete_mem(tid);
+            }
+            self.metrics.completions += 1;
+            let _ = now;
+        }
+    }
+
+    /// A fence retired inside the MAC.
+    pub fn complete_fence(&mut self, raw: &RawRequest) {
+        if self.pending.remove(&raw.id).is_some() {
+            if let Some(&core) = self.thread_home.get(&raw.target.tid) {
+                self.cores[core].complete_fence(raw.target.tid);
+            }
+            self.metrics.completions += 1;
+        }
+    }
+
+    /// True when every thread finished and no requests are in flight.
+    pub fn is_done(&self) -> bool {
+        self.pending.is_empty() && self.cores.iter().all(Core::is_done)
+    }
+
+    /// In-flight raw requests.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Finalize and read the metrics (instructions/SPM/memory tallies are
+    /// folded in from the cores here).
+    pub fn metrics(&mut self) -> SocMetrics {
+        let (mut instrs, mut spm, mut mems) = (0, 0, 0);
+        for c in &self.cores {
+            let (i, s, m) = c.totals();
+            instrs += i;
+            spm += s;
+            mems += m;
+        }
+        self.metrics.instructions = instrs;
+        self.metrics.spm_accesses = spm;
+        self.metrics.mem_ops = mems;
+        self.metrics.cores = self.cores.len();
+        self.metrics.threads = self.thread_home.len();
+        self.metrics.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{ReplayProgram, ThreadOp, ThreadProgram};
+
+    fn loads(addrs: &[u64]) -> Box<dyn ThreadProgram> {
+        Box::new(ReplayProgram::loads(addrs.iter().copied(), 0))
+    }
+
+    fn default_cfg(threads: usize) -> SocConfig {
+        SocConfig { threads, ..SocConfig::default() }
+    }
+
+    #[test]
+    fn home_mapping_interleaves_rows() {
+        assert_eq!(home_of(PhysAddr::new(0x000), 1), NodeId(0));
+        assert_eq!(home_of(PhysAddr::new(0x000), 4), NodeId(0));
+        assert_eq!(home_of(PhysAddr::new(0x100), 4), NodeId(1));
+        assert_eq!(home_of(PhysAddr::new(0x400), 4), NodeId(0));
+    }
+
+    #[test]
+    fn node_issues_and_completes() {
+        let mut node = Node::new(NodeId(0), &default_cfg(2), vec![loads(&[0x100]), loads(&[0x200])]);
+        let mut issued = Vec::new();
+        node.tick(0, |r| {
+            issued.push(r);
+            true
+        });
+        node.tick(1, |r| {
+            issued.push(r);
+            true
+        });
+        assert_eq!(issued.len(), 2);
+        assert_eq!(node.in_flight(), 2);
+        assert!(!node.is_done());
+        for r in &issued {
+            node.complete(r.id, 10);
+        }
+        assert_eq!(node.in_flight(), 0);
+        // Threads need one more tick to observe Done.
+        node.tick(11, |_| true);
+        node.tick(12, |_| true);
+        assert!(node.is_done());
+        let m = node.metrics();
+        assert_eq!(m.raw_requests, 2);
+        assert_eq!(m.completions, 2);
+    }
+
+    #[test]
+    fn transaction_ids_are_unique_and_node_scoped() {
+        let mut a = Node::new(NodeId(0), &default_cfg(1), vec![loads(&[0x100, 0x200])]);
+        let mut b = Node::new(NodeId(1), &default_cfg(1), vec![loads(&[0x100])]);
+        let mut ids = Vec::new();
+        a.tick(0, |r| {
+            ids.push(r.id);
+            true
+        });
+        b.tick(0, |r| {
+            ids.push(r.id);
+            true
+        });
+        assert_ne!(ids[0], ids[1], "different nodes, different id spaces");
+    }
+
+    #[test]
+    fn tags_increment_per_thread() {
+        let mut n = Node::new(NodeId(0), &default_cfg(1), vec![loads(&[0x100, 0x200])]);
+        let mut tags = Vec::new();
+        n.tick(0, |r| {
+            tags.push(r.target.tag);
+            true
+        });
+        let first = *n.pending.keys().next().unwrap();
+        n.complete(first, 1);
+        n.tick(2, |r| {
+            tags.push(r.target.tag);
+            true
+        });
+        assert_eq!(tags, vec![0, 1]);
+    }
+
+    #[test]
+    fn remote_addresses_get_remote_home() {
+        let cfg = SocConfig { nodes: 2, ..default_cfg(1) };
+        let mut n = Node::new(NodeId(0), &cfg, vec![loads(&[0x100])]); // row 1 -> node 1
+        let mut homes = Vec::new();
+        n.tick(0, |r| {
+            homes.push(r.home);
+            true
+        });
+        assert_eq!(homes, vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn rejected_issue_does_not_leak_state() {
+        let mut n = Node::new(NodeId(0), &default_cfg(1), vec![loads(&[0x100])]);
+        n.tick(0, |_| false);
+        assert_eq!(n.in_flight(), 0);
+        let mut count = 0;
+        n.tick(1, |_| {
+            count += 1;
+            true
+        });
+        assert_eq!(count, 1);
+        assert_eq!(n.metrics().raw_requests, 1);
+    }
+}

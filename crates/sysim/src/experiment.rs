@@ -1,0 +1,157 @@
+//! Experiment runners: workload → system → report, with parallel sweeps.
+
+use mac_types::SystemConfig;
+use mac_workloads::{Workload, WorkloadParams};
+use soc_sim::{ReplayProgram, ThreadProgram};
+
+use crate::report::RunReport;
+use crate::system::SystemSim;
+
+/// How to run one experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// The system under test.
+    pub system: SystemConfig,
+    /// Workload generation parameters.
+    pub workload: WorkloadParams,
+    /// Safety cap on simulated cycles.
+    pub max_cycles: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            system: SystemConfig::default(),
+            workload: WorkloadParams::default(),
+            max_cycles: 200_000_000,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// The paper's Table 1 system with `threads` hardware threads.
+    pub fn paper(threads: usize) -> Self {
+        ExperimentConfig {
+            system: SystemConfig::paper(threads),
+            workload: WorkloadParams { threads, ..WorkloadParams::default() },
+            ..ExperimentConfig::default()
+        }
+    }
+}
+
+/// Materialize a workload's traces as thread programs.
+fn programs_for(w: &dyn Workload, params: &WorkloadParams) -> Vec<Box<dyn ThreadProgram>> {
+    w.generate(params)
+        .into_iter()
+        .map(|ops| Box::new(ReplayProgram::new(ops)) as Box<dyn ThreadProgram>)
+        .collect()
+}
+
+/// Run one workload on one configuration.
+pub fn run_workload(w: &dyn Workload, cfg: &ExperimentConfig) -> RunReport {
+    let programs = programs_for(w, &cfg.workload);
+    SystemSim::new(&cfg.system, programs).run(cfg.max_cycles)
+}
+
+/// Run one workload with and without the MAC (same traces, same device).
+/// Returns `(with_mac, without_mac)`.
+pub fn run_pair(w: &dyn Workload, cfg: &ExperimentConfig) -> (RunReport, RunReport) {
+    let with = run_workload(w, cfg);
+    let mut base_cfg = cfg.clone();
+    base_cfg.system.mac_disabled = true;
+    let without = run_workload(w, &base_cfg);
+    (with, without)
+}
+
+/// Run a closure over many labelled inputs in parallel (scoped threads),
+/// returning the results in input order.
+pub fn parallel_map<T, R, F>(inputs: Vec<T>, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let results: Vec<parking_lot::Mutex<Option<R>>> =
+        inputs.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+    crossbeam::thread::scope(|s| {
+        for (input, slot) in inputs.iter().zip(&results) {
+            s.spawn(|_| {
+                *slot.lock() = Some(f(input));
+            });
+        }
+    })
+    .expect("experiment thread panicked");
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("thread filled its slot"))
+        .collect()
+}
+
+/// Run every given workload (in parallel) against one configuration.
+pub fn run_all(
+    workloads: &[Box<dyn Workload>],
+    cfg: &ExperimentConfig,
+) -> Vec<(String, RunReport)> {
+    let inputs: Vec<&Box<dyn Workload>> = workloads.iter().collect();
+    let reports = parallel_map(inputs, |w| run_workload(w.as_ref(), cfg));
+    workloads
+        .iter()
+        .map(|w| w.name().to_string())
+        .zip(reports)
+        .collect()
+}
+
+/// Run with/without-MAC pairs for every workload, in parallel.
+pub fn run_all_pairs(
+    workloads: &[Box<dyn Workload>],
+    cfg: &ExperimentConfig,
+) -> Vec<(String, RunReport, RunReport)> {
+    let inputs: Vec<&Box<dyn Workload>> = workloads.iter().collect();
+    let pairs = parallel_map(inputs, |w| run_pair(w.as_ref(), cfg));
+    workloads
+        .iter()
+        .map(|w| w.name().to_string())
+        .zip(pairs)
+        .map(|(n, (a, b))| (n, a, b))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mac_workloads::sg::ScatterGather;
+
+    fn small_cfg() -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::paper(4);
+        cfg.workload.scale = 1;
+        cfg.max_cycles = 50_000_000;
+        cfg
+    }
+
+    #[test]
+    fn sg_runs_to_completion_with_and_without_mac() {
+        let (with, without) = run_pair(&ScatterGather, &small_cfg());
+        // All raw requests must complete in both modes.
+        assert_eq!(with.soc.raw_requests, with.soc.completions);
+        assert_eq!(without.soc.raw_requests, without.soc.completions);
+        assert_eq!(with.soc.raw_requests, without.soc.raw_requests, "same trace");
+        // MAC reduces transactions.
+        assert!(with.hmc.accesses() < without.hmc.accesses());
+        assert!(with.coalescing_efficiency() > 0.05);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map(vec![3u64, 1, 4, 1, 5], |&x| x * 2);
+        assert_eq!(out, vec![6, 2, 8, 2, 10]);
+    }
+
+    #[test]
+    fn run_all_labels_match_workloads() {
+        let ws: Vec<Box<dyn Workload>> = vec![Box::new(ScatterGather)];
+        let out = run_all(&ws, &small_cfg());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, "sg");
+        assert!(out[0].1.soc.raw_requests > 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # mac-sim
+//!
+//! The full-system simulator: cores → request router → MAC → HMC →
+//! response router → cores, cycle by cycle, plus the experiment harness
+//! that regenerates every figure and table of the paper.
+//!
+//! * [`system`] — [`SystemSim`]: one or more Figure 4 nodes (cores + MAC +
+//!   HMC) with an interconnect for remote accesses. Supports the paper's
+//!   baseline mode (`mac_disabled`) where raw 16 B requests go straight to
+//!   the device.
+//! * [`report`] — [`RunReport`]: merged SoC/MAC/HMC statistics with the
+//!   paper's derived metrics (Eq. 1–3) and the Figure 17 speedup
+//!   computation.
+//! * [`experiment`] — workload runners: with/without-MAC pairs, parameter
+//!   sweeps, and crossbeam-parallel batch execution.
+//! * [`figures`] — one function per paper figure/table returning the rows
+//!   the `mac-bench` binaries print.
+
+pub mod analyzer;
+pub mod experiment;
+pub mod figures;
+pub mod report;
+pub mod system;
+
+pub use analyzer::{analyze, TraceAnalysis};
+pub use experiment::{run_pair, run_workload, ExperimentConfig};
+pub use report::RunReport;
+pub use system::SystemSim;

@@ -1,0 +1,403 @@
+//! The assembled system of Figure 4.
+//!
+//! Each node couples a [`soc_sim::Node`] (cores + threads), a
+//! [`mac_coalescer::RequestRouter`], a [`mac_coalescer::Mac`], and an
+//! [`hmc_model::HmcDevice`]. Multi-node systems exchange remote requests
+//! and responses over an interconnect with a fixed one-way latency.
+//!
+//! Per simulated cycle:
+//! 1. every node's cores advance and issue raw requests into their router;
+//! 2. each router hands at most one raw request to its MAC (§4.1: the ARQ
+//!    accepts one request per cycle);
+//! 3. each MAC advances: ARQ pop (1 per 2 cycles), builder pipeline,
+//!    bypass/atomic paths — dispatching transactions toward the HMC;
+//! 4. transactions enter the HMC when its vault queues have room;
+//! 5. completed responses fan out into per-request completions that wake
+//!    the owning threads (local or across the interconnect).
+//!
+//! In baseline mode (`cfg.mac_disabled`) step 2–3 are replaced by a
+//! direct path that wraps each raw request in a single-FLIT (16 B)
+//! transaction — "without MAC" in the paper's Figures 10–17.
+
+use std::collections::VecDeque;
+
+use hmc_model::{DdrDevice, HbmDevice, HmcDevice, MemoryDevice};
+use mac_coalescer::{Mac, MacEvent, RequestRouter, ResponseRouter, RoutedTo};
+use mac_types::{
+    Cycle, FlitMap, HmcRequest, MemBackend, MemOpKind, NodeId, RawRequest, ReqSize,
+    SystemConfig, TransactionId,
+};
+use soc_sim::{Node, ThreadProgram};
+
+use crate::report::RunReport;
+
+/// One node's hardware.
+struct NodeInstance {
+    node: Node,
+    router: RequestRouter,
+    mac: Mac,
+    /// The 3D-stacked device behind this node (HMC or HBM, §4.3).
+    hmc: Box<dyn MemoryDevice + Send>,
+    rsp_router: ResponseRouter,
+    /// Transactions dispatched by the MAC, waiting for vault-queue room.
+    dispatch_q: VecDeque<HmcRequest>,
+    /// Completions addressed to remote nodes, waiting for the interconnect.
+    outbound_rsp: VecDeque<(Cycle, TransactionId)>,
+}
+
+/// An in-flight interconnect message.
+struct InFlight<T> {
+    arrives_at: Cycle,
+    payload: T,
+}
+
+/// The full system simulator.
+pub struct SystemSim {
+    cfg: SystemConfig,
+    nodes: Vec<NodeInstance>,
+    /// Remote raw requests in flight on the interconnect.
+    net_requests: VecDeque<InFlight<RawRequest>>,
+    /// Remote completions in flight back to their origin node.
+    net_responses: VecDeque<InFlight<TransactionId>>,
+    now: Cycle,
+}
+
+impl SystemSim {
+    /// Build a single-node system (the paper's evaluation configuration)
+    /// from per-thread programs.
+    pub fn new(cfg: &SystemConfig, programs: Vec<Box<dyn ThreadProgram>>) -> Self {
+        SystemSim::new_multi(cfg, vec![programs])
+    }
+
+    /// Build a multi-node system; `programs[n]` are node `n`'s threads.
+    pub fn new_multi(
+        cfg: &SystemConfig,
+        programs_per_node: Vec<Vec<Box<dyn ThreadProgram>>>,
+    ) -> Self {
+        assert!(!programs_per_node.is_empty());
+        let mut cfg = cfg.clone();
+        cfg.soc.nodes = programs_per_node.len();
+        let nodes = programs_per_node
+            .into_iter()
+            .enumerate()
+            .map(|(i, programs)| {
+                let id = NodeId(i as u16);
+                NodeInstance {
+                    node: Node::new(id, &cfg.soc, programs),
+                    router: RequestRouter::new(id, cfg.mac.router_queue_depth),
+                    mac: Mac::new(&cfg.mac),
+                    hmc: match cfg.backend {
+                        MemBackend::Hmc => {
+                            Box::new(HmcDevice::new(&cfg.hmc)) as Box<dyn MemoryDevice + Send>
+                        }
+                        MemBackend::Hbm => Box::new(HbmDevice::new(&cfg.hbm)),
+                        MemBackend::Ddr => Box::new(DdrDevice::new(&cfg.ddr)),
+                    },
+                    rsp_router: ResponseRouter::new(),
+                    dispatch_q: VecDeque::new(),
+                    outbound_rsp: VecDeque::new(),
+                }
+            })
+            .collect();
+        SystemSim {
+            cfg,
+            nodes,
+            net_requests: VecDeque::new(),
+            net_responses: VecDeque::new(),
+            now: 0,
+        }
+    }
+
+    /// Origin node encoded in a transaction id (see `soc_sim::Node`).
+    fn origin_of(id: TransactionId) -> usize {
+        (id.0 >> 48) as usize
+    }
+
+    /// Wrap a raw request as a single-FLIT device transaction (the
+    /// baseline "without MAC" path, and also the remote-atomic path).
+    fn raw_to_txn(raw: &RawRequest, now: Cycle) -> HmcRequest {
+        let mut fm = FlitMap::new();
+        fm.set(raw.addr.flit());
+        HmcRequest {
+            addr: raw.addr.flit_base(),
+            size: ReqSize::B16,
+            is_write: raw.kind == MemOpKind::Store,
+            is_atomic: raw.kind == MemOpKind::Atomic,
+            flit_map: fm,
+            targets: vec![raw.target],
+            raw_ids: vec![raw.id],
+            dispatched_at: now,
+        }
+    }
+
+    /// Advance one cycle. Returns `true` while work remains.
+    fn tick(&mut self) -> bool {
+        let now = self.now;
+        let latency = self.cfg.soc.interconnect_latency;
+        let mac_disabled = self.cfg.mac_disabled;
+
+        // Interconnect deliveries.
+        while self.net_requests.front().is_some_and(|m| m.arrives_at <= now) {
+            let m = self.net_requests.pop_front().expect("checked");
+            let dst = m.payload.home.0 as usize;
+            if !self.nodes[dst].router.accept_remote(m.payload) {
+                // Remote queue full: retry next cycle.
+                self.net_requests.push_front(InFlight {
+                    arrives_at: now + 1,
+                    payload: m.payload,
+                });
+                break;
+            }
+        }
+        while self.net_responses.front().is_some_and(|m| m.arrives_at <= now) {
+            let m = self.net_responses.pop_front().expect("checked");
+            let origin = Self::origin_of(m.payload);
+            self.nodes[origin].node.complete(m.payload, now);
+        }
+
+        for n in &mut self.nodes {
+            // 1. Cores issue into the router.
+            let router = &mut n.router;
+            n.node.tick(now, |raw| router.route(raw) != RoutedTo::Stalled);
+
+            // Remote requests leave for the interconnect.
+            while let Some(raw) = n.router.pop_global() {
+                self.net_requests.push_back(InFlight { arrives_at: now + latency, payload: raw });
+            }
+
+            // 2–3. Feed and advance the MAC (or the baseline path).
+            if mac_disabled {
+                if let Some(raw) = n.router.pop_for_mac() {
+                    if raw.kind == MemOpKind::Fence {
+                        // No MAC: a fence retires once all earlier
+                        // requests were dispatched — queues are FIFO, so
+                        // retiring here preserves order.
+                        n.node.complete_fence(&raw);
+                    } else {
+                        n.dispatch_q.push_back(Self::raw_to_txn(&raw, now));
+                    }
+                }
+            } else {
+                for _ in 0..self.cfg.mac.accepts_per_cycle.max(1) {
+                    let Some(raw) = n.router.pop_for_mac() else { break };
+                    let backlog = n.router.queued();
+                    if !n.mac.try_accept_with_backlog(raw, now, backlog) {
+                        n.router.push_back_front(raw);
+                        break;
+                    }
+                }
+                for ev in n.mac.tick(now) {
+                    match ev {
+                        MacEvent::Dispatch(req) => n.dispatch_q.push_back(req),
+                        MacEvent::FenceRetired(raw) => n.node.complete_fence(&raw),
+                    }
+                }
+            }
+
+            // 4. Submit to the device while vault queues have room.
+            while let Some(req) = n.dispatch_q.front() {
+                if n.hmc.can_accept(req, now) {
+                    let req = n.dispatch_q.pop_front().expect("checked");
+                    n.hmc.submit(req, now);
+                } else {
+                    break;
+                }
+            }
+
+            // 5. Responses fan out to threads.
+            for rsp in n.hmc.drain_completed(now) {
+                for c in n.rsp_router.expand(&rsp) {
+                    let origin = Self::origin_of(c.id);
+                    if origin == n.node.id().0 as usize {
+                        n.node.complete(c.id, now);
+                    } else {
+                        n.outbound_rsp.push_back((now + latency, c.id));
+                    }
+                }
+            }
+            while let Some((t, id)) = n.outbound_rsp.pop_front() {
+                self.net_responses.push_back(InFlight { arrives_at: t, payload: id });
+            }
+        }
+
+        self.now += 1;
+        !self.is_idle()
+    }
+
+    fn is_idle(&self) -> bool {
+        self.net_requests.is_empty()
+            && self.net_responses.is_empty()
+            && self.nodes.iter().all(|n| {
+                n.node.is_done()
+                    && n.router.is_empty()
+                    && n.mac.is_drained()
+                    && n.dispatch_q.is_empty()
+                    && n.outbound_rsp.is_empty()
+                    && n.hmc.pending() == 0
+            })
+    }
+
+    /// Run to completion (or `max_cycles`) and produce the report.
+    pub fn run(&mut self, max_cycles: Cycle) -> RunReport {
+        while self.now < max_cycles {
+            if !self.tick() {
+                break;
+            }
+        }
+        self.report()
+    }
+
+    /// Snapshot the merged statistics.
+    pub fn report(&mut self) -> RunReport {
+        let mut report = RunReport {
+            cycles: self.now,
+            config: self.cfg.clone(),
+            ..RunReport::default()
+        };
+        for n in &mut self.nodes {
+            let m = n.node.metrics();
+            report.soc.cycles = report.soc.cycles.max(m.cycles);
+            report.soc.instructions += m.instructions;
+            report.soc.spm_accesses += m.spm_accesses;
+            report.soc.mem_ops += m.mem_ops;
+            report.soc.raw_requests += m.raw_requests;
+            report.soc.completions += m.completions;
+            report.soc.cores += m.cores;
+            report.soc.threads += m.threads;
+            report.mac.merge(n.mac.stats());
+            report.hmc.merge(n.hmc.stats());
+        }
+        report
+    }
+
+    /// Current simulation cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_sim::ReplayProgram;
+
+    fn programs(per_thread: Vec<Vec<u64>>) -> Vec<Box<dyn ThreadProgram>> {
+        per_thread
+            .into_iter()
+            .map(|addrs| {
+                Box::new(ReplayProgram::loads(addrs, 1)) as Box<dyn ThreadProgram>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_load_completes_end_to_end() {
+        let cfg = SystemConfig::paper(1);
+        let mut sim = SystemSim::new(&cfg, programs(vec![vec![0x1000]]));
+        let r = sim.run(100_000);
+        assert_eq!(r.soc.raw_requests, 1);
+        assert_eq!(r.soc.completions, 1);
+        assert_eq!(r.hmc.accesses(), 1);
+        assert!(r.cycles > 300, "a memory round trip takes ~93 ns");
+        assert!(r.cycles < 2_000);
+    }
+
+    #[test]
+    fn same_row_loads_coalesce_in_the_full_system() {
+        // 8 threads each load a different FLIT of one row, concurrently.
+        let cfg = SystemConfig::paper(8);
+        let addrs: Vec<Vec<u64>> = (0..8).map(|t| vec![0x4000 + t * 16]).collect();
+        let mut sim = SystemSim::new(&cfg, programs(addrs));
+        let r = sim.run(100_000);
+        assert_eq!(r.soc.raw_requests, 8);
+        assert_eq!(r.soc.completions, 8);
+        assert!(
+            r.hmc.accesses() < 8,
+            "MAC should merge same-row requests: {} accesses",
+            r.hmc.accesses()
+        );
+        assert!(r.mac.coalescing_efficiency() > 0.0);
+    }
+
+    #[test]
+    fn baseline_mode_sends_raw_16b_requests() {
+        let cfg = SystemConfig::paper(8).without_mac();
+        let addrs: Vec<Vec<u64>> = (0..8).map(|t| vec![0x4000 + t * 16]).collect();
+        let mut sim = SystemSim::new(&cfg, programs(addrs));
+        let r = sim.run(100_000);
+        assert_eq!(r.hmc.accesses(), 8, "no coalescing without MAC");
+        assert_eq!(r.hmc.by_size[0], 8, "all 16 B");
+    }
+
+    #[test]
+    fn mac_beats_baseline_on_conflict_heavy_pattern() {
+        // Each thread streams through the same set of rows: raw requests
+        // hammer one bank repeatedly; MAC merges them.
+        let make = || {
+            (0..8usize)
+                .map(|t| {
+                    let addrs: Vec<u64> =
+                        (0..64u64).map(|i| 0x10000 + i * 256 + (t as u64) * 16).collect();
+                    Box::new(ReplayProgram::loads(addrs, 1)) as Box<dyn ThreadProgram>
+                })
+                .collect::<Vec<_>>()
+        };
+        let mut with = SystemSim::new(&SystemConfig::paper(8), make());
+        let rw = with.run(10_000_000);
+        let mut without = SystemSim::new(&SystemConfig::paper(8).without_mac(), make());
+        let ro = without.run(10_000_000);
+        assert!(rw.hmc.accesses() < ro.hmc.accesses());
+        assert!(rw.hmc.bank_conflicts <= ro.hmc.bank_conflicts);
+        assert!(
+            rw.hmc.bandwidth_efficiency() > ro.hmc.bandwidth_efficiency(),
+            "{} vs {}",
+            rw.hmc.bandwidth_efficiency(),
+            ro.hmc.bandwidth_efficiency()
+        );
+    }
+
+    #[test]
+    fn fences_complete_in_both_modes() {
+        use mac_types::PhysAddr;
+        use soc_sim::ThreadOp;
+        let ops = vec![
+            ThreadOp::Mem { addr: PhysAddr::new(0x100), kind: MemOpKind::Load },
+            ThreadOp::Mem { addr: PhysAddr::new(0), kind: MemOpKind::Fence },
+            ThreadOp::Mem { addr: PhysAddr::new(0x200), kind: MemOpKind::Load },
+        ];
+        for cfg in [SystemConfig::paper(1), SystemConfig::paper(1).without_mac()] {
+            let p: Vec<Box<dyn ThreadProgram>> =
+                vec![Box::new(ReplayProgram::new(ops.clone()))];
+            let mut sim = SystemSim::new(&cfg, p);
+            let r = sim.run(1_000_000);
+            assert_eq!(r.soc.completions, 3, "mac_disabled={}", cfg.mac_disabled);
+        }
+    }
+
+    #[test]
+    fn two_node_system_serves_remote_accesses() {
+        let mut cfg = SystemConfig::paper(2);
+        cfg.soc.nodes = 2;
+        // Node 0's thread reads rows 0 (local) and 1 (remote, node 1).
+        let node0 = programs(vec![vec![0x000, 0x100]]);
+        let node1 = programs(vec![vec![0x200]]); // row 2 -> node 0? 2%2=0 -> remote!
+        let mut sim = SystemSim::new_multi(&cfg, vec![node0, node1]);
+        let r = sim.run(1_000_000);
+        assert_eq!(r.soc.raw_requests, 3);
+        assert_eq!(r.soc.completions, 3);
+        assert_eq!(r.hmc.accesses(), 3);
+    }
+
+    #[test]
+    fn atomics_complete_end_to_end() {
+        use mac_types::PhysAddr;
+        use soc_sim::ThreadOp;
+        let ops =
+            vec![ThreadOp::Mem { addr: PhysAddr::new(0x300), kind: MemOpKind::Atomic }];
+        let p: Vec<Box<dyn ThreadProgram>> = vec![Box::new(ReplayProgram::new(ops))];
+        let mut sim = SystemSim::new(&SystemConfig::paper(1), p);
+        let r = sim.run(1_000_000);
+        assert_eq!(r.soc.completions, 1);
+        assert_eq!(r.mac.emitted_atomic, 1);
+    }
+}

@@ -1,0 +1,442 @@
+//! Configuration structs mirroring Table 1 of the paper plus the knobs the
+//! evaluation sweeps (ARQ entries, thread count, FLIT-table policy).
+//!
+//! Defaults reproduce the paper's simulated system exactly:
+//! RV64 cores x8 @3.3 GHz, 1 MB SPM/core (1 ns), 8 GB HMC with 4 links and
+//! 256 B rows (~93 ns average access), ARQ of 32 x 64 B entries.
+
+use serde::{Deserialize, Serialize};
+
+/// Core-side (node) configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SocConfig {
+    /// Number of in-order cores per node (Table 1: 8).
+    pub cores: usize,
+    /// Core clock in GHz (Table 1: 3.3).
+    pub freq_ghz: f64,
+    /// Hardware threads per node. The paper evaluates 2/4/8; threads are
+    /// spread round-robin over cores.
+    pub threads: usize,
+    /// Scratchpad size per core in bytes (Table 1: 1 MB).
+    pub spm_bytes: u64,
+    /// Average SPM access latency in CPU cycles (Table 1: 1 ns ~ 3 cycles
+    /// at 3.3 GHz; we round to 3).
+    pub spm_latency: u64,
+    /// Maximum outstanding memory requests per thread before it stalls.
+    ///
+    /// The default (`usize::MAX`, fully open-loop) reproduces the paper's
+    /// *evaluation methodology*: its traces were captured from functional
+    /// Spike runs and replayed into the timed MAC simulator, so requests
+    /// arrive at the demand rate of Figure 9 (up to 9.32 per cycle) and
+    /// the system self-throttles only through queue backpressure. Set to
+    /// 1 for the strict "stall-until-complete" core model of §3 (the
+    /// `ablate_closed_loop` bench measures the difference).
+    pub max_outstanding_per_thread: usize,
+    /// Number of NUMA nodes in the system (Figure 4). The paper's
+    /// evaluation uses a single node.
+    pub nodes: usize,
+    /// One-way interconnect latency between nodes, in cycles, for remote
+    /// accesses.
+    pub interconnect_latency: u64,
+    /// Cycles a core pays to switch between hardware threads. 0 models
+    /// the paper's spatial multithreading (threads on distinct cores or
+    /// free round-robin); small non-zero values model the "temporal
+    /// multithreading with quick context switching" extension §3
+    /// sketches for SPM-based architectures.
+    pub context_switch_penalty: u64,
+}
+
+impl Default for SocConfig {
+    fn default() -> Self {
+        SocConfig {
+            cores: 8,
+            freq_ghz: 3.3,
+            threads: 8,
+            spm_bytes: 1 << 20,
+            spm_latency: 3,
+            max_outstanding_per_thread: usize::MAX,
+            nodes: 1,
+            interconnect_latency: 100,
+            context_switch_penalty: 0,
+        }
+    }
+}
+
+/// Policy for the second builder stage's size decision (§4.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlitTablePolicy {
+    /// Paper's FLIT table: the packet spans from the first to the last
+    /// active 64 B chunk, rounded up to 64/128/256 B (0110 -> 128 B).
+    SpanRounded,
+    /// Ablation: always emit a full 256 B row request (the "just enlarge
+    /// the cache line" strawman of §2.3.2).
+    Always256,
+    /// Ablation: emit one 64 B request per active chunk (MSHR-style fixed
+    /// 64 B granularity of §2.3.2).
+    PerChunk64,
+}
+
+/// MAC configuration (§4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MacConfig {
+    /// ARQ entries (Table 1: 32; Figure 11 sweeps 8..64).
+    pub arq_entries: usize,
+    /// Bytes per ARQ entry (Table 1: 64). 10 B hold the extended address
+    /// and FLIT map; the rest buffers 4.5 B targets (§5.3.3).
+    pub arq_entry_bytes: u64,
+    /// Cycles between ARQ pops toward the request builder (§4.1: "every
+    /// two clock cycles, a request is popped").
+    pub pop_interval: u64,
+    /// Latency of builder stage 1 (OR-reduce), cycles (§4.2: 1).
+    pub stage1_latency: u64,
+    /// Latency of builder stage 2 (table lookup + build), cycles (§4.2.1: 2).
+    pub stage2_latency: u64,
+    /// FLIT-table policy (default: the paper's span-rounded table).
+    pub flit_table: FlitTablePolicy,
+    /// Enable the `B`-bit bypass path for single-request rows (§4.1.2).
+    pub bypass_enabled: bool,
+    /// Enable the latency-hiding fill mechanism: when free entries exceed
+    /// half the ARQ, that many raw requests skip the comparators (§4.1).
+    pub latency_hiding: bool,
+    /// Capacity of the local/remote/global FIFO queues in the request
+    /// router (§3.1).
+    pub router_queue_depth: usize,
+    /// Raw requests the ARQ can accept per cycle. The paper's §4.4
+    /// states one; note that together with the 0.5/cycle pop rate this
+    /// caps steady-state coalescing efficiency at 50 % (emitted ≥ raw/2
+    /// when every accept slot is used), so the >60 % per-benchmark
+    /// efficiencies in Figure 10 imply a wider accept port. Values > 1
+    /// model a multi-ported CAM (the `ablate_accept_width` bench).
+    pub accepts_per_cycle: usize,
+}
+
+impl MacConfig {
+    /// Maximum distinct targets one entry can hold:
+    /// `(entry_bytes − 10) / 4.5` = 12 for 64 B entries (§5.3.3).
+    pub fn max_targets_per_entry(&self) -> usize {
+        (((self.arq_entry_bytes as f64) - 10.0) / 4.5).floor() as usize
+    }
+
+    /// ARQ storage in bytes (Figure 16's x-axis -> y-axis mapping).
+    pub fn arq_bytes(&self) -> u64 {
+        self.arq_entries as u64 * self.arq_entry_bytes
+    }
+}
+
+impl Default for MacConfig {
+    fn default() -> Self {
+        MacConfig {
+            arq_entries: 32,
+            arq_entry_bytes: 64,
+            pop_interval: 2,
+            stage1_latency: 1,
+            stage2_latency: 2,
+            flit_table: FlitTablePolicy::SpanRounded,
+            bypass_enabled: true,
+            latency_hiding: true,
+            router_queue_depth: 64,
+            accepts_per_cycle: 1,
+        }
+    }
+}
+
+/// HMC device configuration (Table 1 plus HMC 2.1 spec structure).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HmcConfig {
+    /// Serial links to the host (Table 1: 4).
+    pub links: usize,
+    /// Device capacity in bytes (Table 1: 8 GB).
+    pub capacity: u64,
+    /// Vaults (HMC 2.1: 32).
+    pub vaults: usize,
+    /// Banks per vault (8 GB cube: 16, for 512 total banks; §2.2.1).
+    pub banks_per_vault: usize,
+    /// DRAM row size in bytes (Table 1: 256).
+    pub row_bytes: u64,
+    /// Per-link bandwidth in GB/s each direction (4 x 30 GB/s = 120 GB/s
+    ///< the 320 GB/s peak of an 8-link cube).
+    pub link_gbps: f64,
+    /// Core cycles to transfer one FLIT on one link (derived from
+    /// `link_gbps` at build time; see [`HmcConfig::flit_cycles_x16`]).
+    pub cpu_ghz: f64,
+    /// Closed-page activate latency (tRCD) in core cycles.
+    pub t_rcd: u64,
+    /// Column access latency (tCL) in core cycles.
+    pub t_cl: u64,
+    /// Precharge latency (tRP) in core cycles — paid on every access under
+    /// the closed-page policy (§2.2.1).
+    pub t_rp: u64,
+    /// Cycles to stream one 32 B column burst out of the sense amps.
+    pub t_burst_per_32b: u64,
+    /// Fixed logic-layer traversal (crossbar + vault controller) one-way,
+    /// in core cycles.
+    pub logic_latency: u64,
+    /// Vault controller command queue depth.
+    pub vault_queue_depth: usize,
+    /// Link packet error rate (probability a packet fails CRC and must
+    /// retransmit; HMC's link retry protocol). 0.0 disables injection.
+    pub link_error_rate: f64,
+    /// Extra cycles per retransmission (timeout detection + replay from
+    /// the link retry buffer).
+    pub retry_penalty: u64,
+    /// Seed for the error-injection RNG (deterministic runs).
+    pub error_seed: u64,
+}
+
+impl HmcConfig {
+    /// Core cycles to serialize one 16 B FLIT on a single link.
+    /// At 30 GB/s and 3.3 GHz: 16 B / (30 B/ns) = 0.533 ns = 1.76 cycles;
+    /// we model it with fixed-point x16 to keep cycle math integral.
+    pub fn flit_cycles_x16(&self) -> u64 {
+        let ns_per_flit = 16.0 / self.link_gbps; // GB/s == B/ns
+        (ns_per_flit * self.cpu_ghz * 16.0).round() as u64
+    }
+
+    /// DRAM service time for one access of `payload_bytes`, excluding
+    /// queueing: activate + column + burst + precharge.
+    pub fn dram_service_cycles(&self, payload_bytes: u64) -> u64 {
+        let bursts = payload_bytes.div_ceil(32).max(1);
+        self.t_rcd + self.t_cl + bursts * self.t_burst_per_32b + self.t_rp
+    }
+
+    /// Total banks in the cube.
+    pub fn total_banks(&self) -> usize {
+        self.vaults * self.banks_per_vault
+    }
+}
+
+impl Default for HmcConfig {
+    fn default() -> Self {
+        // Calibrated so an uncontended 16 B read round-trip is ~93 ns
+        // (~307 cycles at 3.3 GHz): link ser/deser + logic + DRAM.
+        HmcConfig {
+            links: 4,
+            capacity: 8 << 30,
+            vaults: 32,
+            banks_per_vault: 16,
+            row_bytes: 256,
+            link_gbps: 30.0,
+            cpu_ghz: 3.3,
+            t_rcd: 60,   // ~18.2 ns
+            t_cl: 60,    // ~18.2 ns
+            t_rp: 46,    // ~13.9 ns
+            t_burst_per_32b: 4,
+            logic_latency: 90, // ~27 ns each way (SerDes + crossbar + VC)
+            vault_queue_depth: 32,
+            link_error_rate: 0.0,
+            retry_penalty: 100,
+            error_seed: 0x5EED,
+        }
+    }
+}
+
+/// JEDEC DDR4 channel configuration (§2.2's conventional baseline):
+/// 64 B burst granularity, 8 KB open-page rows, 16 banks, one shared
+/// data bus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DdrConfig {
+    /// Banks in the rank.
+    pub banks: usize,
+    /// Row (page) size in bytes (DDR4: 8 KB typical).
+    pub row_bytes: u64,
+    /// Activate latency in core cycles.
+    pub t_rcd: u64,
+    /// Column access latency in core cycles.
+    pub t_cl: u64,
+    /// Precharge latency in core cycles.
+    pub t_rp: u64,
+    /// Cycles per 64 B burst on the shared data bus.
+    pub t_burst: u64,
+    /// Controller/PHY latency each way, in core cycles.
+    pub interface_latency: u64,
+    /// Controller transaction queue depth.
+    pub queue_depth: usize,
+}
+
+impl Default for DdrConfig {
+    fn default() -> Self {
+        // DDR4-2400-ish timings at 3.3 GHz core cycles.
+        DdrConfig {
+            banks: 16,
+            row_bytes: 8 << 10,
+            t_rcd: 46,
+            t_cl: 46,
+            t_rp: 46,
+            t_burst: 11, // 64 B at ~19.2 GB/s
+            interface_latency: 50,
+            queue_depth: 32,
+        }
+    }
+}
+
+/// Memory back end selection (§4.3: MAC applies to both HMC and HBM).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemBackend {
+    /// Hybrid Memory Cube (the paper's evaluation device).
+    #[default]
+    Hmc,
+    /// High Bandwidth Memory (the §4.3 portability target).
+    Hbm,
+    /// Conventional JEDEC DDR4 (the §2.2 baseline).
+    Ddr,
+}
+
+/// HBM device configuration (§4.3): DDR-style burst protocol, 32 B
+/// minimum access, 1 KB rows, open-page row buffers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HbmConfig {
+    /// Independent channels (HBM2: 8 per stack).
+    pub channels: usize,
+    /// Banks per channel.
+    pub banks_per_channel: usize,
+    /// DRAM row (page) size in bytes (HBM: 1 KB).
+    pub row_bytes: u64,
+    /// Activate latency in core cycles.
+    pub t_rcd: u64,
+    /// Column access latency in core cycles.
+    pub t_cl: u64,
+    /// Precharge latency in core cycles.
+    pub t_rp: u64,
+    /// Cycles per 32 B burst on a channel's data bus.
+    pub t_burst_per_32b: u64,
+    /// PHY/interface latency each way, in core cycles.
+    pub interface_latency: u64,
+    /// Open-page policy (row buffers stay open; §2.2.1 notes HBM's 1 KB
+    /// rows make this viable where HMC's 256 B rows do not).
+    pub open_page: bool,
+    /// Per-channel command queue depth.
+    pub channel_queue_depth: usize,
+}
+
+impl Default for HbmConfig {
+    fn default() -> Self {
+        HbmConfig {
+            channels: 8,
+            banks_per_channel: 16,
+            row_bytes: 1024,
+            t_rcd: 46,
+            t_cl: 46,
+            t_rp: 46,
+            t_burst_per_32b: 2,
+            interface_latency: 40,
+            open_page: true,
+            channel_queue_depth: 32,
+        }
+    }
+}
+
+/// Complete system configuration.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    pub soc: SocConfig,
+    pub mac: MacConfig,
+    pub hmc: HmcConfig,
+    /// HBM parameters, used when `backend` is [`MemBackend::Hbm`].
+    pub hbm: HbmConfig,
+    /// DDR parameters, used when `backend` is [`MemBackend::Ddr`].
+    pub ddr: DdrConfig,
+    /// Which 3D-stacked device the node attaches to.
+    pub backend: MemBackend,
+    /// Run the baseline path (raw 16 B requests straight to the device)
+    /// instead of coalescing through the MAC.
+    pub mac_disabled: bool,
+}
+
+impl SystemConfig {
+    /// The paper's Table 1 configuration with `threads` hardware threads.
+    pub fn paper(threads: usize) -> Self {
+        SystemConfig {
+            soc: SocConfig { threads, ..SocConfig::default() },
+            ..SystemConfig::default()
+        }
+    }
+
+    /// Same system with the MAC turned off (raw-request baseline).
+    pub fn without_mac(mut self) -> Self {
+        self.mac_disabled = true;
+        self
+    }
+
+    /// Same system attached to HBM instead of HMC (§4.3).
+    pub fn with_hbm(mut self) -> Self {
+        self.backend = MemBackend::Hbm;
+        self
+    }
+
+    /// Same system attached to a conventional DDR4 channel (§2.2).
+    pub fn with_ddr(mut self) -> Self {
+        self.backend = MemBackend::Ddr;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table1() {
+        let c = SystemConfig::default();
+        assert_eq!(c.soc.cores, 8);
+        assert_eq!(c.soc.freq_ghz, 3.3);
+        assert_eq!(c.soc.spm_bytes, 1 << 20);
+        assert_eq!(c.hmc.links, 4);
+        assert_eq!(c.hmc.capacity, 8 << 30);
+        assert_eq!(c.hmc.row_bytes, 256);
+        assert_eq!(c.mac.arq_entries, 32);
+        assert_eq!(c.mac.arq_entry_bytes, 64);
+    }
+
+    #[test]
+    fn hmc_has_512_banks() {
+        // §2.2.1: "512 banks in an 8GB HMC".
+        assert_eq!(HmcConfig::default().total_banks(), 512);
+    }
+
+    #[test]
+    fn max_targets_per_entry_is_12() {
+        // §5.3.3: 64 B entry - 10 B addr/map = 54 B / 4.5 B = 12 targets.
+        assert_eq!(MacConfig::default().max_targets_per_entry(), 12);
+    }
+
+    #[test]
+    fn arq_bytes_match_figure16() {
+        // Figure 16: 8 entries -> 512 B ... 256 entries -> 16 KB.
+        for (entries, bytes) in [(8, 512), (16, 1024), (32, 2048), (64, 4096), (256, 16384)] {
+            let c = MacConfig { arq_entries: entries, ..MacConfig::default() };
+            assert_eq!(c.arq_bytes(), bytes);
+        }
+    }
+
+    #[test]
+    fn uncontended_read_latency_near_93ns() {
+        let h = HmcConfig::default();
+        // request link (1 FLIT) + logic in + DRAM 16B + logic out +
+        // response link (2 FLITs). Precharge (tRP) overlaps the response
+        // path, so it is excluded from the observed round trip.
+        let flit = h.flit_cycles_x16();
+        let cycles = flit.div_ceil(16)
+            + h.logic_latency
+            + (h.dram_service_cycles(16) - h.t_rp)
+            + h.logic_latency
+            + (2 * flit).div_ceil(16);
+        let ns = cycles as f64 / h.cpu_ghz;
+        assert!((85.0..101.0).contains(&ns), "uncontended latency {ns:.1} ns not near 93 ns");
+    }
+
+    #[test]
+    fn paper_config_sets_threads() {
+        for t in [2, 4, 8] {
+            assert_eq!(SystemConfig::paper(t).soc.threads, t);
+        }
+        assert!(SystemConfig::paper(8).without_mac().mac_disabled);
+    }
+
+    #[test]
+    fn flit_serialization_cycles_are_positive() {
+        let h = HmcConfig::default();
+        assert!(h.flit_cycles_x16() > 0);
+        // One FLIT at 30 GB/s, 3.3 GHz ~ 1.76 cycles -> 28 in x16 fixed point.
+        assert_eq!(h.flit_cycles_x16(), 28);
+    }
+}

@@ -1,0 +1,74 @@
+//! # mac-types
+//!
+//! Shared vocabulary types for the reproduction of *MAC: Memory Access
+//! Coalescer for 3D-Stacked Memory* (Wang et al., ICPP 2019).
+//!
+//! This crate defines the data model every other crate in the workspace
+//! speaks: the 52-bit physical address layout used by the coalescer
+//! (row number / FLIT id / FLIT offset, §4.1 of the paper), the 16-bit
+//! FLIT map, raw memory requests carrying their target information
+//! (thread id, transaction tag, FLIT id — §4.1.1), assembled HMC request
+//! packets, device responses, the analytic bandwidth-efficiency model of
+//! Eq. 1, and the configuration structs that mirror Table 1 of the paper.
+//!
+//! Everything here is plain data: no simulation behaviour lives in this
+//! crate. The MAC pipeline is in `mac-coalescer`, the HMC device model in
+//! `hmc-model`, and the full-system binding in `mac-sim`.
+
+pub mod addr;
+pub mod bandwidth;
+pub mod config;
+pub mod flit;
+pub mod packet;
+pub mod request;
+pub mod stats;
+
+pub use addr::{PhysAddr, RowId, FLIT_BYTES, FLITS_PER_ROW, ROW_BYTES};
+pub use bandwidth::{bandwidth_efficiency, control_overhead_fraction, CONTROL_BYTES_PER_ACCESS};
+pub use config::{
+    DdrConfig, FlitTablePolicy, HbmConfig, HmcConfig, MacConfig, MemBackend, SocConfig,
+    SystemConfig,
+};
+pub use flit::{ChunkMask, FlitMap, CHUNKS_PER_ROW, CHUNK_BYTES, FLITS_PER_CHUNK};
+pub use packet::{HmcPacket, PacketKind};
+pub use request::{
+    HmcRequest, HmcResponse, MemOpKind, NodeId, RawRequest, ReqSize, Target, TransactionId,
+};
+pub use stats::{Counter, Histogram};
+
+/// Simulation time, measured in CPU clock cycles (3.3 GHz in the paper's
+/// Table 1 configuration, i.e. ~0.303 ns per cycle).
+pub type Cycle = u64;
+
+/// Convert nanoseconds to CPU cycles at the given core frequency in GHz,
+/// rounding up so latencies are never optimistically truncated.
+#[inline]
+pub fn ns_to_cycles(ns: f64, ghz: f64) -> Cycle {
+    (ns * ghz).ceil() as Cycle
+}
+
+/// Convert a cycle count back to nanoseconds at the given frequency in GHz.
+#[inline]
+pub fn cycles_to_ns(cycles: Cycle, ghz: f64) -> f64 {
+    cycles as f64 / ghz
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_cycle_round_trip_is_close() {
+        let ghz = 3.3;
+        let c = ns_to_cycles(93.0, ghz);
+        // 93 ns at 3.3 GHz is 306.9 cycles; we round up.
+        assert_eq!(c, 307);
+        let ns = cycles_to_ns(c, ghz);
+        assert!((ns - 93.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn zero_ns_is_zero_cycles() {
+        assert_eq!(ns_to_cycles(0.0, 3.3), 0);
+    }
+}

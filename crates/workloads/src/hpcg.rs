@@ -1,0 +1,138 @@
+//! HPCG: the High Performance Conjugate Gradient benchmark.
+//!
+//! One CG iteration over a 27-point stencil operator on a 3D grid:
+//! SpMV (`y = A x`, 27 gathers per row with 3D-neighbour locality),
+//! a dot product (streaming), and an AXPY (streaming). The SpMV gathers
+//! are the irregular part: neighbour columns in the z-direction are a
+//! full plane apart, defeating cache lines but leaving same-row pairs for
+//! the MAC.
+
+use mac_types::MemOpKind;
+use soc_sim::ThreadOp;
+
+use crate::space::Layout;
+use crate::{Workload, WorkloadParams};
+
+/// The HPCG benchmark.
+pub struct Hpcg;
+
+impl Workload for Hpcg {
+    fn name(&self) -> &'static str {
+        "hpcg"
+    }
+
+    fn generate(&self, p: &WorkloadParams) -> Vec<Vec<ThreadOp>> {
+        // Grid of nx^3 points; nx grows with the cube root of scale.
+        let nx = 16u64 * (p.scale as f64).cbrt().ceil() as u64;
+        let n = nx * nx * nx;
+        let mut layout = Layout::new();
+        let x = layout.array(n);
+        let y = layout.array(n);
+        let vals = layout.array(27 * n);
+        let r = layout.array(n);
+
+        let mut traces: Vec<Vec<ThreadOp>> = vec![Vec::new(); p.threads];
+        // SpMV: rows distributed in static blocks across threads.
+        for row in 0..n {
+            let t = crate::block_owner(row, n, p.threads);
+            let ops = &mut traces[t];
+            let (i, j, k) = (row % nx, (row / nx) % nx, row / (nx * nx));
+            let mut nnz = 0u64;
+            for dz in [-1i64, 0, 1] {
+                for dy in [-1i64, 0, 1] {
+                    for dx in [-1i64, 0, 1] {
+                        let (ni, nj, nk) =
+                            (i as i64 + dx, j as i64 + dy, k as i64 + dz);
+                        if ni < 0
+                            || nj < 0
+                            || nk < 0
+                            || ni >= nx as i64
+                            || nj >= nx as i64
+                            || nk >= nx as i64
+                        {
+                            continue;
+                        }
+                        let col = (ni as u64) + (nj as u64) * nx + (nk as u64) * nx * nx;
+                        // Matrix value (sequential within the row) ...
+                        ops.push(ThreadOp::Mem {
+                            addr: Layout::at(vals, row * 27 + nnz).into(),
+                            kind: MemOpKind::Load,
+                        });
+                        // ... and x[col] (the irregular gather).
+                        ops.push(ThreadOp::Mem {
+                            addr: Layout::at(x, col).into(),
+                            kind: MemOpKind::Load,
+                        });
+                        ops.push(ThreadOp::Compute(2)); // fma + index math
+                        nnz += 1;
+                    }
+                }
+            }
+            ops.push(ThreadOp::Mem { addr: Layout::at(y, row).into(), kind: MemOpKind::Store });
+        }
+        // Dot product r.y and AXPY x += alpha*r: streaming phases.
+        for row in 0..n {
+            let t = crate::block_owner(row, n, p.threads);
+            let ops = &mut traces[t];
+            ops.push(ThreadOp::Mem { addr: Layout::at(r, row).into(), kind: MemOpKind::Load });
+            ops.push(ThreadOp::Mem { addr: Layout::at(y, row).into(), kind: MemOpKind::Load });
+            ops.push(ThreadOp::Compute(2));
+            ops.push(ThreadOp::Mem { addr: Layout::at(x, row).into(), kind: MemOpKind::Store });
+        }
+        traces
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count_mem_ops;
+
+    #[test]
+    fn interior_rows_touch_27_neighbours() {
+        let p = WorkloadParams { threads: 1, scale: 1, seed: 0 };
+        let tr = Hpcg.generate(&p);
+        // Total SpMV gathers: sum of stencil sizes; interior rows have 27,
+        // faces fewer. 16^3 grid: between 8 (corner) and 27.
+        let n = 16u64 * 16 * 16;
+        let mems = count_mem_ops(&tr) as u64;
+        // 2 loads per nonzero + 1 store per row + 3 ops per row (dot/axpy).
+        let min = 2 * 8 * n + n + 3 * n;
+        let max = 2 * 27 * n + n + 3 * n;
+        assert!(mems > min && mems <= max, "{mems} outside [{min}, {max}]");
+    }
+
+    #[test]
+    fn stencil_gathers_include_plane_strides() {
+        let p = WorkloadParams { threads: 1, scale: 1, seed: 0 };
+        let tr = Hpcg.generate(&p);
+        let addrs: Vec<u64> = tr[0]
+            .iter()
+            .filter_map(|op| match op {
+                ThreadOp::Mem { addr, kind: MemOpKind::Load } => Some(addr.raw()),
+                _ => None,
+            })
+            .collect();
+        // Some consecutive gathers must jump by ~a plane (16*16 elements).
+        let plane = 16 * 16 * 8u64;
+        assert!(
+            addrs.windows(2).any(|w| w[1].abs_diff(w[0]) >= plane),
+            "no z-plane stride found"
+        );
+    }
+
+    #[test]
+    fn scale_grows_the_problem() {
+        let small = count_mem_ops(&Hpcg.generate(&WorkloadParams {
+            threads: 2,
+            scale: 1,
+            seed: 0,
+        }));
+        let large = count_mem_ops(&Hpcg.generate(&WorkloadParams {
+            threads: 2,
+            scale: 8,
+            seed: 0,
+        }));
+        assert!(large > 4 * small);
+    }
+}

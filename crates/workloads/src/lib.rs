@@ -1,0 +1,183 @@
+//! # mac-workloads
+//!
+//! The paper's 12 irregular benchmarks (§5.2) as address-accurate,
+//! trace-generating kernels. Each workload runs its real algorithm over
+//! synthetic data sized for simulation and emits, per hardware thread, the
+//! exact sequence of compute batches, scratchpad accesses, and
+//! FLIT-granular main-memory operations the algorithm performs:
+//!
+//! | Benchmark | Suite | Access character |
+//! |-----------|-------|------------------|
+//! | `sg` | custom | gather `A[i] = B[C[i]]` — random loads |
+//! | `hpcg` | HPCG | 27-pt sparse CG — short bursts + indexed gathers |
+//! | `ssca2` | SSCA#2 | R-MAT graph kernels — adjacency bursts, random marks |
+//! | `grappolo` | Grappolo | Louvain clustering — neighbor scans + community gathers |
+//! | `bfs` | GAP | frontier BFS — queue streams + random parent stores |
+//! | `pr` | GAP | PageRank — per-edge random gathers, streaming writes |
+//! | `nqueens` | BOTS | task-parallel backtracking — compute-heavy, stack bursts |
+//! | `sparselu` | BOTS | blocked LU — dense block sweeps (row-local) |
+//! | `sort` | BOTS | parallel mergesort — streaming loads/stores |
+//! | `mg` | NAS | multigrid stencle sweeps — strided streams |
+//! | `cg` | NAS | sparse conjugate gradient — random column gathers |
+//! | `sp` | NAS | scalar penta-diagonal — line sweeps (row-local) |
+//!
+//! Figures 9–15 and 17 run all twelve; Figure 1 additionally uses the
+//! dedicated [`sg::sequential_stream`] / [`sg::random_stream`] address
+//! generators for the seq-vs-random miss-rate sweep.
+
+pub mod bots;
+pub mod gap;
+pub mod grappolo;
+pub mod hpcg;
+pub mod micro;
+pub mod nas;
+pub mod sg;
+pub mod space;
+pub mod ssca2;
+
+use soc_sim::ThreadOp;
+
+/// Parameters shared by every workload generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadParams {
+    /// Hardware threads to generate traces for (the paper runs 2/4/8).
+    pub threads: usize,
+    /// Problem scale knob; each workload documents its meaning. Scale 1
+    /// is the default simulation size (~10k memory ops per thread).
+    pub scale: u32,
+    /// RNG seed for the synthetic dataset (deterministic traces).
+    pub seed: u64,
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        WorkloadParams { threads: 8, scale: 1, seed: 0xC0FFEE }
+    }
+}
+
+/// A benchmark that can generate per-thread operation traces.
+pub trait Workload: Send + Sync {
+    /// Short name used in reports (matches the paper's figure labels).
+    fn name(&self) -> &'static str;
+    /// Generate one operation list per hardware thread.
+    fn generate(&self, params: &WorkloadParams) -> Vec<Vec<ThreadOp>>;
+}
+
+/// All 12 benchmarks in the paper's §5.2 order.
+pub fn all_workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(sg::ScatterGather),
+        Box::new(hpcg::Hpcg),
+        Box::new(ssca2::Ssca2),
+        Box::new(grappolo::Grappolo),
+        Box::new(gap::Bfs),
+        Box::new(gap::PageRank),
+        Box::new(bots::NQueens),
+        Box::new(bots::SparseLu),
+        Box::new(bots::Sort),
+        Box::new(nas::Mg),
+        Box::new(nas::Cg),
+        Box::new(nas::Sp),
+    ]
+}
+
+/// The extended suite: the 12 paper benchmarks plus the remaining GAP
+/// kernels (CC, SSSP, TC) — useful for generalization studies beyond the
+/// paper's figures.
+pub fn extended_workloads() -> Vec<Box<dyn Workload>> {
+    let mut ws = all_workloads();
+    ws.push(Box::new(gap::ConnectedComponents));
+    ws.push(Box::new(gap::Sssp));
+    ws.push(Box::new(gap::TriangleCount));
+    ws.extend(micro::calibration_workloads());
+    ws
+}
+
+/// Look a workload up by its report name.
+pub fn by_name(name: &str) -> Option<Box<dyn Workload>> {
+    extended_workloads().into_iter().find(|w| w.name() == name)
+}
+
+/// Owner thread of iteration `i` under OpenMP-style *static block*
+/// scheduling of `n` iterations over `threads` threads — the default
+/// schedule of the paper's OpenMP benchmarks. Contiguous iterations (and
+/// hence contiguous DRAM rows) belong to one thread, so same-row accesses
+/// spread over time and the ARQ's depth governs how many merge
+/// (Figure 11's sensitivity).
+pub fn block_owner(i: u64, n: u64, threads: usize) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    let chunk = n.div_ceil(threads as u64).max(1);
+    ((i / chunk) as usize).min(threads - 1)
+}
+
+/// Count the main-memory operations in a generated trace.
+pub fn count_mem_ops(trace: &[Vec<ThreadOp>]) -> usize {
+    trace
+        .iter()
+        .flat_map(|t| t.iter())
+        .filter(|op| matches!(op, ThreadOp::Mem { .. }))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_workloads_with_unique_names() {
+        let ws = all_workloads();
+        assert_eq!(ws.len(), 12);
+        let names: std::collections::HashSet<_> = ws.iter().map(|w| w.name()).collect();
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("sg").is_some());
+        assert!(by_name("sparselu").is_some());
+        assert!(by_name("sssp").is_some(), "extended suite is addressable");
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn extended_suite_has_seventeen_unique_names() {
+        let ws = extended_workloads();
+        assert_eq!(ws.len(), 17);
+        let names: std::collections::HashSet<_> = ws.iter().map(|w| w.name()).collect();
+        assert_eq!(names.len(), 17);
+    }
+
+    #[test]
+    fn every_workload_generates_work_for_every_thread() {
+        let p = WorkloadParams { threads: 4, scale: 1, seed: 7 };
+        for w in all_workloads() {
+            let trace = w.generate(&p);
+            assert_eq!(trace.len(), 4, "{}: thread count", w.name());
+            for (i, t) in trace.iter().enumerate() {
+                assert!(!t.is_empty(), "{}: thread {i} got no work", w.name());
+            }
+            assert!(count_mem_ops(&trace) > 100, "{}: too few memory ops", w.name());
+        }
+    }
+
+    #[test]
+    fn traces_are_deterministic_in_the_seed() {
+        let p = WorkloadParams { threads: 2, scale: 1, seed: 42 };
+        for w in all_workloads() {
+            let a = w.generate(&p);
+            let b = w.generate(&p);
+            assert_eq!(a, b, "{}: nondeterministic trace", w.name());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ_for_random_workloads() {
+        let a = sg::ScatterGather
+            .generate(&WorkloadParams { threads: 1, scale: 1, seed: 1 });
+        let b = sg::ScatterGather
+            .generate(&WorkloadParams { threads: 1, scale: 1, seed: 2 });
+        assert_ne!(a, b);
+    }
+}

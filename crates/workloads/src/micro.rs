@@ -1,0 +1,128 @@
+//! Calibration micro-benchmarks: the two ends of the locality spectrum.
+//!
+//! * **STREAM** (triad `a[i] = b[i] + s*c[i]`): pure unit-stride — every
+//!   row is fully covered by one thread's consecutive accesses, the MAC's
+//!   best case.
+//! * **GUPS** (RandomAccess: `table[rand] ^= v` as atomic updates): pure
+//!   uniformly random single-word traffic with no same-row reuse at all —
+//!   the MAC's worst case (everything bypasses as 16 B).
+//!
+//! Neither is in the paper's 12-benchmark suite; they bracket it, which
+//! makes them the right fixtures for sanity tests and calibration sweeps.
+
+use mac_types::MemOpKind;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use soc_sim::ThreadOp;
+
+use crate::space::Layout;
+use crate::{Workload, WorkloadParams};
+
+/// STREAM triad.
+pub struct StreamTriad;
+
+impl Workload for StreamTriad {
+    fn name(&self) -> &'static str {
+        "stream"
+    }
+
+    fn generate(&self, p: &WorkloadParams) -> Vec<Vec<ThreadOp>> {
+        let n = 16_384u64 * p.scale as u64;
+        let mut layout = Layout::new();
+        let a = layout.array(n);
+        let b = layout.array(n);
+        let c = layout.array(n);
+        let mut traces: Vec<Vec<ThreadOp>> = vec![Vec::new(); p.threads];
+        for i in 0..n {
+            let t = crate::block_owner(i, n, p.threads);
+            let ops = &mut traces[t];
+            ops.push(ThreadOp::Mem { addr: Layout::at(b, i).into(), kind: MemOpKind::Load });
+            ops.push(ThreadOp::Mem { addr: Layout::at(c, i).into(), kind: MemOpKind::Load });
+            ops.push(ThreadOp::Compute(2));
+            ops.push(ThreadOp::Mem { addr: Layout::at(a, i).into(), kind: MemOpKind::Store });
+        }
+        traces
+    }
+}
+
+/// GUPS / RandomAccess.
+pub struct Gups;
+
+impl Workload for Gups {
+    fn name(&self) -> &'static str {
+        "gups"
+    }
+
+    fn generate(&self, p: &WorkloadParams) -> Vec<Vec<ThreadOp>> {
+        let updates = 8_192u64 * p.scale as u64;
+        let table = 1u64 << 24; // 128 MB table
+        let mut layout = Layout::new();
+        let t0 = layout.array(table);
+        let mut rng = SmallRng::seed_from_u64(p.seed ^ 0x6095);
+        let mut traces: Vec<Vec<ThreadOp>> = vec![Vec::new(); p.threads];
+        for u in 0..updates {
+            let t = (u % p.threads as u64) as usize;
+            traces[t].push(ThreadOp::Mem {
+                addr: Layout::at(t0, rng.gen_range(0..table)).into(),
+                kind: MemOpKind::Atomic,
+            });
+            traces[t].push(ThreadOp::Compute(2));
+        }
+        traces
+    }
+}
+
+/// The calibration pair.
+pub fn calibration_workloads() -> Vec<Box<dyn Workload>> {
+    vec![Box::new(StreamTriad), Box::new(Gups)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count_mem_ops;
+
+    #[test]
+    fn stream_is_three_streams() {
+        let p = WorkloadParams { threads: 4, scale: 1, seed: 1 };
+        let tr = StreamTriad.generate(&p);
+        assert_eq!(count_mem_ops(&tr), 3 * 16_384);
+        // Per thread, consecutive same-array accesses are unit stride.
+        let loads: Vec<u64> = tr[0]
+            .iter()
+            .filter_map(|op| match op {
+                ThreadOp::Mem { addr, kind: MemOpKind::Load } => Some(addr.raw()),
+                _ => None,
+            })
+            .take(8)
+            .collect();
+        assert_eq!(loads[2] - loads[0], 8, "b-stream unit stride");
+        assert_eq!(loads[3] - loads[1], 8, "c-stream unit stride");
+    }
+
+    #[test]
+    fn gups_is_all_atomics_over_a_wide_table() {
+        let p = WorkloadParams { threads: 4, scale: 1, seed: 1 };
+        let tr = Gups.generate(&p);
+        assert!(tr.iter().flatten().all(|op| !matches!(
+            op,
+            ThreadOp::Mem { kind: MemOpKind::Load | MemOpKind::Store, .. }
+        )));
+        let rows: std::collections::HashSet<u64> = tr
+            .iter()
+            .flatten()
+            .filter_map(|op| match op {
+                ThreadOp::Mem { addr, .. } => Some(addr.raw() >> 8),
+                _ => None,
+            })
+            .collect();
+        assert!(rows.len() > 7000, "near-zero row reuse: {}", rows.len());
+    }
+
+    #[test]
+    fn calibration_pair_registered() {
+        let names: Vec<&str> =
+            calibration_workloads().iter().map(|w| w.name()).collect();
+        assert_eq!(names, vec!["stream", "gups"]);
+    }
+}

@@ -1,0 +1,157 @@
+//! Scatter/Gather (SG): the paper's motivating micro-benchmark (§2.1).
+//!
+//! Gather form: `A[i] = B[C[i]]` where `C[i]` is a random index into `B`.
+//! Per element the thread loads `C[i]` (sequential), loads `B[C[i]]`
+//! (random), and stores `A[i]` (sequential). Threads split the index
+//! space cyclically, so neighbouring `i` land on different threads at the
+//! same time — the cross-thread same-row pattern MAC coalesces.
+//!
+//! Also exports the Figure 1 address streams: pure-sequential
+//! (`A[i] = B[i]`) and pure-random accesses over a parameterized dataset
+//! size, used for the seq-vs-random LLC miss-rate sweep (80 KB → 32 GB).
+
+use mac_types::MemOpKind;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use soc_sim::ThreadOp;
+
+use crate::space::{Layout, ELEM};
+use crate::{Workload, WorkloadParams};
+
+/// The SG benchmark.
+pub struct ScatterGather;
+
+impl Workload for ScatterGather {
+    fn name(&self) -> &'static str {
+        "sg"
+    }
+
+    fn generate(&self, p: &WorkloadParams) -> Vec<Vec<ThreadOp>> {
+        let n = 4096u64 * p.scale as u64; // elements
+        let b_elems = 1u64 << 22; // 32 MB table: far beyond any cache
+        let mut layout = Layout::new();
+        let a = layout.array(n);
+        let b = layout.array(b_elems);
+        let c = layout.array(n);
+        let mut rng = SmallRng::seed_from_u64(p.seed);
+        let indices: Vec<u64> = (0..n).map(|_| rng.gen_range(0..b_elems)).collect();
+
+        let mut traces: Vec<Vec<ThreadOp>> = vec![Vec::new(); p.threads];
+        for i in 0..n {
+            let t = crate::block_owner(i, n, p.threads);
+            let ops = &mut traces[t];
+            // load C[i]; the index arithmetic is ~2 instructions.
+            ops.push(ThreadOp::Mem {
+                addr: Layout::at(c, i).into(),
+                kind: MemOpKind::Load,
+            });
+            ops.push(ThreadOp::Compute(2));
+            // load B[C[i]]
+            ops.push(ThreadOp::Mem {
+                addr: Layout::at(b, indices[i as usize]).into(),
+                kind: MemOpKind::Load,
+            });
+            ops.push(ThreadOp::Compute(1));
+            // store A[i]
+            ops.push(ThreadOp::Mem {
+                addr: Layout::at(a, i).into(),
+                kind: MemOpKind::Store,
+            });
+        }
+        traces
+    }
+}
+
+/// Figure 1's sequential stream: `A[i] = B[i]` over `bytes` of data,
+/// truncated to at most `max_accesses` accesses (address-only sampling
+/// keeps giant datasets cheap; the miss rate is unaffected because the
+/// pattern is uniform).
+pub fn sequential_stream(bytes: u64, max_accesses: usize) -> Vec<u64> {
+    let elems = (bytes / ELEM).max(1);
+    let mut layout = Layout::new();
+    let a = layout.array(elems);
+    let b = layout.array(elems);
+    let mut out = Vec::with_capacity(max_accesses.min(2 * elems as usize));
+    for i in 0..elems {
+        if out.len() + 2 > max_accesses {
+            break;
+        }
+        out.push(Layout::at(b, i));
+        out.push(Layout::at(a, i));
+    }
+    out
+}
+
+/// Figure 1's random stream: `A[i] = B[C[i]]` with uniformly random
+/// `C[i]` over a `bytes`-sized `B`.
+pub fn random_stream(bytes: u64, max_accesses: usize, seed: u64) -> Vec<u64> {
+    let elems = (bytes / ELEM).max(1);
+    let mut layout = Layout::new();
+    let a = layout.array(elems);
+    let b = layout.array(elems);
+    let c = layout.array(elems);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(max_accesses);
+    let mut i = 0u64;
+    while out.len() + 3 <= max_accesses && i < elems {
+        out.push(Layout::at(c, i));
+        out.push(Layout::at(b, rng.gen_range(0..elems)));
+        out.push(Layout::at(a, i));
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count_mem_ops;
+
+    #[test]
+    fn gather_emits_three_accesses_per_element() {
+        let p = WorkloadParams { threads: 2, scale: 1, seed: 1 };
+        let tr = ScatterGather.generate(&p);
+        assert_eq!(count_mem_ops(&tr), 3 * 4096);
+    }
+
+    #[test]
+    fn block_distribution_assigns_contiguous_ranges() {
+        let p = WorkloadParams { threads: 4, scale: 1, seed: 1 };
+        let tr = ScatterGather.generate(&p);
+        // Thread t's first C load starts at its block: C[t * n/4].
+        let first_c = |t: usize| {
+            tr[t]
+                .iter()
+                .find_map(|op| match op {
+                    ThreadOp::Mem { addr, kind: MemOpKind::Load } => Some(addr.raw()),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        let chunk = 4096 / 4;
+        assert_eq!(first_c(1) - first_c(0), chunk * ELEM);
+        assert_eq!(first_c(3) - first_c(2), chunk * ELEM);
+    }
+
+    #[test]
+    fn sequential_stream_is_strided() {
+        let s = sequential_stream(1 << 20, 1000);
+        assert_eq!(s.len(), 1000);
+        // Every other access advances by one element.
+        assert_eq!(s[2] - s[0], ELEM);
+        assert_eq!(s[3] - s[1], ELEM);
+    }
+
+    #[test]
+    fn random_stream_spreads_over_the_table() {
+        let s = random_stream(32 << 20, 30_000, 7);
+        let rows: std::collections::HashSet<u64> = s.iter().map(|a| a >> 8).collect();
+        assert!(rows.len() > 5000, "random stream should touch many rows: {}", rows.len());
+    }
+
+    #[test]
+    fn streams_cap_at_max_accesses() {
+        assert!(sequential_stream(32 << 30, 5000).len() <= 5000);
+        assert!(random_stream(32 << 30, 5000, 1).len() <= 5000);
+    }
+}

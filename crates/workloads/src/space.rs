@@ -1,0 +1,194 @@
+//! Synthetic dataset scaffolding: address-space layout, R-MAT graphs,
+//! and sparse-matrix patterns.
+//!
+//! Workloads do not store data — they compute the *addresses* their
+//! algorithms would touch. [`Layout`] hands out disjoint array regions in
+//! the simulated physical address space; [`Rmat`] generates the skewed
+//! power-law graphs SSCA#2 and GAP specify; [`SparsePattern`] generates
+//! per-row column indices for the sparse solvers.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Bytes per array element in every workload (64-bit words).
+pub const ELEM: u64 = 8;
+
+/// Allocates disjoint, row-aligned array regions.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    next: u64,
+}
+
+impl Layout {
+    /// Start allocating at 16 MB (clear of program images).
+    pub fn new() -> Self {
+        Layout { next: 16 << 20 }
+    }
+
+    /// Reserve `elems` 8-byte elements, aligned to a 256 B row boundary.
+    /// Returns the base address.
+    pub fn array(&mut self, elems: u64) -> u64 {
+        let base = self.next;
+        self.next += (elems * ELEM + 255) & !255;
+        base
+    }
+
+    /// Address of `arr[idx]`.
+    #[inline]
+    pub fn at(base: u64, idx: u64) -> u64 {
+        base + idx * ELEM
+    }
+}
+
+impl Default for Layout {
+    fn default() -> Self {
+        Layout::new()
+    }
+}
+
+/// An R-MAT graph in CSR form (Kronecker parameters a=0.57, b=c=0.19,
+/// the SSCA#2 / Graph500 standard), self-loops and duplicates kept —
+/// the irregularity is the point.
+#[derive(Debug, Clone)]
+pub struct Rmat {
+    /// Number of vertices (power of two).
+    pub vertices: u64,
+    /// CSR row offsets, length `vertices + 1`.
+    pub offsets: Vec<u64>,
+    /// CSR column indices (destination vertices).
+    pub edges: Vec<u64>,
+}
+
+impl Rmat {
+    /// Generate `2^scale` vertices with `edge_factor` edges per vertex.
+    pub fn generate(scale: u32, edge_factor: u64, seed: u64) -> Self {
+        let vertices = 1u64 << scale;
+        let nedges = vertices * edge_factor;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut pairs: Vec<(u64, u64)> = Vec::with_capacity(nedges as usize);
+        for _ in 0..nedges {
+            let (mut u, mut v) = (0u64, 0u64);
+            for _ in 0..scale {
+                let r: f64 = rng.gen();
+                // Quadrant probabilities (0.57, 0.19, 0.19, 0.05).
+                let (bu, bv) = if r < 0.57 {
+                    (0, 0)
+                } else if r < 0.76 {
+                    (0, 1)
+                } else if r < 0.95 {
+                    (1, 0)
+                } else {
+                    (1, 1)
+                };
+                u = (u << 1) | bu;
+                v = (v << 1) | bv;
+            }
+            pairs.push((u, v));
+        }
+        pairs.sort_unstable();
+        let mut offsets = vec![0u64; vertices as usize + 1];
+        for &(u, _) in &pairs {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let edges = pairs.into_iter().map(|(_, v)| v).collect();
+        Rmat { vertices, offsets, edges }
+    }
+
+    /// Degree of vertex `v`.
+    pub fn degree(&self, v: u64) -> u64 {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Neighbor slice of vertex `v`.
+    pub fn neighbors(&self, v: u64) -> &[u64] {
+        &self.edges[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
+    }
+}
+
+/// A random sparse-matrix pattern: `rows` rows with `nnz_per_row` random
+/// column indices each (sorted within the row), as in NAS-CG's matrix.
+#[derive(Debug, Clone)]
+pub struct SparsePattern {
+    /// Number of rows/columns (square).
+    pub rows: u64,
+    /// Column indices per row.
+    pub cols: Vec<Vec<u64>>,
+}
+
+impl SparsePattern {
+    /// Generate the pattern.
+    pub fn generate(rows: u64, nnz_per_row: usize, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let cols = (0..rows)
+            .map(|_| {
+                let mut c: Vec<u64> =
+                    (0..nnz_per_row).map(|_| rng.gen_range(0..rows)).collect();
+                c.sort_unstable();
+                c
+            })
+            .collect();
+        SparsePattern { rows, cols }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_regions_are_disjoint_and_row_aligned() {
+        let mut l = Layout::new();
+        let a = l.array(100);
+        let b = l.array(1);
+        let c = l.array(1000);
+        assert_eq!(a % 256, 0);
+        assert_eq!(b % 256, 0);
+        assert_eq!(c % 256, 0);
+        assert!(a + 100 * ELEM <= b);
+        assert!(b + ELEM <= c);
+        assert_eq!(Layout::at(a, 5), a + 40);
+    }
+
+    #[test]
+    fn rmat_is_a_valid_csr() {
+        let g = Rmat::generate(8, 8, 3);
+        assert_eq!(g.vertices, 256);
+        assert_eq!(g.offsets.len(), 257);
+        assert_eq!(*g.offsets.last().unwrap() as usize, g.edges.len());
+        assert_eq!(g.edges.len(), 256 * 8);
+        assert!(g.edges.iter().all(|&v| v < 256));
+        let total: u64 = (0..256).map(|v| g.degree(v)).sum();
+        assert_eq!(total, 2048);
+    }
+
+    #[test]
+    fn rmat_degrees_are_skewed() {
+        // Power-law generators concentrate edges: the max degree should be
+        // far above the mean.
+        let g = Rmat::generate(10, 8, 1);
+        let max = (0..g.vertices).map(|v| g.degree(v)).max().unwrap();
+        assert!(max > 32, "max degree {max} should exceed 4x the mean of 8");
+        let zeros = (0..g.vertices).filter(|&v| g.degree(v) == 0).count();
+        assert!(zeros > 0, "R-MAT leaves some vertices isolated");
+    }
+
+    #[test]
+    fn rmat_is_deterministic() {
+        let a = Rmat::generate(6, 4, 9);
+        let b = Rmat::generate(6, 4, 9);
+        assert_eq!(a.edges, b.edges);
+        assert_eq!(a.offsets, b.offsets);
+    }
+
+    #[test]
+    fn sparse_pattern_shape() {
+        let m = SparsePattern::generate(64, 13, 5);
+        assert_eq!(m.cols.len(), 64);
+        assert!(m.cols.iter().all(|r| r.len() == 13));
+        assert!(m.cols.iter().all(|r| r.windows(2).all(|w| w[0] <= w[1])));
+        assert!(m.cols.iter().flatten().all(|&c| c < 64));
+    }
+}

@@ -1,0 +1,122 @@
+//! SSCA#2: the HPCS Scalable Synthetic Compact Applications graph
+//! analysis benchmark (kernels 1–3 style access pattern).
+//!
+//! Over an R-MAT graph: classify edges (stream adjacency + random weight
+//! lookups), extract heavy edges (random marks), and walk 2-hop
+//! neighbourhoods (nested adjacency bursts + random visited updates via
+//! atomics).
+
+use mac_types::MemOpKind;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use soc_sim::ThreadOp;
+
+use crate::space::{Layout, Rmat};
+use crate::{Workload, WorkloadParams};
+
+/// The SSCA#2 benchmark.
+pub struct Ssca2;
+
+impl Workload for Ssca2 {
+    fn name(&self) -> &'static str {
+        "ssca2"
+    }
+
+    fn generate(&self, p: &WorkloadParams) -> Vec<Vec<ThreadOp>> {
+        let scale = 10 + p.scale.ilog2();
+        let g = Rmat::generate(scale, 8, p.seed);
+        let mut layout = Layout::new();
+        let adj = layout.array(g.edges.len() as u64);
+        let weights = layout.array(g.edges.len() as u64);
+        let marks = layout.array(g.vertices);
+        let visited = layout.array(g.vertices);
+
+        let mut rng = SmallRng::seed_from_u64(p.seed ^ 0x55CA2);
+        let mut traces: Vec<Vec<ThreadOp>> = vec![Vec::new(); p.threads];
+
+        // Kernel 1/2: scan each vertex's adjacency, load weights, mark
+        // heavy endpoints.
+        for v in 0..g.vertices {
+            let t = (v % p.threads as u64) as usize;
+            let ops = &mut traces[t];
+            let (start, end) = (g.offsets[v as usize], g.offsets[v as usize + 1]);
+            for e in start..end {
+                ops.push(ThreadOp::Mem { addr: Layout::at(adj, e).into(), kind: MemOpKind::Load });
+                ops.push(ThreadOp::Mem {
+                    addr: Layout::at(weights, e).into(),
+                    kind: MemOpKind::Load,
+                });
+                ops.push(ThreadOp::Compute(3));
+                // ~1/8 of edges are "heavy": mark the endpoint.
+                if rng.gen_ratio(1, 8) {
+                    let dst = g.edges[e as usize];
+                    ops.push(ThreadOp::Mem {
+                        addr: Layout::at(marks, dst).into(),
+                        kind: MemOpKind::Store,
+                    });
+                }
+            }
+        }
+
+        // Kernel 3: 2-hop subgraph extraction from random roots; visited
+        // set updated with atomics (concurrent walkers).
+        let roots = 64 * p.scale as u64;
+        for r in 0..roots {
+            let t = (r % p.threads as u64) as usize;
+            let ops = &mut traces[t];
+            let root = rng.gen_range(0..g.vertices);
+            for &u in g.neighbors(root).iter().take(16) {
+                ops.push(ThreadOp::Mem {
+                    addr: Layout::at(visited, u).into(),
+                    kind: MemOpKind::Atomic,
+                });
+                ops.push(ThreadOp::Compute(2));
+                for &w in g.neighbors(u).iter().take(4) {
+                    ops.push(ThreadOp::Mem {
+                        addr: Layout::at(visited, w).into(),
+                        kind: MemOpKind::Atomic,
+                    });
+                    ops.push(ThreadOp::Compute(2));
+                }
+            }
+        }
+        traces
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count_mem_ops;
+
+    #[test]
+    fn generates_adjacency_and_atomic_traffic() {
+        let p = WorkloadParams { threads: 4, scale: 1, seed: 3 };
+        let tr = Ssca2.generate(&p);
+        let atomics = tr
+            .iter()
+            .flatten()
+            .filter(|op| matches!(op, ThreadOp::Mem { kind: MemOpKind::Atomic, .. }))
+            .count();
+        assert!(atomics > 50, "kernel 3 uses atomics: {atomics}");
+        assert!(count_mem_ops(&tr) > 10_000);
+    }
+
+    #[test]
+    fn adjacency_scans_are_sequential_bursts() {
+        let p = WorkloadParams { threads: 1, scale: 1, seed: 3 };
+        let tr = Ssca2.generate(&p);
+        let loads: Vec<u64> = tr[0]
+            .iter()
+            .filter_map(|op| match op {
+                ThreadOp::Mem { addr, kind: MemOpKind::Load } => Some(addr.raw()),
+                _ => None,
+            })
+            .take(200)
+            .collect();
+        // Loads alternate adj/weights; within each array the stride is one
+        // element per edge, so loads two apart differ by 8 B during scans.
+        let seq_pairs = loads.windows(3).filter(|w| w[2].abs_diff(w[0]) == 8).count();
+        assert!(seq_pairs > 20, "sequential burst pairs: {seq_pairs}");
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based tests of the system's core invariants under random
+//! traffic: conservation of completions, FLIT-map coverage of every
+//! dispatched packet, address-space consistency between the MAC and the
+//! device, and monotonic clock behaviour.
+
+use proptest::prelude::*;
+
+use mac_repro::prelude::*;
+use mac_repro::types::{FlitTablePolicy, TransactionId};
+
+/// A random raw-request trace for one thread.
+fn arb_thread_ops(max_len: usize) -> impl Strategy<Value = Vec<ThreadOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            8 => (0u64..(1 << 22)).prop_map(|a| ThreadOp::Mem {
+                addr: PhysAddr::new(a & !0xF),
+                kind: MemOpKind::Load,
+            }),
+            4 => (0u64..(1 << 22)).prop_map(|a| ThreadOp::Mem {
+                addr: PhysAddr::new(a & !0xF),
+                kind: MemOpKind::Store,
+            }),
+            1 => (0u64..(1 << 22)).prop_map(|a| ThreadOp::Mem {
+                addr: PhysAddr::new(a & !0xF),
+                kind: MemOpKind::Atomic,
+            }),
+            1 => Just(ThreadOp::Mem { addr: PhysAddr::new(0), kind: MemOpKind::Fence }),
+            4 => (1u64..8).prop_map(ThreadOp::Compute),
+        ],
+        1..max_len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Conservation: every issued request completes exactly once, for any
+    /// random mixture of loads/stores/atomics/fences across threads.
+    #[test]
+    fn random_traffic_conserves_completions(
+        traces in prop::collection::vec(arb_thread_ops(120), 1..5)
+    ) {
+        let threads = traces.len();
+        let programs: Vec<Box<dyn ThreadProgram>> = traces
+            .into_iter()
+            .map(|ops| Box::new(ReplayProgram::new(ops)) as Box<dyn ThreadProgram>)
+            .collect();
+        let cfg = SystemConfig::paper(threads);
+        let report = mac_repro::sim::SystemSim::new(&cfg, programs).run(10_000_000);
+        prop_assert_eq!(report.soc.raw_requests, report.soc.completions);
+        // Emitted transactions never exceed raw memory requests.
+        prop_assert!(report.hmc.accesses() <= report.soc.raw_requests);
+    }
+
+    /// Baseline equivalence: with the MAC disabled the device sees exactly
+    /// one 16 B transaction per non-fence request.
+    #[test]
+    fn baseline_is_one_to_one(
+        traces in prop::collection::vec(arb_thread_ops(80), 1..4)
+    ) {
+        let threads = traces.len();
+        let fences: u64 = traces
+            .iter()
+            .flatten()
+            .filter(|op| matches!(op, ThreadOp::Mem { kind: MemOpKind::Fence, .. }))
+            .count() as u64;
+        let programs: Vec<Box<dyn ThreadProgram>> = traces
+            .into_iter()
+            .map(|ops| Box::new(ReplayProgram::new(ops)) as Box<dyn ThreadProgram>)
+            .collect();
+        let cfg = SystemConfig::paper(threads).without_mac();
+        let report = mac_repro::sim::SystemSim::new(&cfg, programs).run(10_000_000);
+        prop_assert_eq!(report.soc.raw_requests, report.soc.completions);
+        prop_assert_eq!(report.hmc.accesses() + fences, report.soc.raw_requests);
+        // All baseline transactions are single-FLIT.
+        prop_assert_eq!(report.hmc.by_size[0], report.hmc.accesses());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The MAC unit in isolation: random request streams drain completely
+    /// and every dispatched packet covers the FLITs of its merged targets.
+    #[test]
+    fn mac_packets_cover_their_targets(
+        addrs in prop::collection::vec(0u64..(1 << 20), 1..80),
+        stores in prop::collection::vec(any::<bool>(), 80)
+    ) {
+        use mac_repro::coalescer::{Mac, MacEvent};
+        use mac_repro::types::{MacConfig, NodeId, RawRequest, Target};
+
+        let mut mac = Mac::new(&MacConfig::default());
+        let mut now = 0u64;
+        let mut issued = 0u64;
+        let mut satisfied = 0u64;
+        let mut check = |ev: Vec<MacEvent>| {
+            for e in ev {
+                if let MacEvent::Dispatch(req) = e {
+                    satisfied += req.raw_ids.len() as u64;
+                    let row_base = req.addr.row_base().raw();
+                    let start = req.addr.raw() - row_base;
+                    let end = start + req.size.bytes();
+                    for t in &req.targets {
+                        let off = t.flit as u64 * 16;
+                        assert!(
+                            req.size == ReqSize::B16 || (off >= start && off < end),
+                            "target FLIT {off} outside packet [{start},{end})"
+                        );
+                    }
+                }
+            }
+        };
+        for (i, &a) in addrs.iter().enumerate() {
+            let kind = if stores[i % stores.len()] { MemOpKind::Store } else { MemOpKind::Load };
+            let addr = PhysAddr::new(a & !0xF);
+            let raw = RawRequest {
+                id: TransactionId(i as u64),
+                addr,
+                kind,
+                node: NodeId(0),
+                home: NodeId(0),
+                target: Target { tid: i as u16, tag: 0, flit: addr.flit() },
+                issued_at: now,
+            };
+            if mac.try_accept(raw, now) {
+                issued += 1;
+            }
+            check(mac.tick(now));
+            now += 1;
+        }
+        let mut guard = 0;
+        while !mac.is_drained() {
+            check(mac.tick(now));
+            now += 1;
+            guard += 1;
+            prop_assert!(guard < 10_000, "MAC failed to drain");
+        }
+        prop_assert_eq!(satisfied, issued);
+    }
+
+    /// Every FLIT-table policy covers every requested FLIT of any
+    /// non-empty map with its emitted packets.
+    #[test]
+    fn flit_table_policies_cover_all_flits(bits in 1u16..=u16::MAX) {
+        use mac_repro::coalescer::FlitTable;
+        for policy in [
+            FlitTablePolicy::SpanRounded,
+            FlitTablePolicy::Always256,
+            FlitTablePolicy::PerChunk64,
+        ] {
+            let table = FlitTable::new(policy);
+            let map = FlitMap::from_bits(bits);
+            let packets = table.lookup_multi(map.chunk_mask());
+            prop_assert!(!packets.is_empty());
+            for flit in map.iter() {
+                let off = flit as u64 * 16;
+                let covered = packets.iter().any(|p| {
+                    let s = p.start_offset();
+                    off >= s && off < s + p.size.bytes()
+                });
+                prop_assert!(covered, "{policy:?}: FLIT {flit} uncovered for {bits:016b}");
+            }
+        }
+    }
+
+    /// Address layout and the device's vault mapping agree: all FLITs of
+    /// one row land in the same bank, so a coalesced packet touches
+    /// exactly one bank.
+    #[test]
+    fn rows_map_to_single_banks(row in 0u64..(1 << 40)) {
+        use mac_repro::hmc::AddrMap;
+        let map = AddrMap::new(&HmcConfig::default());
+        let base = PhysAddr::new(row << 8);
+        let first = map.locate(base);
+        for flit in 0..16u64 {
+            prop_assert_eq!(map.locate(base.offset(flit * 16)), first);
+        }
+    }
+}
