@@ -1,0 +1,78 @@
+//! Telemetry overhead on the MAC hot path.
+//!
+//! The tracing design promises zero overhead when disabled: a disabled
+//! [`Tracer`] is a `None`, so every emit site pays one branch and never
+//! constructs an event. These benchmarks drive the same accept+tick
+//! loop as `mac_hotpaths` through three wirings — no tracer call at
+//! all, an explicitly attached disabled tracer, and an enabled
+//! ring-buffer tracer — so `disabled` can be compared against
+//! `baseline` (they must be within noise) and `ring` quantifies the
+//! cost of turning tracing on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use mac_coalescer::Mac;
+use mac_telemetry::{RingSink, Tracer};
+use mac_types::{MacConfig, MemOpKind, NodeId, PhysAddr, RawRequest, Target, TransactionId};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+fn raw(id: u64, addr: u64) -> RawRequest {
+    let a = PhysAddr::new(addr);
+    RawRequest {
+        id: TransactionId(id),
+        addr: a,
+        kind: MemOpKind::Load,
+        node: NodeId(0),
+        home: NodeId(0),
+        target: Target {
+            tid: (id & 0xFFFF) as u16,
+            tag: 0,
+            flit: a.flit(),
+        },
+        issued_at: 0,
+    }
+}
+
+fn drive(mac: &mut Mac, rng: &mut SmallRng, now: &mut u64) -> usize {
+    let a = rng.gen_range(0..1u64 << 24) & !0xF;
+    mac.try_accept(black_box(raw(*now, a)), *now);
+    let ev = mac.tick(*now);
+    *now += 1;
+    ev.len()
+}
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry");
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("mac_cycle_baseline", |b| {
+        let mut mac = Mac::new(&MacConfig::default());
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut now = 0u64;
+        b.iter(|| black_box(drive(&mut mac, &mut rng, &mut now)));
+    });
+
+    g.bench_function("mac_cycle_tracer_disabled", |b| {
+        let mut mac = Mac::new(&MacConfig::default());
+        mac.set_tracer(Tracer::disabled());
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut now = 0u64;
+        b.iter(|| black_box(drive(&mut mac, &mut rng, &mut now)));
+    });
+
+    g.bench_function("mac_cycle_tracer_ring", |b| {
+        let mut mac = Mac::new(&MacConfig::default());
+        mac.set_tracer(Tracer::new(RingSink::new(1 << 12)));
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut now = 0u64;
+        b.iter(|| black_box(drive(&mut mac, &mut rng, &mut now)));
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_telemetry_overhead
+}
+criterion_main!(benches);

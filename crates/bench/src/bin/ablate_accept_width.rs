@@ -18,10 +18,21 @@ fn main() {
         cfg.system.mac.accepts_per_cycle = width;
         let reports = run_all(&all_workloads(), &cfg);
         let n = reports.len() as f64;
-        let eff = reports.iter().map(|(_, r)| r.coalescing_efficiency()).sum::<f64>() / n;
-        let targets =
-            reports.iter().map(|(_, r)| r.mac.targets_per_entry.mean()).sum::<f64>() / n;
-        let label = if width == 1 { "1 (paper §4.4)".to_string() } else { width.to_string() };
+        let eff = reports
+            .iter()
+            .map(|(_, r)| r.coalescing_efficiency())
+            .sum::<f64>()
+            / n;
+        let targets = reports
+            .iter()
+            .map(|(_, r)| r.mac.targets_per_entry.mean())
+            .sum::<f64>()
+            / n;
+        let label = if width == 1 {
+            "1 (paper §4.4)".to_string()
+        } else {
+            width.to_string()
+        };
         rows.push(vec![label, pct(eff), format!("{targets:.2}")]);
     }
     print!(

@@ -15,16 +15,38 @@ fn main() {
         cfg.system.mac.bypass_enabled = bypass;
         let reports = run_all(&all_workloads(), &cfg);
         let n = reports.len() as f64;
-        let bw = reports.iter().map(|(_, r)| r.bandwidth_efficiency()).sum::<f64>() / n;
-        let util = reports.iter().map(|(_, r)| r.hmc.data_utilization()).sum::<f64>() / n;
-        let lat = reports.iter().map(|(_, r)| r.mean_access_latency()).sum::<f64>() / n;
-        rows.push(vec![name.to_string(), pct(bw), pct(util), format!("{lat:.0} cyc")]);
+        let bw = reports
+            .iter()
+            .map(|(_, r)| r.bandwidth_efficiency())
+            .sum::<f64>()
+            / n;
+        let util = reports
+            .iter()
+            .map(|(_, r)| r.hmc.data_utilization())
+            .sum::<f64>()
+            / n;
+        let lat = reports
+            .iter()
+            .map(|(_, r)| r.mean_access_latency())
+            .sum::<f64>()
+            / n;
+        rows.push(vec![
+            name.to_string(),
+            pct(bw),
+            pct(util),
+            format!("{lat:.0} cyc"),
+        ]);
     }
     print!(
         "{}",
         render_table(
             "Ablation: B-bit bypass",
-            &["config", "bw efficiency", "data utilization", "mean latency"],
+            &[
+                "config",
+                "bw efficiency",
+                "data utilization",
+                "mean latency"
+            ],
             &rows
         )
     );

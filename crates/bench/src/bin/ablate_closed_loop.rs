@@ -19,7 +19,11 @@ fn main() {
         cfg.system.soc.max_outstanding_per_thread = window;
         let reports = run_all(&all_workloads(), &cfg);
         let n = reports.len() as f64;
-        let eff = reports.iter().map(|(_, r)| r.coalescing_efficiency()).sum::<f64>() / n;
+        let eff = reports
+            .iter()
+            .map(|(_, r)| r.coalescing_efficiency())
+            .sum::<f64>()
+            / n;
         let rpc = reports.iter().map(|(_, r)| r.sustained_rpc()).sum::<f64>() / n;
         rows.push(vec![name.to_string(), pct(eff), format!("{rpc:.3}")]);
     }

@@ -20,10 +20,26 @@ fn main() {
         cfg.system.mac.flit_table = policy;
         let reports = run_all(&all_workloads(), &cfg);
         let n = reports.len() as f64;
-        let eff = reports.iter().map(|(_, r)| r.coalescing_efficiency()).sum::<f64>() / n;
-        let bw = reports.iter().map(|(_, r)| r.bandwidth_efficiency()).sum::<f64>() / n;
-        let util = reports.iter().map(|(_, r)| r.hmc.data_utilization()).sum::<f64>() / n;
-        let lat = reports.iter().map(|(_, r)| r.mean_access_latency()).sum::<f64>() / n;
+        let eff = reports
+            .iter()
+            .map(|(_, r)| r.coalescing_efficiency())
+            .sum::<f64>()
+            / n;
+        let bw = reports
+            .iter()
+            .map(|(_, r)| r.bandwidth_efficiency())
+            .sum::<f64>()
+            / n;
+        let util = reports
+            .iter()
+            .map(|(_, r)| r.hmc.data_utilization())
+            .sum::<f64>()
+            / n;
+        let lat = reports
+            .iter()
+            .map(|(_, r)| r.mean_access_latency())
+            .sum::<f64>()
+            / n;
         rows.push(vec![
             name.to_string(),
             pct(eff),
@@ -36,7 +52,13 @@ fn main() {
         "{}",
         render_table(
             "Ablation: FLIT-table policy",
-            &["policy", "coalescing", "bw efficiency", "data utilization", "mean latency"],
+            &[
+                "policy",
+                "coalescing",
+                "bw efficiency",
+                "data utilization",
+                "mean latency"
+            ],
             &rows
         )
     );

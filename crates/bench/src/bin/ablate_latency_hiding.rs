@@ -9,12 +9,19 @@ use mac_workloads::all_workloads;
 fn main() {
     let scale = scale_from_args();
     let mut rows = Vec::new();
-    for (name, lh) in [("latency hiding on (paper)", true), ("latency hiding off", false)] {
+    for (name, lh) in [
+        ("latency hiding on (paper)", true),
+        ("latency hiding off", false),
+    ] {
         let mut cfg = paper_config(scale);
         cfg.system.mac.latency_hiding = lh;
         let reports = run_all(&all_workloads(), &cfg);
         let n = reports.len() as f64;
-        let eff = reports.iter().map(|(_, r)| r.coalescing_efficiency()).sum::<f64>() / n;
+        let eff = reports
+            .iter()
+            .map(|(_, r)| r.coalescing_efficiency())
+            .sum::<f64>()
+            / n;
         let bursts: u64 = reports.iter().map(|(_, r)| r.mac.fill_bursts).sum();
         let cycles: u64 = reports.iter().map(|(_, r)| r.cycles).sum();
         rows.push(vec![

@@ -12,7 +12,11 @@ use soc_sim::ThreadOp;
 fn main() {
     let scale = scale_from_args();
     let cfg = paper_config(scale);
-    let params = WorkloadParams { threads: 8, scale, seed: cfg.workload.seed };
+    let params = WorkloadParams {
+        threads: 8,
+        scale,
+        seed: cfg.workload.seed,
+    };
 
     // MAC numbers from the full-system simulation.
     let mac_reports = run_all(&all_workloads(), &cfg);
@@ -37,7 +41,10 @@ fn main() {
             }
         }
         let s = mshr.stats();
-        let mac = mac_reports.iter().find(|(n, _)| n == w.name()).expect("same set");
+        let mac = mac_reports
+            .iter()
+            .find(|(n, _)| n == w.name())
+            .expect("same set");
         // MSHR transactions are always one 64 B line, of which only the
         // demanded FLITs are useful; its link efficiency is fixed at
         // 64/(64+32) and its data utilization is raw FLITs / fetched.

@@ -15,9 +15,21 @@ fn main() {
         cfg.system.mac.pop_interval = interval;
         let reports = run_all(&all_workloads(), &cfg);
         let n = reports.len() as f64;
-        let eff = reports.iter().map(|(_, r)| r.coalescing_efficiency()).sum::<f64>() / n;
-        let lat = reports.iter().map(|(_, r)| r.mean_access_latency()).sum::<f64>() / n;
-        let label = if interval == 2 { "2 (paper)".to_string() } else { interval.to_string() };
+        let eff = reports
+            .iter()
+            .map(|(_, r)| r.coalescing_efficiency())
+            .sum::<f64>()
+            / n;
+        let lat = reports
+            .iter()
+            .map(|(_, r)| r.mean_access_latency())
+            .sum::<f64>()
+            / n;
+        let label = if interval == 2 {
+            "2 (paper)".to_string()
+        } else {
+            interval.to_string()
+        };
         rows.push(vec![label, pct(eff), format!("{lat:.0} cyc")]);
     }
     print!(

@@ -17,10 +17,17 @@ fn main() {
         cfg.system.soc.context_switch_penalty = penalty;
         let reports = run_all(&all_workloads(), &cfg);
         let n = reports.len() as f64;
-        let eff = reports.iter().map(|(_, r)| r.coalescing_efficiency()).sum::<f64>() / n;
+        let eff = reports
+            .iter()
+            .map(|(_, r)| r.coalescing_efficiency())
+            .sum::<f64>()
+            / n;
         let cycles: u64 = reports.iter().map(|(_, r)| r.cycles).sum();
-        let label =
-            if penalty == 0 { "0 (free switching)".to_string() } else { penalty.to_string() };
+        let label = if penalty == 0 {
+            "0 (free switching)".to_string()
+        } else {
+            penalty.to_string()
+        };
         rows.push(vec![label, pct(eff), cycles.to_string()]);
     }
     print!(

@@ -33,15 +33,24 @@ fn csv_of(header: &[&str], rows: &[Vec<String>]) -> String {
 }
 
 fn main() {
-    let scale: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2);
-    let dir = std::env::args().nth(2).unwrap_or_else(|| "results".to_string());
+    let scale: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    let dir = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "results".to_string());
     std::fs::create_dir_all(&dir).expect("create results dir");
-    let out = Out { dir: PathBuf::from(dir) };
+    let out = Out {
+        dir: PathBuf::from(dir),
+    };
     let cfg = paper_config(scale);
 
     // Table 1 (static).
-    let rows: Vec<Vec<String>> =
-        figures::table1().into_iter().map(|(k, v)| vec![k, v]).collect();
+    let rows: Vec<Vec<String>> = figures::table1()
+        .into_iter()
+        .map(|(k, v)| vec![k, v])
+        .collect();
     out.save(
         "table1",
         &figures::render_table("Table 1", &["parameter", "value"], &rows),
@@ -50,8 +59,10 @@ fn main() {
 
     // Figure 1.
     let rates = figures::fig01_missrates(scale, 0xF16);
-    let rows: Vec<Vec<String>> =
-        rates.iter().map(|(n, r)| vec![n.clone(), pct(*r)]).collect();
+    let rows: Vec<Vec<String>> = rates
+        .iter()
+        .map(|(n, r)| vec![n.clone(), pct(*r)])
+        .collect();
     let sweep = figures::fig01_sweep(400_000, 0xF16);
     let sweep_rows: Vec<Vec<String>> = sweep
         .iter()
@@ -124,14 +135,15 @@ fn main() {
     let pairs = figures::paired_runs(&cfg);
     let rows: Vec<Vec<String>> = figures::fig12(&pairs)
         .iter()
-        .map(|(n, wo, wi, rm)| {
-            vec![n.clone(), wo.to_string(), wi.to_string(), rm.to_string()]
-        })
+        .map(|(n, wo, wi, rm)| vec![n.clone(), wo.to_string(), wi.to_string(), rm.to_string()])
         .collect();
     out.save(
         "fig12",
         &figures::render_table("Figure 12", &["benchmark", "raw", "mac", "removed"], &rows),
-        &csv_of(&["benchmark", "conflicts_raw", "conflicts_mac", "removed"], &rows),
+        &csv_of(
+            &["benchmark", "conflicts_raw", "conflicts_mac", "removed"],
+            &rows,
+        ),
     );
     let rows: Vec<Vec<String>> = figures::fig13(&pairs)
         .iter()

@@ -41,7 +41,13 @@ fn main() {
         "{}",
         render_table(
             "Baseline: DDR4 (raw) vs HMC (raw) vs HMC+MAC",
-            &["benchmark", "DDR row hits", "DDR lat", "HMC raw lat", "HMC+MAC lat"],
+            &[
+                "benchmark",
+                "DDR row hits",
+                "DDR lat",
+                "HMC raw lat",
+                "HMC+MAC lat"
+            ],
             &rows
         )
     );

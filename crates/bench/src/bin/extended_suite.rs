@@ -16,7 +16,12 @@ fn main() {
                 n.clone(),
                 pct(with.coalescing_efficiency()),
                 pct(with.bandwidth_efficiency()),
-                format!("{}", without.bank_conflicts().saturating_sub(with.bank_conflicts())),
+                format!(
+                    "{}",
+                    without
+                        .bank_conflicts()
+                        .saturating_sub(with.bank_conflicts())
+                ),
                 format!("{:.1}%", with.memory_speedup_vs(without)),
             ]
         })
@@ -25,7 +30,13 @@ fn main() {
         "{}",
         render_table(
             "Extended suite (12 paper benchmarks + GAP CC/SSSP/TC)",
-            &["benchmark", "coalescing", "bw efficiency", "conflicts removed", "speedup"],
+            &[
+                "benchmark",
+                "coalescing",
+                "bw efficiency",
+                "conflicts removed",
+                "speedup"
+            ],
             &rows
         )
     );

@@ -8,8 +8,7 @@ fn main() {
     let scale = scale_from_args();
     let rates = figures::fig01_missrates(scale, 0xF16);
     let mean = rates.iter().map(|(_, r)| r).sum::<f64>() / rates.len() as f64;
-    let mut rows: Vec<Vec<String>> =
-        rates.into_iter().map(|(n, r)| vec![n, pct(r)]).collect();
+    let mut rows: Vec<Vec<String>> = rates.into_iter().map(|(n, r)| vec![n, pct(r)]).collect();
     rows.push(vec!["MEAN".into(), pct(mean)]);
     print!(
         "{}",
@@ -23,9 +22,7 @@ fn main() {
     let sweep = figures::fig01_sweep(400_000, 0xF16);
     let rows: Vec<Vec<String>> = sweep
         .into_iter()
-        .map(|(bytes, seq, rnd)| {
-            vec![mac_bench::human_bytes(bytes as i128), pct(seq), pct(rnd)]
-        })
+        .map(|(bytes, seq, rnd)| vec![mac_bench::human_bytes(bytes as i128), pct(seq), pct(rnd)])
         .collect();
     print!(
         "{}",

@@ -8,8 +8,10 @@ fn main() {
     let cfg = paper_config(scale_from_args());
     let rows_data = figures::fig09(&cfg);
     let mean = rows_data.iter().map(|(_, r)| r).sum::<f64>() / rows_data.len() as f64;
-    let mut rows: Vec<Vec<String>> =
-        rows_data.into_iter().map(|(n, r)| vec![n, format!("{r:.2}")]).collect();
+    let mut rows: Vec<Vec<String>> = rows_data
+        .into_iter()
+        .map(|(n, r)| vec![n, format!("{r:.2}")])
+        .collect();
     rows.push(vec!["MEAN".into(), format!("{mean:.2}")]);
     print!(
         "{}",

@@ -11,7 +11,9 @@ fn main() {
     let rows: Vec<Vec<String>> = data
         .into_iter()
         .map(|(entries, eff)| {
-            let delta = prev.map(|p| format!("+{:.2}pp", (eff - p) * 100.0)).unwrap_or_default();
+            let delta = prev
+                .map(|p| format!("+{:.2}pp", (eff - p) * 100.0))
+                .unwrap_or_default();
             prev = Some(eff);
             vec![entries.to_string(), pct(eff), delta]
         })

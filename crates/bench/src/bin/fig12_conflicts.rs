@@ -11,10 +11,20 @@ fn main() {
     let mut rows: Vec<Vec<String>> = data
         .into_iter()
         .map(|(n, without, with, removed)| {
-            vec![n, without.to_string(), with.to_string(), removed.to_string()]
+            vec![
+                n,
+                without.to_string(),
+                with.to_string(),
+                removed.to_string(),
+            ]
         })
         .collect();
-    rows.push(vec!["TOTAL".into(), String::new(), String::new(), total.to_string()]);
+    rows.push(vec![
+        "TOTAL".into(),
+        String::new(),
+        String::new(),
+        total.to_string(),
+    ]);
     print!(
         "{}",
         figures::render_table(

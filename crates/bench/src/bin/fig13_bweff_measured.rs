@@ -9,8 +9,10 @@ fn main() {
     let pairs = figures::paired_runs(&cfg);
     let data = figures::fig13(&pairs);
     let mean = data.iter().map(|(_, w, _)| w).sum::<f64>() / data.len() as f64;
-    let mut rows: Vec<Vec<String>> =
-        data.into_iter().map(|(n, w, wo)| vec![n, pct(w), pct(wo)]).collect();
+    let mut rows: Vec<Vec<String>> = data
+        .into_iter()
+        .map(|(n, w, wo)| vec![n, pct(w), pct(wo)])
+        .collect();
     rows.push(vec!["MEAN".into(), pct(mean), pct(1.0 / 3.0)]);
     print!(
         "{}",

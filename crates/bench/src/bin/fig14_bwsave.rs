@@ -9,8 +9,10 @@ fn main() {
     let pairs = figures::paired_runs(&cfg);
     let data = figures::fig14(&pairs);
     let mean = data.iter().map(|(_, s)| s).sum::<i128>() / data.len() as i128;
-    let mut rows: Vec<Vec<String>> =
-        data.into_iter().map(|(n, s)| vec![n, human_bytes(s)]).collect();
+    let mut rows: Vec<Vec<String>> = data
+        .into_iter()
+        .map(|(n, s)| vec![n, human_bytes(s)])
+        .collect();
     rows.push(vec!["MEAN".into(), human_bytes(mean)]);
     println!("note: control bytes saved; absolute totals scale with problem size");
     println!("      (the paper ran full-size datasets: mean 22.76 GB saved).");

@@ -10,7 +10,11 @@ fn main() {
     let rows: Vec<Vec<String>> = figures::fig16()
         .into_iter()
         .map(|(entries, bytes)| {
-            vec![entries.to_string(), bytes.to_string(), human_bytes(bytes as i128)]
+            vec![
+                entries.to_string(),
+                bytes.to_string(),
+                human_bytes(bytes as i128),
+            ]
         })
         .collect();
     print!(

@@ -9,8 +9,10 @@ fn main() {
     let pairs = figures::paired_runs(&cfg);
     let data = figures::fig17(&pairs);
     let mean = data.iter().map(|(_, s)| s).sum::<f64>() / data.len() as f64;
-    let mut rows: Vec<Vec<String>> =
-        data.into_iter().map(|(n, s)| vec![n, format!("{s:.2}%")]).collect();
+    let mut rows: Vec<Vec<String>> = data
+        .into_iter()
+        .map(|(n, s)| vec![n, format!("{s:.2}%")])
+        .collect();
     rows.push(vec!["MEAN".into(), format!("{mean:.2}%")]);
     print!(
         "{}",

@@ -3,7 +3,16 @@
 use mac_sim::figures;
 
 fn main() {
-    let rows: Vec<Vec<String>> =
-        figures::table1().into_iter().map(|(k, v)| vec![k, v]).collect();
-    print!("{}", figures::render_table("Table 1: Simulation Environment", &["Parameter", "Value"], &rows));
+    let rows: Vec<Vec<String>> = figures::table1()
+        .into_iter()
+        .map(|(k, v)| vec![k, v])
+        .collect();
+    print!(
+        "{}",
+        figures::render_table(
+            "Table 1: Simulation Environment",
+            &["Parameter", "Value"],
+            &rows
+        )
+    );
 }

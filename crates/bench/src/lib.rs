@@ -21,7 +21,10 @@ use mac_sim::experiment::ExperimentConfig;
 
 /// Parse the optional scale argument (first CLI arg, default 2).
 pub fn scale_from_args() -> u32 {
-    std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2)
+    std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2)
 }
 
 /// The standard experiment configuration for figure regeneration:

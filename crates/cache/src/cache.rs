@@ -25,12 +25,22 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// A typical last-level cache: 2 MB, 16-way, 64 B lines, prefetching.
     pub fn llc() -> Self {
-        CacheConfig { capacity: 2 << 20, ways: 16, line_bytes: 64, prefetch_next_line: true }
+        CacheConfig {
+            capacity: 2 << 20,
+            ways: 16,
+            line_bytes: 64,
+            prefetch_next_line: true,
+        }
     }
 
     /// A small L1: 32 KB, 8-way, 64 B lines, no prefetch.
     pub fn l1() -> Self {
-        CacheConfig { capacity: 32 << 10, ways: 8, line_bytes: 64, prefetch_next_line: false }
+        CacheConfig {
+            capacity: 32 << 10,
+            ways: 8,
+            line_bytes: 64,
+            prefetch_next_line: false,
+        }
     }
 
     /// Number of sets implied by the geometry.
@@ -95,7 +105,10 @@ impl Cache {
     pub fn new(cfg: CacheConfig) -> Self {
         let sets = cfg.sets();
         assert!(sets.is_power_of_two(), "set count must be a power of two");
-        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         Cache {
             cfg,
             sets: vec![vec![Way::default(); cfg.ways]; sets],
@@ -208,7 +221,10 @@ mod tests {
     }
 
     fn llc_noprefetch() -> CacheConfig {
-        CacheConfig { prefetch_next_line: false, ..CacheConfig::llc() }
+        CacheConfig {
+            prefetch_next_line: false,
+            ..CacheConfig::llc()
+        }
     }
 
     #[test]
@@ -249,7 +265,10 @@ mod tests {
         // 64 KB sequential at 8 B stride: 1024 lines, 8192 accesses.
         let stream = (0..8192u64).map(|i| PhysAddr::new(i * 8));
         let mr = c.run(stream);
-        assert!((mr - 1.0 / 8.0).abs() < 1e-9, "one miss per 8 accesses, got {mr}");
+        assert!(
+            (mr - 1.0 / 8.0).abs() < 1e-9,
+            "one miss per 8 accesses, got {mr}"
+        );
     }
 
     #[test]

@@ -100,7 +100,11 @@ impl MshrFile {
             self.stats.stalls += 1;
             return MshrOutcome::Stalled;
         }
-        self.entries.push(Entry { line, fill_at: now + self.miss_latency, merged: 0 });
+        self.entries.push(Entry {
+            line,
+            fill_at: now + self.miss_latency,
+            merged: 0,
+        });
         self.stats.transactions += 1;
         MshrOutcome::Dispatched
     }
@@ -167,7 +171,11 @@ mod tests {
         assert_eq!(m.offer(PhysAddr::new(0x040), 0), MshrOutcome::Dispatched);
         assert_eq!(m.offer(PhysAddr::new(0x080), 0), MshrOutcome::Dispatched);
         assert_eq!(m.offer(PhysAddr::new(0x0C0), 0), MshrOutcome::Dispatched);
-        assert_eq!(m.stats().transactions, 4, "one 256 B row costs 4 line fills");
+        assert_eq!(
+            m.stats().transactions,
+            4,
+            "one 256 B row costs 4 line fills"
+        );
     }
 
     #[test]

@@ -1,0 +1,266 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the measurement surface the workspace's benches use
+//! (`Criterion`, `benchmark_group`, `bench_function`, `Bencher::iter`,
+//! `Throughput`, `black_box`, `criterion_group!`, `criterion_main!`)
+//! with a simple wall-clock harness: warm up, then time fixed-size
+//! batches until the measurement window closes, and report the median
+//! batch time per iteration. No statistical analysis, plots, or saved
+//! baselines — run-to-run comparison is up to the reader.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Units of work per iteration, echoed in the report line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Top-level harness configuration.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 30,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let cfg = self.clone();
+        run_bench(&cfg, name, None, f);
+        self
+    }
+}
+
+/// A named set of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut cfg = self.criterion.clone();
+        if let Some(n) = self.sample_size {
+            cfg.sample_size = n;
+        }
+        let full = format!("{}/{}", self.name, name);
+        run_bench(&cfg, &full, self.throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure given to `bench_function`; `iter` runs and
+/// times the workload.
+pub struct Bencher<'a> {
+    cfg: &'a Criterion,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher<'_> {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run untimed until the warm-up window closes, counting
+        // iterations to size the timed batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.cfg.warm_up_time {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let warm_ns = warm_start.elapsed().as_nanos().max(1) as f64;
+        let est_ns_per_iter = warm_ns / warm_iters.max(1) as f64;
+
+        // Size batches so `sample_size` of them fit in the measurement
+        // window, with at least one iteration per batch.
+        let window_ns = self.cfg.measurement_time.as_nanos() as f64;
+        let per_batch_ns = window_ns / self.cfg.sample_size as f64;
+        let batch = (per_batch_ns / est_ns_per_iter).max(1.0) as u64;
+
+        let meas_start = Instant::now();
+        for _ in 0..self.cfg.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples_ns.push(t.elapsed().as_nanos() as f64 / batch as f64);
+            if meas_start.elapsed() > self.cfg.measurement_time * 2 {
+                break; // runaway workload; keep whatever samples we have
+            }
+        }
+    }
+}
+
+fn run_bench<F>(cfg: &Criterion, name: &str, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher { cfg, samples_ns: Vec::with_capacity(cfg.sample_size) };
+    f(&mut b);
+    if b.samples_ns.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    b.samples_ns.sort_by(|a, c| a.total_cmp(c));
+    let median = b.samples_ns[b.samples_ns.len() / 2];
+    let lo = b.samples_ns[0];
+    let hi = b.samples_ns[b.samples_ns.len() - 1];
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12.0} elem/s", n as f64 * 1e9 / median)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>12.0} B/s", n as f64 * 1e9 / median)
+        }
+        None => String::new(),
+    };
+    println!("{name:<40} median {median:>12.1} ns/iter  [{lo:.1} .. {hi:.1}]{rate}");
+}
+
+/// Build the harness entry point functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = quick();
+        let mut count = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                count += 1;
+                black_box(count)
+            })
+        });
+        assert!(count > 0, "workload must have run");
+    }
+
+    #[test]
+    fn groups_run_all_functions() {
+        let mut c = quick();
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("grp");
+            g.throughput(Throughput::Elements(1));
+            g.sample_size(2);
+            g.bench_function("a", |b| b.iter(|| ran += 1));
+            g.bench_function("b", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        assert!(ran >= 2);
+    }
+
+    criterion_group! {
+        name = smoke;
+        config = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        targets = smoke_target
+    }
+
+    fn smoke_target(c: &mut Criterion) {
+        c.bench_function("macro_smoke", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn macro_generated_group_runs() {
+        smoke();
+    }
+}

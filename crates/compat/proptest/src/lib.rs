@@ -1,0 +1,401 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API the workspace's property
+//! tests use — `proptest!`, `prop_assert*`, `prop_oneof!` (weighted and
+//! unweighted), `Just`, `any::<T>()`, integer-range strategies, tuple
+//! strategies, `.prop_map`, and `prop::collection::vec` — on top of the
+//! in-repo `rand` stub.
+//!
+//! Differences from the real crate, deliberate for an offline test
+//! environment:
+//! - **No shrinking.** A failing case panics with the sampled values in
+//!   the assertion message instead of minimizing them.
+//! - **Deterministic seeding.** Each `proptest!` test derives its RNG
+//!   seed from the test's name (FNV-1a), so failures reproduce exactly
+//!   across runs and machines; `.proptest-regressions` files are ignored.
+//! - `PROPTEST_CASES` still overrides the per-test case count
+//!   (default 96).
+
+use std::ops::Range;
+
+pub use rand::rngs::SmallRng as TestRng;
+use rand::{Rng, SeedableRng};
+
+/// How values are generated for a `name in strategy` clause.
+///
+/// Object safe (`new_value` is dispatchable) so `prop_oneof!` can hold
+/// heterogeneous arms as `Box<dyn Strategy<Value = V>>`.
+pub trait Strategy {
+    type Value;
+
+    /// Sample one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform sampled values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        (**self).new_value(rng)
+    }
+}
+
+/// Strategy that always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `.prop_map` adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types `any::<T>()` can produce, uniformly over their whole domain.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.gen()
+    }
+}
+
+/// Strategy for any [`Arbitrary`] type.
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Uniform strategy over `T`'s whole domain.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Weighted choice between same-valued strategies (`prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+    total: u32,
+}
+
+impl<V> Union<V> {
+    pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> Union<V> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! weights sum to zero");
+        Union { arms, total }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.gen_range(0..self.total);
+        for (w, s) in &self.arms {
+            if pick < *w {
+                return s.new_value(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+/// Box a strategy arm for [`Union`] (used by `prop_oneof!`).
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: an exact `usize` or a
+    /// half-open `Range<usize>`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec length range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    /// A `Vec` whose length is drawn from `len` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, len: len.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.lo..self.len.hi);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec` resolves as in real
+/// proptest.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Mirror of proptest's runner configuration; only `cases` is honored.
+/// `max_shrink_iters` is accepted for source compatibility with real
+/// proptest (this stub does not shrink).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: default_cases(), max_shrink_iters: 1024 }
+    }
+}
+
+fn default_cases() -> u32 {
+    96
+}
+
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok().and_then(|s| s.parse().ok())
+}
+
+/// Per-test case count: `PROPTEST_CASES` env override, default 96.
+pub fn cases() -> u32 {
+    env_cases().unwrap_or_else(default_cases)
+}
+
+/// Case count under an explicit `proptest_config`; the env override
+/// still wins so CI can dial effort globally.
+pub fn config_cases(cfg: &ProptestConfig) -> u32 {
+    env_cases().unwrap_or(cfg.cases)
+}
+
+/// Deterministic per-test RNG, seeded from the test name (FNV-1a).
+pub fn test_rng(name: &str) -> TestRng {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cases ($crate::config_cases(&$cfg)) $($rest)*);
+    };
+    ($( $(#[$meta:meta])* fn $name:ident $args:tt $body:block )*) => {
+        $crate::proptest!(@cases ($crate::cases()) $( $(#[$meta])* fn $name $args $body )*);
+    };
+    (@cases ($cases:expr) $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let strategies = ($($strat,)+);
+                let mut rng = $crate::test_rng(stringify!($name));
+                for case in 0..$cases {
+                    let ($($arg,)+) = $crate::Strategy::new_value(&strategies, &mut rng);
+                    let run = ::std::panic::AssertUnwindSafe(move || { $body });
+                    if let Err(e) = ::std::panic::catch_unwind(run) {
+                        eprintln!(
+                            "proptest case {case} of {} failed (deterministic seed; \
+                             rerun reproduces it)",
+                            stringify!($name)
+                        );
+                        ::std::panic::resume_unwind(e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![ $( ($weight as u32, $crate::boxed($strat)) ),+ ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![ $( (1u32, $crate::boxed($strat)) ),+ ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_rng_per_name() {
+        let mut a = crate::test_rng("x");
+        let mut b = crate::test_rng("x");
+        use rand::Rng;
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(v in 10u64..20, w in 0usize..4, s in -5i64..5) {
+            prop_assert!((10..20).contains(&v));
+            prop_assert!(w < 4);
+            prop_assert!((-5..5).contains(&s));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(
+            k in prop_oneof![3 => Just(1u8), 1 => Just(2u8)],
+            m in (0u8..4).prop_map(|x| x * 2),
+            t in (0u8..2, any::<bool>())
+        ) {
+            prop_assert!(k == 1 || k == 2);
+            prop_assert!(m % 2 == 0 && m < 8);
+            prop_assert!(t.0 < 2);
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in prop::collection::vec(0u8..10, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+}

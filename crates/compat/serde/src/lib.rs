@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde`.
+//!
+//! See `crates/compat/README.md` for why this exists. The workspace uses
+//! `#[derive(Serialize, Deserialize)]` as forward-looking decoration on
+//! stats/config/report types; nothing in the tree serializes through the
+//! traits yet, so they are markers here. The blanket impls mean every
+//! type satisfies them, which keeps trait bounds (if any appear later)
+//! satisfied without per-type codegen.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub mod de {
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its stats and
+//! config types so they stay serialization-ready, but no code in the
+//! repo actually serializes them yet (there is no `serde_json` or other
+//! format crate in the tree). These derives therefore only need to
+//! *parse* — including `#[serde(...)]` helper attributes — and emit
+//! nothing; the traits in the companion `serde` stub are markers with a
+//! blanket implementation.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -47,7 +47,10 @@ pub fn figure16_sweep() -> Vec<(usize, u64)> {
     [8usize, 16, 32, 64, 128, 256]
         .iter()
         .map(|&entries| {
-            let cfg = MacConfig { arq_entries: entries, ..MacConfig::default() };
+            let cfg = MacConfig {
+                arq_entries: entries,
+                ..MacConfig::default()
+            };
             (entries, area(&cfg).arq_bytes)
         })
         .collect()

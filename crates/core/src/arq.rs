@@ -13,7 +13,8 @@
 //! subsequent requests skip the comparators and claim fresh entries
 //! directly (§4.1).
 
-use mac_types::{Cycle, MacConfig, FlitMap, MemOpKind, RawRequest, RowId, Target, TransactionId};
+use mac_telemetry::{TraceEvent, Tracer};
+use mac_types::{Cycle, FlitMap, MacConfig, MemOpKind, RawRequest, RowId, Target, TransactionId};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -29,6 +30,10 @@ pub enum ArqEntry {
 /// The coalescable variant of an ARQ entry.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GroupEntry {
+    /// Allocation sequence number, unique per ARQ instance. Purely
+    /// observational: lets trace events for one entry (alloc, merges,
+    /// pop, builder stages, emit) be correlated offline.
+    pub entry_id: u64,
     /// CAM key: `{T bit, row number}`.
     pub tagged_row: u64,
     /// The DRAM row all merged requests fall into.
@@ -82,6 +87,9 @@ pub struct Arq {
     latency_hiding: bool,
     /// Number of fill bursts triggered (stat).
     pub fill_bursts: u64,
+    /// Next `GroupEntry::entry_id` to hand out.
+    next_entry_id: u64,
+    tracer: Tracer,
 }
 
 impl Arq {
@@ -96,7 +104,14 @@ impl Arq {
             fill_credit: 0,
             latency_hiding: cfg.latency_hiding,
             fill_bursts: 0,
+            next_entry_id: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach a tracer (disabled by default; tracing is observational).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Offer one raw request (one per cycle in hardware; enforced by the
@@ -109,6 +124,13 @@ impl Arq {
     /// requests skip the comparators and bulk-load the queue ("ensure a
     /// sufficient amount of requests in the ARQ to perform aggregation").
     pub fn insert(&mut self, raw: RawRequest, backlog: usize) -> InsertOutcome {
+        let at = raw.issued_at;
+        self.insert_at(raw, backlog, at)
+    }
+
+    /// [`Arq::insert`] stamped with the current cycle `now` (used for
+    /// trace events; the insert behavior itself is time-independent).
+    pub fn insert_at(&mut self, raw: RawRequest, backlog: usize, now: Cycle) -> InsertOutcome {
         debug_assert!(raw.kind != MemOpKind::Atomic, "atomics bypass the ARQ");
 
         if raw.kind == MemOpKind::Fence {
@@ -117,6 +139,8 @@ impl Arq {
             }
             self.entries.push_back(ArqEntry::Fence(raw));
             self.fences_pending += 1;
+            self.tracer
+                .emit(now, || TraceEvent::ArqFence { id: raw.id.0 });
             return InsertOutcome::Allocated;
         }
 
@@ -128,18 +152,29 @@ impl Arq {
             if free > self.capacity / 2 && backlog >= free {
                 self.fill_credit = free;
                 self.fill_bursts += 1;
+                self.tracer.emit(now, || TraceEvent::ArqFillBurst {
+                    occupancy: self.entries.len() as u16,
+                });
             }
         }
 
         let comparators_enabled = self.fences_pending == 0 && self.fill_credit == 0;
         if comparators_enabled {
             let key = raw.tagged_row();
+            let max_targets = self.max_targets;
             for e in self.entries.iter_mut() {
                 if let ArqEntry::Group(g) = e {
-                    if g.tagged_row == key && g.targets.len() < self.max_targets {
+                    if g.tagged_row == key && g.targets.len() < max_targets {
                         g.flit_map.set(raw.addr.flit());
                         g.targets.push(raw.target);
                         g.raw_ids.push(raw.id);
+                        let (entry, row, targets) =
+                            (g.entry_id as u32, g.row.0, g.targets.len() as u8);
+                        self.tracer.emit(now, || TraceEvent::ArqMerge {
+                            entry,
+                            row,
+                            targets,
+                        });
                         return InsertOutcome::Merged;
                     }
                 }
@@ -152,9 +187,12 @@ impl Arq {
         if self.fill_credit > 0 {
             self.fill_credit -= 1;
         }
+        let entry_id = self.next_entry_id;
+        self.next_entry_id += 1;
         let mut fm = FlitMap::new();
         fm.set(raw.addr.flit());
         self.entries.push_back(ArqEntry::Group(GroupEntry {
+            entry_id,
             tagged_row: raw.tagged_row(),
             row: raw.addr.row(),
             is_store: raw.kind.type_bit(),
@@ -163,6 +201,12 @@ impl Arq {
             raw_ids: vec![raw.id],
             allocated_at: raw.issued_at,
         }));
+        self.tracer.emit(now, || TraceEvent::ArqAlloc {
+            entry: entry_id as u32,
+            row: raw.addr.row().0,
+            is_store: raw.kind.type_bit(),
+            occupancy: self.entries.len() as u16,
+        });
         InsertOutcome::Allocated
     }
 
@@ -214,7 +258,10 @@ mod tests {
     fn cfg() -> MacConfig {
         // Disable latency hiding in unit tests so CAM behaviour is
         // directly observable; dedicated tests re-enable it.
-        MacConfig { latency_hiding: false, ..MacConfig::default() }
+        MacConfig {
+            latency_hiding: false,
+            ..MacConfig::default()
+        }
     }
 
     fn raw(id: u64, addr: u64, kind: MemOpKind) -> RawRequest {
@@ -225,7 +272,11 @@ mod tests {
             kind,
             node: NodeId(0),
             home: NodeId(0),
-            target: Target { tid: id as u16, tag: 0, flit: a.flit() },
+            target: Target {
+                tid: id as u16,
+                tag: 0,
+                flit: a.flit(),
+            },
             issued_at: 0,
         }
     }
@@ -234,20 +285,36 @@ mod tests {
     fn figure7_merges_loads_and_separates_store() {
         let mut arq = Arq::new(&cfg());
         // Requests 1, 2, 4: loads to row 0xA, FLITs 6, 8, 9.
-        assert_eq!(arq.insert(raw(1, 0xA60, MemOpKind::Load), 0), InsertOutcome::Allocated);
-        assert_eq!(arq.insert(raw(2, 0xA80, MemOpKind::Load), 0), InsertOutcome::Merged);
+        assert_eq!(
+            arq.insert(raw(1, 0xA60, MemOpKind::Load), 0),
+            InsertOutcome::Allocated
+        );
+        assert_eq!(
+            arq.insert(raw(2, 0xA80, MemOpKind::Load), 0),
+            InsertOutcome::Merged
+        );
         // Request 3: store to the same row -> separate entry, T differs.
-        assert_eq!(arq.insert(raw(3, 0xA70, MemOpKind::Store), 0), InsertOutcome::Allocated);
-        assert_eq!(arq.insert(raw(4, 0xA90, MemOpKind::Load), 0), InsertOutcome::Merged);
+        assert_eq!(
+            arq.insert(raw(3, 0xA70, MemOpKind::Store), 0),
+            InsertOutcome::Allocated
+        );
+        assert_eq!(
+            arq.insert(raw(4, 0xA90, MemOpKind::Load), 0),
+            InsertOutcome::Merged
+        );
         assert_eq!(arq.len(), 2);
 
-        let ArqEntry::Group(loads) = arq.pop().unwrap() else { panic!("expected group") };
+        let ArqEntry::Group(loads) = arq.pop().unwrap() else {
+            panic!("expected group")
+        };
         assert_eq!(loads.merged(), 3);
         assert!(!loads.is_store);
         assert_eq!(loads.flit_map.bits(), (1 << 6) | (1 << 8) | (1 << 9));
         assert!(!loads.bypass());
 
-        let ArqEntry::Group(store) = arq.pop().unwrap() else { panic!("expected group") };
+        let ArqEntry::Group(store) = arq.pop().unwrap() else {
+            panic!("expected group")
+        };
         assert_eq!(store.merged(), 1);
         assert!(store.is_store);
         assert!(store.bypass(), "single-request row sets the B bit");
@@ -257,7 +324,10 @@ mod tests {
     fn different_rows_do_not_merge() {
         let mut arq = Arq::new(&cfg());
         arq.insert(raw(1, 0xA00, MemOpKind::Load), 0);
-        assert_eq!(arq.insert(raw(2, 0xB00, MemOpKind::Load), 0), InsertOutcome::Allocated);
+        assert_eq!(
+            arq.insert(raw(2, 0xB00, MemOpKind::Load), 0),
+            InsertOutcome::Allocated
+        );
         assert_eq!(arq.len(), 2);
     }
 
@@ -273,18 +343,31 @@ mod tests {
                 assert_eq!(out, InsertOutcome::Merged, "request {i}");
             }
         }
-        assert_eq!(arq.insert(raw(12, 0xA00, MemOpKind::Load), 0), InsertOutcome::Allocated);
+        assert_eq!(
+            arq.insert(raw(12, 0xA00, MemOpKind::Load), 0),
+            InsertOutcome::Allocated
+        );
         assert_eq!(arq.len(), 2);
     }
 
     #[test]
     fn full_queue_backpressures() {
-        let mut arq = Arq::new(&MacConfig { arq_entries: 2, latency_hiding: false, ..cfg() });
+        let mut arq = Arq::new(&MacConfig {
+            arq_entries: 2,
+            latency_hiding: false,
+            ..cfg()
+        });
         arq.insert(raw(1, 0x000, MemOpKind::Load), 0);
         arq.insert(raw(2, 0x100, MemOpKind::Load), 0);
-        assert_eq!(arq.insert(raw(3, 0x200, MemOpKind::Load), 0), InsertOutcome::Full);
+        assert_eq!(
+            arq.insert(raw(3, 0x200, MemOpKind::Load), 0),
+            InsertOutcome::Full
+        );
         // Same-row merge still works when full.
-        assert_eq!(arq.insert(raw(4, 0x010, MemOpKind::Load), 0), InsertOutcome::Merged);
+        assert_eq!(
+            arq.insert(raw(4, 0x010, MemOpKind::Load), 0),
+            InsertOutcome::Merged
+        );
         assert_eq!(arq.free_entries(), 0);
     }
 
@@ -295,7 +378,10 @@ mod tests {
         arq.insert(raw(2, 0xF00, MemOpKind::Fence), 0);
         assert!(arq.fence_active());
         // Same row as request 1, but the fence forces a fresh entry.
-        assert_eq!(arq.insert(raw(3, 0xA10, MemOpKind::Load), 0), InsertOutcome::Allocated);
+        assert_eq!(
+            arq.insert(raw(3, 0xA10, MemOpKind::Load), 0),
+            InsertOutcome::Allocated
+        );
         assert_eq!(arq.len(), 3);
 
         // Drain up to and including the fence; merging resumes.
@@ -303,7 +389,10 @@ mod tests {
         let fence = arq.pop().unwrap(); // fence
         assert!(matches!(fence, ArqEntry::Fence(_)));
         assert!(!arq.fence_active());
-        assert_eq!(arq.insert(raw(4, 0xA20, MemOpKind::Load), 0), InsertOutcome::Merged);
+        assert_eq!(
+            arq.insert(raw(4, 0xA20, MemOpKind::Load), 0),
+            InsertOutcome::Merged
+        );
     }
 
     #[test]
@@ -320,8 +409,8 @@ mod tests {
     #[test]
     fn latency_hiding_fill_skips_comparators() {
         let mut arq = Arq::new(&MacConfig::default()); // latency hiding on
-        // Queue empty (free 32 > half 16) and a 40-deep backlog waiting:
-        // fill burst of 32 begins.
+                                                       // Queue empty (free 32 > half 16) and a 40-deep backlog waiting:
+                                                       // fill burst of 32 begins.
         for i in 0..4 {
             // All four target the same row but must NOT merge during the burst.
             assert_eq!(
@@ -336,21 +425,33 @@ mod tests {
         // requests merge normally.
         let mut quiet = Arq::new(&MacConfig::default());
         quiet.insert(raw(10, 0xB00, MemOpKind::Load), 0);
-        assert_eq!(quiet.insert(raw(11, 0xB10, MemOpKind::Load), 0), InsertOutcome::Merged);
+        assert_eq!(
+            quiet.insert(raw(11, 0xB10, MemOpKind::Load), 0),
+            InsertOutcome::Merged
+        );
         assert_eq!(quiet.fill_bursts, 0);
     }
 
     #[test]
     fn fill_burst_ends_after_credit_consumed() {
-        let cfg = MacConfig { arq_entries: 4, ..MacConfig::default() };
+        let cfg = MacConfig {
+            arq_entries: 4,
+            ..MacConfig::default()
+        };
         let mut arq = Arq::new(&cfg);
         // free=4 > 2 with backlog 8 -> burst credit 4: four allocations
         // without merging.
         for i in 0..4 {
-            assert_eq!(arq.insert(raw(i, 0xA00, MemOpKind::Load), 8), InsertOutcome::Allocated);
+            assert_eq!(
+                arq.insert(raw(i, 0xA00, MemOpKind::Load), 8),
+                InsertOutcome::Allocated
+            );
         }
         // Credit exhausted and queue full; same-row request now merges.
-        assert_eq!(arq.insert(raw(9, 0xA00, MemOpKind::Load), 8), InsertOutcome::Merged);
+        assert_eq!(
+            arq.insert(raw(9, 0xA00, MemOpKind::Load), 8),
+            InsertOutcome::Merged
+        );
     }
 
     #[test]
@@ -358,7 +459,9 @@ mod tests {
         let mut arq = Arq::new(&cfg());
         arq.insert(raw(1, 0xA00, MemOpKind::Load), 0);
         arq.insert(raw(2, 0xB00, MemOpKind::Load), 0);
-        let ArqEntry::Group(first) = arq.pop().unwrap() else { panic!() };
+        let ArqEntry::Group(first) = arq.pop().unwrap() else {
+            panic!()
+        };
         assert_eq!(first.row, PhysAddr::new(0xA00).row());
         assert!(arq.peek().is_some());
         assert_eq!(arq.len(), 1);

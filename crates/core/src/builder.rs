@@ -6,6 +6,7 @@
 //! popping one entry every two cycles, the builder sustains the paper's
 //! steady-state issue rate of 0.5 requests per cycle (§4.4).
 
+use mac_telemetry::{TraceEvent, Tracer};
 use mac_types::{ChunkMask, Cycle, FlitMap, HmcRequest, PhysAddr};
 use serde::{Deserialize, Serialize};
 
@@ -35,12 +36,25 @@ pub struct RequestBuilder {
     s2: Option<Stage2>,
     s1_latency: u64,
     s2_latency: u64,
+    tracer: Tracer,
 }
 
 impl RequestBuilder {
     /// Build from the FLIT table and the configured stage latencies.
     pub fn new(table: FlitTable, s1_latency: u64, s2_latency: u64) -> Self {
-        RequestBuilder { table, s1: None, s2: None, s1_latency, s2_latency }
+        RequestBuilder {
+            table,
+            s1: None,
+            s2: None,
+            s1_latency,
+            s2_latency,
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Attach a tracer (disabled by default; tracing is observational).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Whether stage 1 can latch a new entry this cycle.
@@ -52,7 +66,13 @@ impl RequestBuilder {
     pub fn push(&mut self, entry: GroupEntry, now: Cycle) {
         debug_assert!(self.can_accept(), "stage 1 occupied");
         debug_assert!(!entry.flit_map.is_empty(), "entries always carry >=1 FLIT");
-        self.s1 = Some(Stage1 { entry, ready_at: now + self.s1_latency });
+        self.tracer.emit(now, || TraceEvent::BuilderStage1 {
+            entry: entry.entry_id as u32,
+        });
+        self.s1 = Some(Stage1 {
+            entry,
+            ready_at: now + self.s1_latency,
+        });
     }
 
     /// Advance the pipeline one cycle; returns any transactions completed
@@ -74,6 +94,11 @@ impl RequestBuilder {
                     let s1 = self.s1.take().expect("checked above");
                     // Stage 1's combinational result: the OR-reduce.
                     let mask = s1.entry.flit_map.chunk_mask();
+                    let entry = s1.entry.entry_id as u32;
+                    self.tracer.emit(now, || TraceEvent::BuilderStage2 {
+                        entry,
+                        chunk_mask: mask.bits(),
+                    });
                     self.s2 = Some(Stage2 {
                         entry: s1.entry,
                         mask,
@@ -96,6 +121,11 @@ impl RequestBuilder {
         let row_base = entry.row.base_addr();
         let packets = self.table.lookup_multi(mask);
         debug_assert!(!packets.is_empty());
+        self.tracer.emit(now, || TraceEvent::BuilderEmit {
+            entry: entry.entry_id as u32,
+            bytes: packets.iter().map(|p| p.size.bytes() as u16).sum(),
+            targets: entry.targets.len() as u8,
+        });
         if packets.len() == 1 {
             let p = packets[0];
             return vec![HmcRequest {
@@ -115,8 +145,7 @@ impl RequestBuilder {
             .map(|p| {
                 let lo = p.start_chunk * 4;
                 let hi = lo + 4;
-                let chunk_bits =
-                    FlitMap::from_bits(entry.flit_map.bits() & (0xF << lo));
+                let chunk_bits = FlitMap::from_bits(entry.flit_map.bits() & (0xF << lo));
                 let mut targets = Vec::new();
                 let mut ids = Vec::new();
                 for (t, id) in entry.targets.iter().zip(&entry.raw_ids) {
@@ -157,10 +186,15 @@ mod tests {
         let mut ids = Vec::new();
         for (i, &f) in flits.iter().enumerate() {
             fm.set(f);
-            targets.push(Target { tid: i as u16, tag: 0, flit: f });
+            targets.push(Target {
+                tid: i as u16,
+                tag: 0,
+                flit: f,
+            });
             ids.push(TransactionId(i as u64));
         }
         GroupEntry {
+            entry_id: 0,
             tagged_row: 0,
             row: RowId(row),
             is_store: store,

@@ -50,9 +50,10 @@ impl FlitTable {
             let mask = ChunkMask::from_bits(bits);
             entries[bits as usize] = Some(match policy {
                 FlitTablePolicy::SpanRounded => Self::span_rounded(mask),
-                FlitTablePolicy::Always256 => {
-                    TableEntry { start_chunk: 0, size: ReqSize::B256 }
-                }
+                FlitTablePolicy::Always256 => TableEntry {
+                    start_chunk: 0,
+                    size: ReqSize::B256,
+                },
                 // PerChunk64 emits multiple packets; the table stores the
                 // *first* chunk and callers expand with `lookup_multi`.
                 FlitTablePolicy::PerChunk64 => TableEntry {
@@ -77,7 +78,10 @@ impl FlitTable {
             _ => (4, ReqSize::B256),
         };
         let start = first.min(4 - chunks);
-        TableEntry { start_chunk: start, size }
+        TableEntry {
+            start_chunk: start,
+            size,
+        }
     }
 
     /// Single-packet lookup (SpanRounded / Always256). Returns `None` for
@@ -95,7 +99,10 @@ impl FlitTable {
         match self.policy {
             FlitTablePolicy::PerChunk64 => (0..4)
                 .filter(|&c| mask.bits() >> c & 1 == 1)
-                .map(|c| TableEntry { start_chunk: c, size: ReqSize::B64 })
+                .map(|c| TableEntry {
+                    start_chunk: c,
+                    size: ReqSize::B64,
+                })
                 .collect(),
             _ => vec![self.lookup(mask).expect("non-empty mask has an entry")],
         }
@@ -153,7 +160,9 @@ mod tests {
 
     #[test]
     fn sparse_masks_round_to_256b() {
-        for bits in [0b0101u8, 0b1001, 0b1010, 0b0111, 0b1011, 0b1101, 0b1110, 0b1111] {
+        for bits in [
+            0b0101u8, 0b1001, 0b1010, 0b0111, 0b1011, 0b1101, 0b1110, 0b1111,
+        ] {
             let e = t().lookup(ChunkMask::from_bits(bits)).unwrap();
             assert_eq!(e.size, ReqSize::B256, "mask {bits:04b}");
             assert_eq!(e.start_chunk, 0);

@@ -6,9 +6,8 @@
 //! transactions, or latching group entries into the request builder — and
 //! advance the builder pipeline, collecting any finished transaction.
 
-use mac_types::{
-    Cycle, FlitMap, HmcRequest, MacConfig, MemOpKind, RawRequest, ReqSize,
-};
+use mac_telemetry::{TraceEvent, Tracer, POP_BUILDER, POP_BYPASS, POP_FENCE};
+use mac_types::{Cycle, FlitMap, HmcRequest, MacConfig, MemOpKind, RawRequest, ReqSize};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -37,6 +36,7 @@ pub struct Mac {
     /// Next cycle at which the ARQ may pop (rate: 1 per `pop_interval`).
     next_pop: Cycle,
     stats: MacStats,
+    tracer: Tracer,
 }
 
 impl Mac {
@@ -53,7 +53,16 @@ impl Mac {
             direct: VecDeque::new(),
             next_pop: 0,
             stats: MacStats::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach a tracer, shared with the ARQ and the request builder.
+    /// Tracing is observational and never changes simulated behavior.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.arq.set_tracer(tracer.clone());
+        self.builder.set_tracer(tracer.clone());
+        self.tracer = tracer;
     }
 
     /// Offer one raw request at cycle `now` (hardware accepts at most one
@@ -82,7 +91,7 @@ impl Mac {
                 self.stats.raw_atomics += 1;
                 true
             }
-            kind => match self.arq.insert(raw, backlog) {
+            kind => match self.arq.insert_at(raw, backlog, now) {
                 InsertOutcome::Full => false,
                 _ => {
                     match kind {
@@ -105,12 +114,14 @@ impl Mac {
         // in earlier cycles).
         for req in self.builder.tick(now) {
             self.stats.record_dispatch(req.size, Provenance::Built);
+            self.emit_dispatch(&req, Provenance::Built, now);
             events.push(MacEvent::Dispatch(req));
         }
 
         // Atomic direct path: straight to the device (§4.1.2).
         while let Some(req) = self.direct.pop_front() {
             self.stats.record_dispatch(req.size, Provenance::Atomic);
+            self.emit_dispatch(&req, Provenance::Atomic, now);
             events.push(MacEvent::Dispatch(req));
         }
 
@@ -118,13 +129,32 @@ impl Mac {
         if now >= self.next_pop {
             match self.arq.peek() {
                 Some(ArqEntry::Fence(_)) => {
-                    let Some(ArqEntry::Fence(f)) = self.arq.pop() else { unreachable!() };
+                    let Some(ArqEntry::Fence(f)) = self.arq.pop() else {
+                        unreachable!()
+                    };
                     self.stats.fences_retired += 1;
+                    let occupancy = self.arq.len() as u16;
+                    self.tracer.emit(now, || TraceEvent::ArqPop {
+                        // Fences have no group entry id.
+                        entry: u32::MAX,
+                        kind: POP_FENCE,
+                        occupancy,
+                    });
+                    self.tracer
+                        .emit(now, || TraceEvent::FenceRetire { id: f.id.0 });
                     events.push(MacEvent::FenceRetired(f));
                     self.next_pop = now + self.cfg.pop_interval;
                 }
                 Some(ArqEntry::Group(g)) if self.cfg.bypass_enabled && g.bypass() => {
-                    let Some(ArqEntry::Group(g)) = self.arq.pop() else { unreachable!() };
+                    let Some(ArqEntry::Group(g)) = self.arq.pop() else {
+                        unreachable!()
+                    };
+                    let occupancy = self.arq.len() as u16;
+                    self.tracer.emit(now, || TraceEvent::ArqPop {
+                        entry: g.entry_id as u32,
+                        kind: POP_BYPASS,
+                        occupancy,
+                    });
                     // B bit set: skip the builder, dispatch the single
                     // FLIT directly (§4.1.2).
                     let flit = g.flit_map.first().expect("one FLIT set");
@@ -140,12 +170,21 @@ impl Mac {
                     };
                     self.stats.targets_per_entry.record(1);
                     self.stats.record_dispatch(req.size, Provenance::Bypass);
+                    self.emit_dispatch(&req, Provenance::Bypass, now);
                     events.push(MacEvent::Dispatch(req));
                     self.next_pop = now + self.cfg.pop_interval;
                 }
                 Some(ArqEntry::Group(_)) if self.builder.can_accept() => {
-                    let Some(ArqEntry::Group(g)) = self.arq.pop() else { unreachable!() };
+                    let Some(ArqEntry::Group(g)) = self.arq.pop() else {
+                        unreachable!()
+                    };
                     self.stats.targets_per_entry.record(g.merged() as u64);
+                    let occupancy = self.arq.len() as u16;
+                    self.tracer.emit(now, || TraceEvent::ArqPop {
+                        entry: g.entry_id as u32,
+                        kind: POP_BUILDER,
+                        occupancy,
+                    });
                     self.builder.push(g, now);
                     self.next_pop = now + self.cfg.pop_interval;
                 }
@@ -158,6 +197,16 @@ impl Mac {
 
         self.stats.fill_bursts = self.arq.fill_bursts;
         events
+    }
+
+    /// Emit the dispatch trace event for a transaction leaving the MAC.
+    fn emit_dispatch(&self, req: &HmcRequest, provenance: Provenance, now: Cycle) {
+        self.tracer.emit(now, || TraceEvent::Dispatch {
+            addr: req.addr.raw(),
+            bytes: req.size.bytes() as u16,
+            provenance: provenance as u8,
+            targets: req.targets.len() as u8,
+        });
     }
 
     /// True when no work is in flight inside the MAC.
@@ -187,7 +236,10 @@ mod tests {
     use mac_types::{NodeId, PhysAddr, Target, TransactionId};
 
     fn cfg() -> MacConfig {
-        MacConfig { latency_hiding: false, ..MacConfig::default() }
+        MacConfig {
+            latency_hiding: false,
+            ..MacConfig::default()
+        }
     }
 
     fn raw(id: u64, addr: u64, kind: MemOpKind) -> RawRequest {
@@ -198,7 +250,11 @@ mod tests {
             kind,
             node: NodeId(0),
             home: NodeId(0),
-            target: Target { tid: id as u16, tag: 0, flit: a.flit() },
+            target: Target {
+                tid: id as u16,
+                tag: 0,
+                flit: a.flit(),
+            },
             issued_at: 0,
         }
     }
@@ -320,7 +376,11 @@ mod tests {
 
     #[test]
     fn backpressure_when_arq_full() {
-        let small = MacConfig { arq_entries: 2, latency_hiding: false, ..MacConfig::default() };
+        let small = MacConfig {
+            arq_entries: 2,
+            latency_hiding: false,
+            ..MacConfig::default()
+        };
         let mut mac = Mac::new(&small);
         assert!(mac.try_accept(raw(1, 0x000, MemOpKind::Load), 0));
         assert!(mac.try_accept(raw(2, 0x100, MemOpKind::Load), 0));

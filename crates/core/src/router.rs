@@ -152,7 +152,11 @@ impl ResponseRouter {
             .raw_ids
             .iter()
             .zip(&rsp.targets)
-            .map(|(&id, &target)| RawCompletion { id, target, completed_at: rsp.completed_at })
+            .map(|(&id, &target)| RawCompletion {
+                id,
+                target,
+                completed_at: rsp.completed_at,
+            })
             .collect();
         self.delivered += out.len() as u64;
         out
@@ -171,7 +175,11 @@ mod tests {
             kind: MemOpKind::Load,
             node: NodeId(node),
             home: NodeId(home),
-            target: Target { tid: id as u16, tag: 0, flit: 0 },
+            target: Target {
+                tid: id as u16,
+                tag: 0,
+                flit: 0,
+            },
             issued_at: 0,
         }
     }
@@ -202,7 +210,9 @@ mod tests {
         r.route(raw(2, 0, 0));
         assert!(r.accept_remote(raw(10, 1, 0)));
         assert!(r.accept_remote(raw(11, 1, 0)));
-        let order: Vec<u64> = std::iter::from_fn(|| r.pop_for_mac()).map(|q| q.id.0).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| r.pop_for_mac())
+            .map(|q| q.id.0)
+            .collect();
         assert_eq!(order, vec![1, 10, 2, 11], "round-robin local/remote");
     }
 
@@ -221,7 +231,11 @@ mod tests {
         r.route(raw(2, 0, 0));
         let popped = r.pop_for_mac().unwrap();
         r.push_back_front(popped);
-        assert_eq!(r.pop_for_mac().unwrap().id, TransactionId(1), "order preserved");
+        assert_eq!(
+            r.pop_for_mac().unwrap().id,
+            TransactionId(1),
+            "order preserved"
+        );
     }
 
     #[test]
@@ -232,8 +246,16 @@ mod tests {
             size: ReqSize::B128,
             is_write: false,
             targets: vec![
-                Target { tid: 1, tag: 7, flit: 6 },
-                Target { tid: 2, tag: 8, flit: 8 },
+                Target {
+                    tid: 1,
+                    tag: 7,
+                    flit: 6,
+                },
+                Target {
+                    tid: 2,
+                    tag: 8,
+                    flit: 8,
+                },
             ],
             raw_ids: vec![TransactionId(100), TransactionId(101)],
             completed_at: 500,

@@ -116,7 +116,10 @@ mod tests {
 
     #[test]
     fn efficiency_definitions_are_complementary() {
-        let mut s = MacStats { raw_loads: 100, ..MacStats::default() };
+        let mut s = MacStats {
+            raw_loads: 100,
+            ..MacStats::default()
+        };
         for _ in 0..40 {
             s.record_dispatch(ReqSize::B128, Provenance::Built);
         }
@@ -146,9 +149,15 @@ mod tests {
 
     #[test]
     fn merge_sums_fields() {
-        let mut a = MacStats { raw_loads: 10, ..MacStats::default() };
+        let mut a = MacStats {
+            raw_loads: 10,
+            ..MacStats::default()
+        };
         a.targets_per_entry.record(3);
-        let mut b = MacStats { raw_stores: 5, ..MacStats::default() };
+        let mut b = MacStats {
+            raw_stores: 5,
+            ..MacStats::default()
+        };
         b.targets_per_entry.record(1);
         a.merge(&b);
         assert_eq!(a.raw_memory_requests(), 15);

@@ -13,7 +13,11 @@ fn raw(id: u64, addr: u64, kind: MemOpKind) -> RawRequest {
         kind,
         node: NodeId(0),
         home: NodeId(0),
-        target: Target { tid: id as u16, tag: (id >> 16) as u16, flit: a.flit() },
+        target: Target {
+            tid: id as u16,
+            tag: (id >> 16) as u16,
+            flit: a.flit(),
+        },
         issued_at: 0,
     }
 }

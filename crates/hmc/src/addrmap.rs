@@ -40,8 +40,14 @@ impl AddrMap {
     /// Build the map for a device configuration. Vault and bank counts
     /// must be powers of two (they are in every HMC generation).
     pub fn new(cfg: &HmcConfig) -> Self {
-        assert!(cfg.vaults.is_power_of_two(), "vault count must be a power of two");
-        assert!(cfg.banks_per_vault.is_power_of_two(), "bank count must be a power of two");
+        assert!(
+            cfg.vaults.is_power_of_two(),
+            "vault count must be a power of two"
+        );
+        assert!(
+            cfg.banks_per_vault.is_power_of_two(),
+            "bank count must be a power of two"
+        );
         AddrMap {
             vaults: cfg.vaults as u64,
             banks_per_vault: cfg.banks_per_vault as u64,
@@ -55,7 +61,11 @@ impl AddrMap {
     pub fn locate_row(&self, row: RowId) -> BankAddr {
         let vault = (row.0 & (self.vaults - 1)) as u16;
         let bank = ((row.0 >> self.vault_bits) & (self.banks_per_vault - 1)) as u16;
-        BankAddr { vault, bank, flat: vault as u32 * self.banks_per_vault as u32 + bank as u32 }
+        BankAddr {
+            vault,
+            bank,
+            flat: vault as u32 * self.banks_per_vault as u32 + bank as u32,
+        }
     }
 
     /// Resolve a full physical address to its bank.
@@ -145,7 +155,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn rejects_non_power_of_two_vaults() {
-        let cfg = HmcConfig { vaults: 12, ..HmcConfig::default() };
+        let cfg = HmcConfig {
+            vaults: 12,
+            ..HmcConfig::default()
+        };
         let _ = AddrMap::new(&cfg);
     }
 }

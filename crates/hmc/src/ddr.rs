@@ -84,7 +84,11 @@ impl DdrDevice {
         let ready = if row_hit {
             start + self.cfg.t_cl
         } else {
-            let pre = if bank.open_row.is_some() { self.cfg.t_rp } else { 0 };
+            let pre = if bank.open_row.is_some() {
+                self.cfg.t_rp
+            } else {
+                0
+            };
             start + pre + self.cfg.t_rcd + self.cfg.t_cl
         };
         let bus_start = ready.max(self.bus_free_at);
@@ -113,8 +117,7 @@ impl MemoryDevice for DdrDevice {
         let mut any_conflict = false;
         let mut hits = 0u64;
         for b in 0..bursts {
-            let (d, hit, conflict) =
-                self.schedule_burst(req.addr.raw() + b * 64, arrival);
+            let (d, hit, conflict) = self.schedule_burst(req.addr.raw() + b * 64, arrival);
             done = done.max(d);
             any_conflict |= conflict;
             hits += hit as u64;
@@ -188,7 +191,11 @@ mod tests {
             is_write: false,
             is_atomic: false,
             flit_map: fm,
-            targets: vec![Target { tid: 0, tag: 0, flit: a.flit() }],
+            targets: vec![Target {
+                tid: 0,
+                tag: 0,
+                flit: a.flit(),
+            }],
             raw_ids: vec![TransactionId(at)],
             dispatched_at: at,
         }
@@ -259,7 +266,10 @@ mod tests {
 
     #[test]
     fn backpressure() {
-        let cfg = DdrConfig { queue_depth: 1, ..DdrConfig::default() };
+        let cfg = DdrConfig {
+            queue_depth: 1,
+            ..DdrConfig::default()
+        };
         let mut d = DdrDevice::new(&cfg);
         let r = req(0, ReqSize::B64, 0);
         assert!(d.can_accept(&r, 0));

@@ -7,6 +7,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use mac_telemetry::{TraceEvent, Tracer};
 use mac_types::{Cycle, HmcConfig, HmcRequest, HmcResponse};
 
 use rand::rngs::SmallRng;
@@ -36,6 +37,7 @@ pub struct HmcDevice {
     completion: BinaryHeap<Reverse<(Cycle, u64)>>,
     inflight: std::collections::HashMap<u64, HmcResponse>,
     seq: u64,
+    tracer: Tracer,
 }
 
 impl HmcDevice {
@@ -54,7 +56,16 @@ impl HmcDevice {
             completion: BinaryHeap::new(),
             inflight: std::collections::HashMap::new(),
             seq: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach a tracer and propagate it to the links and vaults
+    /// (disabled by default; tracing is observational).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.links.set_tracer(tracer.clone());
+        self.vaults.set_tracer(tracer.clone());
+        self.tracer = tracer;
     }
 
     /// Whether the vault serving `addr` has queue room at `now`. Callers
@@ -99,6 +110,11 @@ impl HmcDevice {
         let completed = self.links.send_response(link, rsp_ready, rsp_flits);
 
         let latency = completed.saturating_sub(req.dispatched_at.min(now));
+        self.tracer.emit(completed, || TraceEvent::HmcComplete {
+            addr: req.addr.raw(),
+            targets: req.targets.len() as u8,
+            latency,
+        });
         self.stats.record_access(
             req.size,
             req.useful_bytes(),
@@ -183,6 +199,9 @@ impl crate::device_trait::MemoryDevice for HmcDevice {
     fn stats(&self) -> &crate::stats::HmcStats {
         HmcDevice::stats(self)
     }
+    fn set_tracer(&mut self, tracer: Tracer) {
+        HmcDevice::set_tracer(self, tracer)
+    }
 }
 
 #[cfg(test)]
@@ -200,7 +219,11 @@ mod tests {
             is_write: false,
             is_atomic: false,
             flit_map: fm,
-            targets: vec![Target { tid: 0, tag: 0, flit: a.flit() }],
+            targets: vec![Target {
+                tid: 0,
+                tag: 0,
+                flit: a.flit(),
+            }],
             raw_ids: vec![TransactionId(0)],
             dispatched_at: at,
         }
@@ -292,7 +315,10 @@ mod tests {
 
     #[test]
     fn backpressure_via_can_accept() {
-        let cfg = HmcConfig { vault_queue_depth: 1, ..HmcConfig::default() };
+        let cfg = HmcConfig {
+            vault_queue_depth: 1,
+            ..HmcConfig::default()
+        };
         let mut dev = HmcDevice::new(&cfg);
         let r = read_req(0x0, ReqSize::B256, 0);
         assert!(dev.can_accept(&r, 0));
@@ -316,7 +342,11 @@ mod retry_tests {
             is_write: false,
             is_atomic: false,
             flit_map: fm,
-            targets: vec![Target { tid: 0, tag: 0, flit: a.flit() }],
+            targets: vec![Target {
+                tid: 0,
+                tag: 0,
+                flit: a.flit(),
+            }],
             raw_ids: vec![TransactionId(at)],
             dispatched_at: at,
         }
@@ -334,7 +364,10 @@ mod retry_tests {
     #[test]
     fn error_injection_retries_and_slows() {
         let clean_cfg = HmcConfig::default();
-        let dirty_cfg = HmcConfig { link_error_rate: 0.3, ..HmcConfig::default() };
+        let dirty_cfg = HmcConfig {
+            link_error_rate: 0.3,
+            ..HmcConfig::default()
+        };
         let mut clean = HmcDevice::new(&clean_cfg);
         let mut dirty = HmcDevice::new(&dirty_cfg);
         let (mut t_clean, mut t_dirty) = (0u64, 0u64);
@@ -342,7 +375,11 @@ mod retry_tests {
             t_clean = t_clean.max(clean.submit(read_req(i * 0x1000, i), i));
             t_dirty = t_dirty.max(dirty.submit(read_req(i * 0x1000, i), i));
         }
-        assert!(dirty.retries > 20, "expected retries at 30% BER: {}", dirty.retries);
+        assert!(
+            dirty.retries > 20,
+            "expected retries at 30% BER: {}",
+            dirty.retries
+        );
         assert!(
             dirty.stats().latency.mean() > clean.stats().latency.mean(),
             "retries must cost latency"
@@ -353,7 +390,10 @@ mod retry_tests {
 
     #[test]
     fn retry_runs_are_deterministic_in_the_seed() {
-        let cfg = HmcConfig { link_error_rate: 0.2, ..HmcConfig::default() };
+        let cfg = HmcConfig {
+            link_error_rate: 0.2,
+            ..HmcConfig::default()
+        };
         let run = || {
             let mut d = HmcDevice::new(&cfg);
             for i in 0..100u64 {

@@ -30,4 +30,7 @@ pub trait MemoryDevice {
 
     /// Accumulated statistics.
     fn stats(&self) -> &HmcStats;
+
+    /// Attach a tracer. Devices without instrumentation ignore it.
+    fn set_tracer(&mut self, _tracer: mac_telemetry::Tracer) {}
 }

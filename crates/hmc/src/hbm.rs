@@ -202,7 +202,11 @@ mod tests {
             is_write: false,
             is_atomic: false,
             flit_map: fm,
-            targets: vec![Target { tid: 0, tag: 0, flit: a.flit() }],
+            targets: vec![Target {
+                tid: 0,
+                tag: 0,
+                flit: a.flit(),
+            }],
             raw_ids: vec![TransactionId(at)],
             dispatched_at: at,
         }
@@ -239,7 +243,10 @@ mod tests {
 
     #[test]
     fn closed_page_config_never_hits() {
-        let cfg = HbmConfig { open_page: false, ..HbmConfig::default() };
+        let cfg = HbmConfig {
+            open_page: false,
+            ..HbmConfig::default()
+        };
         let mut d = HbmDevice::new(&cfg);
         let first = d.submit(req(0x4000, ReqSize::B64, 0), 0);
         d.submit(req(0x4100, ReqSize::B64, first + 1), first + 1);
@@ -289,7 +296,10 @@ mod tests {
 
     #[test]
     fn backpressure_via_channel_queue() {
-        let cfg = HbmConfig { channel_queue_depth: 1, ..HbmConfig::default() };
+        let cfg = HbmConfig {
+            channel_queue_depth: 1,
+            ..HbmConfig::default()
+        };
         let mut d = HbmDevice::new(&cfg);
         let r = req(0x1000, ReqSize::B64, 0);
         assert!(d.can_accept(&r, 0));

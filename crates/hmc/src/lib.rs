@@ -35,8 +35,8 @@ pub mod stats;
 pub mod vault;
 
 pub use addrmap::AddrMap;
-pub use device::HmcDevice;
 pub use ddr::DdrDevice;
+pub use device::HmcDevice;
 pub use device_trait::MemoryDevice;
 pub use hbm::HbmDevice;
 pub use link::LinkSet;

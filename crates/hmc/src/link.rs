@@ -7,6 +7,7 @@
 //! so the fractional FLIT time at 30 GB/s (~1.76 CPU cycles per FLIT) does
 //! not accumulate rounding error.
 
+use mac_telemetry::{TraceEvent, Tracer};
 use mac_types::{Cycle, HmcConfig};
 use serde::{Deserialize, Serialize};
 
@@ -21,13 +22,14 @@ struct Channel {
 
 impl Channel {
     /// Schedule a packet of `flits` starting no earlier than `now`;
-    /// returns the cycle at which the last FLIT has left the channel.
-    fn transmit(&mut self, now: Cycle, flits: u64, flit_x16: u64) -> Cycle {
+    /// returns `(start, done)` cycles — serialization begins at `start`
+    /// and the last FLIT has left the channel by `done`.
+    fn transmit(&mut self, now: Cycle, flits: u64, flit_x16: u64) -> (Cycle, Cycle) {
         let start = self.free_at_x16.max(now * 16);
         let dur = flits * flit_x16;
         self.free_at_x16 = start + dur;
         self.busy_x16 += dur;
-        self.free_at_x16.div_ceil(16)
+        (start / 16, self.free_at_x16.div_ceil(16))
     }
 
     fn free_at(&self) -> Cycle {
@@ -41,6 +43,7 @@ pub struct LinkSet {
     down: Vec<Channel>,
     up: Vec<Channel>,
     flit_x16: u64,
+    tracer: Tracer,
 }
 
 impl LinkSet {
@@ -51,7 +54,13 @@ impl LinkSet {
             down: vec![Channel::default(); cfg.links],
             up: vec![Channel::default(); cfg.links],
             flit_x16: cfg.flit_cycles_x16(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach a tracer (disabled by default; tracing is observational).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Pick the least-loaded downstream channel and serialize a request
@@ -59,15 +68,37 @@ impl LinkSet {
     /// fully arrived at the cube)`.
     pub fn send_request(&mut self, now: Cycle, flits: u64) -> (usize, Cycle) {
         let link = self.least_loaded_down();
-        let done = self.down[link].transmit(now, flits, self.flit_x16);
+        let (start, done) = self.down[link].transmit(now, flits, self.flit_x16);
+        if flits > 0 {
+            self.tracer.emit(now, || TraceEvent::LinkTx {
+                link: link as u8,
+                up: false,
+                flits: flits as u16,
+                start,
+                done,
+            });
+        }
         (link, done)
     }
 
     /// Serialize a response packet of `flits` upstream on the given link
     /// (responses return on the link that carried the request). Returns the
     /// cycle the packet has fully arrived at the host.
+    ///
+    /// Zero-FLIT sends model pure delay (the retry-timeout path) and are
+    /// not traced.
     pub fn send_response(&mut self, link: usize, now: Cycle, flits: u64) -> Cycle {
-        self.up[link].transmit(now, flits, self.flit_x16)
+        let (start, done) = self.up[link].transmit(now, flits, self.flit_x16);
+        if flits > 0 {
+            self.tracer.emit(now, || TraceEvent::LinkTx {
+                link: link as u8,
+                up: true,
+                flits: flits as u16,
+                start,
+                done,
+            });
+        }
+        done
     }
 
     fn least_loaded_down(&self) -> usize {
@@ -129,20 +160,33 @@ mod tests {
             let (link, _) = l.send_request(0, 17);
             used.insert(link);
         }
-        assert_eq!(used.len(), 4, "four packets at t=0 should use all four links");
+        assert_eq!(
+            used.len(),
+            4,
+            "four packets at t=0 should use all four links"
+        );
     }
 
     #[test]
     fn serialization_queues_on_busy_channel() {
-        let mut l = LinkSet::new(&HmcConfig { links: 1, ..HmcConfig::default() });
+        let mut l = LinkSet::new(&HmcConfig {
+            links: 1,
+            ..HmcConfig::default()
+        });
         let (_, first) = l.send_request(0, 16);
         let (_, second) = l.send_request(0, 16);
-        assert!(second >= first + 16, "second packet must wait for the first");
+        assert!(
+            second >= first + 16,
+            "second packet must wait for the first"
+        );
     }
 
     #[test]
     fn up_and_down_do_not_contend() {
-        let mut l = LinkSet::new(&HmcConfig { links: 1, ..HmcConfig::default() });
+        let mut l = LinkSet::new(&HmcConfig {
+            links: 1,
+            ..HmcConfig::default()
+        });
         let (link, down_done) = l.send_request(0, 16);
         let up_done = l.send_response(link, 0, 16);
         // Full duplex: the response does not wait for the request.

@@ -9,6 +9,7 @@
 //! issuing at most one DRAM command per cycle.
 
 use crate::addrmap::BankAddr;
+use mac_telemetry::{TraceEvent, Tracer};
 use mac_types::{Cycle, HmcConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -42,6 +43,7 @@ pub struct VaultSet {
     t_burst_per_32b: u64,
     /// Busy cycles accumulated across banks (utilization accounting).
     bank_busy: u128,
+    tracer: Tracer,
 }
 
 impl VaultSet {
@@ -57,7 +59,13 @@ impl VaultSet {
             t_rp: cfg.t_rp,
             t_burst_per_32b: cfg.t_burst_per_32b,
             bank_busy: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach a tracer (disabled by default; tracing is observational).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Closed-page service time for `payload_bytes` of data: the bank is
@@ -100,7 +108,30 @@ impl VaultSet {
         self.bank_busy += (busy_until - start) as u128;
         let q = &mut self.inflight[vault];
         q.push_back(busy_until);
-        VaultSchedule { start, done, conflict }
+        let occupancy = q.len() as u16;
+        self.tracer.emit(arrival, || TraceEvent::VaultEnqueue {
+            vault: loc.vault as u8,
+            occupancy,
+        });
+        if conflict {
+            self.tracer.emit(arrival, || TraceEvent::BankConflict {
+                vault: loc.vault as u8,
+                bank: loc.bank as u8,
+                waited: bank_free - arrival,
+            });
+        }
+        self.tracer.emit(start, || TraceEvent::VaultActivate {
+            vault: loc.vault as u8,
+            bank: loc.bank as u8,
+            start,
+            done,
+            bytes: payload_bytes as u16,
+        });
+        VaultSchedule {
+            start,
+            done,
+            conflict,
+        }
     }
 
     /// Total bank-busy cycles accumulated (for utilization reports).
@@ -159,7 +190,10 @@ mod tests {
         let (mut v2, _) = setup();
         let s = v2.schedule(loc, 0, 256);
         assert!(!s.conflict);
-        assert!(s.done < last_done / 4, "coalesced access avoids 15 row cycles");
+        assert!(
+            s.done < last_done / 4,
+            "coalesced access avoids 15 row cycles"
+        );
     }
 
     #[test]
@@ -186,7 +220,10 @@ mod tests {
 
     #[test]
     fn queue_depth_backpressure() {
-        let cfg = HmcConfig { vault_queue_depth: 2, ..HmcConfig::default() };
+        let cfg = HmcConfig {
+            vault_queue_depth: 2,
+            ..HmcConfig::default()
+        };
         let mut v = VaultSet::new(&cfg);
         let m = AddrMap::new(&cfg);
         let loc = m.locate_row(RowId(3));

@@ -15,7 +15,11 @@ fn req(addr: u64, size: ReqSize, write: bool, at: u64) -> HmcRequest {
         is_write: write,
         is_atomic: false,
         flit_map: fm,
-        targets: vec![Target { tid: 0, tag: 0, flit: a.flit() }],
+        targets: vec![Target {
+            tid: 0,
+            tag: 0,
+            flit: a.flit(),
+        }],
         raw_ids: vec![TransactionId(at)],
         dispatched_at: at,
     }

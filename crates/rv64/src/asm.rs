@@ -59,14 +59,21 @@ pub fn assemble(src: &str) -> Result<Vec<u8>, String> {
         let ins = match item {
             Item::Ready(i) => *i,
             Item::Branch(op, rs1, rs2, label) => {
-                let target =
-                    *labels.get(label).ok_or(format!("undefined label `{label}`"))?;
+                let target = *labels
+                    .get(label)
+                    .ok_or(format!("undefined label `{label}`"))?;
                 let offset = (target as i64 - idx as i64) * 4;
-                Instruction::Branch { op: *op, rs1: *rs1, rs2: *rs2, offset }
+                Instruction::Branch {
+                    op: *op,
+                    rs1: *rs1,
+                    rs2: *rs2,
+                    offset,
+                }
             }
             Item::Jal(rd, label) => {
-                let target =
-                    *labels.get(label).ok_or(format!("undefined label `{label}`"))?;
+                let target = *labels
+                    .get(label)
+                    .ok_or(format!("undefined label `{label}`"))?;
                 let offset = (target as i64 - idx as i64) * 4;
                 Instruction::Jal { rd: *rd, offset }
             }
@@ -80,14 +87,16 @@ pub fn assemble(src: &str) -> Result<Vec<u8>, String> {
 fn parse_int(s: &str) -> Option<i64> {
     let s = s.trim();
     if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
-        return i64::from_str_radix(hex, 16).ok().or_else(|| {
-            u64::from_str_radix(hex, 16).ok().map(|v| v as i64)
-        });
+        return i64::from_str_radix(hex, 16)
+            .ok()
+            .or_else(|| u64::from_str_radix(hex, 16).ok().map(|v| v as i64));
     }
     if let Some(hex) = s.strip_prefix("-0x") {
         return i64::from_str_radix(hex, 16).ok().map(|v| -v);
     }
-    s.parse::<i64>().ok().or_else(|| s.parse::<u64>().ok().map(|v| v as i64))
+    s.parse::<i64>()
+        .ok()
+        .or_else(|| s.parse::<u64>().ok().map(|v| v as i64))
 }
 
 fn reg(s: &str) -> Result<Reg, String> {
@@ -97,11 +106,18 @@ fn reg(s: &str) -> Result<Reg, String> {
 /// Parse `off(rs)` or `(rs)` memory operands.
 fn mem_operand(s: &str) -> Result<(i64, Reg), String> {
     let s = s.trim();
-    let open = s.find('(').ok_or_else(|| format!("bad memory operand `{s}`"))?;
-    let close = s.rfind(')').ok_or_else(|| format!("bad memory operand `{s}`"))?;
+    let open = s
+        .find('(')
+        .ok_or_else(|| format!("bad memory operand `{s}`"))?;
+    let close = s
+        .rfind(')')
+        .ok_or_else(|| format!("bad memory operand `{s}`"))?;
     let off_str = s[..open].trim();
-    let off =
-        if off_str.is_empty() { 0 } else { parse_int(off_str).ok_or("bad offset")? };
+    let off = if off_str.is_empty() {
+        0
+    } else {
+        parse_int(off_str).ok_or("bad offset")?
+    };
     Ok((off, reg(&s[open + 1..close])?))
 }
 
@@ -135,9 +151,19 @@ fn li_sequence(rd: Reg, v: i64, out: &mut Vec<Item>) {
     let low = (v << 52) >> 52;
     let rest = (v - low) >> 12;
     li_sequence(rd, rest, out);
-    out.push(Item::Ready(Instruction::AluImm { op: AluImmOp::Slli, rd, rs1: rd, imm: 12 }));
+    out.push(Item::Ready(Instruction::AluImm {
+        op: AluImmOp::Slli,
+        rd,
+        rs1: rd,
+        imm: 12,
+    }));
     if low != 0 {
-        out.push(Item::Ready(Instruction::AluImm { op: AluImmOp::Addi, rd, rs1: rd, imm: low }));
+        out.push(Item::Ready(Instruction::AluImm {
+            op: AluImmOp::Addi,
+            rd,
+            rs1: rd,
+            imm: low,
+        }));
     }
 }
 
@@ -146,8 +172,11 @@ fn parse_instruction(line: &str, out: &mut Vec<Item>) -> Result<(), String> {
         Some(i) => (&line[..i], line[i..].trim()),
         None => (line, ""),
     };
-    let ops: Vec<&str> =
-        if args.is_empty() { Vec::new() } else { args.split(',').map(str::trim).collect() };
+    let ops: Vec<&str> = if args.is_empty() {
+        Vec::new()
+    } else {
+        args.split(',').map(str::trim).collect()
+    };
     let n = ops.len();
     let need = |k: usize| -> Result<(), String> {
         if n == k {
@@ -159,7 +188,12 @@ fn parse_instruction(line: &str, out: &mut Vec<Item>) -> Result<(), String> {
     use Instruction as I;
 
     let alu3 = |op: AluOp, ops: &[&str]| -> Result<Item, String> {
-        Ok(Item::Ready(I::Alu { op, rd: reg(ops[0])?, rs1: reg(ops[1])?, rs2: reg(ops[2])? }))
+        Ok(Item::Ready(I::Alu {
+            op,
+            rd: reg(ops[0])?,
+            rs1: reg(ops[1])?,
+            rs2: reg(ops[2])?,
+        }))
     };
     let alu_imm = |op: AluImmOp, ops: &[&str]| -> Result<Item, String> {
         Ok(Item::Ready(I::AluImm {
@@ -171,30 +205,57 @@ fn parse_instruction(line: &str, out: &mut Vec<Item>) -> Result<(), String> {
     };
     let load = |width: Width, signed: bool, ops: &[&str]| -> Result<Item, String> {
         let (offset, rs1) = mem_operand(ops[1])?;
-        Ok(Item::Ready(I::Load { rd: reg(ops[0])?, rs1, offset, width, signed }))
+        Ok(Item::Ready(I::Load {
+            rd: reg(ops[0])?,
+            rs1,
+            offset,
+            width,
+            signed,
+        }))
     };
     let store = |width: Width, ops: &[&str]| -> Result<Item, String> {
         let (offset, rs1) = mem_operand(ops[1])?;
-        Ok(Item::Ready(I::Store { rs1, rs2: reg(ops[0])?, offset, width }))
+        Ok(Item::Ready(I::Store {
+            rs1,
+            rs2: reg(ops[0])?,
+            offset,
+            width,
+        }))
     };
     let branch = |op: BranchOp, ops: &[&str]| -> Result<Item, String> {
         let rs1 = reg(ops[0])?;
         let rs2 = reg(ops[1])?;
         match parse_int(ops[2]) {
-            Some(off) => Ok(Item::Ready(I::Branch { op, rs1, rs2, offset: off })),
+            Some(off) => Ok(Item::Ready(I::Branch {
+                op,
+                rs1,
+                rs2,
+                offset: off,
+            })),
             None => Ok(Item::Branch(op, rs1, rs2, ops[2].to_string())),
         }
     };
     let amo = |op: AmoOp, width: Width, ops: &[&str]| -> Result<Item, String> {
         let (_, rs1) = mem_operand(ops[2])?;
-        Ok(Item::Ready(I::Amo { op, rd: reg(ops[0])?, rs1, rs2: reg(ops[1])?, width }))
+        Ok(Item::Ready(I::Amo {
+            op,
+            rd: reg(ops[0])?,
+            rs1,
+            rs2: reg(ops[1])?,
+            width,
+        }))
     };
 
     let item = match mnemonic {
         // --- pseudo-ops ---
         "nop" => {
             need(0)?;
-            Item::Ready(I::AluImm { op: AluImmOp::Addi, rd: Reg::ZERO, rs1: Reg::ZERO, imm: 0 })
+            Item::Ready(I::AluImm {
+                op: AluImmOp::Addi,
+                rd: Reg::ZERO,
+                rs1: Reg::ZERO,
+                imm: 0,
+            })
         }
         "li" => {
             need(2)?;
@@ -205,12 +266,20 @@ fn parse_instruction(line: &str, out: &mut Vec<Item>) -> Result<(), String> {
         }
         "mv" => {
             need(2)?;
-            Item::Ready(I::AluImm { op: AluImmOp::Addi, rd: reg(ops[0])?, rs1: reg(ops[1])?, imm: 0 })
+            Item::Ready(I::AluImm {
+                op: AluImmOp::Addi,
+                rd: reg(ops[0])?,
+                rs1: reg(ops[1])?,
+                imm: 0,
+            })
         }
         "j" => {
             need(1)?;
             match parse_int(ops[0]) {
-                Some(off) => Item::Ready(I::Jal { rd: Reg::ZERO, offset: off }),
+                Some(off) => Item::Ready(I::Jal {
+                    rd: Reg::ZERO,
+                    offset: off,
+                }),
                 None => Item::Jal(Reg::ZERO, ops[0].to_string()),
             }
         }
@@ -220,11 +289,19 @@ fn parse_instruction(line: &str, out: &mut Vec<Item>) -> Result<(), String> {
         }
         "jr" => {
             need(1)?;
-            Item::Ready(I::Jalr { rd: Reg::ZERO, rs1: reg(ops[0])?, offset: 0 })
+            Item::Ready(I::Jalr {
+                rd: Reg::ZERO,
+                rs1: reg(ops[0])?,
+                offset: 0,
+            })
         }
         "ret" => {
             need(0)?;
-            Item::Ready(I::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 })
+            Item::Ready(I::Jalr {
+                rd: Reg::ZERO,
+                rs1: Reg::RA,
+                offset: 0,
+            })
         }
         "beqz" => {
             need(2)?;
@@ -252,16 +329,22 @@ fn parse_instruction(line: &str, out: &mut Vec<Item>) -> Result<(), String> {
         "jal" => match n {
             1 => Item::Jal(Reg::RA, ops[0].to_string()),
             2 => match parse_int(ops[1]) {
-                Some(off) => Item::Ready(I::Jal { rd: reg(ops[0])?, offset: off }),
+                Some(off) => Item::Ready(I::Jal {
+                    rd: reg(ops[0])?,
+                    offset: off,
+                }),
                 None => Item::Jal(reg(ops[0])?, ops[1].to_string()),
             },
             _ => return Err("jal takes 1 or 2 operands".into()),
         },
         "jalr" => {
             need(2)?;
-            let (offset, rs1) = mem_operand(ops[1])
-                .or_else(|_| reg(ops[1]).map(|r| (0i64, r)))?;
-            Item::Ready(I::Jalr { rd: reg(ops[0])?, rs1, offset })
+            let (offset, rs1) = mem_operand(ops[1]).or_else(|_| reg(ops[1]).map(|r| (0i64, r)))?;
+            Item::Ready(I::Jalr {
+                rd: reg(ops[0])?,
+                rs1,
+                offset,
+            })
         }
         // --- branches ---
         "beq" => {
@@ -511,14 +594,31 @@ fn parse_instruction(line: &str, out: &mut Vec<Item>) -> Result<(), String> {
         "lr.w" | "lr.d" => {
             need(2)?;
             let (_, rs1) = mem_operand(ops[1])?;
-            let width = if mnemonic.ends_with('d') { Width::D } else { Width::W };
-            Item::Ready(I::LoadReserved { rd: reg(ops[0])?, rs1, width })
+            let width = if mnemonic.ends_with('d') {
+                Width::D
+            } else {
+                Width::W
+            };
+            Item::Ready(I::LoadReserved {
+                rd: reg(ops[0])?,
+                rs1,
+                width,
+            })
         }
         "sc.w" | "sc.d" => {
             need(3)?;
             let (_, rs1) = mem_operand(ops[2])?;
-            let width = if mnemonic.ends_with('d') { Width::D } else { Width::W };
-            Item::Ready(I::StoreConditional { rd: reg(ops[0])?, rs1, rs2: reg(ops[1])?, width })
+            let width = if mnemonic.ends_with('d') {
+                Width::D
+            } else {
+                Width::W
+            };
+            Item::Ready(I::StoreConditional {
+                rd: reg(ops[0])?,
+                rs1,
+                rs2: reg(ops[1])?,
+                width,
+            })
         }
         "amoswap.w" => {
             need(3)?;
@@ -588,7 +688,10 @@ mod tests {
     use crate::decode::decode;
 
     fn words(image: &[u8]) -> Vec<u32> {
-        image.chunks(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect()
+        image
+            .chunks(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect()
     }
 
     #[test]
@@ -655,7 +758,13 @@ mod tests {
     #[test]
     fn li_64bit_materializes_correctly() {
         use crate::cpu::{Cpu, ExecResult, FlatMemory};
-        for v in [0xFFFF_0000u64, 0xDEAD_BEEF_CAFE_F00Du64, u64::MAX, 1 << 63, 0x8000_0000] {
+        for v in [
+            0xFFFF_0000u64,
+            0xDEAD_BEEF_CAFE_F00Du64,
+            u64::MAX,
+            1 << 63,
+            0x8000_0000,
+        ] {
             let img = assemble(&format!("li a0, {v}\necall\n")).unwrap();
             let mut mem = FlatMemory::new(4096);
             mem.load_image(0, &img);
@@ -682,7 +791,12 @@ mod tests {
         );
         assert_eq!(
             decode(ws[1]),
-            Some(Instruction::Store { rs1: Reg(2), rs2: Reg(11), offset: -16, width: Width::D })
+            Some(Instruction::Store {
+                rs1: Reg(2),
+                rs2: Reg(11),
+                offset: -16,
+                width: Width::D
+            })
         );
     }
 

@@ -32,7 +32,10 @@ pub struct FlatMemory {
 impl FlatMemory {
     /// Allocate `size` zeroed bytes.
     pub fn new(size: usize) -> Self {
-        FlatMemory { bytes: vec![0; size], faults: 0 }
+        FlatMemory {
+            bytes: vec![0; size],
+            faults: 0,
+        }
     }
 
     /// Copy a program image to `addr`.
@@ -178,7 +181,10 @@ impl Cpu {
         mem.read(self.pc, &mut word_bytes);
         let word = u32::from_le_bytes(word_bytes);
         let Some(ins) = decode(word) else {
-            return ExecResult::Trap(format!("illegal instruction {word:#010x} at {:#x}", self.pc));
+            return ExecResult::Trap(format!(
+                "illegal instruction {word:#010x} at {:#x}",
+                self.pc
+            ));
         };
         let pc = self.pc;
         let mut next_pc = pc.wrapping_add(4);
@@ -196,7 +202,12 @@ impl Cpu {
                 self.set_reg(rd, next_pc);
                 next_pc = t;
             }
-            I::Branch { op, rs1, rs2, offset } => {
+            I::Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 let (a, b) = (self.reg(rs1), self.reg(rs2));
                 let taken = match op {
                     BranchOp::Eq => a == b,
@@ -210,7 +221,13 @@ impl Cpu {
                     next_pc = pc.wrapping_add(offset as u64);
                 }
             }
-            I::Load { rd, rs1, offset, width, signed } => {
+            I::Load {
+                rd,
+                rs1,
+                offset,
+                width,
+                signed,
+            } => {
                 let addr = self.reg(rs1).wrapping_add(offset as u64);
                 let n = width as usize;
                 let mut buf = [0u8; 8];
@@ -236,7 +253,12 @@ impl Cpu {
                     });
                 }
             }
-            I::Store { rs1, rs2, offset, width } => {
+            I::Store {
+                rs1,
+                rs2,
+                offset,
+                width,
+            } => {
                 let addr = self.reg(rs1).wrapping_add(offset as u64);
                 let n = width as usize;
                 let bytes = self.reg(rs2).to_le_bytes();
@@ -336,7 +358,12 @@ impl Cpu {
                 self.set_reg(rd, v);
             }
             I::Fence => {
-                events.push(MemEvent { addr: 0, kind: MemEventKind::Fence, bytes: 0, pc });
+                events.push(MemEvent {
+                    addr: 0,
+                    kind: MemEventKind::Fence,
+                    bytes: 0,
+                    pc,
+                });
             }
             I::Ecall => {
                 self.halted = true;
@@ -355,9 +382,19 @@ impl Cpu {
                 };
                 self.set_reg(rd, v);
                 self.reservation = Some(addr);
-                events.push(MemEvent { addr, kind: MemEventKind::Atomic, bytes: n as u8, pc });
+                events.push(MemEvent {
+                    addr,
+                    kind: MemEventKind::Atomic,
+                    bytes: n as u8,
+                    pc,
+                });
             }
-            I::StoreConditional { rd, rs1, rs2, width } => {
+            I::StoreConditional {
+                rd,
+                rs1,
+                rs2,
+                width,
+            } => {
                 let addr = self.reg(rs1);
                 let n = width as usize;
                 if self.reservation == Some(addr) {
@@ -375,7 +412,13 @@ impl Cpu {
                 }
                 self.reservation = None;
             }
-            I::Amo { op, rd, rs1, rs2, width } => {
+            I::Amo {
+                op,
+                rd,
+                rs1,
+                rs2,
+                width,
+            } => {
                 let addr = self.reg(rs1);
                 let n = width as usize;
                 let mut buf = [0u8; 8];
@@ -396,7 +439,12 @@ impl Cpu {
                 let bytes = new.to_le_bytes();
                 self.mem_write(mem, addr, &bytes[..n]);
                 self.set_reg(rd, old);
-                events.push(MemEvent { addr, kind: MemEventKind::Atomic, bytes: n as u8, pc });
+                events.push(MemEvent {
+                    addr,
+                    kind: MemEventKind::Atomic,
+                    bytes: n as u8,
+                    pc,
+                });
             }
             I::SpmFetch { rd, rs1, imm } => {
                 // Copy `imm` bytes main[rs1] -> spm[rd], tracing one load
@@ -549,7 +597,10 @@ mod tests {
         assert_eq!(cpu.reg(Reg(13)), 99);
         assert_eq!(cpu.reg(Reg(14)), 99);
         // 2 stores + 4 FLIT loads for the 64 B fetch; SPM reads untraced.
-        let loads = events.iter().filter(|e| e.kind == MemEventKind::Load).count();
+        let loads = events
+            .iter()
+            .filter(|e| e.kind == MemEventKind::Load)
+            .count();
         assert_eq!(loads, 4);
     }
 
@@ -565,7 +616,10 @@ mod tests {
             ecall
             "#
         ));
-        let stores = events.iter().filter(|e| e.kind == MemEventKind::Store).count();
+        let stores = events
+            .iter()
+            .filter(|e| e.kind == MemEventKind::Store)
+            .count();
         assert_eq!(stores, 2, "32 B = 2 FLIT stores");
         assert_eq!(events[0].addr, 0x3000);
     }

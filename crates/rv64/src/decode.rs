@@ -64,10 +64,23 @@ pub fn decode(w: u32) -> Option<Instruction> {
     use Instruction as I;
     let opcode = w & 0x7F;
     Some(match opcode {
-        0b0110111 => I::Lui { rd: rd(w), imm: imm_u(w) },
-        0b0010111 => I::Auipc { rd: rd(w), imm: imm_u(w) },
-        0b1101111 => I::Jal { rd: rd(w), offset: imm_j(w) },
-        0b1100111 if f3(w) == 0 => I::Jalr { rd: rd(w), rs1: rs1(w), offset: imm_i(w) },
+        0b0110111 => I::Lui {
+            rd: rd(w),
+            imm: imm_u(w),
+        },
+        0b0010111 => I::Auipc {
+            rd: rd(w),
+            imm: imm_u(w),
+        },
+        0b1101111 => I::Jal {
+            rd: rd(w),
+            offset: imm_j(w),
+        },
+        0b1100111 if f3(w) == 0 => I::Jalr {
+            rd: rd(w),
+            rs1: rs1(w),
+            offset: imm_i(w),
+        },
         0b1100011 => {
             let op = match f3(w) {
                 0b000 => BranchOp::Eq,
@@ -78,7 +91,12 @@ pub fn decode(w: u32) -> Option<Instruction> {
                 0b111 => BranchOp::Geu,
                 _ => return None,
             };
-            I::Branch { op, rs1: rs1(w), rs2: rs2(w), offset: imm_b(w) }
+            I::Branch {
+                op,
+                rs1: rs1(w),
+                rs2: rs2(w),
+                offset: imm_b(w),
+            }
         }
         0b0000011 => {
             let (width, signed) = match f3(w) {
@@ -91,7 +109,13 @@ pub fn decode(w: u32) -> Option<Instruction> {
                 0b110 => (Width::W, false),
                 _ => return None,
             };
-            I::Load { rd: rd(w), rs1: rs1(w), offset: imm_i(w), width, signed }
+            I::Load {
+                rd: rd(w),
+                rs1: rs1(w),
+                offset: imm_i(w),
+                width,
+                signed,
+            }
         }
         0b0100011 => {
             let width = match f3(w) {
@@ -101,7 +125,12 @@ pub fn decode(w: u32) -> Option<Instruction> {
                 0b011 => Width::D,
                 _ => return None,
             };
-            I::Store { rs1: rs1(w), rs2: rs2(w), offset: imm_s(w), width }
+            I::Store {
+                rs1: rs1(w),
+                rs2: rs2(w),
+                offset: imm_s(w),
+                width,
+            }
         }
         0b0010011 => {
             let op = match f3(w) {
@@ -120,7 +149,12 @@ pub fn decode(w: u32) -> Option<Instruction> {
                 AluImmOp::Slli | AluImmOp::Srli | AluImmOp::Srai => ((w >> 20) & 0x3F) as i64,
                 _ => imm_i(w),
             };
-            I::AluImm { op, rd: rd(w), rs1: rs1(w), imm }
+            I::AluImm {
+                op,
+                rd: rd(w),
+                rs1: rs1(w),
+                imm,
+            }
         }
         0b0011011 => {
             let op = match f3(w) {
@@ -134,7 +168,12 @@ pub fn decode(w: u32) -> Option<Instruction> {
                 AluImmOp::Addiw => imm_i(w),
                 _ => ((w >> 20) & 0x1F) as i64,
             };
-            I::AluImm { op, rd: rd(w), rs1: rs1(w), imm }
+            I::AluImm {
+                op,
+                rd: rd(w),
+                rs1: rs1(w),
+                imm,
+            }
         }
         0b0110011 | 0b0111011 => {
             use AluOp::*;
@@ -170,7 +209,12 @@ pub fn decode(w: u32) -> Option<Instruction> {
                 (0b0000001, 0b111, true) => Remuw,
                 _ => return None,
             };
-            I::Alu { op, rd: rd(w), rs1: rs1(w), rs2: rs2(w) }
+            I::Alu {
+                op,
+                rd: rd(w),
+                rs1: rs1(w),
+                rs2: rs2(w),
+            }
         }
         0b0001111 if f3(w) == 0 => I::Fence,
         0b1110011 if w == 0x0000_0073 => I::Ecall,
@@ -181,19 +225,66 @@ pub fn decode(w: u32) -> Option<Instruction> {
                 _ => return None,
             };
             match f7(w) >> 2 {
-                0b00010 if rs2(w) == Reg(0) => I::LoadReserved { rd: rd(w), rs1: rs1(w), width },
-                0b00011 => I::StoreConditional { rd: rd(w), rs1: rs1(w), rs2: rs2(w), width },
-                0b00000 => I::Amo { op: AmoOp::Add, rd: rd(w), rs1: rs1(w), rs2: rs2(w), width },
-                0b00001 => I::Amo { op: AmoOp::Swap, rd: rd(w), rs1: rs1(w), rs2: rs2(w), width },
-                0b00100 => I::Amo { op: AmoOp::Xor, rd: rd(w), rs1: rs1(w), rs2: rs2(w), width },
-                0b01000 => I::Amo { op: AmoOp::Or, rd: rd(w), rs1: rs1(w), rs2: rs2(w), width },
-                0b01100 => I::Amo { op: AmoOp::And, rd: rd(w), rs1: rs1(w), rs2: rs2(w), width },
+                0b00010 if rs2(w) == Reg(0) => I::LoadReserved {
+                    rd: rd(w),
+                    rs1: rs1(w),
+                    width,
+                },
+                0b00011 => I::StoreConditional {
+                    rd: rd(w),
+                    rs1: rs1(w),
+                    rs2: rs2(w),
+                    width,
+                },
+                0b00000 => I::Amo {
+                    op: AmoOp::Add,
+                    rd: rd(w),
+                    rs1: rs1(w),
+                    rs2: rs2(w),
+                    width,
+                },
+                0b00001 => I::Amo {
+                    op: AmoOp::Swap,
+                    rd: rd(w),
+                    rs1: rs1(w),
+                    rs2: rs2(w),
+                    width,
+                },
+                0b00100 => I::Amo {
+                    op: AmoOp::Xor,
+                    rd: rd(w),
+                    rs1: rs1(w),
+                    rs2: rs2(w),
+                    width,
+                },
+                0b01000 => I::Amo {
+                    op: AmoOp::Or,
+                    rd: rd(w),
+                    rs1: rs1(w),
+                    rs2: rs2(w),
+                    width,
+                },
+                0b01100 => I::Amo {
+                    op: AmoOp::And,
+                    rd: rd(w),
+                    rs1: rs1(w),
+                    rs2: rs2(w),
+                    width,
+                },
                 _ => return None,
             }
         }
         0b0001011 => match f3(w) {
-            0b000 => I::SpmFetch { rd: rd(w), rs1: rs1(w), imm: imm_i(w) },
-            0b001 => I::SpmFlush { rd: rd(w), rs1: rs1(w), imm: imm_i(w) },
+            0b000 => I::SpmFetch {
+                rd: rd(w),
+                rs1: rs1(w),
+                imm: imm_i(w),
+            },
+            0b001 => I::SpmFlush {
+                rd: rd(w),
+                rs1: rs1(w),
+                imm: imm_i(w),
+            },
             _ => return None,
         },
         _ => return None,
@@ -210,7 +301,12 @@ mod tests {
     fn decodes_known_words() {
         assert_eq!(
             decode(0x0050_0093),
-            Some(Instruction::AluImm { op: AluImmOp::Addi, rd: Reg(1), rs1: Reg(0), imm: 5 })
+            Some(Instruction::AluImm {
+                op: AluImmOp::Addi,
+                rd: Reg(1),
+                rs1: Reg(0),
+                imm: 5
+            })
         );
         assert_eq!(decode(0x0000_0073), Some(Instruction::Ecall));
         assert_eq!(decode(0xFFFF_FFFF), None, "all-ones is not an instruction");
@@ -228,7 +324,12 @@ mod tests {
         });
         assert_eq!(
             decode(w),
-            Some(Instruction::AluImm { op: AluImmOp::Addi, rd: Reg(1), rs1: Reg(1), imm: -1 })
+            Some(Instruction::AluImm {
+                op: AluImmOp::Addi,
+                rd: Reg(1),
+                rs1: Reg(1),
+                imm: -1
+            })
         );
         // sd x5, -24(x2)
         let w = encode(Instruction::Store {
@@ -239,7 +340,12 @@ mod tests {
         });
         assert_eq!(
             decode(w),
-            Some(Instruction::Store { rs1: Reg(2), rs2: Reg(5), offset: -24, width: Width::D })
+            Some(Instruction::Store {
+                rs1: Reg(2),
+                rs2: Reg(5),
+                offset: -24,
+                width: Width::D
+            })
         );
     }
 
@@ -259,10 +365,8 @@ mod tests {
                 rs1,
                 offset: imm
             }),
-            (arb_reg(), -(1i64 << 19)..(1i64 << 19)).prop_map(|(rd, o)| I::Jal {
-                rd,
-                offset: o * 2
-            }),
+            (arb_reg(), -(1i64 << 19)..(1i64 << 19))
+                .prop_map(|(rd, o)| I::Jal { rd, offset: o * 2 }),
             (
                 prop_oneof![
                     Just(BranchOp::Eq),
@@ -276,12 +380,22 @@ mod tests {
                 arb_reg(),
                 -(1i64 << 11)..(1i64 << 11)
             )
-                .prop_map(|(op, rs1, rs2, o)| I::Branch { op, rs1, rs2, offset: o * 2 }),
+                .prop_map(|(op, rs1, rs2, o)| I::Branch {
+                    op,
+                    rs1,
+                    rs2,
+                    offset: o * 2
+                }),
             (
                 arb_reg(),
                 arb_reg(),
                 -2048i64..2048,
-                prop_oneof![Just(Width::B), Just(Width::H), Just(Width::W), Just(Width::D)],
+                prop_oneof![
+                    Just(Width::B),
+                    Just(Width::H),
+                    Just(Width::W),
+                    Just(Width::D)
+                ],
                 any::<bool>()
             )
                 .prop_map(|(rd, rs1, offset, width, signed)| I::Load {
@@ -295,9 +409,19 @@ mod tests {
                 arb_reg(),
                 arb_reg(),
                 -2048i64..2048,
-                prop_oneof![Just(Width::B), Just(Width::H), Just(Width::W), Just(Width::D)]
+                prop_oneof![
+                    Just(Width::B),
+                    Just(Width::H),
+                    Just(Width::W),
+                    Just(Width::D)
+                ]
             )
-                .prop_map(|(rs1, rs2, offset, width)| I::Store { rs1, rs2, offset, width }),
+                .prop_map(|(rs1, rs2, offset, width)| I::Store {
+                    rs1,
+                    rs2,
+                    offset,
+                    width
+                }),
             (
                 prop_oneof![
                     Just(AluOp::Add),
@@ -325,8 +449,12 @@ mod tests {
                 -2048i64..2048
             )
                 .prop_map(|(op, rd, rs1, imm)| I::AluImm { op, rd, rs1, imm }),
-            (arb_reg(), arb_reg(), 0i64..64)
-                .prop_map(|(rd, rs1, imm)| I::AluImm { op: AluImmOp::Slli, rd, rs1, imm }),
+            (arb_reg(), arb_reg(), 0i64..64).prop_map(|(rd, rs1, imm)| I::AluImm {
+                op: AluImmOp::Slli,
+                rd,
+                rs1,
+                imm
+            }),
             Just(I::Fence),
             Just(I::Ecall),
             (
@@ -342,11 +470,23 @@ mod tests {
                 arb_reg(),
                 prop_oneof![Just(Width::W), Just(Width::D)]
             )
-                .prop_map(|(op, rd, rs1, rs2, width)| I::Amo { op, rd, rs1, rs2, width }),
-            (arb_reg(), arb_reg(), 0i64..2048)
-                .prop_map(|(rd, rs1, imm)| I::SpmFetch { rd, rs1, imm }),
-            (arb_reg(), arb_reg(), 0i64..2048)
-                .prop_map(|(rd, rs1, imm)| I::SpmFlush { rd, rs1, imm }),
+                .prop_map(|(op, rd, rs1, rs2, width)| I::Amo {
+                    op,
+                    rd,
+                    rs1,
+                    rs2,
+                    width
+                }),
+            (arb_reg(), arb_reg(), 0i64..2048).prop_map(|(rd, rs1, imm)| I::SpmFetch {
+                rd,
+                rs1,
+                imm
+            }),
+            (arb_reg(), arb_reg(), 0i64..2048).prop_map(|(rd, rs1, imm)| I::SpmFlush {
+                rd,
+                rs1,
+                imm
+            }),
         ]
     }
 

@@ -22,7 +22,12 @@ pub fn disassemble(ins: Instruction) -> String {
         I::Auipc { rd, imm } => format!("auipc {rd}, {}", imm >> 12),
         I::Jal { rd, offset } => format!("jal {rd}, {offset}"),
         I::Jalr { rd, rs1, offset } => format!("jalr {rd}, {offset}({rs1})"),
-        I::Branch { op, rs1, rs2, offset } => {
+        I::Branch {
+            op,
+            rs1,
+            rs2,
+            offset,
+        } => {
             let m = match op {
                 BranchOp::Eq => "beq",
                 BranchOp::Ne => "bne",
@@ -33,11 +38,22 @@ pub fn disassemble(ins: Instruction) -> String {
             };
             format!("{m} {rs1}, {rs2}, {offset}")
         }
-        I::Load { rd, rs1, offset, width, signed } => {
+        I::Load {
+            rd,
+            rs1,
+            offset,
+            width,
+            signed,
+        } => {
             let u = if signed || width == Width::D { "" } else { "u" };
             format!("l{}{u} {rd}, {offset}({rs1})", width_suffix(width))
         }
-        I::Store { rs1, rs2, offset, width } => {
+        I::Store {
+            rs1,
+            rs2,
+            offset,
+            width,
+        } => {
             format!("s{} {rs2}, {offset}({rs1})", width_suffix(width))
         }
         I::AluImm { op, rd, rs1, imm } => {
@@ -98,10 +114,21 @@ pub fn disassemble(ins: Instruction) -> String {
         I::LoadReserved { rd, rs1, width } => {
             format!("lr.{} {rd}, ({rs1})", width_suffix(width))
         }
-        I::StoreConditional { rd, rs1, rs2, width } => {
+        I::StoreConditional {
+            rd,
+            rs1,
+            rs2,
+            width,
+        } => {
             format!("sc.{} {rd}, {rs2}, ({rs1})", width_suffix(width))
         }
-        I::Amo { op, rd, rs1, rs2, width } => {
+        I::Amo {
+            op,
+            rd,
+            rs1,
+            rs2,
+            width,
+        } => {
             let m = match op {
                 AmoOp::Swap => "amoswap",
                 AmoOp::Add => "amoadd",

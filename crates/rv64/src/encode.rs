@@ -30,10 +30,7 @@ fn r_type(op: u32, rd: Reg, f3: u32, rs1: Reg, rs2: Reg, f7: u32) -> u32 {
 }
 
 fn i_type(op: u32, rd: Reg, f3: u32, rs1: Reg, imm: i64) -> u32 {
-    op | ((rd.0 as u32) << 7)
-        | (f3 << 12)
-        | ((rs1.0 as u32) << 15)
-        | (((imm as u32) & 0xFFF) << 20)
+    op | ((rd.0 as u32) << 7) | (f3 << 12) | ((rs1.0 as u32) << 15) | (((imm as u32) & 0xFFF) << 20)
 }
 
 fn s_type(op: u32, f3: u32, rs1: Reg, rs2: Reg, imm: i64) -> u32 {
@@ -89,7 +86,12 @@ pub fn encode(ins: Instruction) -> u32 {
         I::Auipc { rd, imm } => u_type(OP_AUIPC, rd, imm),
         I::Jal { rd, offset } => j_type(OP_JAL, rd, offset),
         I::Jalr { rd, rs1, offset } => i_type(OP_JALR, rd, 0, rs1, offset),
-        I::Branch { op, rs1, rs2, offset } => {
+        I::Branch {
+            op,
+            rs1,
+            rs2,
+            offset,
+        } => {
             let f3 = match op {
                 BranchOp::Eq => 0b000,
                 BranchOp::Ne => 0b001,
@@ -100,10 +102,19 @@ pub fn encode(ins: Instruction) -> u32 {
             };
             b_type(OP_BRANCH, f3, rs1, rs2, offset)
         }
-        I::Load { rd, rs1, offset, width, signed } => {
-            i_type(OP_LOAD, rd, load_f3(width, signed), rs1, offset)
-        }
-        I::Store { rs1, rs2, offset, width } => {
+        I::Load {
+            rd,
+            rs1,
+            offset,
+            width,
+            signed,
+        } => i_type(OP_LOAD, rd, load_f3(width, signed), rs1, offset),
+        I::Store {
+            rs1,
+            rs2,
+            offset,
+            width,
+        } => {
             let f3 = match width {
                 Width::B => 0b000,
                 Width::H => 0b001,
@@ -170,11 +181,22 @@ pub fn encode(ins: Instruction) -> u32 {
             let f3 = if width == Width::D { 0b011 } else { 0b010 };
             r_type(OP_AMO, rd, f3, rs1, Reg::ZERO, 0b00010 << 2)
         }
-        I::StoreConditional { rd, rs1, rs2, width } => {
+        I::StoreConditional {
+            rd,
+            rs1,
+            rs2,
+            width,
+        } => {
             let f3 = if width == Width::D { 0b011 } else { 0b010 };
             r_type(OP_AMO, rd, f3, rs1, rs2, 0b00011 << 2)
         }
-        I::Amo { op, rd, rs1, rs2, width } => {
+        I::Amo {
+            op,
+            rd,
+            rs1,
+            rs2,
+            width,
+        } => {
             let f3 = if width == Width::D { 0b011 } else { 0b010 };
             let f5 = match op {
                 AmoOp::Add => 0b00000,
@@ -208,7 +230,12 @@ mod tests {
         );
         // add x3, x1, x2 -> 0x002081B3
         assert_eq!(
-            encode(Instruction::Alu { op: AluOp::Add, rd: Reg(3), rs1: Reg(1), rs2: Reg(2) }),
+            encode(Instruction::Alu {
+                op: AluOp::Add,
+                rd: Reg(3),
+                rs1: Reg(1),
+                rs2: Reg(2)
+            }),
             0x0020_81B3
         );
         // ld x5, 8(x10) -> 0x00853283
@@ -224,7 +251,12 @@ mod tests {
         );
         // sd x5, 16(x10) -> 0x00553823
         assert_eq!(
-            encode(Instruction::Store { rs1: Reg(10), rs2: Reg(5), offset: 16, width: Width::D }),
+            encode(Instruction::Store {
+                rs1: Reg(10),
+                rs2: Reg(5),
+                offset: 16,
+                width: Width::D
+            }),
             0x0055_3823
         );
         // ecall -> 0x00000073
@@ -246,7 +278,10 @@ mod tests {
     #[test]
     fn negative_jal_offset() {
         // jal x0, -4 (tight loop back)
-        let w = encode(Instruction::Jal { rd: Reg(0), offset: -4 });
+        let w = encode(Instruction::Jal {
+            rd: Reg(0),
+            offset: -4,
+        });
         assert_eq!(w, 0xFFDF_F06F);
     }
 }

@@ -129,15 +129,41 @@ pub enum Instruction {
     /// `jalr rd, rs1, offset`
     Jalr { rd: Reg, rs1: Reg, offset: i64 },
     /// Conditional branch.
-    Branch { op: BranchOp, rs1: Reg, rs2: Reg, offset: i64 },
+    Branch {
+        op: BranchOp,
+        rs1: Reg,
+        rs2: Reg,
+        offset: i64,
+    },
     /// Load from memory; `signed` distinguishes LB/LBU etc.
-    Load { rd: Reg, rs1: Reg, offset: i64, width: Width, signed: bool },
+    Load {
+        rd: Reg,
+        rs1: Reg,
+        offset: i64,
+        width: Width,
+        signed: bool,
+    },
     /// Store to memory.
-    Store { rs1: Reg, rs2: Reg, offset: i64, width: Width },
+    Store {
+        rs1: Reg,
+        rs2: Reg,
+        offset: i64,
+        width: Width,
+    },
     /// Register-immediate ALU.
-    AluImm { op: AluImmOp, rd: Reg, rs1: Reg, imm: i64 },
+    AluImm {
+        op: AluImmOp,
+        rd: Reg,
+        rs1: Reg,
+        imm: i64,
+    },
     /// Register-register ALU.
-    Alu { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    Alu {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// Memory fence.
     Fence,
     /// Environment call — halts the hart in this simulator.
@@ -145,9 +171,20 @@ pub enum Instruction {
     /// `lr.w/.d rd, (rs1)`
     LoadReserved { rd: Reg, rs1: Reg, width: Width },
     /// `sc.w/.d rd, rs2, (rs1)`
-    StoreConditional { rd: Reg, rs1: Reg, rs2: Reg, width: Width },
+    StoreConditional {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+        width: Width,
+    },
     /// `amoOP.w/.d rd, rs2, (rs1)`
-    Amo { op: AmoOp, rd: Reg, rs1: Reg, rs2: Reg, width: Width },
+    Amo {
+        op: AmoOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+        width: Width,
+    },
     /// Custom-0: `spm.fetch rd, rs1, imm` — copy `imm` bytes from main
     /// memory at `[rs1]` into the scratchpad at `[rd]` (paper §5.1's SPM
     /// prefetch extension).

@@ -36,10 +36,23 @@ mod tests {
 
     #[test]
     fn events_compare_by_value() {
-        let a = MemEvent { addr: 0x100, kind: MemEventKind::Load, bytes: 8, pc: 0 };
-        let b = MemEvent { addr: 0x100, kind: MemEventKind::Load, bytes: 8, pc: 0 };
+        let a = MemEvent {
+            addr: 0x100,
+            kind: MemEventKind::Load,
+            bytes: 8,
+            pc: 0,
+        };
+        let b = MemEvent {
+            addr: 0x100,
+            kind: MemEventKind::Load,
+            bytes: 8,
+            pc: 0,
+        };
         assert_eq!(a, b);
-        let c = MemEvent { kind: MemEventKind::Store, ..a };
+        let c = MemEvent {
+            kind: MemEventKind::Store,
+            ..a
+        };
         assert_ne!(a, c);
     }
 }

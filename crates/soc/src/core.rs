@@ -150,7 +150,11 @@ impl Core {
                     t.busy_until = now + self.spm_latency;
                 }
                 ThreadOp::Mem { addr, kind } => {
-                    let accepted = try_issue(IssueRequest { tid: t.tid, addr, kind });
+                    let accepted = try_issue(IssueRequest {
+                        tid: t.tid,
+                        addr,
+                        kind,
+                    });
                     if accepted {
                         t.mem_ops += 1;
                         t.instructions += 1;
@@ -190,7 +194,9 @@ impl Core {
 
     /// True when every thread has finished and has nothing in flight.
     pub fn is_done(&self) -> bool {
-        self.threads.iter().all(|t| t.done && t.outstanding == 0 && t.held.is_none())
+        self.threads
+            .iter()
+            .all(|t| t.done && t.outstanding == 0 && t.held.is_none())
     }
 
     /// Aggregate (instructions, spm accesses, memory ops) over threads.
@@ -212,14 +218,22 @@ mod tests {
     use crate::program::ReplayProgram;
 
     fn load_op(addr: u64) -> ThreadOp {
-        ThreadOp::Mem { addr: PhysAddr::new(addr), kind: MemOpKind::Load }
+        ThreadOp::Mem {
+            addr: PhysAddr::new(addr),
+            kind: MemOpKind::Load,
+        }
     }
 
     fn core_with(ops: Vec<Vec<ThreadOp>>) -> Core {
         let programs = ops
             .into_iter()
             .enumerate()
-            .map(|(i, o)| (i as u16, Box::new(ReplayProgram::new(o)) as Box<dyn ThreadProgram>))
+            .map(|(i, o)| {
+                (
+                    i as u16,
+                    Box::new(ReplayProgram::new(o)) as Box<dyn ThreadProgram>,
+                )
+            })
             .collect();
         Core::new(programs, 1, 3)
     }
@@ -257,7 +271,11 @@ mod tests {
             issued.push(r.tid);
             true
         });
-        assert_eq!(issued, vec![0, 1], "second thread progresses while first stalls");
+        assert_eq!(
+            issued,
+            vec![0, 1],
+            "second thread progresses while first stalls"
+        );
     }
 
     #[test]
@@ -310,7 +328,10 @@ mod tests {
     #[test]
     fn fence_blocks_thread_until_retired() {
         let mut c = core_with(vec![vec![
-            ThreadOp::Mem { addr: PhysAddr::new(0), kind: MemOpKind::Fence },
+            ThreadOp::Mem {
+                addr: PhysAddr::new(0),
+                kind: MemOpKind::Fence,
+            },
             load_op(0x100),
         ]]);
         let mut kinds = Vec::new();
@@ -343,8 +364,11 @@ mod tests {
     fn multiple_outstanding_when_configured() {
         let programs = vec![(
             0u16,
-            Box::new(ReplayProgram::new(vec![load_op(0x100), load_op(0x200), load_op(0x300)]))
-                as Box<dyn ThreadProgram>,
+            Box::new(ReplayProgram::new(vec![
+                load_op(0x100),
+                load_op(0x200),
+                load_op(0x300),
+            ])) as Box<dyn ThreadProgram>,
         )];
         let mut c = Core::new(programs, 2, 3);
         let mut issued = 0;
@@ -365,7 +389,10 @@ mod switch_tests {
     use mac_types::PhysAddr;
 
     fn load_op(addr: u64) -> ThreadOp {
-        ThreadOp::Mem { addr: PhysAddr::new(addr), kind: MemOpKind::Load }
+        ThreadOp::Mem {
+            addr: PhysAddr::new(addr),
+            kind: MemOpKind::Load,
+        }
     }
 
     fn core_with_penalty(threads: Vec<Vec<ThreadOp>>, penalty: u64) -> Core {
@@ -373,7 +400,10 @@ mod switch_tests {
             .into_iter()
             .enumerate()
             .map(|(i, o)| {
-                (i as u16, Box::new(ReplayProgram::new(o)) as Box<dyn ThreadProgram>)
+                (
+                    i as u16,
+                    Box::new(ReplayProgram::new(o)) as Box<dyn ThreadProgram>,
+                )
             })
             .collect();
         Core::with_switch_penalty(programs, usize::MAX, 3, penalty)
@@ -412,8 +442,10 @@ mod switch_tests {
 
     #[test]
     fn same_thread_pays_no_repeat_penalty() {
-        let mut c =
-            core_with_penalty(vec![vec![load_op(0x100), load_op(0x110), load_op(0x120)]], 4);
+        let mut c = core_with_penalty(
+            vec![vec![load_op(0x100), load_op(0x110), load_op(0x120)]],
+            4,
+        );
         let mut issued = Vec::new();
         for now in 0..8 {
             c.tick(now, |r| {
@@ -430,8 +462,7 @@ mod switch_tests {
 
     #[test]
     fn alternating_threads_pay_each_switch() {
-        let mut c =
-            core_with_penalty(vec![vec![load_op(0x100)], vec![load_op(0x200)]], 2);
+        let mut c = core_with_penalty(vec![vec![load_op(0x100)], vec![load_op(0x200)]], 2);
         let mut issued = Vec::new();
         for now in 0..10 {
             c.tick(now, |r| {

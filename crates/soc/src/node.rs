@@ -103,7 +103,11 @@ impl Node {
                     } else {
                         home_of(issue.addr, nodes)
                     },
-                    target: Target { tid: issue.tid, tag: *tag, flit: issue.addr.flit() },
+                    target: Target {
+                        tid: issue.tid,
+                        tag: *tag,
+                        flit: issue.addr.flit(),
+                    },
                     issued_at: now,
                 };
                 if sink(raw) {
@@ -173,14 +177,17 @@ impl Node {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::program::{ReplayProgram, ThreadOp, ThreadProgram};
+    use crate::program::{ReplayProgram, ThreadProgram};
 
     fn loads(addrs: &[u64]) -> Box<dyn ThreadProgram> {
         Box::new(ReplayProgram::loads(addrs.iter().copied(), 0))
     }
 
     fn default_cfg(threads: usize) -> SocConfig {
-        SocConfig { threads, ..SocConfig::default() }
+        SocConfig {
+            threads,
+            ..SocConfig::default()
+        }
     }
 
     #[test]
@@ -193,7 +200,11 @@ mod tests {
 
     #[test]
     fn node_issues_and_completes() {
-        let mut node = Node::new(NodeId(0), &default_cfg(2), vec![loads(&[0x100]), loads(&[0x200])]);
+        let mut node = Node::new(
+            NodeId(0),
+            &default_cfg(2),
+            vec![loads(&[0x100]), loads(&[0x200])],
+        );
         let mut issued = Vec::new();
         node.tick(0, |r| {
             issued.push(r);
@@ -254,7 +265,10 @@ mod tests {
 
     #[test]
     fn remote_addresses_get_remote_home() {
-        let cfg = SocConfig { nodes: 2, ..default_cfg(1) };
+        let cfg = SocConfig {
+            nodes: 2,
+            ..default_cfg(1)
+        };
         let mut n = Node::new(NodeId(0), &cfg, vec![loads(&[0x100])]); // row 1 -> node 1
         let mut homes = Vec::new();
         n.tick(0, |r| {

@@ -50,7 +50,10 @@ impl ReplayProgram {
             if gap > 0 {
                 ops.push(ThreadOp::Compute(gap));
             }
-            ops.push(ThreadOp::Mem { addr: PhysAddr::new(a), kind: MemOpKind::Load });
+            ops.push(ThreadOp::Mem {
+                addr: PhysAddr::new(a),
+                kind: MemOpKind::Load,
+            });
         }
         ReplayProgram::new(ops)
     }
@@ -114,7 +117,10 @@ impl Rv64Program {
             MemEventKind::Atomic => MemOpKind::Atomic,
             MemEventKind::Fence => MemOpKind::Fence,
         };
-        ThreadOp::Mem { addr: PhysAddr::new(e.addr), kind }
+        ThreadOp::Mem {
+            addr: PhysAddr::new(e.addr),
+            kind,
+        }
     }
 }
 
@@ -168,7 +174,13 @@ mod tests {
     fn replay_yields_in_order_then_done() {
         let mut p = ReplayProgram::loads([0x100, 0x200], 3);
         assert_eq!(p.next_op(), ThreadOp::Compute(3));
-        assert!(matches!(p.next_op(), ThreadOp::Mem { kind: MemOpKind::Load, .. }));
+        assert!(matches!(
+            p.next_op(),
+            ThreadOp::Mem {
+                kind: MemOpKind::Load,
+                ..
+            }
+        ));
         assert_eq!(p.next_op(), ThreadOp::Compute(3));
         assert!(matches!(p.next_op(), ThreadOp::Mem { .. }));
         assert_eq!(p.next_op(), ThreadOp::Done);
@@ -198,12 +210,17 @@ mod tests {
             }
             ops.push(op);
         }
-        let mems: Vec<_> =
-            ops.iter().filter(|o| matches!(o, ThreadOp::Mem { .. })).collect();
+        let mems: Vec<_> = ops
+            .iter()
+            .filter(|o| matches!(o, ThreadOp::Mem { .. }))
+            .collect();
         assert_eq!(mems.len(), 2);
         // Compute batches surround the stores (li expands to >= 1 instr).
         assert!(matches!(ops[0], ThreadOp::Compute(n) if n >= 2));
-        assert!(ops.iter().any(|o| matches!(o, ThreadOp::Compute(2))), "two addis between stores");
+        assert!(
+            ops.iter().any(|o| matches!(o, ThreadOp::Compute(2))),
+            "two addis between stores"
+        );
     }
 
     #[test]
@@ -225,7 +242,10 @@ mod tests {
         let op = p.next_op();
         assert_eq!(
             op,
-            ThreadOp::Mem { addr: PhysAddr::new(0x2000), kind: MemOpKind::Store }
+            ThreadOp::Mem {
+                addr: PhysAddr::new(0x2000),
+                kind: MemOpKind::Store
+            }
         );
     }
 }

@@ -125,7 +125,10 @@ pub fn decode_trace(mut raw: Bytes) -> Result<Vec<Vec<ThreadOp>>, String> {
                         KIND_FENCE => MemOpKind::Fence,
                         other => return Err(format!("bad record kind {other}")),
                     };
-                    ops.push(ThreadOp::Mem { addr: PhysAddr::new(addr), kind });
+                    ops.push(ThreadOp::Mem {
+                        addr: PhysAddr::new(addr),
+                        kind,
+                    });
                 }
             }
         }
@@ -135,10 +138,7 @@ pub fn decode_trace(mut raw: Bytes) -> Result<Vec<Vec<ThreadOp>>, String> {
 }
 
 /// Write a trace to a file.
-pub fn write_trace_file(
-    path: &std::path::Path,
-    threads: &[Vec<ThreadOp>],
-) -> std::io::Result<()> {
+pub fn write_trace_file(path: &std::path::Path, threads: &[Vec<ThreadOp>]) -> std::io::Result<()> {
     std::fs::write(path, encode_trace(threads))
 }
 
@@ -156,13 +156,25 @@ mod tests {
         vec![
             vec![
                 ThreadOp::Compute(3),
-                ThreadOp::Mem { addr: PhysAddr::new(0x1000), kind: MemOpKind::Load },
-                ThreadOp::Mem { addr: PhysAddr::new(0x2000), kind: MemOpKind::Store },
+                ThreadOp::Mem {
+                    addr: PhysAddr::new(0x1000),
+                    kind: MemOpKind::Load,
+                },
+                ThreadOp::Mem {
+                    addr: PhysAddr::new(0x2000),
+                    kind: MemOpKind::Store,
+                },
                 ThreadOp::Spm,
-                ThreadOp::Mem { addr: PhysAddr::new(0), kind: MemOpKind::Fence },
+                ThreadOp::Mem {
+                    addr: PhysAddr::new(0),
+                    kind: MemOpKind::Fence,
+                },
             ],
             vec![
-                ThreadOp::Mem { addr: PhysAddr::new(0x42), kind: MemOpKind::Atomic },
+                ThreadOp::Mem {
+                    addr: PhysAddr::new(0x42),
+                    kind: MemOpKind::Atomic,
+                },
                 ThreadOp::Compute(100),
             ],
         ]
@@ -191,7 +203,10 @@ mod tests {
     fn large_gaps_split_and_rejoin() {
         let original = vec![vec![
             ThreadOp::Compute(200_000),
-            ThreadOp::Mem { addr: PhysAddr::new(0x10), kind: MemOpKind::Load },
+            ThreadOp::Mem {
+                addr: PhysAddr::new(0x10),
+                kind: MemOpKind::Load,
+            },
         ]];
         let decoded = decode_trace(encode_trace(&original)).unwrap();
         let total: u64 = decoded[0]
@@ -202,9 +217,13 @@ mod tests {
             })
             .sum();
         assert_eq!(total, 200_000);
-        assert!(decoded[0]
-            .iter()
-            .any(|op| matches!(op, ThreadOp::Mem { kind: MemOpKind::Load, .. })));
+        assert!(decoded[0].iter().any(|op| matches!(
+            op,
+            ThreadOp::Mem {
+                kind: MemOpKind::Load,
+                ..
+            }
+        )));
     }
 
     #[test]

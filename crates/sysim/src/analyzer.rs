@@ -49,7 +49,10 @@ impl TraceAnalysis {
 
 /// Analyze a generated per-thread trace.
 pub fn analyze(trace: &[Vec<ThreadOp>]) -> TraceAnalysis {
-    let mut a = TraceAnalysis { mem_ops: count_mem_ops(trace), ..TraceAnalysis::default() };
+    let mut a = TraceAnalysis {
+        mem_ops: count_mem_ops(trace),
+        ..TraceAnalysis::default()
+    };
     let mut row_threads: HashMap<RowId, (u32, u64)> = HashMap::new(); // (thread mask-ish count, accesses)
     let mut row_owner: HashMap<RowId, usize> = HashMap::new();
     let mut shared: std::collections::HashSet<RowId> = std::collections::HashSet::new();
@@ -58,7 +61,9 @@ pub fn analyze(trace: &[Vec<ThreadOp>]) -> TraceAnalysis {
         let mut current_row: Option<RowId> = None;
         let mut run = 0u64;
         for op in ops {
-            let ThreadOp::Mem { addr, kind } = op else { continue };
+            let ThreadOp::Mem { addr, kind } = op else {
+                continue;
+            };
             match kind {
                 MemOpKind::Load => a.loads += 1,
                 MemOpKind::Store => a.stores += 1,
@@ -112,17 +117,23 @@ mod tests {
     use mac_workloads::{all_workloads, WorkloadParams};
 
     fn load(addr: u64) -> ThreadOp {
-        ThreadOp::Mem { addr: PhysAddr::new(addr), kind: MemOpKind::Load }
+        ThreadOp::Mem {
+            addr: PhysAddr::new(addr),
+            kind: MemOpKind::Load,
+        }
     }
 
     #[test]
     fn counts_and_rows() {
         let trace = vec![
             vec![load(0x000), load(0x010), load(0x100)],
-            vec![load(0x020), ThreadOp::Mem {
-                addr: PhysAddr::new(0x200),
-                kind: MemOpKind::Store,
-            }],
+            vec![
+                load(0x020),
+                ThreadOp::Mem {
+                    addr: PhysAddr::new(0x200),
+                    kind: MemOpKind::Store,
+                },
+            ],
         ];
         let a = analyze(&trace);
         assert_eq!(a.mem_ops, 5);
@@ -151,7 +162,11 @@ mod tests {
         use crate::experiment::{run_workload, ExperimentConfig};
         let mut cfg = ExperimentConfig::paper(4);
         cfg.workload.scale = 1;
-        let params = WorkloadParams { threads: 4, scale: 1, seed: cfg.workload.seed };
+        let params = WorkloadParams {
+            threads: 4,
+            scale: 1,
+            seed: cfg.workload.seed,
+        };
         for w in all_workloads().into_iter().take(4) {
             let oracle = analyze(&w.generate(&params)).oracle_efficiency();
             let measured = run_workload(w.as_ref(), &cfg).coalescing_efficiency();
@@ -167,7 +182,10 @@ mod tests {
     fn fences_do_not_enter_row_stats() {
         let trace = vec![vec![
             load(0),
-            ThreadOp::Mem { addr: PhysAddr::new(0), kind: MemOpKind::Fence },
+            ThreadOp::Mem {
+                addr: PhysAddr::new(0),
+                kind: MemOpKind::Fence,
+            },
             load(16),
         ]];
         let a = analyze(&trace);

@@ -33,7 +33,10 @@ impl ExperimentConfig {
     pub fn paper(threads: usize) -> Self {
         ExperimentConfig {
             system: SystemConfig::paper(threads),
-            workload: WorkloadParams { threads, ..WorkloadParams::default() },
+            workload: WorkloadParams {
+                threads,
+                ..WorkloadParams::default()
+            },
             ..ExperimentConfig::default()
         }
     }
@@ -71,19 +74,22 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let results: Vec<parking_lot::Mutex<Option<R>>> =
-        inputs.iter().map(|_| parking_lot::Mutex::new(None)).collect();
-    crossbeam::thread::scope(|s| {
+    let results: Vec<std::sync::Mutex<Option<R>>> =
+        inputs.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|s| {
         for (input, slot) in inputs.iter().zip(&results) {
-            s.spawn(|_| {
-                *slot.lock() = Some(f(input));
+            s.spawn(|| {
+                *slot.lock().expect("result slot poisoned") = Some(f(input));
             });
         }
-    })
-    .expect("experiment thread panicked");
+    });
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("thread filled its slot"))
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("thread filled its slot")
+        })
         .collect()
 }
 
@@ -134,7 +140,10 @@ mod tests {
         // All raw requests must complete in both modes.
         assert_eq!(with.soc.raw_requests, with.soc.completions);
         assert_eq!(without.soc.raw_requests, without.soc.completions);
-        assert_eq!(with.soc.raw_requests, without.soc.raw_requests, "same trace");
+        assert_eq!(
+            with.soc.raw_requests, without.soc.raw_requests,
+            "same trace"
+        );
         // MAC reduces transactions.
         assert!(with.hmc.accesses() < without.hmc.accesses());
         assert!(with.coalescing_efficiency() > 0.05);

@@ -5,7 +5,7 @@ use cache_model::{Cache, CacheConfig};
 use mac_types::{bandwidth, MacConfig, PhysAddr, SystemConfig};
 use mac_workloads::{all_workloads, sg, WorkloadParams};
 
-use crate::experiment::{run_all, run_all_pairs, run_workload, ExperimentConfig, parallel_map};
+use crate::experiment::{parallel_map, run_all, run_all_pairs, run_workload, ExperimentConfig};
 use crate::report::RunReport;
 
 /// Render rows of `(label, values...)` as an aligned text table.
@@ -44,7 +44,10 @@ pub fn table1() -> Vec<(String, String)> {
         ("ISA".into(), "RV64IM(+A subset) via rv64-sim".into()),
         ("Core #".into(), c.soc.cores.to_string()),
         ("CPU Frequency".into(), format!("{} GHz", c.soc.freq_ghz)),
-        ("SPM".into(), format!("{} MB per core", c.soc.spm_bytes >> 20)),
+        (
+            "SPM".into(),
+            format!("{} MB per core", c.soc.spm_bytes >> 20),
+        ),
         ("Avg. SPM Access Latency".into(), "1 ns".into()),
         (
             "HMC".into(),
@@ -58,7 +61,10 @@ pub fn table1() -> Vec<(String, String)> {
         ("Avg. HMC Access Latency".into(), "93 ns".into()),
         (
             "ARQ".into(),
-            format!("{} entries, {}B per entry", c.mac.arq_entries, c.mac.arq_entry_bytes),
+            format!(
+                "{} entries, {}B per entry",
+                c.mac.arq_entries, c.mac.arq_entry_bytes
+            ),
         ),
     ]
 }
@@ -71,7 +77,11 @@ pub fn table1() -> Vec<(String, String)> {
 /// dataset:cache ratio that determines the miss rate. EXPERIMENTS.md
 /// records this substitution.
 pub fn fig01_missrates(scale: u32, seed: u64) -> Vec<(String, f64)> {
-    let params = WorkloadParams { threads: 8, scale, seed };
+    let params = WorkloadParams {
+        threads: 8,
+        scale,
+        seed,
+    };
     let ws = all_workloads();
     let inputs: Vec<_> = ws.iter().collect();
     let rates = parallel_map(inputs, |w| {
@@ -124,17 +134,27 @@ pub fn fig01_sweep(max_accesses: usize, seed: u64) -> Vec<(u64, f64, f64)> {
     ];
     parallel_map(sizes, |&bytes| {
         let mut c = Cache::new(CacheConfig::llc());
-        let seq = c.run(sg::sequential_stream(bytes, max_accesses).into_iter().map(PhysAddr::new));
+        let seq = c.run(
+            sg::sequential_stream(bytes, max_accesses)
+                .into_iter()
+                .map(PhysAddr::new),
+        );
         let mut c = Cache::new(CacheConfig::llc());
-        let rnd =
-            c.run(sg::random_stream(bytes, max_accesses, seed).into_iter().map(PhysAddr::new));
+        let rnd = c.run(
+            sg::random_stream(bytes, max_accesses, seed)
+                .into_iter()
+                .map(PhysAddr::new),
+        );
         (bytes, seq, rnd)
     })
 }
 
 /// Figure 3: analytic bandwidth efficiency and overhead per request size.
 pub fn fig03() -> Vec<(u64, f64, f64)> {
-    bandwidth::FIGURE3_SIZES.iter().map(|&s| bandwidth::figure3_row(s)).collect()
+    bandwidth::FIGURE3_SIZES
+        .iter()
+        .map(|&s| bandwidth::figure3_row(s))
+        .collect()
 }
 
 /// Figure 9: demand requests-per-cycle per benchmark (Eq. 2).
@@ -170,9 +190,15 @@ pub fn fig11(entries: &[usize], scale: u32) -> Vec<(usize, f64)> {
         .map(|&n| {
             let mut cfg = ExperimentConfig::paper(8);
             cfg.workload.scale = scale;
-            cfg.system.mac = MacConfig { arq_entries: n, ..cfg.system.mac };
+            cfg.system.mac = MacConfig {
+                arq_entries: n,
+                ..cfg.system.mac
+            };
             let rows = run_all(&all_workloads(), &cfg);
-            let mean = rows.iter().map(|(_, r)| r.coalescing_efficiency()).sum::<f64>()
+            let mean = rows
+                .iter()
+                .map(|(_, r)| r.coalescing_efficiency())
+                .sum::<f64>()
                 / rows.len() as f64;
             (n, mean)
         })
@@ -193,7 +219,9 @@ pub fn fig12(pairs: &[(String, RunReport, RunReport)]) -> Vec<(String, u64, u64,
                 n.clone(),
                 without.bank_conflicts(),
                 with.bank_conflicts(),
-                without.bank_conflicts().saturating_sub(with.bank_conflicts()),
+                without
+                    .bank_conflicts()
+                    .saturating_sub(with.bank_conflicts()),
             )
         })
         .collect()
@@ -204,14 +232,21 @@ pub fn fig13(pairs: &[(String, RunReport, RunReport)]) -> Vec<(String, f64, f64)
     pairs
         .iter()
         .map(|(n, with, without)| {
-            (n.clone(), with.bandwidth_efficiency(), without.bandwidth_efficiency())
+            (
+                n.clone(),
+                with.bandwidth_efficiency(),
+                without.bandwidth_efficiency(),
+            )
         })
         .collect()
 }
 
 /// Figure 14 rows: link bytes saved by coalescing.
 pub fn fig14(pairs: &[(String, RunReport, RunReport)]) -> Vec<(String, i128)> {
-    pairs.iter().map(|(n, with, without)| (n.clone(), with.bandwidth_saved_vs(without))).collect()
+    pairs
+        .iter()
+        .map(|(n, with, without)| (n.clone(), with.bandwidth_saved_vs(without)))
+        .collect()
 }
 
 /// Figure 15: average merged targets per popped ARQ entry.
@@ -219,7 +254,11 @@ pub fn fig15(cfg: &ExperimentConfig) -> Vec<(String, f64, u64)> {
     run_all(&all_workloads(), cfg)
         .into_iter()
         .map(|(name, r)| {
-            (name, r.mac.targets_per_entry.mean(), r.mac.targets_per_entry.max)
+            (
+                name,
+                r.mac.targets_per_entry.mean(),
+                r.mac.targets_per_entry.max,
+            )
         })
         .collect()
 }
@@ -231,7 +270,10 @@ pub fn fig16() -> Vec<(usize, u64)> {
 
 /// Figure 17 rows: memory-system speedup per benchmark, in percent.
 pub fn fig17(pairs: &[(String, RunReport, RunReport)]) -> Vec<(String, f64)> {
-    pairs.iter().map(|(n, with, without)| (n.clone(), with.memory_speedup_vs(without))).collect()
+    pairs
+        .iter()
+        .map(|(n, with, without)| (n.clone(), with.memory_speedup_vs(without)))
+        .collect()
 }
 
 /// Convenience wrapper for single-workload smoke runs.
@@ -246,7 +288,12 @@ mod tests {
     #[test]
     fn table1_matches_paper_values() {
         let t = table1();
-        let get = |k: &str| t.iter().find(|(a, _)| a == k).map(|(_, v)| v.clone()).unwrap();
+        let get = |k: &str| {
+            t.iter()
+                .find(|(a, _)| a == k)
+                .map(|(_, v)| v.clone())
+                .unwrap()
+        };
         assert_eq!(get("Core #"), "8");
         assert_eq!(get("CPU Frequency"), "3.3 GHz");
         assert_eq!(get("HMC"), "4 Links, 8GB, 256B-block");
@@ -277,7 +324,10 @@ mod tests {
         // full-stream accounting lands lower on the random series but
         // preserves the >20x divergence and the growth trend).
         assert!(seq_big < 0.05, "sequential misses stay rare: {seq_big}");
-        assert!(rand_big > 0.30, "random misses dominate at 32 GB: {rand_big}");
+        assert!(
+            rand_big > 0.30,
+            "random misses dominate at 32 GB: {rand_big}"
+        );
         assert!(rand_big > 10.0 * seq_big.max(1e-6) || seq_big == 0.0);
         assert!(rand_big > rand_small, "random miss rate grows with dataset");
     }
@@ -287,7 +337,10 @@ mod tests {
         let s = render_table(
             "demo",
             &["name", "value"],
-            &[vec!["a".into(), "1".into()], vec!["long-name".into(), "22".into()]],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "22".into()],
+            ],
         );
         assert!(s.contains("== demo =="));
         assert!(s.contains("long-name"));

@@ -19,6 +19,8 @@ pub struct RunReport {
     pub hmc: HmcStats,
     /// The configuration that produced this report.
     pub config: SystemConfig,
+    /// Tracing summary (disabled/zero unless a tracer was attached).
+    pub trace: mac_telemetry::TraceSummary,
 }
 
 impl RunReport {
@@ -93,7 +95,9 @@ impl RunReport {
     /// the node *wants* to produce — the paper's argument that there is
     /// enough concurrency to keep the ARQ busy.
     pub fn demand_rpc(&self) -> f64 {
-        self.soc.rpi() * self.soc.cores as f64 * self.soc.mem_access_rate()
+        self.soc.rpi()
+            * self.soc.cores as f64
+            * self.soc.mem_access_rate()
             * self.soc.threads.max(1) as f64
             / self.soc.cores.max(1) as f64
     }
@@ -117,7 +121,8 @@ mod tests {
     fn with_latency(total: u64, accesses: u64) -> RunReport {
         let mut r = RunReport::default();
         for _ in 0..accesses {
-            r.hmc.record_access(ReqSize::B16, 16, 1, false, total / accesses);
+            r.hmc
+                .record_access(ReqSize::B16, 16, 1, false, total / accesses);
         }
         r
     }

@@ -23,9 +23,12 @@ use std::collections::VecDeque;
 
 use hmc_model::{DdrDevice, HbmDevice, HmcDevice, MemoryDevice};
 use mac_coalescer::{Mac, MacEvent, RequestRouter, ResponseRouter, RoutedTo};
+use mac_telemetry::{
+    TraceEvent, Tracer, ROUTE_GLOBAL, ROUTE_LOCAL, ROUTE_REMOTE_IN, ROUTE_STALLED,
+};
 use mac_types::{
-    Cycle, FlitMap, HmcRequest, MemBackend, MemOpKind, NodeId, RawRequest, ReqSize,
-    SystemConfig, TransactionId,
+    Cycle, FlitMap, HmcRequest, MemBackend, MemOpKind, NodeId, RawRequest, ReqSize, SystemConfig,
+    TransactionId,
 };
 use soc_sim::{Node, ThreadProgram};
 
@@ -43,6 +46,9 @@ struct NodeInstance {
     dispatch_q: VecDeque<HmcRequest>,
     /// Completions addressed to remote nodes, waiting for the interconnect.
     outbound_rsp: VecDeque<(Cycle, TransactionId)>,
+    /// Node-tagged tracer clone for events emitted by the system loop
+    /// itself (routing, response fan-out).
+    tracer: Tracer,
 }
 
 /// An in-flight interconnect message.
@@ -60,6 +66,7 @@ pub struct SystemSim {
     /// Remote completions in flight back to their origin node.
     net_responses: VecDeque<InFlight<TransactionId>>,
     now: Cycle,
+    tracer: Tracer,
 }
 
 impl SystemSim {
@@ -96,6 +103,7 @@ impl SystemSim {
                     rsp_router: ResponseRouter::new(),
                     dispatch_q: VecDeque::new(),
                     outbound_rsp: VecDeque::new(),
+                    tracer: Tracer::disabled(),
                 }
             })
             .collect();
@@ -105,7 +113,21 @@ impl SystemSim {
             net_requests: VecDeque::new(),
             net_responses: VecDeque::new(),
             now: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach a tracer and propagate node-tagged clones to every node's
+    /// MAC and device. Tracing is observational: it never changes
+    /// simulated behavior (see the cycle-identity test below).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        for (i, n) in self.nodes.iter_mut().enumerate() {
+            let t = tracer.for_node(i as u16);
+            n.mac.set_tracer(t.clone());
+            n.hmc.set_tracer(t.clone());
+            n.tracer = t;
+        }
+        self.tracer = tracer;
     }
 
     /// Origin node encoded in a transaction id (see `soc_sim::Node`).
@@ -137,9 +159,14 @@ impl SystemSim {
         let mac_disabled = self.cfg.mac_disabled;
 
         // Interconnect deliveries.
-        while self.net_requests.front().is_some_and(|m| m.arrives_at <= now) {
+        while self
+            .net_requests
+            .front()
+            .is_some_and(|m| m.arrives_at <= now)
+        {
             let m = self.net_requests.pop_front().expect("checked");
             let dst = m.payload.home.0 as usize;
+            let (id, addr) = (m.payload.id.0, m.payload.addr.raw());
             if !self.nodes[dst].router.accept_remote(m.payload) {
                 // Remote queue full: retry next cycle.
                 self.net_requests.push_front(InFlight {
@@ -148,21 +175,51 @@ impl SystemSim {
                 });
                 break;
             }
+            self.nodes[dst].tracer.emit(now, || TraceEvent::RawRoute {
+                id,
+                addr,
+                queue: ROUTE_REMOTE_IN,
+            });
         }
-        while self.net_responses.front().is_some_and(|m| m.arrives_at <= now) {
+        while self
+            .net_responses
+            .front()
+            .is_some_and(|m| m.arrives_at <= now)
+        {
             let m = self.net_responses.pop_front().expect("checked");
             let origin = Self::origin_of(m.payload);
+            let id = m.payload.0;
+            self.nodes[origin]
+                .tracer
+                .emit(now, || TraceEvent::Fanout { id });
             self.nodes[origin].node.complete(m.payload, now);
         }
 
         for n in &mut self.nodes {
             // 1. Cores issue into the router.
             let router = &mut n.router;
-            n.node.tick(now, |raw| router.route(raw) != RoutedTo::Stalled);
+            let tracer = &n.tracer;
+            n.node.tick(now, |raw| {
+                let (id, addr) = (raw.id.0, raw.addr.raw());
+                let routed = router.route(raw);
+                tracer.emit(now, || TraceEvent::RawRoute {
+                    id,
+                    addr,
+                    queue: match routed {
+                        RoutedTo::Local => ROUTE_LOCAL,
+                        RoutedTo::Global => ROUTE_GLOBAL,
+                        RoutedTo::Stalled => ROUTE_STALLED,
+                    },
+                });
+                routed != RoutedTo::Stalled
+            });
 
             // Remote requests leave for the interconnect.
             while let Some(raw) = n.router.pop_global() {
-                self.net_requests.push_back(InFlight { arrives_at: now + latency, payload: raw });
+                self.net_requests.push_back(InFlight {
+                    arrives_at: now + latency,
+                    payload: raw,
+                });
             }
 
             // 2–3. Feed and advance the MAC (or the baseline path).
@@ -179,7 +236,9 @@ impl SystemSim {
                 }
             } else {
                 for _ in 0..self.cfg.mac.accepts_per_cycle.max(1) {
-                    let Some(raw) = n.router.pop_for_mac() else { break };
+                    let Some(raw) = n.router.pop_for_mac() else {
+                        break;
+                    };
                     let backlog = n.router.queued();
                     if !n.mac.try_accept_with_backlog(raw, now, backlog) {
                         n.router.push_back_front(raw);
@@ -209,6 +268,7 @@ impl SystemSim {
                 for c in n.rsp_router.expand(&rsp) {
                     let origin = Self::origin_of(c.id);
                     if origin == n.node.id().0 as usize {
+                        n.tracer.emit(now, || TraceEvent::Fanout { id: c.id.0 });
                         n.node.complete(c.id, now);
                     } else {
                         n.outbound_rsp.push_back((now + latency, c.id));
@@ -216,7 +276,10 @@ impl SystemSim {
                 }
             }
             while let Some((t, id)) = n.outbound_rsp.pop_front() {
-                self.net_responses.push_back(InFlight { arrives_at: t, payload: id });
+                self.net_responses.push_back(InFlight {
+                    arrives_at: t,
+                    payload: id,
+                });
             }
         }
 
@@ -244,6 +307,7 @@ impl SystemSim {
                 break;
             }
         }
+        self.tracer.flush();
         self.report()
     }
 
@@ -252,6 +316,7 @@ impl SystemSim {
         let mut report = RunReport {
             cycles: self.now,
             config: self.cfg.clone(),
+            trace: self.tracer.summary(),
             ..RunReport::default()
         };
         for n in &mut self.nodes {
@@ -284,9 +349,7 @@ mod tests {
     fn programs(per_thread: Vec<Vec<u64>>) -> Vec<Box<dyn ThreadProgram>> {
         per_thread
             .into_iter()
-            .map(|addrs| {
-                Box::new(ReplayProgram::loads(addrs, 1)) as Box<dyn ThreadProgram>
-            })
+            .map(|addrs| Box::new(ReplayProgram::loads(addrs, 1)) as Box<dyn ThreadProgram>)
             .collect()
     }
 
@@ -336,8 +399,9 @@ mod tests {
         let make = || {
             (0..8usize)
                 .map(|t| {
-                    let addrs: Vec<u64> =
-                        (0..64u64).map(|i| 0x10000 + i * 256 + (t as u64) * 16).collect();
+                    let addrs: Vec<u64> = (0..64u64)
+                        .map(|i| 0x10000 + i * 256 + (t as u64) * 16)
+                        .collect();
                     Box::new(ReplayProgram::loads(addrs, 1)) as Box<dyn ThreadProgram>
                 })
                 .collect::<Vec<_>>()
@@ -361,13 +425,21 @@ mod tests {
         use mac_types::PhysAddr;
         use soc_sim::ThreadOp;
         let ops = vec![
-            ThreadOp::Mem { addr: PhysAddr::new(0x100), kind: MemOpKind::Load },
-            ThreadOp::Mem { addr: PhysAddr::new(0), kind: MemOpKind::Fence },
-            ThreadOp::Mem { addr: PhysAddr::new(0x200), kind: MemOpKind::Load },
+            ThreadOp::Mem {
+                addr: PhysAddr::new(0x100),
+                kind: MemOpKind::Load,
+            },
+            ThreadOp::Mem {
+                addr: PhysAddr::new(0),
+                kind: MemOpKind::Fence,
+            },
+            ThreadOp::Mem {
+                addr: PhysAddr::new(0x200),
+                kind: MemOpKind::Load,
+            },
         ];
         for cfg in [SystemConfig::paper(1), SystemConfig::paper(1).without_mac()] {
-            let p: Vec<Box<dyn ThreadProgram>> =
-                vec![Box::new(ReplayProgram::new(ops.clone()))];
+            let p: Vec<Box<dyn ThreadProgram>> = vec![Box::new(ReplayProgram::new(ops.clone()))];
             let mut sim = SystemSim::new(&cfg, p);
             let r = sim.run(1_000_000);
             assert_eq!(r.soc.completions, 3, "mac_disabled={}", cfg.mac_disabled);
@@ -392,8 +464,10 @@ mod tests {
     fn atomics_complete_end_to_end() {
         use mac_types::PhysAddr;
         use soc_sim::ThreadOp;
-        let ops =
-            vec![ThreadOp::Mem { addr: PhysAddr::new(0x300), kind: MemOpKind::Atomic }];
+        let ops = vec![ThreadOp::Mem {
+            addr: PhysAddr::new(0x300),
+            kind: MemOpKind::Atomic,
+        }];
         let p: Vec<Box<dyn ThreadProgram>> = vec![Box::new(ReplayProgram::new(ops))];
         let mut sim = SystemSim::new(&SystemConfig::paper(1), p);
         let r = sim.run(1_000_000);

@@ -1,0 +1,122 @@
+//! System-level telemetry invariants.
+//!
+//! Tracing is observational: the event stream must reconcile exactly
+//! with the aggregate counters the simulator already maintains, must be
+//! deterministic (same seed → byte-identical binary trace), and must
+//! never perturb simulated behavior.
+
+use mac_sim::{RunReport, SystemSim};
+use mac_telemetry::{BinarySink, RingSink, TraceEvent, Tracer};
+use mac_types::SystemConfig;
+use soc_sim::{ReplayProgram, ThreadProgram};
+
+/// A micro workload with intra- and inter-thread row locality: 8 threads
+/// each load 4 FLITs spread over 4 shared rows, so the run exercises
+/// merges, builds, bypasses, and bank conflicts.
+fn micro_programs() -> Vec<Box<dyn ThreadProgram>> {
+    (0..8u64)
+        .map(|t| {
+            let addrs: Vec<u64> = (0..4u64)
+                .map(|r| 0x8000 + r * 256 + t * 16 + (r * 32) % 128)
+                .collect();
+            Box::new(ReplayProgram::loads(addrs, 1)) as Box<dyn ThreadProgram>
+        })
+        .collect()
+}
+
+fn traced_run() -> (RunReport, Vec<mac_telemetry::TraceRecord>) {
+    let cfg = SystemConfig::paper(8);
+    let mut sim = SystemSim::new(&cfg, micro_programs());
+    let ring = RingSink::new(1 << 16);
+    let handle = ring.handle();
+    sim.set_tracer(Tracer::new(ring));
+    let report = sim.run(1_000_000);
+    (report, handle.snapshot())
+}
+
+#[test]
+fn event_counts_reconcile_with_aggregate_stats() {
+    let (r, recs) = traced_run();
+    assert!(r.trace.enabled);
+    assert_eq!(
+        r.trace.events,
+        recs.len() as u64,
+        "nothing dropped from the ring"
+    );
+
+    let count =
+        |f: &dyn Fn(&TraceEvent) -> bool| recs.iter().filter(|x| f(&x.event)).count() as u64;
+
+    // Every raw request either allocated a fresh ARQ entry or CAM-merged.
+    let allocs = count(&|e| matches!(e, TraceEvent::ArqAlloc { .. }));
+    let merges = count(&|e| matches!(e, TraceEvent::ArqMerge { .. }));
+    assert_eq!(allocs + merges, r.soc.raw_requests);
+    assert!(merges > 0, "shared rows must produce CAM merges");
+
+    // One Dispatch event per transaction the MAC emitted, and each
+    // dispatched transaction reaches the device exactly once.
+    let dispatches = count(&|e| matches!(e, TraceEvent::Dispatch { .. }));
+    assert_eq!(
+        dispatches,
+        r.mac.emitted_bypass + r.mac.emitted_built + r.mac.emitted_atomic
+    );
+    let completes = count(&|e| matches!(e, TraceEvent::HmcComplete { .. }));
+    assert_eq!(completes, r.hmc.accesses());
+
+    // Bank conflicts observed in the stream match the device counter.
+    let conflicts = count(&|e| matches!(e, TraceEvent::BankConflict { .. }));
+    assert_eq!(conflicts, r.hmc.bank_conflicts);
+
+    // Every thread-visible completion fanned out exactly once.
+    let fanouts = count(&|e| matches!(e, TraceEvent::Fanout { .. }));
+    assert_eq!(fanouts, r.soc.completions);
+
+    // Routing covers every raw request (this workload never stalls a
+    // core's issue, so RawRoute count >= raw_requests; equality when no
+    // retries occur).
+    let routes = count(&|e| matches!(e, TraceEvent::RawRoute { .. }));
+    assert!(routes >= r.soc.raw_requests);
+}
+
+#[test]
+fn traced_runs_are_byte_identical() {
+    let run_to_file = |path: &std::path::Path| {
+        let cfg = SystemConfig::paper(8);
+        let mut sim = SystemSim::new(&cfg, micro_programs());
+        sim.set_tracer(Tracer::new(
+            BinarySink::create(path).expect("create trace file"),
+        ));
+        sim.run(1_000_000)
+    };
+    let dir = std::env::temp_dir();
+    let a = dir.join(format!("mac-telemetry-det-a-{}.mctr", std::process::id()));
+    let b = dir.join(format!("mac-telemetry-det-b-{}.mctr", std::process::id()));
+    let ra = run_to_file(&a);
+    let rb = run_to_file(&b);
+    let bytes_a = std::fs::read(&a).expect("read trace a");
+    let bytes_b = std::fs::read(&b).expect("read trace b");
+    let _ = std::fs::remove_file(&a);
+    let _ = std::fs::remove_file(&b);
+    assert_eq!(ra, rb, "same seed, same report");
+    assert!(bytes_a.len() > 8, "trace holds records beyond the header");
+    assert_eq!(bytes_a, bytes_b, "same seed, byte-identical binary trace");
+}
+
+#[test]
+fn tracing_never_perturbs_the_simulation() {
+    let cfg = SystemConfig::paper(8);
+    let mut plain = SystemSim::new(&cfg, micro_programs());
+    let r_plain = plain.run(1_000_000);
+
+    let mut traced = SystemSim::new(&cfg, micro_programs());
+    traced.set_tracer(Tracer::new(RingSink::new(1 << 16)));
+    let r_traced = traced.run(1_000_000);
+
+    assert_eq!(r_plain.cycles, r_traced.cycles);
+    assert_eq!(r_plain.soc, r_traced.soc);
+    assert_eq!(r_plain.mac, r_traced.mac);
+    assert_eq!(r_plain.hmc, r_traced.hmc);
+    assert!(!r_plain.trace.enabled);
+    assert!(r_traced.trace.enabled);
+    assert!(r_traced.trace.events > 0);
+}

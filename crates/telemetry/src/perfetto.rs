@@ -1,0 +1,598 @@
+//! Chrome `trace_event` / Perfetto JSON export.
+//!
+//! Renders a trace as one process per node with named threads (tracks):
+//! cores, ARQ, builder, dispatch, one track per link direction, and one
+//! per vault. Link serialization and vault row cycles become duration
+//! (`"X"`) spans, queue depths become counter (`"C"`) series, and
+//! everything else becomes instants (`"i"`), so a run can be explored
+//! in <https://ui.perfetto.dev> or `chrome://tracing`.
+//!
+//! Timestamps are simulation cycles written as microseconds (1 cycle =
+//! 1 µs in the UI) — only relative placement matters for inspection.
+
+use std::fmt::Write as _;
+
+use crate::event::{TraceEvent, TraceRecord, POP_BUILDER, POP_BYPASS, POP_FENCE};
+
+const TID_CORES: u32 = 1;
+const TID_ARQ: u32 = 2;
+const TID_BUILDER: u32 = 3;
+const TID_DISPATCH: u32 = 4;
+const TID_LINK_DOWN: u32 = 10;
+const TID_LINK_UP: u32 = 20;
+const TID_VAULT: u32 = 100;
+
+/// Serialize records into a complete Chrome trace JSON document.
+pub fn export_json(records: &[TraceRecord]) -> String {
+    let mut out = String::with_capacity(records.len() * 96 + 1024);
+    out.push_str("{\"traceEvents\":[\n");
+    let mut first = true;
+
+    // Metadata: name the processes (nodes) and threads (tracks) that
+    // actually appear, so the UI shows labels instead of bare ids.
+    let mut tracks: Vec<(u16, u32, String)> = Vec::new();
+    let mut nodes: Vec<u16> = Vec::new();
+    for rec in records {
+        if !nodes.contains(&rec.node) {
+            nodes.push(rec.node);
+        }
+        let (tid, name) = track_of(&rec.event);
+        if !tracks.iter().any(|(n, t, _)| *n == rec.node && *t == tid) {
+            tracks.push((rec.node, tid, name));
+        }
+    }
+    nodes.sort_unstable();
+    tracks.sort();
+    for node in &nodes {
+        emit_obj(&mut out, &mut first, |o| {
+            let _ = write!(
+                o,
+                "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{node},\"tid\":0,\
+                 \"args\":{{\"name\":\"node{node}\"}}}}"
+            );
+        });
+    }
+    for (node, tid, name) in &tracks {
+        emit_obj(&mut out, &mut first, |o| {
+            let _ = write!(
+                o,
+                "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{node},\"tid\":{tid},\
+                 \"args\":{{\"name\":\"{name}\"}}}}"
+            );
+        });
+    }
+
+    for rec in records {
+        let pid = rec.node;
+        match rec.event {
+            TraceEvent::RawRoute { id, addr, queue } => {
+                let q = ["local", "global", "stalled", "remote-in"]
+                    .get(queue as usize)
+                    .copied()
+                    .unwrap_or("?");
+                instant(
+                    &mut out,
+                    &mut first,
+                    pid,
+                    TID_CORES,
+                    rec.cycle,
+                    "route",
+                    &[("id", id), ("addr", addr)],
+                    Some(q),
+                );
+            }
+            TraceEvent::ArqAlloc {
+                entry,
+                row,
+                occupancy,
+                ..
+            } => {
+                instant(
+                    &mut out,
+                    &mut first,
+                    pid,
+                    TID_ARQ,
+                    rec.cycle,
+                    "alloc",
+                    &[("entry", entry as u64), ("row", row)],
+                    None,
+                );
+                counter(
+                    &mut out,
+                    &mut first,
+                    pid,
+                    rec.cycle,
+                    "ARQ occupancy",
+                    occupancy as u64,
+                );
+            }
+            TraceEvent::ArqMerge { entry, targets, .. } => {
+                instant(
+                    &mut out,
+                    &mut first,
+                    pid,
+                    TID_ARQ,
+                    rec.cycle,
+                    "merge",
+                    &[("entry", entry as u64), ("targets", targets as u64)],
+                    None,
+                );
+            }
+            TraceEvent::ArqFence { id } => {
+                instant(
+                    &mut out,
+                    &mut first,
+                    pid,
+                    TID_ARQ,
+                    rec.cycle,
+                    "fence",
+                    &[("id", id)],
+                    None,
+                );
+            }
+            TraceEvent::ArqFillBurst { occupancy } => {
+                instant(
+                    &mut out,
+                    &mut first,
+                    pid,
+                    TID_ARQ,
+                    rec.cycle,
+                    "fill_burst",
+                    &[("occupancy", occupancy as u64)],
+                    None,
+                );
+            }
+            TraceEvent::ArqPop {
+                entry,
+                kind,
+                occupancy,
+            } => {
+                let k = match kind {
+                    POP_BUILDER => "pop:builder",
+                    POP_BYPASS => "pop:bypass",
+                    POP_FENCE => "pop:fence",
+                    _ => "pop",
+                };
+                instant(
+                    &mut out,
+                    &mut first,
+                    pid,
+                    TID_ARQ,
+                    rec.cycle,
+                    k,
+                    &[("entry", entry as u64)],
+                    None,
+                );
+                counter(
+                    &mut out,
+                    &mut first,
+                    pid,
+                    rec.cycle,
+                    "ARQ occupancy",
+                    occupancy as u64,
+                );
+            }
+            TraceEvent::FenceRetire { id } => {
+                instant(
+                    &mut out,
+                    &mut first,
+                    pid,
+                    TID_ARQ,
+                    rec.cycle,
+                    "fence_retire",
+                    &[("id", id)],
+                    None,
+                );
+            }
+            TraceEvent::BuilderStage1 { entry } => {
+                instant(
+                    &mut out,
+                    &mut first,
+                    pid,
+                    TID_BUILDER,
+                    rec.cycle,
+                    "stage1",
+                    &[("entry", entry as u64)],
+                    None,
+                );
+            }
+            TraceEvent::BuilderStage2 { entry, chunk_mask } => {
+                instant(
+                    &mut out,
+                    &mut first,
+                    pid,
+                    TID_BUILDER,
+                    rec.cycle,
+                    "stage2",
+                    &[("entry", entry as u64), ("chunk_mask", chunk_mask as u64)],
+                    None,
+                );
+            }
+            TraceEvent::BuilderEmit {
+                entry,
+                bytes,
+                targets,
+            } => {
+                instant(
+                    &mut out,
+                    &mut first,
+                    pid,
+                    TID_BUILDER,
+                    rec.cycle,
+                    "emit",
+                    &[
+                        ("entry", entry as u64),
+                        ("bytes", bytes as u64),
+                        ("targets", targets as u64),
+                    ],
+                    None,
+                );
+            }
+            TraceEvent::Dispatch {
+                addr,
+                bytes,
+                provenance,
+                targets,
+            } => {
+                let p = ["bypass", "built", "atomic"]
+                    .get(provenance as usize)
+                    .copied()
+                    .unwrap_or("?");
+                instant(
+                    &mut out,
+                    &mut first,
+                    pid,
+                    TID_DISPATCH,
+                    rec.cycle,
+                    p,
+                    &[
+                        ("addr", addr),
+                        ("bytes", bytes as u64),
+                        ("targets", targets as u64),
+                    ],
+                    None,
+                );
+            }
+            TraceEvent::LinkTx {
+                link,
+                up,
+                flits,
+                start,
+                done,
+            } => {
+                let tid = if up { TID_LINK_UP } else { TID_LINK_DOWN } + link as u32;
+                span(
+                    &mut out,
+                    &mut first,
+                    pid,
+                    tid,
+                    start,
+                    done,
+                    "tx",
+                    &[("flits", flits as u64)],
+                );
+            }
+            TraceEvent::VaultEnqueue { vault, occupancy } => {
+                counter(
+                    &mut out,
+                    &mut first,
+                    pid,
+                    rec.cycle,
+                    &format!("vault{vault} queue"),
+                    occupancy as u64,
+                );
+            }
+            TraceEvent::VaultActivate {
+                vault,
+                bank,
+                start,
+                done,
+                bytes,
+            } => {
+                let tid = TID_VAULT + vault as u32;
+                span(
+                    &mut out,
+                    &mut first,
+                    pid,
+                    tid,
+                    start,
+                    done,
+                    "row_cycle",
+                    &[("bank", bank as u64), ("bytes", bytes as u64)],
+                );
+            }
+            TraceEvent::BankConflict {
+                vault,
+                bank,
+                waited,
+            } => {
+                let tid = TID_VAULT + vault as u32;
+                instant(
+                    &mut out,
+                    &mut first,
+                    pid,
+                    tid,
+                    rec.cycle,
+                    "bank_conflict",
+                    &[("bank", bank as u64), ("waited", waited)],
+                    None,
+                );
+            }
+            TraceEvent::HmcComplete {
+                addr,
+                targets,
+                latency,
+            } => {
+                instant(
+                    &mut out,
+                    &mut first,
+                    pid,
+                    TID_DISPATCH,
+                    rec.cycle,
+                    "complete",
+                    &[
+                        ("addr", addr),
+                        ("targets", targets as u64),
+                        ("latency", latency),
+                    ],
+                    None,
+                );
+            }
+            TraceEvent::Fanout { id } => {
+                instant(
+                    &mut out,
+                    &mut first,
+                    pid,
+                    TID_CORES,
+                    rec.cycle,
+                    "fanout",
+                    &[("id", id)],
+                    None,
+                );
+            }
+        }
+    }
+
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Track id + display name an event renders on.
+fn track_of(event: &TraceEvent) -> (u32, String) {
+    match event {
+        TraceEvent::RawRoute { .. } | TraceEvent::Fanout { .. } => (TID_CORES, "cores".into()),
+        TraceEvent::ArqAlloc { .. }
+        | TraceEvent::ArqMerge { .. }
+        | TraceEvent::ArqFence { .. }
+        | TraceEvent::ArqFillBurst { .. }
+        | TraceEvent::ArqPop { .. }
+        | TraceEvent::FenceRetire { .. } => (TID_ARQ, "ARQ".into()),
+        TraceEvent::BuilderStage1 { .. }
+        | TraceEvent::BuilderStage2 { .. }
+        | TraceEvent::BuilderEmit { .. } => (TID_BUILDER, "builder".into()),
+        TraceEvent::Dispatch { .. } | TraceEvent::HmcComplete { .. } => {
+            (TID_DISPATCH, "dispatch".into())
+        }
+        TraceEvent::LinkTx { link, up, .. } => {
+            let dir = if *up { "up" } else { "down" };
+            let base = if *up { TID_LINK_UP } else { TID_LINK_DOWN };
+            (base + *link as u32, format!("link{link} {dir}"))
+        }
+        TraceEvent::VaultEnqueue { vault, .. }
+        | TraceEvent::VaultActivate { vault, .. }
+        | TraceEvent::BankConflict { vault, .. } => {
+            (TID_VAULT + *vault as u32, format!("vault{vault}"))
+        }
+    }
+}
+
+fn emit_obj(out: &mut String, first: &mut bool, f: impl FnOnce(&mut String)) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    f(out);
+}
+
+fn args_json(args: &[(&str, u64)], label: Option<&str>) -> String {
+    let mut s = String::from("{");
+    let mut first = true;
+    if let Some(l) = label {
+        let _ = write!(s, "\"kind\":\"{l}\"");
+        first = false;
+    }
+    for (k, v) in args {
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        let _ = write!(s, "\"{k}\":{v}");
+    }
+    s.push('}');
+    s
+}
+
+#[allow(clippy::too_many_arguments)]
+fn instant(
+    out: &mut String,
+    first: &mut bool,
+    pid: u16,
+    tid: u32,
+    ts: u64,
+    name: &str,
+    args: &[(&str, u64)],
+    label: Option<&str>,
+) {
+    let a = args_json(args, label);
+    emit_obj(out, first, |o| {
+        let _ = write!(
+            o,
+            "{{\"ph\":\"i\",\"name\":\"{name}\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\
+             \"s\":\"t\",\"args\":{a}}}"
+        );
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn span(
+    out: &mut String,
+    first: &mut bool,
+    pid: u16,
+    tid: u32,
+    start: u64,
+    done: u64,
+    name: &str,
+    args: &[(&str, u64)],
+) {
+    let dur = done.saturating_sub(start).max(1);
+    let a = args_json(args, None);
+    emit_obj(out, first, |o| {
+        let _ = write!(
+            o,
+            "{{\"ph\":\"X\",\"name\":\"{name}\",\"pid\":{pid},\"tid\":{tid},\"ts\":{start},\
+             \"dur\":{dur},\"args\":{a}}}"
+        );
+    });
+}
+
+fn counter(out: &mut String, first: &mut bool, pid: u16, ts: u64, name: &str, value: u64) {
+    emit_obj(out, first, |o| {
+        let _ = write!(
+            o,
+            "{{\"ph\":\"C\",\"name\":\"{name}\",\"pid\":{pid},\"ts\":{ts},\
+             \"args\":{{\"value\":{value}}}}}"
+        );
+    });
+}
+
+/// Sink that buffers every record and writes the Chrome trace JSON to a
+/// file when flushed (and on drop, if records arrived after the last
+/// flush).
+pub struct PerfettoSink {
+    path: std::path::PathBuf,
+    records: Vec<TraceRecord>,
+    dirty: bool,
+}
+
+impl PerfettoSink {
+    pub fn create(path: impl Into<std::path::PathBuf>) -> PerfettoSink {
+        PerfettoSink {
+            path: path.into(),
+            records: Vec::new(),
+            dirty: false,
+        }
+    }
+}
+
+impl crate::tracer::TraceSink for PerfettoSink {
+    fn record(&mut self, rec: &TraceRecord) {
+        self.records.push(*rec);
+        self.dirty = true;
+    }
+
+    fn flush(&mut self) {
+        if let Err(e) = std::fs::write(&self.path, export_json(&self.records)) {
+            eprintln!("mac-telemetry: perfetto sink write failed: {e}");
+        } else {
+            self.dirty = false;
+        }
+    }
+}
+
+impl Drop for PerfettoSink {
+    fn drop(&mut self) {
+        if self.dirty {
+            crate::tracer::TraceSink::flush(self);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceRecord;
+
+    fn records() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord {
+                cycle: 1,
+                node: 0,
+                event: TraceEvent::ArqAlloc {
+                    entry: 0,
+                    row: 5,
+                    is_store: false,
+                    occupancy: 1,
+                },
+            },
+            TraceRecord {
+                cycle: 4,
+                node: 0,
+                event: TraceEvent::LinkTx {
+                    link: 2,
+                    up: false,
+                    flits: 9,
+                    start: 4,
+                    done: 20,
+                },
+            },
+            TraceRecord {
+                cycle: 30,
+                node: 1,
+                event: TraceEvent::VaultActivate {
+                    vault: 7,
+                    bank: 3,
+                    start: 30,
+                    done: 95,
+                    bytes: 128,
+                },
+            },
+            TraceRecord {
+                cycle: 31,
+                node: 1,
+                event: TraceEvent::VaultEnqueue {
+                    vault: 7,
+                    occupancy: 2,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn output_has_trace_events_wrapper_and_tracks() {
+        let json = export_json(&records());
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.trim_end().ends_with('}'));
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("\"name\":\"node0\""));
+        assert!(json.contains("\"name\":\"node1\""));
+        assert!(json.contains("\"name\":\"link2 down\""));
+        assert!(json.contains("\"name\":\"vault7\""));
+    }
+
+    #[test]
+    fn spans_carry_duration_and_counters_carry_value() {
+        let json = export_json(&records());
+        // Link span: 4 -> 20 cycles.
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":4,\"dur\":16"));
+        // Vault span: 30 -> 95.
+        assert!(json.contains("\"ts\":30,\"dur\":65"));
+        // Queue counter.
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"vault7 queue\""));
+        assert!(json.contains("{\"value\":2}"));
+    }
+
+    #[test]
+    fn no_trailing_comma_in_event_array() {
+        let json = export_json(&records());
+        assert!(!json.contains(",\n]"));
+        assert!(!json.contains(",]"));
+    }
+
+    #[test]
+    fn empty_trace_is_valid_json_shape() {
+        let json = export_json(&[]);
+        assert!(json.contains("\"traceEvents\":[\n\n]"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Bounded in-memory ring-buffer sink.
+//!
+//! Keeps the most recent `capacity` records; older records are
+//! overwritten (counted as dropped). The [`RingHandle`] returned by
+//! [`RingSink::handle`] stays valid after the sink is handed to a
+//! [`crate::Tracer`], which is how callers read the buffer back out.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use crate::event::TraceRecord;
+use crate::tracer::TraceSink;
+
+#[derive(Debug, Default)]
+struct RingInner {
+    records: VecDeque<TraceRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// Sink keeping the last `capacity` records in memory.
+pub struct RingSink {
+    inner: Arc<Mutex<RingInner>>,
+}
+
+impl RingSink {
+    pub fn new(capacity: usize) -> RingSink {
+        assert!(capacity > 0, "ring capacity must be positive");
+        RingSink {
+            inner: Arc::new(Mutex::new(RingInner {
+                records: VecDeque::with_capacity(capacity),
+                capacity,
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// A shared read handle, usable after the sink moves into a tracer.
+    pub fn handle(&self) -> RingHandle {
+        RingHandle {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, rec: &TraceRecord) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.records.len() == inner.capacity {
+            inner.records.pop_front();
+            inner.dropped += 1;
+        }
+        inner.records.push_back(*rec);
+    }
+}
+
+/// Read side of a [`RingSink`].
+#[derive(Clone)]
+pub struct RingHandle {
+    inner: Arc<Mutex<RingInner>>,
+}
+
+impl RingHandle {
+    /// Copy out the buffered records, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.records.iter().copied().collect()
+    }
+
+    /// Records currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .records
+            .len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records evicted to make room since the sink was created.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+
+    fn rec(cycle: u64) -> TraceRecord {
+        TraceRecord {
+            cycle,
+            node: 0,
+            event: TraceEvent::Fanout { id: cycle },
+        }
+    }
+
+    #[test]
+    fn keeps_most_recent_within_capacity() {
+        let mut sink = RingSink::new(3);
+        let handle = sink.handle();
+        for c in 0..5 {
+            sink.record(&rec(c));
+        }
+        let recs = handle.snapshot();
+        assert_eq!(
+            recs.iter().map(|r| r.cycle).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        assert_eq!(handle.dropped(), 2);
+        assert_eq!(handle.len(), 3);
+    }
+
+    #[test]
+    fn under_capacity_drops_nothing() {
+        let mut sink = RingSink::new(8);
+        let handle = sink.handle();
+        sink.record(&rec(1));
+        assert_eq!(handle.dropped(), 0);
+        assert_eq!(handle.snapshot().len(), 1);
+    }
+}

@@ -53,7 +53,11 @@ pub fn aggregate_efficiency<I: IntoIterator<Item = u64>>(accesses: I) -> f64 {
 
 /// The row of Figure 3 for one request size: `(size, efficiency, overhead)`.
 pub fn figure3_row(request_bytes: u64) -> (u64, f64, f64) {
-    (request_bytes, bandwidth_efficiency(request_bytes), control_overhead_fraction(request_bytes))
+    (
+        request_bytes,
+        bandwidth_efficiency(request_bytes),
+        control_overhead_fraction(request_bytes),
+    )
 }
 
 /// All HMC request sizes plotted in Figure 3.
@@ -93,13 +97,16 @@ mod tests {
 
     #[test]
     fn efficiency_monotonically_increases_with_size() {
-        let effs: Vec<f64> = FIGURE3_SIZES.iter().map(|&s| bandwidth_efficiency(s)).collect();
+        let effs: Vec<f64> = FIGURE3_SIZES
+            .iter()
+            .map(|&s| bandwidth_efficiency(s))
+            .collect();
         assert!(effs.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]
     fn aggregate_matches_uniform_case() {
-        let agg = aggregate_efficiency(std::iter::repeat(64).take(100));
+        let agg = aggregate_efficiency(std::iter::repeat_n(64, 100));
         assert!(close(agg, bandwidth_efficiency(64)));
         assert_eq!(aggregate_efficiency(std::iter::empty()), 0.0);
     }

@@ -217,9 +217,9 @@ impl Default for HmcConfig {
             row_bytes: 256,
             link_gbps: 30.0,
             cpu_ghz: 3.3,
-            t_rcd: 60,   // ~18.2 ns
-            t_cl: 60,    // ~18.2 ns
-            t_rp: 46,    // ~13.9 ns
+            t_rcd: 60, // ~18.2 ns
+            t_cl: 60,  // ~18.2 ns
+            t_rp: 46,  // ~13.9 ns
             t_burst_per_32b: 4,
             logic_latency: 90, // ~27 ns each way (SerDes + crossbar + VC)
             vault_queue_depth: 32,
@@ -346,7 +346,10 @@ impl SystemConfig {
     /// The paper's Table 1 configuration with `threads` hardware threads.
     pub fn paper(threads: usize) -> Self {
         SystemConfig {
-            soc: SocConfig { threads, ..SocConfig::default() },
+            soc: SocConfig {
+                threads,
+                ..SocConfig::default()
+            },
             ..SystemConfig::default()
         }
     }
@@ -403,7 +406,10 @@ mod tests {
     fn arq_bytes_match_figure16() {
         // Figure 16: 8 entries -> 512 B ... 256 entries -> 16 KB.
         for (entries, bytes) in [(8, 512), (16, 1024), (32, 2048), (64, 4096), (256, 16384)] {
-            let c = MacConfig { arq_entries: entries, ..MacConfig::default() };
+            let c = MacConfig {
+                arq_entries: entries,
+                ..MacConfig::default()
+            };
             assert_eq!(c.arq_bytes(), bytes);
         }
     }
@@ -421,7 +427,10 @@ mod tests {
             + h.logic_latency
             + (2 * flit).div_ceil(16);
         let ns = cycles as f64 / h.cpu_ghz;
-        assert!((85.0..101.0).contains(&ns), "uncontended latency {ns:.1} ns not near 93 ns");
+        assert!(
+            (85.0..101.0).contains(&ns),
+            "uncontended latency {ns:.1} ns not near 93 ns"
+        );
     }
 
     #[test]

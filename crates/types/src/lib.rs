@@ -23,7 +23,7 @@ pub mod packet;
 pub mod request;
 pub mod stats;
 
-pub use addr::{PhysAddr, RowId, FLIT_BYTES, FLITS_PER_ROW, ROW_BYTES};
+pub use addr::{PhysAddr, RowId, FLITS_PER_ROW, FLIT_BYTES, ROW_BYTES};
 pub use bandwidth::{bandwidth_efficiency, control_overhead_fraction, CONTROL_BYTES_PER_ACCESS};
 pub use config::{
     DdrConfig, FlitTablePolicy, HbmConfig, HmcConfig, MacConfig, MemBackend, SocConfig,

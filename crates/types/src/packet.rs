@@ -131,7 +131,12 @@ impl HmcPacket {
             16 => ReqSize::B256,
             _ => return None,
         };
-        Some(HmcPacket { kind, addr: PhysAddr::new(addr), size, tag })
+        Some(HmcPacket {
+            kind,
+            addr: PhysAddr::new(addr),
+            size,
+            tag,
+        })
     }
 }
 
@@ -142,7 +147,11 @@ pub fn crc16(data: &[u8]) -> u16 {
     for &b in data {
         crc ^= (b as u16) << 8;
         for _ in 0..8 {
-            crc = if crc & 0x8000 != 0 { (crc << 1) ^ 0x1021 } else { crc << 1 };
+            crc = if crc & 0x8000 != 0 {
+                (crc << 1) ^ 0x1021
+            } else {
+                crc << 1
+            };
         }
     }
     crc
@@ -153,7 +162,12 @@ mod tests {
     use super::*;
 
     fn pkt(kind: PacketKind, size: ReqSize) -> HmcPacket {
-        HmcPacket { kind, addr: PhysAddr::new(0xABC0), size, tag: 42 }
+        HmcPacket {
+            kind,
+            addr: PhysAddr::new(0xABC0),
+            size,
+            tag: 42,
+        }
     }
 
     #[test]
@@ -175,8 +189,8 @@ mod tests {
         for size in [ReqSize::B16, ReqSize::B128, ReqSize::B256] {
             let req = pkt(PacketKind::ReadRequest, size);
             let rsp = pkt(PacketKind::ReadResponse, size);
-            let control = (req.flits() - req.data_flits()) * 16
-                + (rsp.flits() - rsp.data_flits()) * 16;
+            let control =
+                (req.flits() - req.data_flits()) * 16 + (rsp.flits() - rsp.data_flits()) * 16;
             assert_eq!(control, 32);
         }
     }
@@ -204,7 +218,13 @@ mod tests {
             PacketKind::AtomicRequest,
             PacketKind::AtomicResponse,
         ] {
-            for size in [ReqSize::B16, ReqSize::B32, ReqSize::B64, ReqSize::B128, ReqSize::B256] {
+            for size in [
+                ReqSize::B16,
+                ReqSize::B32,
+                ReqSize::B64,
+                ReqSize::B128,
+                ReqSize::B256,
+            ] {
                 let p = pkt(kind, size);
                 let enc = p.encode();
                 assert_eq!(enc.len(), 16, "control FLIT is 16 B");

@@ -235,7 +235,11 @@ mod tests {
             kind,
             node: NodeId(0),
             home: NodeId(0),
-            target: Target { tid: 0, tag: 0, flit: PhysAddr::new(addr).flit() },
+            target: Target {
+                tid: 0,
+                tag: 0,
+                flit: PhysAddr::new(addr).flit(),
+            },
             issued_at: 0,
         }
     }

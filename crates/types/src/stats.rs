@@ -138,7 +138,10 @@ pub struct Histogram {
 impl Histogram {
     /// An empty histogram.
     pub fn new() -> Self {
-        Histogram { buckets: vec![0; 64], count: 0 }
+        Histogram {
+            buckets: vec![0; 64],
+            count: 0,
+        }
     }
 
     fn bucket_of(value: u64) -> usize {

@@ -125,21 +125,37 @@ mod tests {
 
     #[test]
     fn bfs_visits_the_giant_component() {
-        let p = WorkloadParams { threads: 4, scale: 1, seed: 2 };
+        let p = WorkloadParams {
+            threads: 4,
+            scale: 1,
+            seed: 2,
+        };
         let tr = Bfs.generate(&p);
         // The R-MAT giant component spans most vertices: expect plenty of
         // CAS claims.
         let cas = tr
             .iter()
             .flatten()
-            .filter(|op| matches!(op, ThreadOp::Mem { kind: MemOpKind::Atomic, .. }))
+            .filter(|op| {
+                matches!(
+                    op,
+                    ThreadOp::Mem {
+                        kind: MemOpKind::Atomic,
+                        ..
+                    }
+                )
+            })
             .count();
         assert!(cas > 500, "claimed {cas} vertices");
     }
 
     #[test]
     fn pagerank_work_scales_with_edges() {
-        let p = WorkloadParams { threads: 2, scale: 1, seed: 2 };
+        let p = WorkloadParams {
+            threads: 2,
+            scale: 1,
+            seed: 2,
+        };
         let tr = PageRank.generate(&p);
         // 2 loads per edge + 1 store per vertex, vertices = 2^11.
         let mems = count_mem_ops(&tr) as u64;
@@ -341,7 +357,11 @@ mod extended_tests {
     use crate::count_mem_ops;
 
     fn p() -> WorkloadParams {
-        WorkloadParams { threads: 4, scale: 1, seed: 9 }
+        WorkloadParams {
+            threads: 4,
+            scale: 1,
+            seed: 9,
+        }
     }
 
     #[test]
@@ -351,7 +371,15 @@ mod extended_tests {
         let stores = tr
             .iter()
             .flatten()
-            .filter(|op| matches!(op, ThreadOp::Mem { kind: MemOpKind::Store, .. }))
+            .filter(|op| {
+                matches!(
+                    op,
+                    ThreadOp::Mem {
+                        kind: MemOpKind::Store,
+                        ..
+                    }
+                )
+            })
             .count();
         assert!(stores > 100, "hooking writes expected: {stores}");
     }
@@ -362,7 +390,15 @@ mod extended_tests {
         let atomics = tr
             .iter()
             .flatten()
-            .filter(|op| matches!(op, ThreadOp::Mem { kind: MemOpKind::Atomic, .. }))
+            .filter(|op| {
+                matches!(
+                    op,
+                    ThreadOp::Mem {
+                        kind: MemOpKind::Atomic,
+                        ..
+                    }
+                )
+            })
             .count();
         assert!(atomics > 100, "relaxations expected: {atomics}");
     }
@@ -373,7 +409,10 @@ mod extended_tests {
         assert!(count_mem_ops(&tr) > 5_000);
         assert!(tr.iter().flatten().all(|op| !matches!(
             op,
-            ThreadOp::Mem { kind: MemOpKind::Store, .. }
+            ThreadOp::Mem {
+                kind: MemOpKind::Store,
+                ..
+            }
         )));
     }
 

@@ -52,7 +52,10 @@ impl Workload for Grappolo {
             for e in start..end {
                 let u = g.edges[e as usize];
                 // neighbour id (sequential burst through the adjacency)
-                ops.push(ThreadOp::Mem { addr: Layout::at(adj, e).into(), kind: MemOpKind::Load });
+                ops.push(ThreadOp::Mem {
+                    addr: Layout::at(adj, e).into(),
+                    kind: MemOpKind::Load,
+                });
                 // its community (random gather)
                 ops.push(ThreadOp::Mem {
                     addr: Layout::at(community, u).into(),
@@ -91,20 +94,36 @@ mod tests {
 
     #[test]
     fn produces_gathers_and_atomics() {
-        let p = WorkloadParams { threads: 8, scale: 1, seed: 1 };
+        let p = WorkloadParams {
+            threads: 8,
+            scale: 1,
+            seed: 1,
+        };
         let tr = Grappolo.generate(&p);
         assert!(count_mem_ops(&tr) > 10_000);
         let atomics = tr
             .iter()
             .flatten()
-            .filter(|op| matches!(op, ThreadOp::Mem { kind: MemOpKind::Atomic, .. }))
+            .filter(|op| {
+                matches!(
+                    op,
+                    ThreadOp::Mem {
+                        kind: MemOpKind::Atomic,
+                        ..
+                    }
+                )
+            })
             .count();
         assert!(atomics > 100);
     }
 
     #[test]
     fn community_weight_accesses_concentrate() {
-        let p = WorkloadParams { threads: 1, scale: 1, seed: 1 };
+        let p = WorkloadParams {
+            threads: 1,
+            scale: 1,
+            seed: 1,
+        };
         let tr = Grappolo.generate(&p);
         // Cluster-weight loads repeat: distinct rows << total accesses.
         let addrs: Vec<u64> = tr[0]
@@ -115,6 +134,9 @@ mod tests {
             })
             .collect();
         let rows: std::collections::HashSet<u64> = addrs.iter().map(|a| a >> 8).collect();
-        assert!(rows.len() * 4 < addrs.len(), "reuse expected in Louvain gathers");
+        assert!(
+            rows.len() * 4 < addrs.len(),
+            "reuse expected in Louvain gathers"
+        );
     }
 }

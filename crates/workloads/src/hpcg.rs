@@ -41,8 +41,7 @@ impl Workload for Hpcg {
             for dz in [-1i64, 0, 1] {
                 for dy in [-1i64, 0, 1] {
                     for dx in [-1i64, 0, 1] {
-                        let (ni, nj, nk) =
-                            (i as i64 + dx, j as i64 + dy, k as i64 + dz);
+                        let (ni, nj, nk) = (i as i64 + dx, j as i64 + dy, k as i64 + dz);
                         if ni < 0
                             || nj < 0
                             || nk < 0
@@ -68,16 +67,28 @@ impl Workload for Hpcg {
                     }
                 }
             }
-            ops.push(ThreadOp::Mem { addr: Layout::at(y, row).into(), kind: MemOpKind::Store });
+            ops.push(ThreadOp::Mem {
+                addr: Layout::at(y, row).into(),
+                kind: MemOpKind::Store,
+            });
         }
         // Dot product r.y and AXPY x += alpha*r: streaming phases.
         for row in 0..n {
             let t = crate::block_owner(row, n, p.threads);
             let ops = &mut traces[t];
-            ops.push(ThreadOp::Mem { addr: Layout::at(r, row).into(), kind: MemOpKind::Load });
-            ops.push(ThreadOp::Mem { addr: Layout::at(y, row).into(), kind: MemOpKind::Load });
+            ops.push(ThreadOp::Mem {
+                addr: Layout::at(r, row).into(),
+                kind: MemOpKind::Load,
+            });
+            ops.push(ThreadOp::Mem {
+                addr: Layout::at(y, row).into(),
+                kind: MemOpKind::Load,
+            });
             ops.push(ThreadOp::Compute(2));
-            ops.push(ThreadOp::Mem { addr: Layout::at(x, row).into(), kind: MemOpKind::Store });
+            ops.push(ThreadOp::Mem {
+                addr: Layout::at(x, row).into(),
+                kind: MemOpKind::Store,
+            });
         }
         traces
     }
@@ -90,7 +101,11 @@ mod tests {
 
     #[test]
     fn interior_rows_touch_27_neighbours() {
-        let p = WorkloadParams { threads: 1, scale: 1, seed: 0 };
+        let p = WorkloadParams {
+            threads: 1,
+            scale: 1,
+            seed: 0,
+        };
         let tr = Hpcg.generate(&p);
         // Total SpMV gathers: sum of stencil sizes; interior rows have 27,
         // faces fewer. 16^3 grid: between 8 (corner) and 27.
@@ -104,12 +119,19 @@ mod tests {
 
     #[test]
     fn stencil_gathers_include_plane_strides() {
-        let p = WorkloadParams { threads: 1, scale: 1, seed: 0 };
+        let p = WorkloadParams {
+            threads: 1,
+            scale: 1,
+            seed: 0,
+        };
         let tr = Hpcg.generate(&p);
         let addrs: Vec<u64> = tr[0]
             .iter()
             .filter_map(|op| match op {
-                ThreadOp::Mem { addr, kind: MemOpKind::Load } => Some(addr.raw()),
+                ThreadOp::Mem {
+                    addr,
+                    kind: MemOpKind::Load,
+                } => Some(addr.raw()),
                 _ => None,
             })
             .collect();

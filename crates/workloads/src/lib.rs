@@ -51,7 +51,11 @@ pub struct WorkloadParams {
 
 impl Default for WorkloadParams {
     fn default() -> Self {
-        WorkloadParams { threads: 8, scale: 1, seed: 0xC0FFEE }
+        WorkloadParams {
+            threads: 8,
+            scale: 1,
+            seed: 0xC0FFEE,
+        }
     }
 }
 
@@ -151,20 +155,32 @@ mod tests {
 
     #[test]
     fn every_workload_generates_work_for_every_thread() {
-        let p = WorkloadParams { threads: 4, scale: 1, seed: 7 };
+        let p = WorkloadParams {
+            threads: 4,
+            scale: 1,
+            seed: 7,
+        };
         for w in all_workloads() {
             let trace = w.generate(&p);
             assert_eq!(trace.len(), 4, "{}: thread count", w.name());
             for (i, t) in trace.iter().enumerate() {
                 assert!(!t.is_empty(), "{}: thread {i} got no work", w.name());
             }
-            assert!(count_mem_ops(&trace) > 100, "{}: too few memory ops", w.name());
+            assert!(
+                count_mem_ops(&trace) > 100,
+                "{}: too few memory ops",
+                w.name()
+            );
         }
     }
 
     #[test]
     fn traces_are_deterministic_in_the_seed() {
-        let p = WorkloadParams { threads: 2, scale: 1, seed: 42 };
+        let p = WorkloadParams {
+            threads: 2,
+            scale: 1,
+            seed: 42,
+        };
         for w in all_workloads() {
             let a = w.generate(&p);
             let b = w.generate(&p);
@@ -174,10 +190,16 @@ mod tests {
 
     #[test]
     fn different_seeds_differ_for_random_workloads() {
-        let a = sg::ScatterGather
-            .generate(&WorkloadParams { threads: 1, scale: 1, seed: 1 });
-        let b = sg::ScatterGather
-            .generate(&WorkloadParams { threads: 1, scale: 1, seed: 2 });
+        let a = sg::ScatterGather.generate(&WorkloadParams {
+            threads: 1,
+            scale: 1,
+            seed: 1,
+        });
+        let b = sg::ScatterGather.generate(&WorkloadParams {
+            threads: 1,
+            scale: 1,
+            seed: 2,
+        });
         assert_ne!(a, b);
     }
 }

@@ -36,10 +36,19 @@ impl Workload for StreamTriad {
         for i in 0..n {
             let t = crate::block_owner(i, n, p.threads);
             let ops = &mut traces[t];
-            ops.push(ThreadOp::Mem { addr: Layout::at(b, i).into(), kind: MemOpKind::Load });
-            ops.push(ThreadOp::Mem { addr: Layout::at(c, i).into(), kind: MemOpKind::Load });
+            ops.push(ThreadOp::Mem {
+                addr: Layout::at(b, i).into(),
+                kind: MemOpKind::Load,
+            });
+            ops.push(ThreadOp::Mem {
+                addr: Layout::at(c, i).into(),
+                kind: MemOpKind::Load,
+            });
             ops.push(ThreadOp::Compute(2));
-            ops.push(ThreadOp::Mem { addr: Layout::at(a, i).into(), kind: MemOpKind::Store });
+            ops.push(ThreadOp::Mem {
+                addr: Layout::at(a, i).into(),
+                kind: MemOpKind::Store,
+            });
         }
         traces
     }
@@ -84,14 +93,21 @@ mod tests {
 
     #[test]
     fn stream_is_three_streams() {
-        let p = WorkloadParams { threads: 4, scale: 1, seed: 1 };
+        let p = WorkloadParams {
+            threads: 4,
+            scale: 1,
+            seed: 1,
+        };
         let tr = StreamTriad.generate(&p);
         assert_eq!(count_mem_ops(&tr), 3 * 16_384);
         // Per thread, consecutive same-array accesses are unit stride.
         let loads: Vec<u64> = tr[0]
             .iter()
             .filter_map(|op| match op {
-                ThreadOp::Mem { addr, kind: MemOpKind::Load } => Some(addr.raw()),
+                ThreadOp::Mem {
+                    addr,
+                    kind: MemOpKind::Load,
+                } => Some(addr.raw()),
                 _ => None,
             })
             .take(8)
@@ -102,11 +118,18 @@ mod tests {
 
     #[test]
     fn gups_is_all_atomics_over_a_wide_table() {
-        let p = WorkloadParams { threads: 4, scale: 1, seed: 1 };
+        let p = WorkloadParams {
+            threads: 4,
+            scale: 1,
+            seed: 1,
+        };
         let tr = Gups.generate(&p);
         assert!(tr.iter().flatten().all(|op| !matches!(
             op,
-            ThreadOp::Mem { kind: MemOpKind::Load | MemOpKind::Store, .. }
+            ThreadOp::Mem {
+                kind: MemOpKind::Load | MemOpKind::Store,
+                ..
+            }
         )));
         let rows: std::collections::HashSet<u64> = tr
             .iter()
@@ -121,8 +144,7 @@ mod tests {
 
     #[test]
     fn calibration_pair_registered() {
-        let names: Vec<&str> =
-            calibration_workloads().iter().map(|w| w.name()).collect();
+        let names: Vec<&str> = calibration_workloads().iter().map(|w| w.name()).collect();
         assert_eq!(names, vec!["stream", "gups"]);
     }
 }

@@ -83,13 +83,25 @@ impl Workload for Cg {
             let ops = &mut traces[t];
             for (j, &col) in m.cols[r as usize].iter().enumerate() {
                 let e = r * nnz as u64 + j as u64;
-                ops.push(ThreadOp::Mem { addr: Layout::at(vals, e).into(), kind: MemOpKind::Load });
-                ops.push(ThreadOp::Mem { addr: Layout::at(cols, e).into(), kind: MemOpKind::Load });
+                ops.push(ThreadOp::Mem {
+                    addr: Layout::at(vals, e).into(),
+                    kind: MemOpKind::Load,
+                });
+                ops.push(ThreadOp::Mem {
+                    addr: Layout::at(cols, e).into(),
+                    kind: MemOpKind::Load,
+                });
                 // The irregular gather.
-                ops.push(ThreadOp::Mem { addr: Layout::at(x, col).into(), kind: MemOpKind::Load });
+                ops.push(ThreadOp::Mem {
+                    addr: Layout::at(x, col).into(),
+                    kind: MemOpKind::Load,
+                });
                 ops.push(ThreadOp::Compute(2));
             }
-            ops.push(ThreadOp::Mem { addr: Layout::at(y, r).into(), kind: MemOpKind::Store });
+            ops.push(ThreadOp::Mem {
+                addr: Layout::at(y, r).into(),
+                kind: MemOpKind::Store,
+            });
         }
         traces
     }
@@ -152,7 +164,11 @@ mod tests {
     use crate::count_mem_ops;
 
     fn p() -> WorkloadParams {
-        WorkloadParams { threads: 4, scale: 1, seed: 5 }
+        WorkloadParams {
+            threads: 4,
+            scale: 1,
+            seed: 5,
+        }
     }
 
     #[test]
@@ -161,12 +177,18 @@ mod tests {
         let addrs: Vec<u64> = tr[0]
             .iter()
             .filter_map(|op| match op {
-                ThreadOp::Mem { addr, kind: MemOpKind::Load } => Some(addr.raw()),
+                ThreadOp::Mem {
+                    addr,
+                    kind: MemOpKind::Load,
+                } => Some(addr.raw()),
                 _ => None,
             })
             .take(70)
             .collect();
-        let same_row = addrs.windows(2).filter(|w| (w[0] >> 8) == (w[1] >> 8)).count();
+        let same_row = addrs
+            .windows(2)
+            .filter(|w| (w[0] >> 8) == (w[1] >> 8))
+            .count();
         assert!(same_row > addrs.len() / 4, "{same_row} of {}", addrs.len());
     }
 
@@ -189,7 +211,10 @@ mod tests {
         let addrs: Vec<u64> = tr[0]
             .iter()
             .filter_map(|op| match op {
-                ThreadOp::Mem { addr, kind: MemOpKind::Load } => Some(addr.raw()),
+                ThreadOp::Mem {
+                    addr,
+                    kind: MemOpKind::Load,
+                } => Some(addr.raw()),
                 _ => None,
             })
             .take(5)

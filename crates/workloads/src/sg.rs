@@ -109,21 +109,32 @@ mod tests {
 
     #[test]
     fn gather_emits_three_accesses_per_element() {
-        let p = WorkloadParams { threads: 2, scale: 1, seed: 1 };
+        let p = WorkloadParams {
+            threads: 2,
+            scale: 1,
+            seed: 1,
+        };
         let tr = ScatterGather.generate(&p);
         assert_eq!(count_mem_ops(&tr), 3 * 4096);
     }
 
     #[test]
     fn block_distribution_assigns_contiguous_ranges() {
-        let p = WorkloadParams { threads: 4, scale: 1, seed: 1 };
+        let p = WorkloadParams {
+            threads: 4,
+            scale: 1,
+            seed: 1,
+        };
         let tr = ScatterGather.generate(&p);
         // Thread t's first C load starts at its block: C[t * n/4].
         let first_c = |t: usize| {
             tr[t]
                 .iter()
                 .find_map(|op| match op {
-                    ThreadOp::Mem { addr, kind: MemOpKind::Load } => Some(addr.raw()),
+                    ThreadOp::Mem {
+                        addr,
+                        kind: MemOpKind::Load,
+                    } => Some(addr.raw()),
                     _ => None,
                 })
                 .unwrap()
@@ -146,7 +157,11 @@ mod tests {
     fn random_stream_spreads_over_the_table() {
         let s = random_stream(32 << 20, 30_000, 7);
         let rows: std::collections::HashSet<u64> = s.iter().map(|a| a >> 8).collect();
-        assert!(rows.len() > 5000, "random stream should touch many rows: {}", rows.len());
+        assert!(
+            rows.len() > 5000,
+            "random stream should touch many rows: {}",
+            rows.len()
+        );
     }
 
     #[test]

@@ -94,7 +94,11 @@ impl Rmat {
             offsets[i] += offsets[i - 1];
         }
         let edges = pairs.into_iter().map(|(_, v)| v).collect();
-        Rmat { vertices, offsets, edges }
+        Rmat {
+            vertices,
+            offsets,
+            edges,
+        }
     }
 
     /// Degree of vertex `v`.
@@ -124,8 +128,7 @@ impl SparsePattern {
         let mut rng = SmallRng::seed_from_u64(seed);
         let cols = (0..rows)
             .map(|_| {
-                let mut c: Vec<u64> =
-                    (0..nnz_per_row).map(|_| rng.gen_range(0..rows)).collect();
+                let mut c: Vec<u64> = (0..nnz_per_row).map(|_| rng.gen_range(0..rows)).collect();
                 c.sort_unstable();
                 c
             })

@@ -41,7 +41,10 @@ impl Workload for Ssca2 {
             let ops = &mut traces[t];
             let (start, end) = (g.offsets[v as usize], g.offsets[v as usize + 1]);
             for e in start..end {
-                ops.push(ThreadOp::Mem { addr: Layout::at(adj, e).into(), kind: MemOpKind::Load });
+                ops.push(ThreadOp::Mem {
+                    addr: Layout::at(adj, e).into(),
+                    kind: MemOpKind::Load,
+                });
                 ops.push(ThreadOp::Mem {
                     addr: Layout::at(weights, e).into(),
                     kind: MemOpKind::Load,
@@ -91,12 +94,24 @@ mod tests {
 
     #[test]
     fn generates_adjacency_and_atomic_traffic() {
-        let p = WorkloadParams { threads: 4, scale: 1, seed: 3 };
+        let p = WorkloadParams {
+            threads: 4,
+            scale: 1,
+            seed: 3,
+        };
         let tr = Ssca2.generate(&p);
         let atomics = tr
             .iter()
             .flatten()
-            .filter(|op| matches!(op, ThreadOp::Mem { kind: MemOpKind::Atomic, .. }))
+            .filter(|op| {
+                matches!(
+                    op,
+                    ThreadOp::Mem {
+                        kind: MemOpKind::Atomic,
+                        ..
+                    }
+                )
+            })
             .count();
         assert!(atomics > 50, "kernel 3 uses atomics: {atomics}");
         assert!(count_mem_ops(&tr) > 10_000);
@@ -104,19 +119,29 @@ mod tests {
 
     #[test]
     fn adjacency_scans_are_sequential_bursts() {
-        let p = WorkloadParams { threads: 1, scale: 1, seed: 3 };
+        let p = WorkloadParams {
+            threads: 1,
+            scale: 1,
+            seed: 3,
+        };
         let tr = Ssca2.generate(&p);
         let loads: Vec<u64> = tr[0]
             .iter()
             .filter_map(|op| match op {
-                ThreadOp::Mem { addr, kind: MemOpKind::Load } => Some(addr.raw()),
+                ThreadOp::Mem {
+                    addr,
+                    kind: MemOpKind::Load,
+                } => Some(addr.raw()),
                 _ => None,
             })
             .take(200)
             .collect();
         // Loads alternate adj/weights; within each array the stride is one
         // element per edge, so loads two apart differ by 8 B during scans.
-        let seq_pairs = loads.windows(3).filter(|w| w[2].abs_diff(w[0]) == 8).count();
+        let seq_pairs = loads
+            .windows(3)
+            .filter(|w| w[2].abs_diff(w[0]) == 8)
+            .count();
         assert!(seq_pairs > 20, "sequential burst pairs: {seq_pairs}");
     }
 }

@@ -11,7 +11,10 @@ use mac_repro::prelude::*;
 use mac_repro::types::MemBackend;
 
 fn main() {
-    let scale: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let scale: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     let w = mac_repro::workloads::sg::ScatterGather;
 
     println!(

@@ -10,7 +10,10 @@ use mac_repro::prelude::*;
 use mac_repro::workloads::{gap, grappolo};
 
 fn main() {
-    let scale: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let scale: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     let mut cfg = ExperimentConfig::paper(8);
     cfg.workload.scale = scale;
 
@@ -31,10 +34,15 @@ fn main() {
             with.soc.raw_requests,
             with.hmc.accesses(),
             with.coalescing_efficiency() * 100.0,
-            without.bank_conflicts().saturating_sub(with.bank_conflicts()),
+            without
+                .bank_conflicts()
+                .saturating_sub(with.bank_conflicts()),
             with.memory_speedup_vs(&without),
         );
-        assert_eq!(with.soc.raw_requests, with.soc.completions, "all requests completed");
+        assert_eq!(
+            with.soc.raw_requests, with.soc.completions,
+            "all requests completed"
+        );
     }
     println!("\n(coalesced = Eq. 3 efficiency; conflicts- = bank conflicts removed;");
     println!(" speedup = Figure 17's memory-system latency reduction vs no-MAC)");

@@ -50,5 +50,8 @@ fn main() {
         report.mean_access_latency() / 3.3
     );
 
-    assert!(report.hmc.accesses() < report.soc.raw_requests, "the MAC merged requests");
+    assert!(
+        report.hmc.accesses() < report.soc.raw_requests,
+        "the MAC merged requests"
+    );
 }

@@ -44,7 +44,11 @@ done:
 
 fn main() {
     let image = assemble(KERNEL).expect("kernel assembles");
-    println!("kernel: {} instructions, {} bytes", image.len() / 4, image.len());
+    println!(
+        "kernel: {} instructions, {} bytes",
+        image.len() / 4,
+        image.len()
+    );
 
     // Build one RV64-backed thread per hardware thread. Each owns a
     // private functional memory with C pre-seeded to a pseudo-random
@@ -91,6 +95,9 @@ fn main() {
     );
     // The spm.fetch bursts are 16 consecutive FLITs of one row: the MAC
     // should turn most of each burst into large packets.
-    assert!(report.hmc.by_size[3] + report.hmc.by_size[4] > 0, "large packets were built");
+    assert!(
+        report.hmc.by_size[3] + report.hmc.by_size[4] > 0,
+        "large packets were built"
+    );
     assert_eq!(report.soc.raw_requests, report.soc.completions);
 }

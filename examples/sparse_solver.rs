@@ -11,7 +11,10 @@ use mac_repro::prelude::*;
 use mac_repro::workloads::{hpcg, nas};
 
 fn main() {
-    let scale: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let scale: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     let mut cfg = ExperimentConfig::paper(8);
     cfg.workload.scale = scale;
 
@@ -38,7 +41,10 @@ fn main() {
     }
 
     println!("\n-- ARQ sensitivity on HPCG (Figure 11, one workload) --");
-    println!("{:<12} {:>11} {:>14}", "ARQ entries", "coalesced", "mean lat (ns)");
+    println!(
+        "{:<12} {:>11} {:>14}",
+        "ARQ entries", "coalesced", "mean lat (ns)"
+    );
     for entries in [8usize, 16, 32, 64] {
         let mut c = cfg.clone();
         c.system.mac.arq_entries = entries;

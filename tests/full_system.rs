@@ -31,7 +31,8 @@ fn every_workload_completes_all_requests() {
             w.name()
         );
         assert_eq!(
-            with.soc.raw_requests, without.soc.raw_requests,
+            with.soc.raw_requests,
+            without.soc.raw_requests,
             "{}: the two modes must replay identical traces",
             w.name()
         );
@@ -121,7 +122,10 @@ fn conflicts_reduced_on_suite() {
             reduced += 1;
         }
     }
-    assert!(reduced * 4 >= total * 3, "only {reduced}/{total} benchmarks reduced conflicts");
+    assert!(
+        reduced * 4 >= total * 3,
+        "only {reduced}/{total} benchmarks reduced conflicts"
+    );
 }
 
 /// The memory-system speedup (Figure 17) is positive for every workload.
@@ -142,7 +146,11 @@ fn two_node_numa_completes_workload() {
     use mac_repro::sim::SystemSim;
     let mut cfg = SystemConfig::paper(4);
     cfg.soc.nodes = 2;
-    let params = WorkloadParams { threads: 4, scale: 1, seed: 11 };
+    let params = WorkloadParams {
+        threads: 4,
+        scale: 1,
+        seed: 11,
+    };
     let w = by_name("sg").unwrap();
     let mk = || -> Vec<Box<dyn ThreadProgram>> {
         w.generate(&params)

@@ -48,8 +48,7 @@ fn entry_holds_twelve_targets() {
 #[test]
 fn uncontended_latency_matches_table1() {
     let cfg = SystemConfig::paper(1);
-    let programs: Vec<Box<dyn ThreadProgram>> =
-        vec![Box::new(ReplayProgram::loads([0x1000], 0))];
+    let programs: Vec<Box<dyn ThreadProgram>> = vec![Box::new(ReplayProgram::loads([0x1000], 0))];
     let r = mac_repro::sim::SystemSim::new(&cfg, programs).run(10_000);
     let ns = r.hmc.latency.mean() / cfg.soc.freq_ghz;
     assert!(
@@ -64,17 +63,19 @@ fn uncontended_latency_matches_table1() {
 /// transactions (12-target entry limit) and zero conflicts.
 #[test]
 fn figure2_conflict_elimination() {
-    let mk = |i: u64| -> Box<dyn ThreadProgram> {
-        Box::new(ReplayProgram::loads([0x8000 + i * 16], 0))
-    };
+    let mk =
+        |i: u64| -> Box<dyn ThreadProgram> { Box::new(ReplayProgram::loads([0x8000 + i * 16], 0)) };
     let programs: Vec<Box<dyn ThreadProgram>> = (0..16).map(mk).collect();
     // 16 threads need a 16-core node so all issue simultaneously.
     let mut cfg = SystemConfig::paper(16);
     cfg.soc.cores = 16;
     let with = mac_repro::sim::SystemSim::new(&cfg, (0..16).map(mk).collect()).run(1_000_000);
-    let without = mac_repro::sim::SystemSim::new(&cfg.clone().without_mac(), programs)
-        .run(1_000_000);
-    assert_eq!(without.hmc.bank_conflicts, 15, "raw: 15 of 16 accesses conflict");
+    let without =
+        mac_repro::sim::SystemSim::new(&cfg.clone().without_mac(), programs).run(1_000_000);
+    assert_eq!(
+        without.hmc.bank_conflicts, 15,
+        "raw: 15 of 16 accesses conflict"
+    );
     // Requests enter the ARQ one per cycle while it pops every two, so
     // the row splits across several transactions rather than the ideal
     // two — still a sizable reduction over 16 raw requests, and the
@@ -107,7 +108,10 @@ fn figure10_mean_efficiency_in_band() {
         .map(|w| run_workload(w.as_ref(), &cfg).coalescing_efficiency())
         .sum::<f64>()
         / ws.len() as f64;
-    assert!((0.35..=0.60).contains(&mean), "suite mean efficiency {mean:.3}");
+    assert!(
+        (0.35..=0.60).contains(&mean),
+        "suite mean efficiency {mean:.3}"
+    );
 }
 
 /// Figure 13 band check: measured bandwidth efficiency with MAC roughly
@@ -122,7 +126,10 @@ fn figure13_bandwidth_doubles() {
         .map(|w| run_workload(w.as_ref(), &cfg).bandwidth_efficiency())
         .sum::<f64>()
         / ws.len() as f64;
-    assert!(mean > 0.52, "mean bandwidth efficiency {mean:.3} vs raw 0.333");
+    assert!(
+        mean > 0.52,
+        "mean bandwidth efficiency {mean:.3} vs raw 0.333"
+    );
 }
 
 /// Figure 17 band check: the suite's mean memory-system speedup is large
@@ -140,7 +147,10 @@ fn figure17_mean_speedup_in_band() {
         })
         .sum::<f64>()
         / ws.len() as f64;
-    assert!((30.0..=95.0).contains(&mean), "suite mean speedup {mean:.1}%");
+    assert!(
+        (30.0..=95.0).contains(&mean),
+        "suite mean speedup {mean:.1}%"
+    );
 }
 
 /// Figure 15 band check: merged targets per entry stay well under the

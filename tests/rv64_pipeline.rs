@@ -46,7 +46,11 @@ fn streaming_copy_coalesces() {
         p.set_reg(Reg::parse("a1").unwrap(), 0x20_0000 + t * 0x2000);
         p.set_reg(Reg::parse("a2").unwrap(), 512);
     });
-    assert_eq!(r.soc.raw_requests, 4 * 1024, "512 loads + 512 stores per thread");
+    assert_eq!(
+        r.soc.raw_requests,
+        4 * 1024,
+        "512 loads + 512 stores per thread"
+    );
     assert_eq!(r.soc.completions, r.soc.raw_requests);
     assert!(
         r.coalescing_efficiency() > 0.3,

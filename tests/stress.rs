@@ -29,7 +29,10 @@ fn saturation_with_tiny_queues() {
         .collect();
     let r = run(cfg, programs);
     assert_eq!(r.soc.raw_requests, 8 * 256);
-    assert_eq!(r.soc.completions, r.soc.raw_requests, "no drops under saturation");
+    assert_eq!(
+        r.soc.completions, r.soc.raw_requests,
+        "no drops under saturation"
+    );
 }
 
 /// Hotspot: every thread hammers the same DRAM row. The MAC must merge
@@ -92,7 +95,7 @@ fn atomic_only_traffic() {
         .map(|t| {
             let ops = (0..100u64)
                 .map(|i| ThreadOp::Mem {
-                    addr: PhysAddr::new((i * 1009 + t * 31) % (1 << 20) & !0xF),
+                    addr: PhysAddr::new(((i * 1009 + t * 31) % (1 << 20)) & !0xF),
                     kind: MemOpKind::Atomic,
                 })
                 .collect();
@@ -116,16 +119,13 @@ fn four_node_all_remote() {
             .map(|t| {
                 // Address rows owned by (node+1) % 4 only.
                 let target = (node + 1) % 4;
-                let addrs =
-                    (0..64u64).map(move |i| ((i * 4 + target) * 256) + t * 16);
+                let addrs = (0..64u64).map(move |i| ((i * 4 + target) * 256) + t * 16);
                 Box::new(ReplayProgram::loads(addrs, 1)) as Box<dyn ThreadProgram>
             })
             .collect()
     };
-    let mut sim = mac_repro::sim::SystemSim::new_multi(
-        &cfg,
-        (0..4).map(|n| mk(n as u64)).collect(),
-    );
+    let mut sim =
+        mac_repro::sim::SystemSim::new_multi(&cfg, (0..4).map(|n| mk(n as u64)).collect());
     let r = sim.run(500_000_000);
     assert_eq!(r.soc.raw_requests, 4 * 2 * 64);
     assert_eq!(r.soc.completions, r.soc.raw_requests);
@@ -143,8 +143,10 @@ fn degenerate_single_everything() {
         latency_hiding: false,
         ..MacConfig::default()
     };
-    let programs: Vec<Box<dyn ThreadProgram>> =
-        vec![Box::new(ReplayProgram::loads((0..64u64).map(|i| i * 16), 0))];
+    let programs: Vec<Box<dyn ThreadProgram>> = vec![Box::new(ReplayProgram::loads(
+        (0..64u64).map(|i| i * 16),
+        0,
+    ))];
     let r = run(cfg, programs);
     assert_eq!(r.soc.completions, 64);
     assert!(r.hmc.accesses() <= 64);
@@ -167,7 +169,10 @@ fn closed_loop_equivalence() {
     closed_cfg.soc.max_outstanding_per_thread = 1;
     let closed = run(closed_cfg, mk());
     assert_eq!(open.soc.completions, closed.soc.completions);
-    assert!(closed.cycles > open.cycles, "stall-until-complete is slower");
+    assert!(
+        closed.cycles > open.cycles,
+        "stall-until-complete is slower"
+    );
     assert!(
         closed.coalescing_efficiency() <= open.coalescing_efficiency() + 1e-9,
         "closed loop cannot coalesce more"
