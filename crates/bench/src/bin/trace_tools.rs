@@ -9,8 +9,14 @@
 //! trace_tools perfetto <trace.mctr> <out.json>          # Perfetto export
 //! trace_tools help
 //! ```
+//!
+//! `.mctr` paths follow the same convention as the `mac-bench` runner:
+//! a bare file name (no directory separator) given to `run --trace` is
+//! written under `results/traces/`, and `events`/`perfetto` look there
+//! when the name doesn't resolve relative to the working directory — so
+//! traces recorded by either CLI are addressable from the other.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::exit;
 
 use mac_sim::SystemSim;
@@ -44,6 +50,40 @@ fn arg<'a>(args: &'a [String], i: usize, what: &str) -> &'a str {
     args.get(i)
         .map(String::as_str)
         .unwrap_or_else(|| usage_error(&format!("missing {what}")))
+}
+
+/// The shared telemetry trace directory (`<out>/traces` with the
+/// runner's default `--out results`).
+fn traces_dir() -> PathBuf {
+    mac_sim::engine::EngineOptions::default().traces_dir()
+}
+
+/// Resolve a `.mctr` path for WRITING: bare file names land in the
+/// shared `results/traces/` directory (created on demand), matching
+/// where `mac-bench --trace` writes.
+fn resolve_trace_out(name: &str) -> PathBuf {
+    let p = Path::new(name);
+    if p.components().count() > 1 {
+        return p.to_path_buf();
+    }
+    let dir = traces_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    dir.join(name)
+}
+
+/// Resolve a `.mctr` path for READING: try the path as given, then fall
+/// back to the shared `results/traces/` directory.
+fn resolve_trace_in(name: &str) -> PathBuf {
+    let p = Path::new(name);
+    if p.exists() || p.components().count() > 1 {
+        return p.to_path_buf();
+    }
+    let shared = traces_dir().join(name);
+    if shared.exists() {
+        shared
+    } else {
+        p.to_path_buf()
+    }
 }
 
 fn main() {
@@ -120,9 +160,11 @@ fn cmd_run(args: &[String]) {
         .into_iter()
         .map(|ops| Box::new(ReplayProgram::new(ops)) as Box<dyn ThreadProgram>)
         .collect();
+    let trace_out = trace_out.map(|o| resolve_trace_out(&o));
     let mut sim = SystemSim::new(&cfg, programs);
     if let Some(out) = &trace_out {
-        let sink = BinarySink::create(out).unwrap_or_else(|e| fail(format!("create {out}: {e}")));
+        let sink = BinarySink::create(out)
+            .unwrap_or_else(|e| fail(format!("create {}: {e}", out.display())));
         sim.set_tracer(Tracer::new(sink));
     }
     let r = sim.run(2_000_000_000);
@@ -144,23 +186,27 @@ fn cmd_run(args: &[String]) {
     println!("bank conflicts    : {}", r.bank_conflicts());
     println!("mean latency      : {:.1} cycles", r.mean_access_latency());
     if let Some(out) = trace_out {
-        println!("trace             : {out} ({} events)", r.trace.events);
+        println!(
+            "trace             : {} ({} events)",
+            out.display(),
+            r.trace.events
+        );
     }
 }
 
 fn cmd_events(args: &[String]) {
-    let path = Path::new(arg(args, 2, "telemetry trace path (.mctr)"));
+    let path = resolve_trace_in(arg(args, 2, "telemetry trace path (.mctr)"));
     let records =
-        mac_telemetry::read_trace_file(path).unwrap_or_else(|e| fail(format!("read trace: {e}")));
+        mac_telemetry::read_trace_file(&path).unwrap_or_else(|e| fail(format!("read trace: {e}")));
     let a = mac_telemetry::analyze(&records);
     print!("{}", a.render_report());
 }
 
 fn cmd_perfetto(args: &[String]) {
-    let path = Path::new(arg(args, 2, "telemetry trace path (.mctr)"));
+    let path = resolve_trace_in(arg(args, 2, "telemetry trace path (.mctr)"));
     let out = arg(args, 3, "output JSON path");
     let records =
-        mac_telemetry::read_trace_file(path).unwrap_or_else(|e| fail(format!("read trace: {e}")));
+        mac_telemetry::read_trace_file(&path).unwrap_or_else(|e| fail(format!("read trace: {e}")));
     let json = mac_telemetry::export_json(&records);
     std::fs::write(out, &json).unwrap_or_else(|e| fail(format!("write {out}: {e}")));
     println!(

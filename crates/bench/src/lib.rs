@@ -1,25 +1,29 @@
 //! # mac-bench
 //!
-//! The benchmark harness: one regenerator binary per table/figure of the
-//! paper (`cargo run --release -p mac-bench --bin fig10_coalescing`),
-//! ablation binaries for the design choices DESIGN.md calls out, and
-//! Criterion micro-benchmarks of the MAC hot paths (`cargo bench`).
-//!
-//! Every binary prints an aligned text table whose rows correspond to the
-//! paper's figure series; EXPERIMENTS.md records paper-vs-measured for
-//! each. Binaries accept an optional scale factor:
+//! The benchmark harness: the `mac-bench` runner binary that regenerates
+//! every table/figure/ablation of the paper through the manifest-driven
+//! parallel engine in `mac-sim`, the `trace_tools` CLI for the §5.1
+//! tracer/analyzer workflow, and Criterion micro-benchmarks of the MAC
+//! hot paths (`cargo bench`).
 //!
 //! ```text
-//! cargo run --release -p mac-bench --bin fig17_speedup -- [scale]
+//! cargo run --release -p mac-bench -- --filter fig10 --jobs 8
 //! ```
 //!
-//! Larger scales run bigger workloads (closer to the paper's sizes,
-//! slower to simulate). The default (2) finishes every figure in minutes
-//! on a laptop.
+//! Larger `--scale` values run bigger workloads (closer to the paper's
+//! sizes, slower to simulate). The default (2) finishes every figure in
+//! minutes on a laptop. See EXPERIMENTS.md for the full catalog.
+
+#![warn(missing_docs)]
 
 use mac_sim::experiment::ExperimentConfig;
 
-/// Parse the optional scale argument (first CLI arg, default 2).
+// Formatting helpers shared with the experiment catalog (the canonical
+// definitions moved to `mac_sim::catalog` with the engine refactor).
+pub use mac_sim::catalog::{human_bytes, pct};
+
+/// Parse the optional scale argument (first CLI arg, default 2) —
+/// retained for the Criterion benches' command lines.
 pub fn scale_from_args() -> u32 {
     std::env::args()
         .nth(1)
@@ -30,29 +34,7 @@ pub fn scale_from_args() -> u32 {
 /// The standard experiment configuration for figure regeneration:
 /// Table 1 system, 8 threads, given scale.
 pub fn paper_config(scale: u32) -> ExperimentConfig {
-    let mut cfg = ExperimentConfig::paper(8);
-    cfg.workload.scale = scale;
-    cfg
-}
-
-/// Format a fraction as a percentage string.
-pub fn pct(x: f64) -> String {
-    format!("{:.2}%", x * 100.0)
-}
-
-/// Format a byte count with a binary-prefix unit.
-pub fn human_bytes(b: i128) -> String {
-    let (sign, b) = if b < 0 { ("-", -b) } else { ("", b) };
-    let f = b as f64;
-    if f >= (1u64 << 30) as f64 {
-        format!("{sign}{:.2} GB", f / (1u64 << 30) as f64)
-    } else if f >= (1 << 20) as f64 {
-        format!("{sign}{:.2} MB", f / (1 << 20) as f64)
-    } else if f >= (1 << 10) as f64 {
-        format!("{sign}{:.2} KB", f / (1 << 10) as f64)
-    } else {
-        format!("{sign}{b} B")
-    }
+    mac_sim::catalog::paper_config(scale)
 }
 
 #[cfg(test)]

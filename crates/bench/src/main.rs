@@ -1,0 +1,157 @@
+//! `mac-bench` — the parallel experiment runner.
+//!
+//! One binary drives every table, figure, and ablation through the
+//! manifest-driven engine in `mac-sim`:
+//!
+//! ```text
+//! mac-bench [--filter GLOB[,GLOB...]] [--jobs N] [--scale N]
+//!           [--out DIR] [--no-cache] [--trace] [--list]
+//! ```
+//!
+//! * `--filter` selects manifest entries by name or tag with `*`/`?`
+//!   globbing (`fig1*`, `ablation`, `table1,fig03`). No filter runs the
+//!   full catalog (everything except the CI `smoke` entry).
+//! * `--jobs` sets worker threads (default: one per core). Outputs are
+//!   byte-identical regardless of the job count.
+//! * `--no-cache` ignores and skips the content-addressed result cache
+//!   under `<out>/cache` (in-process memoization stays on, so paired
+//!   sweeps still share runs within the invocation).
+//! * `--trace` writes one `.mctr` telemetry trace per executed
+//!   simulation under `<out>/traces` — the same directory `trace_tools
+//!   run --trace` resolves bare file names into.
+//!
+//! Artifacts land in `<out>/<name>.{txt,csv,json}`; see EXPERIMENTS.md
+//! for the entry → paper-claim → output-file catalog.
+
+use std::path::PathBuf;
+use std::process::exit;
+use std::time::Instant;
+
+use mac_sim::engine::{run_experiments, EngineOptions};
+use mac_sim::manifest::{manifest, select};
+
+const USAGE: &str = "\
+usage: mac-bench [options]
+  --filter GLOB[,GLOB]   run entries matching name or tag (default: all but `smoke`)
+  --jobs N               worker threads (0 or absent: one per core)
+  --scale N              workload scale factor (default 2)
+  --out DIR              output directory (default `results`)
+  --no-cache             bypass the on-disk result cache
+  --trace                write .mctr telemetry traces for executed sims
+  --list                 list manifest entries and exit
+  --help                 this text";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("mac-bench: {msg}");
+    eprintln!("{USAGE}");
+    exit(2);
+}
+
+struct Cli {
+    filter: String,
+    list: bool,
+    opts: EngineOptions,
+}
+
+fn parse_args() -> Cli {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cli = Cli {
+        filter: String::new(),
+        list: false,
+        opts: EngineOptions::default(),
+    };
+    let mut i = 0;
+    let value = |args: &[String], i: usize, flag: &str| -> String {
+        args.get(i + 1)
+            .cloned()
+            .unwrap_or_else(|| usage_error(&format!("{flag} needs a value")))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--filter" => {
+                cli.filter = value(&args, i, "--filter");
+                i += 1;
+            }
+            "--jobs" => {
+                cli.opts.jobs = value(&args, i, "--jobs")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--jobs needs an integer"));
+                i += 1;
+            }
+            "--scale" => {
+                cli.opts.scale = value(&args, i, "--scale")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--scale needs an integer"));
+                i += 1;
+            }
+            "--out" => {
+                cli.opts.out_dir = PathBuf::from(value(&args, i, "--out"));
+                i += 1;
+            }
+            "--no-cache" => cli.opts.use_cache = false,
+            "--trace" => cli.opts.trace = true,
+            "--list" => cli.list = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                exit(0);
+            }
+            other => usage_error(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    cli
+}
+
+fn main() {
+    let cli = parse_args();
+
+    if cli.list {
+        println!("{:<22} {:<10} title", "name", "tags");
+        for e in manifest() {
+            println!("{:<22} {:<10} {}", e.name, e.tags.join(","), e.title);
+            println!("{:<22} {:<10}   claim: {}", "", "", e.claim);
+        }
+        return;
+    }
+
+    let exps = select(&cli.filter);
+    if exps.is_empty() {
+        usage_error(&format!("no manifest entry matches `{}`", cli.filter));
+    }
+    eprintln!(
+        "mac-bench: {} experiment(s), scale {}, cache {}, out {}",
+        exps.len(),
+        cli.opts.scale,
+        if cli.opts.use_cache { "on" } else { "off" },
+        cli.opts.out_dir.display()
+    );
+
+    let t0 = Instant::now();
+    let run = match run_experiments(&exps, &cli.opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mac-bench: engine failed: {e}");
+            exit(1);
+        }
+    };
+    for o in &run.outcomes {
+        let files: Vec<String> = o.written.iter().map(|p| p.display().to_string()).collect();
+        println!(
+            "{:<22} {} {}",
+            o.name,
+            if o.from_artifact_cache {
+                "[cached]"
+            } else {
+                "[ran]   "
+            },
+            files.join(" ")
+        );
+    }
+    eprintln!(
+        "mac-bench: {} simulated, {} from disk cache, {} memoized, {:.1}s",
+        run.sims_executed,
+        run.sims_from_disk,
+        run.sims_from_memo,
+        t0.elapsed().as_secs_f64()
+    );
+}

@@ -15,10 +15,13 @@ use soc_sim::ThreadOp;
 pub struct TraceAnalysis {
     /// Memory operations in the trace.
     pub mem_ops: usize,
-    /// Loads / stores / atomics / fences.
+    /// Load operations in the trace.
     pub loads: u64,
+    /// Store operations in the trace.
     pub stores: u64,
+    /// Atomic read-modify-write operations in the trace.
     pub atomics: u64,
+    /// Fence operations in the trace.
     pub fences: u64,
     /// Distinct DRAM rows touched (the row footprint).
     pub distinct_rows: usize,

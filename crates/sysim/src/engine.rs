@@ -1,0 +1,701 @@
+//! The parallel experiment engine: a work-stealing simulation pool with
+//! a content-addressed result cache and deterministic artifact output.
+//!
+//! The paper's evaluation is a large multi-configuration sweep (Figures
+//! 1–17, Table 1, plus this repo's ablations) whose cost is dominated by
+//! independent cycle-level simulations. The engine exploits exactly that
+//! independence:
+//!
+//! * [`SimPool`] — executes batches of [`SimRequest`]s on a
+//!   work-stealing pool of `std::thread` workers. Jobs are dealt
+//!   round-robin onto per-worker deques; an idle worker first drains its
+//!   own deque from the front, then steals from the back of its
+//!   neighbours', so imbalanced sweeps (one slow benchmark, eleven fast
+//!   ones) still finish on the critical path. Results are returned **in
+//!   request order**, so a run with `--jobs 8` is byte-identical to
+//!   `--jobs 1`.
+//! * **Simulation cache** — each request is keyed by a 128-bit
+//!   [fingerprint](mac_types::fingerprint) of the full configuration
+//!   (system + workload + cycle cap + format version) and its statistics
+//!   are stored as `results/cache/sim-<hex>.mrc`. Sweep points shared by
+//!   several experiments (the with/without-MAC pairs feed Figures 12,
+//!   13, 14 *and* 17) simulate once; a warm re-run simulates nothing.
+//!   An in-process memo table provides the same sharing when the disk
+//!   cache is disabled.
+//! * **Artifact cache** — each experiment's rendered tables are stored
+//!   as `results/cache/exp-<hex>.art`, so warm re-runs also skip the
+//!   derivation work of experiments that do not run the system simulator
+//!   (e.g. Figure 1's LLC replay).
+//! * **Telemetry** — with [`EngineOptions::trace`], every *executed*
+//!   simulation attaches a `mac-telemetry` [`BinarySink`] writing
+//!   `results/traces/<workload>-<fp>.mctr`; each pool worker builds its
+//!   own [`Tracer`] handle from that sink and `SystemSim` re-tags it per
+//!   node via `Tracer::for_node`. Tracing never perturbs simulated
+//!   behaviour (`sysim`'s cycle-identity test), so traced and untraced
+//!   runs produce identical artifacts.
+//!
+//! Cached statistics are stored losslessly (integers only — see
+//! [`crate::cachefmt`]), and the requested configuration is re-attached
+//! on load, so a cache-restored [`RunReport`] is indistinguishable from
+//! a fresh one.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use mac_telemetry::{BinarySink, Tracer};
+use mac_types::{Fingerprint, Fnv128};
+use mac_workloads::{by_name, Workload};
+
+use crate::catalog;
+use crate::experiment::{run_workload_with, ExperimentConfig};
+use crate::figures::render_table;
+use crate::manifest::Experiment;
+use crate::report::RunReport;
+
+/// Version salt folded into every cache key. Bump whenever simulation
+/// behaviour, config hashing, or the cache file formats change meaning,
+/// so stale entries can never be resurrected as fresh results.
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// One rendered result table: the unit the engine writes to disk as
+/// `<name>.txt` (aligned text), `<name>.csv`, and `<name>.json`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Artifact {
+    /// Output file stem, e.g. `"fig10"`.
+    pub name: String,
+    /// Table title (printed in the `.txt` rendering).
+    pub title: String,
+    /// Free-text caveats printed above the table in the `.txt` rendering.
+    pub notes: Vec<String>,
+    /// Column names.
+    pub header: Vec<String>,
+    /// Table rows; every row has `header.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+impl Artifact {
+    /// The aligned-text rendering (notes, then the table).
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for n in &self.notes {
+            out.push_str(n);
+            out.push('\n');
+        }
+        let header: Vec<&str> = self.header.iter().map(String::as_str).collect();
+        out.push_str(&render_table(&self.title, &header, &self.rows));
+        out
+    }
+
+    /// The CSV rendering (header row + data rows, RFC-4180 quoting).
+    pub fn csv(&self) -> String {
+        let mut out = self
+            .header
+            .iter()
+            .map(|h| csv_escape(h))
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(
+                &row.iter()
+                    .map(|c| csv_escape(c))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The JSON rendering: `{"title", "notes", "header", "rows"}` with
+    /// `rows` as an array of column-keyed objects. Deterministic (keys in
+    /// header order), so it participates in the byte-identity guarantee.
+    pub fn json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"title\": \"{}\",\n", json_escape(&self.title)));
+        out.push_str("  \"notes\": [");
+        out.push_str(
+            &self
+                .notes
+                .iter()
+                .map(|n| format!("\"{}\"", json_escape(n)))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        out.push_str("],\n  \"header\": [");
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| format!("\"{}\"", json_escape(h)))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        out.push_str("],\n  \"rows\": [\n");
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let fields: Vec<String> = self
+                    .header
+                    .iter()
+                    .zip(row)
+                    .map(|(h, c)| format!("\"{}\": \"{}\"", json_escape(h), json_escape(c)))
+                    .collect();
+                format!("    {{{}}}", fields.join(", "))
+            })
+            .collect();
+        out.push_str(&rows.join(",\n"));
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// One simulation to run: a workload (by registry name, see
+/// [`mac_workloads::by_name`]) on a full experiment configuration.
+#[derive(Debug, Clone)]
+pub struct SimRequest {
+    /// Workload registry name (`"sg"`, `"stream"`, …).
+    pub workload: String,
+    /// The complete configuration to simulate.
+    pub cfg: ExperimentConfig,
+}
+
+impl SimRequest {
+    /// Build a request for `workload` under `cfg`.
+    pub fn new(workload: &str, cfg: &ExperimentConfig) -> Self {
+        SimRequest {
+            workload: workload.to_string(),
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// The content address of this request: a stable 128-bit hash of the
+    /// workload name and every configuration field that affects results.
+    pub fn fingerprint(&self) -> u128 {
+        let mut h = Fnv128::new();
+        h.write_str("mac-sim/run");
+        h.write_u64(CACHE_FORMAT_VERSION as u64);
+        h.write_str(&self.workload);
+        self.cfg.fingerprint(&mut h);
+        h.finish()
+    }
+}
+
+/// Run `f(i)` for every `i < n` on `workers` threads with work stealing.
+///
+/// Jobs are dealt round-robin onto per-worker deques. Each worker drains
+/// its own deque LIFO-front, then steals from the *back* of the other
+/// deques — the classic split that keeps owner pops and thief steals off
+/// the same end. No job creates new jobs, so one full sweep finding every
+/// deque empty is a correct termination condition.
+fn work_steal<F: Fn(usize) + Sync>(n: usize, workers: usize, f: F) {
+    let workers = workers.max(1).min(n.max(1));
+    if workers <= 1 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((0..n).filter(|i| i % workers == w).collect()))
+        .collect();
+    let queues = &queues;
+    let f = &f;
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            s.spawn(move || loop {
+                let own = queues[w].lock().expect("queue poisoned").pop_front();
+                let job = own.or_else(|| {
+                    (1..workers).find_map(|d| {
+                        queues[(w + d) % workers]
+                            .lock()
+                            .expect("queue poisoned")
+                            .pop_back()
+                    })
+                });
+                match job {
+                    Some(i) => f(i),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
+/// A parallel, caching executor for simulation requests.
+///
+/// See the [module docs](self) for the design; the short version is:
+/// deterministic output order, work stealing inside a batch, an
+/// in-process memo (always on), and an optional on-disk cache.
+pub struct SimPool {
+    workers: usize,
+    cache_dir: Option<PathBuf>,
+    trace_dir: Option<PathBuf>,
+    memo: Mutex<HashMap<u128, RunReport>>,
+    executed: AtomicU64,
+    disk_hits: AtomicU64,
+    memo_hits: AtomicU64,
+}
+
+impl SimPool {
+    /// A pool with `workers` threads (0 = one per available core) and no
+    /// disk cache.
+    pub fn new(workers: usize) -> Self {
+        let workers = if workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            workers
+        };
+        SimPool {
+            workers,
+            cache_dir: None,
+            trace_dir: None,
+            memo: Mutex::new(HashMap::new()),
+            executed: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            memo_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Enable the on-disk result cache under `dir` (created on demand).
+    pub fn with_cache(mut self, dir: &Path) -> Self {
+        self.cache_dir = Some(dir.to_path_buf());
+        self
+    }
+
+    /// Write one `.mctr` telemetry trace per *executed* simulation under
+    /// `dir`. Cached simulations produce no trace; combine with a cold
+    /// cache (or `--no-cache`) to trace everything.
+    pub fn with_trace(mut self, dir: &Path) -> Self {
+        self.trace_dir = Some(dir.to_path_buf());
+        self
+    }
+
+    /// Worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Simulations actually executed (not served from memo or disk).
+    pub fn sims_executed(&self) -> u64 {
+        self.executed.load(Ordering::Relaxed)
+    }
+
+    /// Requests served from the on-disk cache.
+    pub fn disk_cache_hits(&self) -> u64 {
+        self.disk_hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests served from the in-process memo table.
+    pub fn memo_hits(&self) -> u64 {
+        self.memo_hits.load(Ordering::Relaxed)
+    }
+
+    fn sim_cache_path(&self, fp: u128) -> Option<PathBuf> {
+        self.cache_dir
+            .as_ref()
+            .map(|d| d.join(format!("sim-{fp:032x}.mrc")))
+    }
+
+    fn load_cached(&self, fp: u128, req: &SimRequest) -> Option<RunReport> {
+        let path = self.sim_cache_path(fp)?;
+        let text = std::fs::read_to_string(path).ok()?;
+        let mut report = crate::cachefmt::decode_run(&text)?;
+        // The config is part of the key, not the value; re-attach it so
+        // derived metrics (which read e.g. `config.mac_disabled`) agree.
+        report.config = req.cfg.system.clone();
+        Some(report)
+    }
+
+    fn store_cached(&self, fp: u128, report: &RunReport) {
+        let Some(path) = self.sim_cache_path(fp) else {
+            return;
+        };
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        // Normalize: cache contents must not depend on whether this run
+        // happened to be traced.
+        let mut stored = report.clone();
+        stored.trace = Default::default();
+        let _ = std::fs::write(path, crate::cachefmt::encode_run(&stored));
+    }
+
+    fn execute(&self, req: &SimRequest, fp: u128) -> RunReport {
+        let w = by_name(&req.workload)
+            .unwrap_or_else(|| panic!("unknown workload `{}` in SimRequest", req.workload));
+        let tracer = self.trace_dir.as_ref().and_then(|dir| {
+            let _ = std::fs::create_dir_all(dir);
+            let path = dir.join(format!("{}-{:016x}.mctr", req.workload, fp as u64));
+            BinarySink::create(&path).ok().map(Tracer::new)
+        });
+        self.executed.fetch_add(1, Ordering::Relaxed);
+        run_workload_with(w.as_ref(), &req.cfg, tracer)
+    }
+
+    /// Run a batch of requests, in parallel, returning reports **in
+    /// request order**. Duplicate fingerprints within the batch, the
+    /// in-process memo, and the disk cache are all consulted before any
+    /// simulation is launched.
+    pub fn run_batch(&self, reqs: &[SimRequest]) -> Vec<RunReport> {
+        let fps: Vec<u128> = reqs.iter().map(SimRequest::fingerprint).collect();
+        let mut results: Vec<Option<RunReport>> = vec![None; reqs.len()];
+
+        // Resolve memo and disk hits, and dedup identical requests.
+        let mut missing: Vec<usize> = Vec::new();
+        let mut claimed: HashMap<u128, usize> = HashMap::new();
+        {
+            let memo = self.memo.lock().expect("memo poisoned");
+            for (i, fp) in fps.iter().enumerate() {
+                if let Some(hit) = memo.get(fp) {
+                    let mut r = hit.clone();
+                    r.config = reqs[i].cfg.system.clone();
+                    results[i] = Some(r);
+                    self.memo_hits.fetch_add(1, Ordering::Relaxed);
+                } else if !claimed.contains_key(fp) {
+                    claimed.insert(*fp, i);
+                    missing.push(i);
+                }
+            }
+        }
+        let mut still_missing = Vec::new();
+        for i in missing {
+            match self.load_cached(fps[i], &reqs[i]) {
+                Some(r) => {
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    self.memo
+                        .lock()
+                        .expect("memo poisoned")
+                        .insert(fps[i], r.clone());
+                    results[i] = Some(r);
+                }
+                None => still_missing.push(i),
+            }
+        }
+
+        // Simulate what remains, with work stealing.
+        let slots: Vec<Mutex<Option<RunReport>>> =
+            still_missing.iter().map(|_| Mutex::new(None)).collect();
+        work_steal(still_missing.len(), self.workers, |k| {
+            let i = still_missing[k];
+            let report = self.execute(&reqs[i], fps[i]);
+            *slots[k].lock().expect("slot poisoned") = Some(report);
+        });
+        for (k, slot) in slots.into_iter().enumerate() {
+            let i = still_missing[k];
+            let report = slot
+                .into_inner()
+                .expect("slot poisoned")
+                .expect("worker filled its slot");
+            self.store_cached(fps[i], &report);
+            self.memo
+                .lock()
+                .expect("memo poisoned")
+                .insert(fps[i], report.clone());
+            results[i] = Some(report);
+        }
+
+        // Fill duplicates of just-computed fingerprints.
+        let memo = self.memo.lock().expect("memo poisoned");
+        results
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                r.unwrap_or_else(|| {
+                    let mut hit = memo
+                        .get(&fps[i])
+                        .cloned()
+                        .expect("duplicate resolved by batch");
+                    hit.config = reqs[i].cfg.system.clone();
+                    hit
+                })
+            })
+            .collect()
+    }
+
+    /// Run every workload in `ws` under `cfg`, labelled by name.
+    pub fn run_suite(
+        &self,
+        ws: &[Box<dyn Workload>],
+        cfg: &ExperimentConfig,
+    ) -> Vec<(String, RunReport)> {
+        let reqs: Vec<SimRequest> = ws.iter().map(|w| SimRequest::new(w.name(), cfg)).collect();
+        let reports = self.run_batch(&reqs);
+        ws.iter()
+            .map(|w| w.name().to_string())
+            .zip(reports)
+            .collect()
+    }
+
+    /// Run with/without-MAC pairs for every workload in `ws`, as one
+    /// parallel batch. Returns `(name, with_mac, without_mac)` rows.
+    pub fn run_suite_pairs(
+        &self,
+        ws: &[Box<dyn Workload>],
+        cfg: &ExperimentConfig,
+    ) -> Vec<(String, RunReport, RunReport)> {
+        let mut base = cfg.clone();
+        base.system.mac_disabled = true;
+        let mut reqs = Vec::with_capacity(ws.len() * 2);
+        for w in ws {
+            reqs.push(SimRequest::new(w.name(), cfg));
+            reqs.push(SimRequest::new(w.name(), &base));
+        }
+        let mut reports = self.run_batch(&reqs).into_iter();
+        ws.iter()
+            .map(|w| {
+                let with = reports.next().expect("batch len");
+                let without = reports.next().expect("batch len");
+                (w.name().to_string(), with, without)
+            })
+            .collect()
+    }
+}
+
+/// Everything an experiment's row builder needs: the pool to run
+/// simulations through and the sweep-wide knobs.
+pub struct ExpCtx<'a> {
+    /// The simulation executor (parallel + cached).
+    pub pool: &'a SimPool,
+    /// Workload scale factor (the old binaries' CLI argument).
+    pub scale: u32,
+}
+
+/// Options for one engine invocation (one `mac-bench` run).
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Worker threads (0 = one per available core).
+    pub jobs: usize,
+    /// Workload scale factor for every experiment (default 2).
+    pub scale: u32,
+    /// Output root; artifacts land here, the cache under `<out>/cache`,
+    /// traces under `<out>/traces`.
+    pub out_dir: PathBuf,
+    /// Read and write the on-disk caches (`--no-cache` clears this).
+    pub use_cache: bool,
+    /// Record `.mctr` telemetry traces for executed simulations.
+    pub trace: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            jobs: 0,
+            scale: 2,
+            out_dir: PathBuf::from("results"),
+            use_cache: true,
+            trace: false,
+        }
+    }
+}
+
+impl EngineOptions {
+    /// Where cache entries live for this invocation.
+    pub fn cache_dir(&self) -> PathBuf {
+        self.out_dir.join("cache")
+    }
+
+    /// Where telemetry traces live for this invocation. `trace_tools run
+    /// --trace` resolves bare file names into the same directory so the
+    /// two CLIs agree (see `EXPERIMENTS.md`).
+    pub fn traces_dir(&self) -> PathBuf {
+        self.out_dir.join("traces")
+    }
+}
+
+/// The outcome of one experiment within an engine run.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutcome {
+    /// Manifest entry name.
+    pub name: String,
+    /// Rendered tables (already written to disk by [`run_experiments`]).
+    pub artifacts: Vec<Artifact>,
+    /// Whether the artifacts came from the artifact cache (no derivation
+    /// and no simulation happened for this entry).
+    pub from_artifact_cache: bool,
+    /// Files written for this experiment (3 per artifact).
+    pub written: Vec<PathBuf>,
+}
+
+/// Aggregate result of [`run_experiments`].
+#[derive(Debug, Clone)]
+pub struct EngineRun {
+    /// Per-experiment outcomes, in manifest order.
+    pub outcomes: Vec<ExperimentOutcome>,
+    /// Simulations actually executed across the run.
+    pub sims_executed: u64,
+    /// Simulations served from the on-disk cache.
+    pub sims_from_disk: u64,
+    /// Simulations served from the in-process memo table.
+    pub sims_from_memo: u64,
+}
+
+fn experiment_key(exp: &Experiment, opts: &EngineOptions) -> u128 {
+    let mut h = Fnv128::new();
+    h.write_str("mac-sim/experiment");
+    h.write_u64(CACHE_FORMAT_VERSION as u64);
+    h.write_u64(crate::cachefmt::ART_FORMAT_VERSION as u64);
+    h.write_str(exp.name);
+    h.write_u64(opts.scale as u64);
+    h.finish()
+}
+
+/// Run the given manifest entries and write their artifacts under
+/// `opts.out_dir` as `<name>.txt`, `<name>.csv`, and `<name>.json`.
+///
+/// Experiments execute sequentially in the given order (so output is
+/// deterministic and log lines make sense), but each experiment's
+/// simulation batch fans out across the pool — and the simulation cache
+/// is shared, so entries that reuse sweep points (Figures 12/13/14/17
+/// share their with/without pairs) only pay once.
+pub fn run_experiments(exps: &[Experiment], opts: &EngineOptions) -> std::io::Result<EngineRun> {
+    let mut pool = SimPool::new(opts.jobs);
+    if opts.use_cache {
+        pool = pool.with_cache(&opts.cache_dir());
+    }
+    if opts.trace {
+        pool = pool.with_trace(&opts.traces_dir());
+    }
+    std::fs::create_dir_all(&opts.out_dir)?;
+
+    let mut outcomes = Vec::with_capacity(exps.len());
+    for exp in exps {
+        let key = experiment_key(exp, opts);
+        let art_path = opts.cache_dir().join(format!("exp-{key:032x}.art"));
+        let cached = if opts.use_cache {
+            std::fs::read_to_string(&art_path)
+                .ok()
+                .and_then(|t| crate::cachefmt::decode_artifacts(&t))
+        } else {
+            None
+        };
+        let from_artifact_cache = cached.is_some();
+        let artifacts = match cached {
+            Some(a) => a,
+            None => {
+                let ctx = ExpCtx {
+                    pool: &pool,
+                    scale: opts.scale,
+                };
+                let arts = catalog::execute(exp, &ctx);
+                if opts.use_cache {
+                    if let Some(dir) = art_path.parent() {
+                        let _ = std::fs::create_dir_all(dir);
+                    }
+                    let _ = std::fs::write(&art_path, crate::cachefmt::encode_artifacts(&arts));
+                }
+                arts
+            }
+        };
+        let mut written = Vec::with_capacity(artifacts.len() * 3);
+        for a in &artifacts {
+            for (ext, body) in [("txt", a.text()), ("csv", a.csv()), ("json", a.json())] {
+                let path = opts.out_dir.join(format!("{}.{ext}", a.name));
+                std::fs::write(&path, body)?;
+                written.push(path);
+            }
+        }
+        outcomes.push(ExperimentOutcome {
+            name: exp.name.to_string(),
+            artifacts,
+            from_artifact_cache,
+            written,
+        });
+    }
+    Ok(EngineRun {
+        outcomes,
+        sims_executed: pool.sims_executed(),
+        sims_from_disk: pool.disk_cache_hits(),
+        sims_from_memo: pool.memo_hits(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn work_steal_runs_every_job_exactly_once() {
+        for workers in [1, 2, 4, 16] {
+            let n = 37;
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            work_steal(n, workers, |i| {
+                hits[i].fetch_add(1, Ordering::SeqCst);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::SeqCst) == 1),
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn work_steal_handles_empty_and_single() {
+        work_steal(0, 4, |_| panic!("no jobs to run"));
+        let ran = AtomicUsize::new(0);
+        work_steal(1, 8, |_| {
+            ran.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn artifact_renderings_are_deterministic() {
+        let a = Artifact {
+            name: "demo".into(),
+            title: "Demo, with commas".into(),
+            notes: vec!["a note".into()],
+            header: vec!["name".into(), "value".into()],
+            rows: vec![vec!["x,y".into(), "1".into()]],
+        };
+        assert_eq!(a.text(), a.text());
+        assert!(a.csv().starts_with("name,value\n"));
+        assert!(a.csv().contains("\"x,y\",1"));
+        assert!(a.json().contains("\"name\": \"x,y\""));
+        assert!(a.json().contains("Demo, with commas"));
+    }
+
+    #[test]
+    fn sim_fingerprint_distinguishes_workload_and_config() {
+        let cfg = ExperimentConfig::paper(4);
+        let a = SimRequest::new("sg", &cfg);
+        let b = SimRequest::new("cg", &cfg);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut cfg2 = cfg.clone();
+        cfg2.system.mac_disabled = true;
+        let c = SimRequest::new("sg", &cfg2);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_eq!(a.fingerprint(), SimRequest::new("sg", &cfg).fingerprint());
+    }
+}

@@ -1,6 +1,10 @@
 //! Experiment runners: workload → system → report, with parallel sweeps.
+//!
+//! These are the low-level building blocks; batch execution with caching
+//! and work stealing lives in [`crate::engine`].
 
-use mac_types::SystemConfig;
+use mac_telemetry::Tracer;
+use mac_types::{Fingerprint, Fnv128, SystemConfig};
 use mac_workloads::{Workload, WorkloadParams};
 use soc_sim::{ReplayProgram, ThreadProgram};
 
@@ -42,6 +46,14 @@ impl ExperimentConfig {
     }
 }
 
+impl Fingerprint for ExperimentConfig {
+    fn fingerprint(&self, h: &mut Fnv128) {
+        self.system.fingerprint(h);
+        self.workload.fingerprint(h);
+        h.write_u64(self.max_cycles);
+    }
+}
+
 /// Materialize a workload's traces as thread programs.
 fn programs_for(w: &dyn Workload, params: &WorkloadParams) -> Vec<Box<dyn ThreadProgram>> {
     w.generate(params)
@@ -52,8 +64,24 @@ fn programs_for(w: &dyn Workload, params: &WorkloadParams) -> Vec<Box<dyn Thread
 
 /// Run one workload on one configuration.
 pub fn run_workload(w: &dyn Workload, cfg: &ExperimentConfig) -> RunReport {
+    run_workload_with(w, cfg, None)
+}
+
+/// Run one workload on one configuration, optionally attaching a
+/// telemetry tracer (the sim re-tags it per node via
+/// [`Tracer::for_node`]). Tracing never changes simulated behaviour, so
+/// the report is identical either way.
+pub fn run_workload_with(
+    w: &dyn Workload,
+    cfg: &ExperimentConfig,
+    tracer: Option<Tracer>,
+) -> RunReport {
     let programs = programs_for(w, &cfg.workload);
-    SystemSim::new(&cfg.system, programs).run(cfg.max_cycles)
+    let mut sim = SystemSim::new(&cfg.system, programs);
+    if let Some(t) = tracer {
+        sim.set_tracer(t);
+    }
+    sim.run(cfg.max_cycles)
 }
 
 /// Run one workload with and without the MAC (same traces, same device).

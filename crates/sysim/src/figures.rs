@@ -1,11 +1,16 @@
 //! One function per paper table/figure, returning the rows the
-//! `mac-bench` regenerator binaries print (and EXPERIMENTS.md records).
+//! `mac-bench` experiment catalog renders (and EXPERIMENTS.md records).
+//!
+//! Functions that run the system simulator take a [`SimPool`] so sweeps
+//! fan out across its workers and share its result cache; the analytic
+//! figures (3, 16) and the LLC-replay Figure 1 need no pool.
 
 use cache_model::{Cache, CacheConfig};
 use mac_types::{bandwidth, MacConfig, PhysAddr, SystemConfig};
 use mac_workloads::{all_workloads, sg, WorkloadParams};
 
-use crate::experiment::{parallel_map, run_all, run_all_pairs, run_workload, ExperimentConfig};
+use crate::engine::SimPool;
+use crate::experiment::{parallel_map, ExperimentConfig};
 use crate::report::RunReport;
 
 /// Render rows of `(label, values...)` as an aligned text table.
@@ -158,8 +163,8 @@ pub fn fig03() -> Vec<(u64, f64, f64)> {
 }
 
 /// Figure 9: demand requests-per-cycle per benchmark (Eq. 2).
-pub fn fig09(cfg: &ExperimentConfig) -> Vec<(String, f64)> {
-    run_all(&all_workloads(), cfg)
+pub fn fig09(pool: &SimPool, cfg: &ExperimentConfig) -> Vec<(String, f64)> {
+    pool.run_suite(&all_workloads(), cfg)
         .into_iter()
         .map(|(name, r)| (name, r.demand_rpc()))
         .collect()
@@ -167,47 +172,73 @@ pub fn fig09(cfg: &ExperimentConfig) -> Vec<(String, f64)> {
 
 /// Figure 10: coalescing efficiency per benchmark at each thread count.
 /// Returns `(benchmark, efficiency)` rows per thread count in
-/// `thread_counts`.
-pub fn fig10(thread_counts: &[usize], scale: u32) -> Vec<(usize, Vec<(String, f64)>)> {
+/// `thread_counts`. The whole `thread_counts × benchmarks` sweep is
+/// dispatched as one batch so the pool can balance it.
+pub fn fig10(
+    pool: &SimPool,
+    thread_counts: &[usize],
+    scale: u32,
+) -> Vec<(usize, Vec<(String, f64)>)> {
+    let ws = all_workloads();
+    let mut reqs = Vec::with_capacity(thread_counts.len() * ws.len());
+    for &t in thread_counts {
+        let mut cfg = ExperimentConfig::paper(t);
+        cfg.workload.scale = scale;
+        for w in &ws {
+            reqs.push(crate::engine::SimRequest::new(w.name(), &cfg));
+        }
+    }
+    let mut reports = pool.run_batch(&reqs).into_iter();
     thread_counts
         .iter()
         .map(|&t| {
-            let mut cfg = ExperimentConfig::paper(t);
-            cfg.workload.scale = scale;
-            let rows = run_all(&all_workloads(), &cfg)
-                .into_iter()
-                .map(|(name, r)| (name, r.coalescing_efficiency()))
+            let rows = ws
+                .iter()
+                .map(|w| {
+                    let r = reports.next().expect("batch len");
+                    (w.name().to_string(), r.coalescing_efficiency())
+                })
                 .collect();
             (t, rows)
         })
         .collect()
 }
 
-/// Figure 11: mean coalescing efficiency vs. ARQ entries.
-pub fn fig11(entries: &[usize], scale: u32) -> Vec<(usize, f64)> {
+/// Figure 11: mean coalescing efficiency vs. ARQ entries. The whole
+/// `entries × benchmarks` sweep runs as one batch.
+pub fn fig11(pool: &SimPool, entries: &[usize], scale: u32) -> Vec<(usize, f64)> {
+    let ws = all_workloads();
+    let mut reqs = Vec::with_capacity(entries.len() * ws.len());
+    for &n in entries {
+        let mut cfg = ExperimentConfig::paper(8);
+        cfg.workload.scale = scale;
+        cfg.system.mac = MacConfig {
+            arq_entries: n,
+            ..cfg.system.mac
+        };
+        for w in &ws {
+            reqs.push(crate::engine::SimRequest::new(w.name(), &cfg));
+        }
+    }
+    let mut reports = pool.run_batch(&reqs).into_iter();
     entries
         .iter()
         .map(|&n| {
-            let mut cfg = ExperimentConfig::paper(8);
-            cfg.workload.scale = scale;
-            cfg.system.mac = MacConfig {
-                arq_entries: n,
-                ..cfg.system.mac
-            };
-            let rows = run_all(&all_workloads(), &cfg);
-            let mean = rows
+            let mean = ws
                 .iter()
-                .map(|(_, r)| r.coalescing_efficiency())
+                .map(|_| reports.next().expect("batch len").coalescing_efficiency())
                 .sum::<f64>()
-                / rows.len() as f64;
+                / ws.len() as f64;
             (n, mean)
         })
         .collect()
 }
 
-/// Figures 12/13/14/17 all need with/without pairs; compute them once.
-pub fn paired_runs(cfg: &ExperimentConfig) -> Vec<(String, RunReport, RunReport)> {
-    run_all_pairs(&all_workloads(), cfg)
+/// Figures 12/13/14/17 all need with/without pairs; compute them once —
+/// and because the pool memoizes by configuration fingerprint, the four
+/// experiments share one set of simulations even across separate calls.
+pub fn paired_runs(pool: &SimPool, cfg: &ExperimentConfig) -> Vec<(String, RunReport, RunReport)> {
+    pool.run_suite_pairs(&all_workloads(), cfg)
 }
 
 /// Figure 12 rows from paired runs: bank conflicts removed.
@@ -250,8 +281,8 @@ pub fn fig14(pairs: &[(String, RunReport, RunReport)]) -> Vec<(String, i128)> {
 }
 
 /// Figure 15: average merged targets per popped ARQ entry.
-pub fn fig15(cfg: &ExperimentConfig) -> Vec<(String, f64, u64)> {
-    run_all(&all_workloads(), cfg)
+pub fn fig15(pool: &SimPool, cfg: &ExperimentConfig) -> Vec<(String, f64, u64)> {
+    pool.run_suite(&all_workloads(), cfg)
         .into_iter()
         .map(|(name, r)| {
             (
@@ -278,7 +309,7 @@ pub fn fig17(pairs: &[(String, RunReport, RunReport)]) -> Vec<(String, f64)> {
 
 /// Convenience wrapper for single-workload smoke runs.
 pub fn run_named(name: &str, cfg: &ExperimentConfig) -> Option<RunReport> {
-    mac_workloads::by_name(name).map(|w| run_workload(w.as_ref(), cfg))
+    mac_workloads::by_name(name).map(|w| crate::experiment::run_workload(w.as_ref(), cfg))
 }
 
 #[cfg(test)]

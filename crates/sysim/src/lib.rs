@@ -1,7 +1,7 @@
 //! # mac-sim
 //!
 //! The full-system simulator: cores → request router → MAC → HMC →
-//! response router → cores, cycle by cycle, plus the experiment harness
+//! response router → cores, cycle by cycle, plus the experiment engine
 //! that regenerates every figure and table of the paper.
 //!
 //! * [`system`] — [`SystemSim`]: one or more Figure 4 nodes (cores + MAC +
@@ -11,18 +11,32 @@
 //! * [`report`] — [`RunReport`]: merged SoC/MAC/HMC statistics with the
 //!   paper's derived metrics (Eq. 1–3) and the Figure 17 speedup
 //!   computation.
-//! * [`experiment`] — workload runners: with/without-MAC pairs, parameter
-//!   sweeps, and crossbeam-parallel batch execution.
-//! * [`figures`] — one function per paper figure/table returning the rows
-//!   the `mac-bench` binaries print.
+//! * [`experiment`] — workload runners: with/without-MAC pairs and the
+//!   low-level building blocks the engine schedules.
+//! * [`engine`] — the parallel experiment engine: work-stealing
+//!   [`engine::SimPool`], content-addressed result cache, deterministic
+//!   artifact output (`--jobs 8` is byte-identical to `--jobs 1`).
+//! * [`mod@manifest`] — every figure/table/ablation as a declarative
+//!   [`manifest::Experiment`] entry the `mac-bench` runner dispatches.
+//! * [`catalog`] — the row-building code behind each manifest entry.
+//! * [`cachefmt`] — the versioned text formats for cached results.
+//! * [`figures`] — one function per paper figure/table returning raw rows.
+
+#![warn(missing_docs)]
 
 pub mod analyzer;
+pub mod cachefmt;
+pub mod catalog;
+pub mod engine;
 pub mod experiment;
 pub mod figures;
+pub mod manifest;
 pub mod report;
 pub mod system;
 
 pub use analyzer::{analyze, TraceAnalysis};
+pub use engine::{run_experiments, Artifact, EngineOptions, EngineRun, SimPool, SimRequest};
 pub use experiment::{run_pair, run_workload, ExperimentConfig};
+pub use manifest::{manifest, select, Experiment};
 pub use report::RunReport;
 pub use system::SystemSim;

@@ -1,0 +1,385 @@
+//! The experiment manifest: every paper figure/table and repo ablation as
+//! a declarative entry the engine can schedule.
+//!
+//! The old `mac-bench` layout had one binary per figure; those binaries
+//! are now thin rows in [`manifest`], all dispatched through the single
+//! `mac-bench` runner. Each [`Experiment`] records the paper claim it
+//! reproduces, so `mac-bench --list` and `EXPERIMENTS.md` stay in sync
+//! with the code.
+//!
+//! ```
+//! let all = mac_sim::manifest::manifest();
+//! assert!(all.iter().any(|e| e.name == "fig10"));
+//!
+//! // Filters match names and tags, with `*` globbing:
+//! let figs = mac_sim::manifest::select("fig1?");
+//! assert!(figs.iter().all(|e| e.name.starts_with("fig1")));
+//! let smoke = mac_sim::manifest::select("smoke");
+//! assert_eq!(smoke.len(), 1);
+//! ```
+
+/// What an experiment computes; the engine's catalog maps each variant to
+/// its row-building code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpKind {
+    /// Table 1: the simulated configuration (static echo).
+    Table1,
+    /// Figure 1: LLC miss rates + the SG seq-vs-random sweep.
+    Fig01,
+    /// Figure 3: analytic bandwidth efficiency per request size.
+    Fig03,
+    /// Figure 9: demand requests-per-cycle per benchmark.
+    Fig09,
+    /// Figure 10: coalescing efficiency at 2/4/8 threads.
+    Fig10,
+    /// Figure 11: mean coalescing efficiency vs ARQ entries.
+    Fig11,
+    /// Figure 12: bank-conflict reduction (needs with/without pairs).
+    Fig12,
+    /// Figure 13: measured bandwidth efficiency vs raw.
+    Fig13,
+    /// Figure 14: link bytes saved by coalescing.
+    Fig14,
+    /// Figure 15: merged targets per popped ARQ entry.
+    Fig15,
+    /// Figure 16: ARQ area vs entry count (analytic).
+    Fig16,
+    /// Figure 17: memory-system speedup.
+    Fig17,
+    /// Ablation: FLIT-table sizing policy.
+    AblateFlitTable,
+    /// Ablation: B-bit bypass path on/off.
+    AblateBypass,
+    /// Ablation: latency-hiding fill on/off.
+    AblateLatencyHiding,
+    /// Ablation: ARQ pop interval sweep.
+    AblatePopRate,
+    /// Ablation: open-loop vs closed-loop core model.
+    AblateClosedLoop,
+    /// Ablation: MAC vs conventional MSHR coalescing.
+    AblateMshrBaseline,
+    /// Ablation: ARQ accept-port width sweep.
+    AblateAcceptWidth,
+    /// Ablation: context-switch penalty under thread multiplexing.
+    AblateSmt,
+    /// Ablation: HMC link packet error rate sweep.
+    AblateLinkErrors,
+    /// §4.3 applicability: the same MAC on an HBM back end.
+    BackendHbm,
+    /// §2.2 motivation: DDR4 vs raw HMC vs HMC+MAC.
+    BaselineDdr,
+    /// Extended suite: paper benchmarks + GAP CC/SSSP/TC.
+    ExtendedSuite,
+    /// Tail-latency study: p50/p99 with and without the MAC.
+    LatencyTails,
+    /// CI smoke: two micro workloads, reduced cycle cap.
+    Smoke,
+}
+
+/// One manifest entry: a named, tagged experiment plus the paper claim it
+/// reproduces.
+#[derive(Debug, Clone, Copy)]
+pub struct Experiment {
+    /// Unique name; also the output file stem and `--filter` subject.
+    pub name: &'static str,
+    /// Human-readable one-liner for `mac-bench --list`.
+    pub title: &'static str,
+    /// The paper claim this experiment checks (EXPERIMENTS.md quotes it).
+    pub claim: &'static str,
+    /// Filter tags (`figure`, `table`, `ablation`, `aux`, `smoke`,
+    /// `paired`, `sim`, `analytic`).
+    pub tags: &'static [&'static str],
+    /// Dispatch key for the catalog.
+    pub kind: ExpKind,
+}
+
+/// Every experiment the runner knows, in canonical (paper) order.
+pub fn manifest() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            name: "table1",
+            title: "Table 1: simulation environment",
+            claim: "8 cores @ 3.3 GHz, 4-link 8 GB HMC, 32-entry 64 B ARQ",
+            tags: &["table", "analytic"],
+            kind: ExpKind::Table1,
+        },
+        Experiment {
+            name: "fig01",
+            title: "Figure 1: LLC miss rates + SG seq-vs-random sweep",
+            claim: "mean LLC miss rate 49.09%; SG 2.36% seq vs 63.85% random at 32 GB",
+            tags: &["figure", "sim"],
+            kind: ExpKind::Fig01,
+        },
+        Experiment {
+            name: "fig03",
+            title: "Figure 3: analytic bandwidth efficiency per request size",
+            claim: "16 B requests reach 33.33% efficiency, 256 B reach 88.89%",
+            tags: &["figure", "analytic"],
+            kind: ExpKind::Fig03,
+        },
+        Experiment {
+            name: "fig09",
+            title: "Figure 9: raw requests per cycle",
+            claim: "paper mean 9.32 demand requests per cycle across the suite",
+            tags: &["figure", "sim"],
+            kind: ExpKind::Fig09,
+        },
+        Experiment {
+            name: "fig10",
+            title: "Figure 10: coalescing efficiency at 2/4/8 threads",
+            claim: "paper means 48.37% / 50.51% / 52.86% at 2/4/8 threads",
+            tags: &["figure", "sim"],
+            kind: ExpKind::Fig10,
+        },
+        Experiment {
+            name: "fig11",
+            title: "Figure 11: efficiency vs ARQ entries",
+            claim: "37.58% at 8 entries to 56.04% at 64, diminishing returns",
+            tags: &["figure", "sim"],
+            kind: ExpKind::Fig11,
+        },
+        Experiment {
+            name: "fig12",
+            title: "Figure 12: bank-conflict reduction",
+            claim: "coalescing removes most raw-access bank conflicts",
+            tags: &["figure", "sim", "paired"],
+            kind: ExpKind::Fig12,
+        },
+        Experiment {
+            name: "fig13",
+            title: "Figure 13: measured bandwidth efficiency",
+            claim: "70.35% coalesced vs 33.33% raw 16 B",
+            tags: &["figure", "sim", "paired"],
+            kind: ExpKind::Fig13,
+        },
+        Experiment {
+            name: "fig14",
+            title: "Figure 14: link bandwidth saved",
+            claim: "mean 22.76 GB of link traffic avoided at full scale",
+            tags: &["figure", "sim", "paired"],
+            kind: ExpKind::Fig14,
+        },
+        Experiment {
+            name: "fig15",
+            title: "Figure 15: merged targets per ARQ entry",
+            claim: "2.13 average / 3.14 max targets — 12-target entries never bind",
+            tags: &["figure", "sim"],
+            kind: ExpKind::Fig15,
+        },
+        Experiment {
+            name: "fig16",
+            title: "Figure 16: ARQ space overhead",
+            claim: "512 B at 8 entries to 16 KB at 256; default MAC ~2062 B total",
+            tags: &["figure", "analytic"],
+            kind: ExpKind::Fig16,
+        },
+        Experiment {
+            name: "fig17",
+            title: "Figure 17: memory-system speedup",
+            claim: "mean 60.73% speedup; MG/GRAPPOLO/SG/SPARSELU above 70%",
+            tags: &["figure", "sim", "paired"],
+            kind: ExpKind::Fig17,
+        },
+        Experiment {
+            name: "ablate_flit_table",
+            title: "Ablation: FLIT-table sizing policy",
+            claim: "span-rounded sizing beats always-256B and per-chunk-64B strawmen",
+            tags: &["ablation", "sim"],
+            kind: ExpKind::AblateFlitTable,
+        },
+        Experiment {
+            name: "ablate_bypass",
+            title: "Ablation: B-bit bypass path",
+            claim: "bypassing lone FLITs avoids 48 B of wasted payload per packet",
+            tags: &["ablation", "sim"],
+            kind: ExpKind::AblateBypass,
+        },
+        Experiment {
+            name: "ablate_latency_hiding",
+            title: "Ablation: latency-hiding fill",
+            claim: "comparator-skipping bulk fills keep the ARQ busy under backlog",
+            tags: &["ablation", "sim"],
+            kind: ExpKind::AblateLatencyHiding,
+        },
+        Experiment {
+            name: "ablate_pop_rate",
+            title: "Ablation: ARQ pop interval",
+            claim: "one pop per 2 cycles balances merge window vs queueing delay",
+            tags: &["ablation", "sim"],
+            kind: ExpKind::AblatePopRate,
+        },
+        Experiment {
+            name: "ablate_closed_loop",
+            title: "Ablation: core concurrency model",
+            claim: "open-loop replay vs stall-until-complete cores",
+            tags: &["ablation", "sim"],
+            kind: ExpKind::AblateClosedLoop,
+        },
+        Experiment {
+            name: "ablate_mshr_baseline",
+            title: "Ablation: MAC vs MSHR coalescing",
+            claim: "row-granular ARQ merging beats 64 B MSHR line merging",
+            tags: &["ablation", "sim"],
+            kind: ExpKind::AblateMshrBaseline,
+        },
+        Experiment {
+            name: "ablate_accept_width",
+            title: "Ablation: ARQ accept-port width",
+            claim: "the 1/cycle accept port caps steady-state coalescing near 50%",
+            tags: &["ablation", "sim"],
+            kind: ExpKind::AblateAcceptWidth,
+        },
+        Experiment {
+            name: "ablate_smt",
+            title: "Ablation: context-switch penalty (8 threads on 2 cores)",
+            claim: "switch cost erodes the concurrency that feeds the MAC",
+            tags: &["ablation", "sim"],
+            kind: ExpKind::AblateSmt,
+        },
+        Experiment {
+            name: "ablate_link_errors",
+            title: "Ablation: HMC link packet error rate",
+            claim: "CRC/retry overhead grows the latency tail with the error rate",
+            tags: &["ablation", "sim"],
+            kind: ExpKind::AblateLinkErrors,
+        },
+        Experiment {
+            name: "backend_hbm",
+            title: "MAC on HMC vs HBM back ends",
+            claim: "§4.3: the same coalescing logic transfers to HBM",
+            tags: &["aux", "sim", "paired"],
+            kind: ExpKind::BackendHbm,
+        },
+        Experiment {
+            name: "baseline_ddr",
+            title: "Baseline: DDR4 vs raw HMC vs HMC+MAC",
+            claim: "§2.2: DDR row hits coalesce but serialize; HMC+MAC wins both",
+            tags: &["aux", "sim"],
+            kind: ExpKind::BaselineDdr,
+        },
+        Experiment {
+            name: "extended_suite",
+            title: "Extended suite: +GAP CC/SSSP/TC",
+            claim: "coalescing gains generalize beyond the paper's 12 benchmarks",
+            tags: &["aux", "sim", "paired"],
+            kind: ExpKind::ExtendedSuite,
+        },
+        Experiment {
+            name: "latency_tails",
+            title: "Tail latency: p50/p99 with and without MAC",
+            claim: "coalescing removes the conflict-queueing latency tail",
+            tags: &["aux", "sim", "paired"],
+            kind: ExpKind::LatencyTails,
+        },
+        Experiment {
+            name: "smoke",
+            title: "CI smoke: stream+gups micro pairs, reduced cycle cap",
+            claim: "the engine end-to-end in seconds (not a paper figure)",
+            tags: &["smoke", "sim", "paired"],
+            kind: ExpKind::Smoke,
+        },
+    ]
+}
+
+/// Shell-style glob match supporting `*` (any run) and `?` (any one
+/// character), case-sensitive, anchored at both ends.
+pub fn glob_match(pattern: &str, name: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let n: Vec<char> = name.chars().collect();
+    // Iterative backtracking matcher: track the most recent `*`.
+    let (mut pi, mut ni) = (0usize, 0usize);
+    let (mut star, mut star_ni) = (usize::MAX, 0usize);
+    while ni < n.len() {
+        if pi < p.len() && (p[pi] == '?' || p[pi] == n[ni]) {
+            pi += 1;
+            ni += 1;
+        } else if pi < p.len() && p[pi] == '*' {
+            star = pi;
+            star_ni = ni;
+            pi += 1;
+        } else if star != usize::MAX {
+            pi = star + 1;
+            star_ni += 1;
+            ni = star_ni;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+impl Experiment {
+    /// Does this entry match a single filter pattern (against its name or
+    /// any of its tags)?
+    pub fn matches(&self, pattern: &str) -> bool {
+        glob_match(pattern, self.name) || self.tags.iter().any(|t| glob_match(pattern, t))
+    }
+}
+
+/// Manifest entries matching a comma-separated list of glob patterns
+/// (each matched against names and tags). An empty filter selects
+/// everything except the `smoke` entry, which must be asked for by name
+/// or tag.
+pub fn select(filter: &str) -> Vec<Experiment> {
+    let pats: Vec<&str> = filter
+        .split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .collect();
+    manifest()
+        .into_iter()
+        .filter(|e| {
+            if pats.is_empty() {
+                e.kind != ExpKind::Smoke
+            } else {
+                pats.iter().any(|p| e.matches(p))
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_names_are_unique() {
+        let m = manifest();
+        let names: std::collections::HashSet<_> = m.iter().map(|e| e.name).collect();
+        assert_eq!(names.len(), m.len());
+        assert_eq!(m.len(), 26);
+    }
+
+    #[test]
+    fn glob_matching() {
+        assert!(glob_match("fig*", "fig10"));
+        assert!(glob_match("*", "anything"));
+        assert!(glob_match("fig1?", "fig12"));
+        assert!(!glob_match("fig1?", "fig1"));
+        assert!(!glob_match("fig*", "table1"));
+        assert!(glob_match("a*b*c", "aXXbYYc"));
+        assert!(!glob_match("a*b*c", "aXXbYY"));
+        assert!(glob_match("smoke", "smoke"));
+        assert!(!glob_match("smoke", "smokey"));
+    }
+
+    #[test]
+    fn empty_filter_selects_all_but_smoke() {
+        let sel = select("");
+        assert_eq!(sel.len(), manifest().len() - 1);
+        assert!(sel.iter().all(|e| e.kind != ExpKind::Smoke));
+    }
+
+    #[test]
+    fn filters_match_tags_and_names() {
+        assert!(select("ablation").len() >= 9);
+        assert!(select("paired").iter().any(|e| e.name == "fig17"));
+        assert_eq!(select("smoke").len(), 1);
+        let multi = select("table1,fig03");
+        assert_eq!(multi.len(), 2);
+        assert!(select("no-such-thing").is_empty());
+    }
+}

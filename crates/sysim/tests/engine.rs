@@ -1,0 +1,147 @@
+//! Integration tests for the parallel experiment engine: the two
+//! acceptance properties of the engine design — parallel runs are
+//! byte-identical to serial runs, and a warm cache re-run executes zero
+//! simulations — plus sim-level cache round-tripping across pools.
+
+use std::path::PathBuf;
+
+use mac_sim::engine::{run_experiments, EngineOptions, SimPool, SimRequest};
+use mac_sim::experiment::ExperimentConfig;
+use mac_sim::manifest::select;
+
+/// A unique scratch directory per test (removed on entry so reruns start
+/// cold).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mac-engine-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn opts(out: PathBuf, jobs: usize, use_cache: bool) -> EngineOptions {
+    EngineOptions {
+        jobs,
+        scale: 1,
+        out_dir: out,
+        use_cache,
+        trace: false,
+    }
+}
+
+fn artifact_bytes(dir: &PathBuf) -> Vec<(String, Vec<u8>)> {
+    let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .expect("out dir exists")
+        .filter_map(|e| {
+            let e = e.ok()?;
+            if e.path().is_file() {
+                Some((
+                    e.file_name().to_string_lossy().into_owned(),
+                    std::fs::read(e.path()).ok()?,
+                ))
+            } else {
+                None
+            }
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn parallel_runs_are_byte_identical_to_serial() {
+    let exps = select("smoke");
+    assert_eq!(exps.len(), 1);
+
+    let serial_dir = scratch("serial");
+    let parallel_dir = scratch("parallel");
+    // No disk cache: force both runs to actually simulate.
+    let serial = run_experiments(&exps, &opts(serial_dir.clone(), 1, false)).unwrap();
+    let parallel = run_experiments(&exps, &opts(parallel_dir.clone(), 8, false)).unwrap();
+    assert!(serial.sims_executed > 0);
+    assert!(parallel.sims_executed > 0);
+
+    let a = artifact_bytes(&serial_dir);
+    let b = artifact_bytes(&parallel_dir);
+    assert!(!a.is_empty());
+    assert_eq!(a.len(), b.len());
+    for ((name_a, bytes_a), (name_b, bytes_b)) in a.iter().zip(&b) {
+        assert_eq!(name_a, name_b);
+        assert_eq!(
+            bytes_a, bytes_b,
+            "{name_a} differs between --jobs 1 and --jobs 8"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&serial_dir);
+    let _ = std::fs::remove_dir_all(&parallel_dir);
+}
+
+#[test]
+fn warm_cache_rerun_executes_zero_simulations() {
+    let exps = select("smoke");
+    let dir = scratch("warm");
+
+    let cold = run_experiments(&exps, &opts(dir.clone(), 4, true)).unwrap();
+    assert!(cold.sims_executed > 0, "cold run must simulate");
+    assert!(!cold.outcomes[0].from_artifact_cache);
+    let cold_files = artifact_bytes(&dir);
+
+    let warm = run_experiments(&exps, &opts(dir.clone(), 4, true)).unwrap();
+    assert_eq!(warm.sims_executed, 0, "warm run must simulate nothing");
+    assert_eq!(warm.sims_from_disk, 0, "artifact cache short-circuits sims");
+    assert!(warm.outcomes[0].from_artifact_cache);
+    assert_eq!(artifact_bytes(&dir), cold_files, "warm outputs identical");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sim_cache_round_trips_across_pools() {
+    let dir = scratch("simcache");
+    let mut cfg = ExperimentConfig::paper(2);
+    cfg.workload.scale = 1;
+    cfg.max_cycles = 50_000_000;
+    let reqs = vec![
+        SimRequest::new("stream", &cfg),
+        SimRequest::new("gups", &cfg),
+    ];
+
+    let pool1 = SimPool::new(2).with_cache(&dir);
+    let fresh = pool1.run_batch(&reqs);
+    assert_eq!(pool1.sims_executed(), 2);
+
+    // A brand-new pool (empty memo) must serve both from disk, and the
+    // restored reports must agree with the simulated ones on every
+    // cached statistic and derived metric.
+    let pool2 = SimPool::new(2).with_cache(&dir);
+    let cached = pool2.run_batch(&reqs);
+    assert_eq!(pool2.sims_executed(), 0);
+    assert_eq!(pool2.disk_cache_hits(), 2);
+    for (a, b) in fresh.iter().zip(&cached) {
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.soc, b.soc);
+        assert_eq!(a.mac, b.mac);
+        assert_eq!(a.hmc, b.hmc);
+        assert_eq!(a.coalescing_efficiency(), b.coalescing_efficiency());
+        assert_eq!(a.bandwidth_efficiency(), b.bandwidth_efficiency());
+        assert_eq!(a.latency_quantile(0.99), b.latency_quantile(0.99));
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn duplicate_requests_simulate_once() {
+    let mut cfg = ExperimentConfig::paper(2);
+    cfg.workload.scale = 1;
+    cfg.max_cycles = 50_000_000;
+    let reqs = vec![
+        SimRequest::new("gups", &cfg),
+        SimRequest::new("gups", &cfg),
+        SimRequest::new("gups", &cfg),
+    ];
+    let pool = SimPool::new(4);
+    let out = pool.run_batch(&reqs);
+    assert_eq!(pool.sims_executed(), 1, "identical requests dedup");
+    assert_eq!(out[0].cycles, out[1].cycles);
+    assert_eq!(out[1].hmc, out[2].hmc);
+}

@@ -1,16 +1,43 @@
-//! Compact binary trace stream: writer sink and matching reader.
+//! Compact binary trace stream (the `.mctr` format): writer sink and
+//! matching reader.
 //!
-//! Layout (all integers little-endian):
+//! This is the on-disk format behind both trace producers — the
+//! `mac-bench` runner's `--trace` flag (one file per executed simulation
+//! under `results/traces/`) and `trace_tools run --trace` — and both
+//! consumers (`trace_tools events` / `trace_tools perfetto`).
+//!
+//! ## Header layout
+//!
+//! The file opens with a fixed 8-byte header (all integers
+//! little-endian):
 //!
 //! ```text
-//! header:  magic "MCTR" | version u16 | reserved u16
-//! record:  tag u8 | node u16 | cycle u64 | payload (fixed per tag)
+//! offset  size  field
+//! 0       4     magic: the ASCII bytes "MCTR"
+//! 4       2     version: u16, currently 1 — readers reject any other
+//! 6       2     reserved: u16, written as 0, ignored on read
+//! ```
+//!
+//! ## Record layout
+//!
+//! Records follow back-to-back with no count field or padding; the
+//! stream ends at EOF (a mid-record EOF is reported as corruption, not
+//! silently dropped):
+//!
+//! ```text
+//! offset  size  field
+//! 0       1     tag: u8, the TraceEvent discriminant (0..=16)
+//! 1       2     node: u16, SystemSim node id (Tracer::for_node)
+//! 3       8     cycle: u64, simulation cycle of the event
+//! 11      n     payload: fixed width per tag
 //! ```
 //!
 //! Payload fields appear in the order they are declared on the
-//! [`TraceEvent`] variant, at fixed widths, so the encoding is fully
-//! deterministic: two identical runs produce byte-identical files
-//! (asserted by `sysim`'s determinism test).
+//! [`TraceEvent`] variant, at fixed widths (`bool` as one byte, no
+//! alignment padding), so the encoding is fully deterministic: two
+//! identical runs produce byte-identical files (asserted by `sysim`'s
+//! determinism test). The largest record is 31 bytes
+//! (`LinkTx`/`VaultActivate`: 11-byte head + 20-byte payload).
 
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -19,7 +46,9 @@ use std::path::Path;
 use crate::event::{TraceEvent, TraceRecord};
 use crate::tracer::TraceSink;
 
+/// The 4-byte magic at offset 0 of every `.mctr` file.
 pub const MAGIC: &[u8; 4] = b"MCTR";
+/// Format version written at offset 4; readers reject mismatches.
 pub const VERSION: u16 = 1;
 
 /// Largest encoded record (LinkTx/VaultActivate class: 11-byte head +

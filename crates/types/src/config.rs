@@ -328,8 +328,11 @@ impl Default for HbmConfig {
 /// Complete system configuration.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SystemConfig {
+    /// Core-side (node) parameters.
     pub soc: SocConfig,
+    /// MAC coalescer parameters.
     pub mac: MacConfig,
+    /// HMC parameters, used when `backend` is [`MemBackend::Hmc`].
     pub hmc: HmcConfig,
     /// HBM parameters, used when `backend` is [`MemBackend::Hbm`].
     pub hbm: HbmConfig,

@@ -15,9 +15,12 @@
 //! crate. The MAC pipeline is in `mac-coalescer`, the HMC device model in
 //! `hmc-model`, and the full-system binding in `mac-sim`.
 
+#![warn(missing_docs)]
+
 pub mod addr;
 pub mod bandwidth;
 pub mod config;
+pub mod fingerprint;
 pub mod flit;
 pub mod packet;
 pub mod request;
@@ -29,6 +32,7 @@ pub use config::{
     DdrConfig, FlitTablePolicy, HbmConfig, HmcConfig, MacConfig, MemBackend, SocConfig,
     SystemConfig,
 };
+pub use fingerprint::{Fingerprint, Fnv128};
 pub use flit::{ChunkMask, FlitMap, CHUNKS_PER_ROW, CHUNK_BYTES, FLITS_PER_CHUNK};
 pub use packet::{HmcPacket, PacketKind};
 pub use request::{

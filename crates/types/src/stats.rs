@@ -164,6 +164,24 @@ impl Histogram {
         self.count
     }
 
+    /// The 64 raw bucket counts (bucket `i` holds values in
+    /// `[2^i, 2^(i+1))`). Exposed for serialization in the experiment
+    /// engine's result cache.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Rebuild a histogram from serialized parts (the inverse of
+    /// [`Histogram::buckets`] + [`Histogram::count`]). `buckets` longer
+    /// than 64 entries are truncated; shorter ones are zero-padded.
+    pub fn from_parts(bucket_counts: &[u64], count: u64) -> Self {
+        let mut buckets = vec![0u64; 64];
+        for (dst, src) in buckets.iter_mut().zip(bucket_counts) {
+            *dst = *src;
+        }
+        Histogram { buckets, count }
+    }
+
     /// Approximate value at quantile `q` in `[0, 1]` (upper bound of the
     /// containing bucket). 0 when empty.
     pub fn quantile(&self, q: f64) -> u64 {

@@ -59,6 +59,14 @@ impl Default for WorkloadParams {
     }
 }
 
+impl mac_types::Fingerprint for WorkloadParams {
+    fn fingerprint(&self, h: &mut mac_types::Fnv128) {
+        h.write_usize(self.threads);
+        h.write_u64(self.scale as u64);
+        h.write_u64(self.seed);
+    }
+}
+
 /// A benchmark that can generate per-thread operation traces.
 pub trait Workload: Send + Sync {
     /// Short name used in reports (matches the paper's figure labels).
