@@ -23,7 +23,10 @@ pub trait Buf {
     fn advance(&mut self, n: usize);
 
     fn copy_to_slice(&mut self, dst: &mut [u8]) {
-        assert!(self.remaining() >= dst.len(), "copy_to_slice: buffer underflow");
+        assert!(
+            self.remaining() >= dst.len(),
+            "copy_to_slice: buffer underflow"
+        );
         dst.copy_from_slice(&self.chunk()[..dst.len()]);
         self.advance(dst.len());
     }
@@ -117,7 +120,10 @@ impl Bytes {
     }
 
     pub fn from_static(data: &'static [u8]) -> Bytes {
-        Bytes { data: data.to_vec(), pos: 0 }
+        Bytes {
+            data: data.to_vec(),
+            pos: 0,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -140,7 +146,10 @@ impl Bytes {
             Bound::Excluded(&n) => n,
             Bound::Unbounded => self.len(),
         };
-        Bytes { data: self.chunk()[start..end].to_vec(), pos: 0 }
+        Bytes {
+            data: self.chunk()[start..end].to_vec(),
+            pos: 0,
+        }
     }
 }
 
@@ -180,7 +189,10 @@ impl From<Vec<u8>> for Bytes {
 
 impl From<&[u8]> for Bytes {
     fn from(data: &[u8]) -> Bytes {
-        Bytes { data: data.to_vec(), pos: 0 }
+        Bytes {
+            data: data.to_vec(),
+            pos: 0,
+        }
     }
 }
 
@@ -210,7 +222,9 @@ impl BytesMut {
     }
 
     pub fn with_capacity(cap: usize) -> BytesMut {
-        BytesMut { data: Vec::with_capacity(cap) }
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -222,7 +236,10 @@ impl BytesMut {
     }
 
     pub fn freeze(self) -> Bytes {
-        Bytes { data: self.data, pos: 0 }
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
     }
 }
 
@@ -253,7 +270,9 @@ impl AsRef<[u8]> for BytesMut {
 
 impl From<&[u8]> for BytesMut {
     fn from(data: &[u8]) -> BytesMut {
-        BytesMut { data: data.to_vec() }
+        BytesMut {
+            data: data.to_vec(),
+        }
     }
 }
 

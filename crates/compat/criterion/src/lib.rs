@@ -146,7 +146,8 @@ impl Bencher<'_> {
             for _ in 0..batch {
                 black_box(f());
             }
-            self.samples_ns.push(t.elapsed().as_nanos() as f64 / batch as f64);
+            self.samples_ns
+                .push(t.elapsed().as_nanos() as f64 / batch as f64);
             if meas_start.elapsed() > self.cfg.measurement_time * 2 {
                 break; // runaway workload; keep whatever samples we have
             }
@@ -158,7 +159,10 @@ fn run_bench<F>(cfg: &Criterion, name: &str, throughput: Option<Throughput>, mut
 where
     F: FnMut(&mut Bencher),
 {
-    let mut b = Bencher { cfg, samples_ns: Vec::with_capacity(cfg.sample_size) };
+    let mut b = Bencher {
+        cfg,
+        samples_ns: Vec::with_capacity(cfg.sample_size),
+    };
     f(&mut b);
     if b.samples_ns.is_empty() {
         println!("{name:<40} (no samples)");

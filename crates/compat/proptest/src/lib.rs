@@ -220,7 +220,10 @@ pub mod collection {
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> SizeRange {
             assert!(r.start < r.end, "empty vec length range");
-            SizeRange { lo: r.start, hi: r.end }
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
         }
     }
 
@@ -232,7 +235,10 @@ pub mod collection {
     /// A `Vec` whose length is drawn from `len` and whose elements come
     /// from `element`.
     pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, len: len.into() }
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -261,7 +267,10 @@ pub struct ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> ProptestConfig {
-        ProptestConfig { cases: default_cases(), max_shrink_iters: 1024 }
+        ProptestConfig {
+            cases: default_cases(),
+            max_shrink_iters: 1024,
+        }
     }
 }
 
@@ -270,7 +279,9 @@ fn default_cases() -> u32 {
 }
 
 fn env_cases() -> Option<u32> {
-    std::env::var("PROPTEST_CASES").ok().and_then(|s| s.parse().ok())
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
 }
 
 /// Per-test case count: `PROPTEST_CASES` env override, default 96.

@@ -44,7 +44,10 @@ pub trait Rng: RngCore {
 
     /// Return `true` with probability `numerator/denominator`.
     fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
-        assert!(denominator > 0 && numerator <= denominator, "gen_ratio {numerator}/{denominator}");
+        assert!(
+            denominator > 0 && numerator <= denominator,
+            "gen_ratio {numerator}/{denominator}"
+        );
         uniform_u64(self, denominator as u64) < numerator as u64
     }
 

@@ -26,6 +26,8 @@
 //! * [`area`] — the space-overhead model behind Figure 16.
 //! * [`stats`] — coalescing-efficiency accounting (Eq. 3, Figures 10/15).
 
+#![warn(missing_docs)]
+
 pub mod area;
 pub mod arq;
 pub mod builder;

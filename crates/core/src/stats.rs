@@ -7,10 +7,13 @@ use serde::{Deserialize, Serialize};
 /// Statistics accumulated by one MAC unit.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct MacStats {
-    /// Raw requests accepted, by kind.
+    /// Raw load requests accepted.
     pub raw_loads: u64,
+    /// Raw store requests accepted.
     pub raw_stores: u64,
+    /// Raw atomic requests accepted.
     pub raw_atomics: u64,
+    /// Raw fence markers accepted.
     pub raw_fences: u64,
     /// Transactions dispatched to the device, by payload size
     /// [16, 32, 64, 128, 256] B.

@@ -174,6 +174,10 @@ impl MemoryDevice for DdrDevice {
     fn stats(&self) -> &HmcStats {
         &self.stats
     }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
 }
 
 #[cfg(test)]

@@ -202,6 +202,9 @@ impl crate::device_trait::MemoryDevice for HmcDevice {
     fn set_tracer(&mut self, tracer: Tracer) {
         HmcDevice::set_tracer(self, tracer)
     }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
 }
 
 #[cfg(test)]

@@ -33,4 +33,9 @@ pub trait MemoryDevice {
 
     /// Attach a tracer. Devices without instrumentation ignore it.
     fn set_tracer(&mut self, _tracer: mac_telemetry::Tracer) {}
+
+    /// `Any` hook so front ends can recover device-specific statistics
+    /// (e.g. a multi-cube network's hop counters) from behind the trait
+    /// object. Implementations return `self`.
+    fn as_any(&self) -> &dyn std::any::Any;
 }

@@ -185,6 +185,10 @@ impl MemoryDevice for HbmDevice {
     fn stats(&self) -> &HmcStats {
         &self.stats
     }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
 }
 
 #[cfg(test)]

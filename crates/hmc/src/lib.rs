@@ -25,6 +25,8 @@
 //! guarantees). Completed responses are drained with
 //! [`HmcDevice::drain_completed`].
 
+#![warn(missing_docs)]
+
 pub mod addrmap;
 pub mod ddr;
 pub mod device;
@@ -34,7 +36,7 @@ pub mod link;
 pub mod stats;
 pub mod vault;
 
-pub use addrmap::AddrMap;
+pub use addrmap::{AddrMap, BankAddr, NetAddrMap};
 pub use ddr::DdrDevice;
 pub use device::HmcDevice;
 pub use device_trait::MemoryDevice;

@@ -8,7 +8,7 @@
 //! not accumulate rounding error.
 
 use mac_telemetry::{TraceEvent, Tracer};
-use mac_types::{Cycle, HmcConfig};
+use mac_types::{Cycle, HmcConfig, LinkSelectPolicy};
 use serde::{Deserialize, Serialize};
 
 /// One direction of one link.
@@ -43,6 +43,7 @@ pub struct LinkSet {
     down: Vec<Channel>,
     up: Vec<Channel>,
     flit_x16: u64,
+    policy: LinkSelectPolicy,
     tracer: Tracer,
 }
 
@@ -54,6 +55,7 @@ impl LinkSet {
             down: vec![Channel::default(); cfg.links],
             up: vec![Channel::default(); cfg.links],
             flit_x16: cfg.flit_cycles_x16(),
+            policy: cfg.link_select,
             tracer: Tracer::disabled(),
         }
     }
@@ -63,11 +65,15 @@ impl LinkSet {
         self.tracer = tracer;
     }
 
-    /// Pick the least-loaded downstream channel and serialize a request
-    /// packet of `flits` on it. Returns `(link index, cycle the packet has
-    /// fully arrived at the cube)`.
+    /// Pick a downstream channel per the configured
+    /// [`LinkSelectPolicy`] and serialize a request packet of `flits` on
+    /// it. Returns `(link index, cycle the packet has fully arrived at
+    /// the cube)`.
     pub fn send_request(&mut self, now: Cycle, flits: u64) -> (usize, Cycle) {
-        let link = self.least_loaded_down();
+        let link = match self.policy {
+            LinkSelectPolicy::RoundRobin => self.earliest_free_down(),
+            LinkSelectPolicy::LeastLoaded => self.least_busy_down(),
+        };
         let (start, done) = self.down[link].transmit(now, flits, self.flit_x16);
         if flits > 0 {
             self.tracer.emit(now, || TraceEvent::LinkTx {
@@ -101,11 +107,25 @@ impl LinkSet {
         done
     }
 
-    fn least_loaded_down(&self) -> usize {
+    /// The historical implicit selection: earliest-free channel, lowest
+    /// index on ties. Under uniform packet sizes this rotates
+    /// round-robin, hence the policy name.
+    fn earliest_free_down(&self) -> usize {
         self.down
             .iter()
             .enumerate()
             .min_by_key(|(_, c)| c.free_at_x16)
+            .map(|(i, _)| i)
+            .expect("non-empty link set")
+    }
+
+    /// Channel with the least accumulated busy time, lowest index on
+    /// ties.
+    fn least_busy_down(&self) -> usize {
+        self.down
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| c.busy_x16)
             .map(|(i, _)| i)
             .expect("non-empty link set")
     }
@@ -200,6 +220,71 @@ mod tests {
         let expected = 10.0 * HmcConfig::default().flit_cycles_x16() as f64 / 16.0;
         assert!((l.down_busy_cycles() - expected).abs() < 1e-9);
         assert_eq!(l.up_busy_cycles(), 0.0);
+    }
+
+    #[test]
+    fn round_robin_default_is_byte_identical_to_legacy_selection() {
+        // The legacy `send_request` picked min-by-`free_at_x16` (first
+        // index on ties) with no policy knob. Replaying a skewed traffic
+        // mix against an oracle of that algorithm must leave the policy'd
+        // LinkSet in exactly the same state, link for link and x16-tick
+        // for x16-tick.
+        let cfg = HmcConfig::default();
+        assert_eq!(cfg.link_select, mac_types::LinkSelectPolicy::RoundRobin);
+        let mut l = LinkSet::new(&cfg);
+        let flit_x16 = cfg.flit_cycles_x16();
+        let mut oracle = vec![Channel::default(); cfg.links];
+        // Deterministic but irregular packet sizes and arrival times.
+        let mut t = 0u64;
+        for i in 0..1000u64 {
+            let flits = 1 + (i * i) % 17;
+            t += i % 3;
+            let pick = oracle
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, c)| c.free_at_x16)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            let (o_start, o_done) = oracle[pick].transmit(t, flits, flit_x16);
+            let (link, done) = l.send_request(t, flits);
+            assert_eq!(link, pick, "packet {i}: link choice diverged");
+            assert_eq!(done, o_done, "packet {i}: completion diverged");
+            let _ = o_start;
+        }
+        for (i, o) in oracle.iter().enumerate() {
+            assert_eq!(l.down[i].free_at_x16, o.free_at_x16);
+            assert_eq!(l.down[i].busy_x16, o.busy_x16);
+        }
+    }
+
+    #[test]
+    fn least_loaded_differs_only_under_skewed_sizes() {
+        let cfg = HmcConfig {
+            link_select: mac_types::LinkSelectPolicy::LeastLoaded,
+            ..HmcConfig::default()
+        };
+        let mut ll = LinkSet::new(&cfg);
+        let mut rr = LinkSet::new(&HmcConfig::default());
+        // Uniform packets: both policies rotate identically.
+        for _ in 0..16 {
+            assert_eq!(ll.send_request(0, 4).0, rr.send_request(0, 4).0);
+        }
+        // Two links, one early giant packet on link 0 and a later small
+        // one on link 1: round-robin (earliest free) returns to link 0
+        // once its serialization window has passed, while least-loaded
+        // still remembers link 0's accumulated busy time and avoids it.
+        let seq = |policy| {
+            let mut l = LinkSet::new(&HmcConfig {
+                links: 2,
+                link_select: policy,
+                ..HmcConfig::default()
+            });
+            assert_eq!(l.send_request(0, 17).0, 0, "first pick ties to link 0");
+            assert_eq!(l.send_request(30, 1).0, 1, "idle link 1 is earliest free");
+            l.send_request(32, 1).0
+        };
+        assert_eq!(seq(mac_types::LinkSelectPolicy::RoundRobin), 0);
+        assert_eq!(seq(mac_types::LinkSelectPolicy::LeastLoaded), 1);
     }
 
     #[test]

@@ -1,0 +1,448 @@
+//! A network of HMC cubes behind one host attach point.
+//!
+//! [`NetDevice`] implements [`hmc_model::MemoryDevice`], so the
+//! full-system simulator can swap it in wherever a single
+//! [`hmc_model::HmcDevice`] fits. Internally it holds one vault/bank
+//! complex per cube, a routed [`Fabric`] between them, and the host's
+//! link group in front of cube 0.
+//!
+//! A transaction's path generalizes the single-device pipeline:
+//!
+//! ```text
+//! host links -> cube 0 [-> fabric hops -> cube k] -> logic -> vault
+//!     -> logic [-> fabric hops -> cube 0] -> host links
+//! ```
+//!
+//! With one cube the bracketed stages vanish and every arithmetic step —
+//! including the link-retry RNG draw sequence — matches
+//! [`hmc_model::HmcDevice::submit`] exactly; a 1-cube network is the
+//! single-device model, bit for bit. That equivalence is what lets the
+//! chain-sweep experiments attribute every cycle of divergence to the
+//! fabric itself.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use hmc_model::{HmcStats, LinkSet, MemoryDevice, NetAddrMap, VaultSet};
+use mac_telemetry::{TraceEvent, Tracer};
+use mac_types::{CubeId, Cycle, HmcConfig, HmcRequest, HmcResponse, NetConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::fabric::Fabric;
+use crate::stats::NetStats;
+use crate::topology::Topology;
+
+/// A multi-cube HMC network presenting as one memory device.
+#[derive(Debug, Clone)]
+pub struct NetDevice {
+    map: NetAddrMap,
+    topo: Topology,
+    host_links: LinkSet,
+    fabric: Fabric,
+    /// One vault/bank complex per cube.
+    vaults: Vec<VaultSet>,
+    stats: HmcStats,
+    net_stats: NetStats,
+    logic_latency: u64,
+    link_error_rate: f64,
+    retry_penalty: u64,
+    rng: SmallRng,
+    /// Host-link retransmissions performed (stat).
+    pub retries: u64,
+    completion: BinaryHeap<Reverse<(Cycle, u64)>>,
+    inflight: std::collections::HashMap<u64, HmcResponse>,
+    seq: u64,
+    tracer: Tracer,
+}
+
+impl NetDevice {
+    /// Build a cube network: `cfg` describes each cube (and the host
+    /// links), `net` the network shape.
+    pub fn new(cfg: &HmcConfig, net: &NetConfig) -> Self {
+        let topo = Topology::new(net);
+        let fabric = Fabric::new(cfg, net, &topo);
+        NetDevice {
+            map: NetAddrMap::new(cfg, net),
+            host_links: LinkSet::new(cfg),
+            fabric,
+            vaults: (0..net.cubes).map(|_| VaultSet::new(cfg)).collect(),
+            stats: HmcStats::default(),
+            net_stats: NetStats::new(net.cubes),
+            logic_latency: cfg.logic_latency,
+            link_error_rate: cfg.link_error_rate.clamp(0.0, 0.99),
+            retry_penalty: cfg.retry_penalty,
+            rng: SmallRng::seed_from_u64(cfg.error_seed),
+            retries: 0,
+            completion: BinaryHeap::new(),
+            inflight: std::collections::HashMap::new(),
+            seq: 0,
+            tracer: Tracer::disabled(),
+            topo,
+        }
+    }
+
+    /// Request/response packet lengths in FLITs, per HMC §2.2.2 —
+    /// identical to the single-device accounting.
+    pub fn packet_flits(req: &HmcRequest) -> (u64, u64) {
+        if req.is_atomic {
+            (2, 2)
+        } else if req.is_write {
+            (1 + req.size.flits(), 1)
+        } else {
+            (1, 1 + req.size.flits())
+        }
+    }
+
+    /// Serialize a request of `flits` onto the host links (with CRC
+    /// retry injection), then forward it hop by hop to `dest`. Returns
+    /// `(host link used, cycle fully arrived at dest)`.
+    ///
+    /// Exposed so a per-cube-placement system loop can push raw
+    /// (un-coalesced) packets to a remote cube's ingress.
+    pub fn deliver_request(&mut self, dest: u16, now: Cycle, flits: u64) -> (usize, Cycle) {
+        let (link, mut at_cube) = self.host_links.send_request(now, flits);
+        while self.link_error_rate > 0.0 && self.rng.gen_bool(self.link_error_rate) {
+            self.retries += 1;
+            at_cube = self
+                .host_links
+                .send_response(link, at_cube + self.retry_penalty, 0)
+                .max(at_cube + self.retry_penalty);
+            let (_, resent) = self.host_links.send_request(at_cube, flits);
+            at_cube = resent;
+        }
+        let path = self.topo.path(0, dest);
+        let mut t = at_cube;
+        for w in path.windows(2) {
+            let edge = self.topo.edge_index(w[0], w[1]);
+            t = self.fabric.forward(&self.topo, edge, t, flits, dest, false);
+        }
+        (link, t)
+    }
+
+    /// Forward a response of `flits` from cube `src` back to cube 0 hop
+    /// by hop, then serialize it upstream on host link `link`. Returns
+    /// the cycle it has fully arrived at the host.
+    pub fn deliver_response(&mut self, src: u16, link: usize, now: Cycle, flits: u64) -> Cycle {
+        let path = self.topo.path(src, 0);
+        let mut t = now;
+        for w in path.windows(2) {
+            let edge = self.topo.edge_index(w[0], w[1]);
+            t = self.fabric.forward(&self.topo, edge, t, flits, 0, true);
+        }
+        self.host_links.send_response(link, t, flits)
+    }
+
+    /// Pass a request through its home cube's logic layer and vault,
+    /// arriving at the cube at `at_cube`. Returns the owning cube, the
+    /// cycle the response packet is ready to leave that cube, and
+    /// whether the access hit a busy bank.
+    pub fn cube_access(&mut self, req: &HmcRequest, at_cube: Cycle) -> (CubeId, Cycle, bool) {
+        let (cube, loc) = self.map.locate(req.addr);
+        let at_vault = at_cube + self.logic_latency;
+        let sched = self.vaults[cube.0 as usize].schedule(loc, at_vault, req.size.bytes());
+        (cube, sched.done + self.logic_latency, sched.conflict)
+    }
+
+    /// Record a finished access (device + network stats, trace event)
+    /// and queue its response for [`MemoryDevice::drain_completed`].
+    pub fn finish_access(
+        &mut self,
+        req: HmcRequest,
+        cube: CubeId,
+        conflict: bool,
+        completed: Cycle,
+        now: Cycle,
+    ) {
+        let latency = completed.saturating_sub(req.dispatched_at.min(now));
+        self.tracer.emit(completed, || TraceEvent::HmcComplete {
+            addr: req.addr.raw(),
+            targets: req.targets.len() as u8,
+            latency,
+        });
+        self.stats.record_access(
+            req.size,
+            req.useful_bytes(),
+            req.merged_count().max(1),
+            conflict,
+            latency,
+        );
+        let hops = self.topo.hops(0, cube.0);
+        self.net_stats
+            .record_access(cube.0, hops, conflict, latency);
+
+        let rsp = HmcResponse {
+            addr: req.addr,
+            size: req.size,
+            is_write: req.is_write,
+            targets: req.targets,
+            raw_ids: req.raw_ids,
+            completed_at: completed,
+            conflicts: conflict as u64,
+        };
+        let id = self.seq;
+        self.seq += 1;
+        self.completion.push(Reverse((completed, id)));
+        self.inflight.insert(id, rsp);
+    }
+
+    /// The network's address map (cube + vault/bank decomposition).
+    pub fn addr_map(&self) -> &NetAddrMap {
+        &self.map
+    }
+
+    /// The network's topology and routing tables.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Whether the vault that would serve `req` has queue room at `now`,
+    /// at whichever cube owns the address.
+    pub fn can_accept(&mut self, req: &HmcRequest, now: Cycle) -> bool {
+        let (cube, loc) = self.map.locate(req.addr);
+        self.vaults[cube.0 as usize].can_accept(loc.vault, now)
+    }
+
+    /// Submit one transaction at cycle `now` (non-decreasing across
+    /// calls); returns the cycle its response has fully arrived back at
+    /// the host.
+    pub fn submit(&mut self, req: HmcRequest, now: Cycle) -> Cycle {
+        let (req_flits, rsp_flits) = Self::packet_flits(&req);
+        let dest = self.map.cube_of(req.addr);
+        let (link, at_cube) = self.deliver_request(dest.0, now, req_flits);
+        let (cube, rsp_ready, conflict) = self.cube_access(&req, at_cube);
+        debug_assert_eq!(cube, dest);
+        let completed = self.deliver_response(cube.0, link, rsp_ready, rsp_flits);
+        self.finish_access(req, cube, conflict, completed, now);
+        completed
+    }
+
+    /// Pop every response whose completion cycle is `<= now`, in
+    /// completion order.
+    pub fn drain_completed(&mut self, now: Cycle) -> Vec<HmcResponse> {
+        let mut out = Vec::new();
+        while let Some(&Reverse((t, id))) = self.completion.peek() {
+            if t > now {
+                break;
+            }
+            self.completion.pop();
+            out.push(self.inflight.remove(&id).expect("inflight response"));
+        }
+        out
+    }
+
+    /// Transactions submitted but not yet drained.
+    pub fn pending(&self) -> usize {
+        self.completion.len()
+    }
+
+    /// Earliest outstanding completion, if any.
+    pub fn next_completion(&self) -> Option<Cycle> {
+        self.completion.peek().map(|&Reverse((t, _))| t)
+    }
+
+    /// Accumulated per-access device statistics (aggregated over cubes).
+    pub fn stats(&self) -> &HmcStats {
+        &self.stats
+    }
+
+    /// Network-level statistics, with fabric transit counters folded in.
+    pub fn net_stats(&self) -> NetStats {
+        let mut s = self.net_stats.clone();
+        s.transit_flits = self.fabric.transit_flits();
+        s.transit_busy_x16 = self.fabric.transit_busy_x16();
+        s
+    }
+
+    /// Bank-busy cycles summed over every cube (utilization accounting).
+    pub fn bank_busy_cycles(&self) -> u128 {
+        self.vaults.iter().map(|v| v.bank_busy_cycles()).sum()
+    }
+
+    /// Attach a tracer. Host-link and completion events keep the
+    /// caller's node tag; vault and hop events are re-tagged with the
+    /// cube id that produced them, so per-vault analyzers resolve per
+    /// cube.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.host_links.set_tracer(tracer.clone());
+        for (c, v) in self.vaults.iter_mut().enumerate() {
+            v.set_tracer(tracer.for_node(c as u16));
+        }
+        self.fabric.set_tracer(&tracer);
+        self.tracer = tracer;
+    }
+}
+
+impl MemoryDevice for NetDevice {
+    fn can_accept(&mut self, req: &HmcRequest, now: Cycle) -> bool {
+        NetDevice::can_accept(self, req, now)
+    }
+    fn submit(&mut self, req: HmcRequest, now: Cycle) -> Cycle {
+        NetDevice::submit(self, req, now)
+    }
+    fn drain_completed(&mut self, now: Cycle) -> Vec<HmcResponse> {
+        NetDevice::drain_completed(self, now)
+    }
+    fn pending(&self) -> usize {
+        NetDevice::pending(self)
+    }
+    fn next_completion(&self) -> Option<Cycle> {
+        NetDevice::next_completion(self)
+    }
+    fn stats(&self) -> &HmcStats {
+        NetDevice::stats(self)
+    }
+    fn set_tracer(&mut self, tracer: Tracer) {
+        NetDevice::set_tracer(self, tracer)
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmc_model::HmcDevice;
+    use mac_types::{CubeMapping, FlitMap, NetTopology, PhysAddr, ReqSize, Target, TransactionId};
+
+    fn read_req(addr: u64, size: ReqSize, at: Cycle) -> HmcRequest {
+        let a = PhysAddr::new(addr);
+        let mut fm = FlitMap::new();
+        fm.set(a.flit());
+        HmcRequest {
+            addr: a,
+            size,
+            is_write: false,
+            is_atomic: false,
+            flit_map: fm,
+            targets: vec![Target {
+                tid: 0,
+                tag: 0,
+                flit: a.flit(),
+            }],
+            raw_ids: vec![TransactionId(at)],
+            dispatched_at: at,
+        }
+    }
+
+    fn net(cubes: usize) -> NetConfig {
+        NetConfig {
+            enabled: true,
+            cubes,
+            topology: NetTopology::DaisyChain,
+            mapping: CubeMapping::Interleaved,
+            ..NetConfig::default()
+        }
+    }
+
+    /// The tentpole invariant: one cube behind the net layer is the
+    /// single-device model, completion cycle for completion cycle, even
+    /// with link-retry randomness in play.
+    #[test]
+    fn one_cube_matches_hmc_device_exactly() {
+        for error_rate in [0.0, 0.25] {
+            let cfg = HmcConfig {
+                link_error_rate: error_rate,
+                ..HmcConfig::default()
+            };
+            let mut single = HmcDevice::new(&cfg);
+            let mut netdev = NetDevice::new(&cfg, &net(1));
+            let mut t = 0u64;
+            for i in 0..400u64 {
+                t += i % 5;
+                let addr = (i * 0x9E37_79B9) % (1 << 25);
+                let size = match i % 3 {
+                    0 => ReqSize::B16,
+                    1 => ReqSize::B64,
+                    _ => ReqSize::B256,
+                };
+                let a = single.submit(read_req(addr, size, t), t);
+                let b = netdev.submit(read_req(addr, size, t), t);
+                assert_eq!(a, b, "request {i} diverged (error rate {error_rate})");
+            }
+            assert_eq!(single.retries, netdev.retries);
+            assert_eq!(single.stats(), netdev.stats());
+            let ns = netdev.net_stats();
+            assert_eq!(ns.remote_accesses, 0);
+            assert_eq!(ns.transit_flits, 0);
+        }
+    }
+
+    #[test]
+    fn remote_cubes_cost_hops() {
+        let cfg = HmcConfig::default();
+        let mut dev = NetDevice::new(&cfg, &net(4));
+        // Interleaved mapping rotates cubes every 2^17 bytes.
+        let group = 1u64 << 17;
+        let local = dev.submit(read_req(0, ReqSize::B64, 0), 0);
+        let far = dev.submit(read_req(3 * group, ReqSize::B64, 0), 0);
+        let ns = dev.net_stats();
+        assert_eq!(ns.local_accesses, 1);
+        assert_eq!(ns.remote_accesses, 1);
+        assert_eq!(ns.hops.max, 3);
+        // 3 hops out + 3 back, each at least forward_latency.
+        assert!(
+            far >= local + 6 * NetConfig::default().forward_latency,
+            "remote access ({far}) must pay 6 hops over local ({local})"
+        );
+        assert!(ns.transit_flits > 0);
+    }
+
+    #[test]
+    fn chain_length_monotonically_raises_remote_latency() {
+        // The sweep invariant the experiments rely on: pushing the same
+        // far-cube traffic through longer chains costs more cycles.
+        let cfg = HmcConfig::default();
+        let mut means = Vec::new();
+        for cubes in [2usize, 4, 8] {
+            let mut dev = NetDevice::new(&cfg, &net(cubes));
+            let group = 1u64 << 17;
+            let mut t = 0;
+            for i in 0..200u64 {
+                t += 3;
+                // Address the farthest cube in each network.
+                let addr = (cubes as u64 - 1) * group + (i * 256) % group;
+                dev.submit(read_req(addr, ReqSize::B64, t), t);
+            }
+            means.push(dev.net_stats().remote_latency.mean());
+        }
+        assert!(
+            means[0] < means[1] && means[1] < means[2],
+            "remote latency must grow with chain length: {means:?}"
+        );
+    }
+
+    #[test]
+    fn responses_drain_in_completion_order() {
+        let mut dev = NetDevice::new(&HmcConfig::default(), &net(2));
+        let group = 1u64 << 17;
+        let t1 = dev.submit(read_req(group, ReqSize::B256, 0), 0);
+        let t2 = dev.submit(read_req(0x40, ReqSize::B16, 0), 0);
+        let all = dev.drain_completed(t1.max(t2));
+        assert_eq!(all.len(), 2);
+        assert!(all[0].completed_at <= all[1].completed_at);
+        assert_eq!(dev.pending(), 0);
+    }
+
+    #[test]
+    fn per_cube_backpressure_is_independent() {
+        let cfg = HmcConfig {
+            vault_queue_depth: 1,
+            ..HmcConfig::default()
+        };
+        let mut dev = NetDevice::new(&cfg, &net(2));
+        let group = 1u64 << 17;
+        let local = read_req(0, ReqSize::B256, 0);
+        let remote = read_req(group, ReqSize::B256, 0);
+        dev.submit(local.clone(), 0);
+        assert!(
+            !MemoryDevice::can_accept(&mut dev, &local, 0),
+            "cube 0 vault queue is full"
+        );
+        assert!(
+            MemoryDevice::can_accept(&mut dev, &remote, 0),
+            "cube 1's same-numbered vault is a different queue"
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Network-level statistics: local/remote split, hop counts, transit
+//! traffic.
+//!
+//! These are the observables the chain-sweep and placement experiments
+//! report: how much traffic left the host-attached cube, how many hops
+//! it paid, and what that did to its round-trip latency.
+
+use mac_types::Counter;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate statistics for one cube network.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Accesses served by the host-attached cube (cube 0).
+    pub local_accesses: u64,
+    /// Accesses served by any other cube (crossed the fabric).
+    pub remote_accesses: u64,
+    /// Hops (inter-cube edges) traversed per access, one way.
+    pub hops: Counter,
+    /// Host round-trip latency of cube-0 accesses, in cycles.
+    pub local_latency: Counter,
+    /// Host round-trip latency of remote-cube accesses, in cycles.
+    pub remote_latency: Counter,
+    /// FLITs serialized onto inter-cube edges (both directions).
+    pub transit_flits: u128,
+    /// Busy time accumulated on inter-cube edges, in 1/16-cycle fixed
+    /// point (lossless for the integer cache format).
+    pub transit_busy_x16: u128,
+    /// Accesses per cube (index = cube id).
+    pub per_cube_accesses: Vec<u64>,
+    /// Bank conflicts per cube (index = cube id).
+    pub per_cube_conflicts: Vec<u64>,
+}
+
+impl NetStats {
+    /// Empty stats sized for `cubes` cubes.
+    pub fn new(cubes: usize) -> Self {
+        NetStats {
+            per_cube_accesses: vec![0; cubes],
+            per_cube_conflicts: vec![0; cubes],
+            ..NetStats::default()
+        }
+    }
+
+    /// Record one completed access.
+    pub fn record_access(&mut self, cube: u16, hops: usize, conflict: bool, latency: u64) {
+        self.hops.record(hops as u64);
+        if cube == 0 {
+            self.local_accesses += 1;
+            self.local_latency.record(latency);
+        } else {
+            self.remote_accesses += 1;
+            self.remote_latency.record(latency);
+        }
+        if let Some(a) = self.per_cube_accesses.get_mut(cube as usize) {
+            *a += 1;
+        }
+        if conflict {
+            if let Some(c) = self.per_cube_conflicts.get_mut(cube as usize) {
+                *c += 1;
+            }
+        }
+    }
+
+    /// Total accesses observed.
+    pub fn accesses(&self) -> u64 {
+        self.local_accesses + self.remote_accesses
+    }
+
+    /// Fraction of accesses that crossed the fabric (0.0 when idle).
+    pub fn remote_fraction(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.remote_accesses as f64 / total as f64
+        }
+    }
+
+    /// Merge another network's stats into this one (multi-node runs).
+    pub fn merge(&mut self, other: &NetStats) {
+        self.local_accesses += other.local_accesses;
+        self.remote_accesses += other.remote_accesses;
+        self.hops.merge(&other.hops);
+        self.local_latency.merge(&other.local_latency);
+        self.remote_latency.merge(&other.remote_latency);
+        self.transit_flits += other.transit_flits;
+        self.transit_busy_x16 += other.transit_busy_x16;
+        if self.per_cube_accesses.len() < other.per_cube_accesses.len() {
+            self.per_cube_accesses
+                .resize(other.per_cube_accesses.len(), 0);
+        }
+        for (i, v) in other.per_cube_accesses.iter().enumerate() {
+            self.per_cube_accesses[i] += v;
+        }
+        if self.per_cube_conflicts.len() < other.per_cube_conflicts.len() {
+            self.per_cube_conflicts
+                .resize(other.per_cube_conflicts.len(), 0);
+        }
+        for (i, v) in other.per_cube_conflicts.iter().enumerate() {
+            self.per_cube_conflicts[i] += v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_split_local_remote() {
+        let mut s = NetStats::new(4);
+        s.record_access(0, 0, false, 300);
+        s.record_access(2, 2, true, 500);
+        s.record_access(3, 2, false, 520);
+        assert_eq!(s.local_accesses, 1);
+        assert_eq!(s.remote_accesses, 2);
+        assert_eq!(s.accesses(), 3);
+        assert!((s.remote_fraction() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(s.per_cube_accesses, vec![1, 0, 1, 1]);
+        assert_eq!(s.per_cube_conflicts, vec![0, 0, 1, 0]);
+        assert_eq!(s.remote_latency.mean(), 510.0);
+        assert_eq!(s.hops.max, 2);
+    }
+
+    #[test]
+    fn merge_accumulates_and_resizes() {
+        let mut a = NetStats::new(1);
+        a.record_access(0, 0, false, 100);
+        let mut b = NetStats::new(4);
+        b.record_access(3, 3, true, 900);
+        a.merge(&b);
+        assert_eq!(a.accesses(), 2);
+        assert_eq!(a.per_cube_accesses, vec![1, 0, 0, 1]);
+        assert_eq!(a.per_cube_conflicts, vec![0, 0, 0, 1]);
+    }
+}

@@ -17,6 +17,7 @@
 
 use hmc_model::HmcStats;
 use mac_coalescer::MacStats;
+use mac_net::NetStats;
 use mac_types::{Counter, Histogram};
 use soc_sim::SocMetrics;
 
@@ -24,8 +25,9 @@ use crate::engine::Artifact;
 use crate::report::RunReport;
 
 /// Format version of the `MACS` simulation-result file. Bump when the
-/// field list below changes.
-pub const SIM_FORMAT_VERSION: u32 = 1;
+/// field list below changes. (v2 added the `net`/`netcubes` lines for
+/// multi-cube runs.)
+pub const SIM_FORMAT_VERSION: u32 = 2;
 
 /// Format version of the `MACA` artifact file.
 pub const ART_FORMAT_VERSION: u32 = 1;
@@ -92,6 +94,21 @@ pub fn encode_run(r: &RunReport) -> String {
     s.push_str(&format!("hist {}", h.latency_hist.count()));
     for b in h.latency_hist.buckets() {
         s.push_str(&format!(" {b}"));
+    }
+    s.push('\n');
+    let n = &r.net;
+    let mut net = format!(
+        "net {} {} {} {}",
+        n.local_accesses, n.remote_accesses, n.transit_flits, n.transit_busy_x16
+    );
+    push_counter(&mut net, &n.hops);
+    push_counter(&mut net, &n.local_latency);
+    push_counter(&mut net, &n.remote_latency);
+    net.push('\n');
+    s.push_str(&net);
+    s.push_str(&format!("netcubes {}", n.per_cube_accesses.len()));
+    for (a, c) in n.per_cube_accesses.iter().zip(&n.per_cube_conflicts) {
+        s.push_str(&format!(" {a} {c}"));
     }
     s.push('\n');
     s
@@ -200,6 +217,28 @@ pub fn decode_run(text: &str) -> Option<RunReport> {
     }
     hmc.latency_hist = Histogram::from_parts(&buckets, count);
     r.hmc = hmc;
+
+    let mut f = Fields::new(lines.next()?, "net")?;
+    let mut net = NetStats {
+        local_accesses: f.u64()?,
+        remote_accesses: f.u64()?,
+        transit_flits: f.u128()?,
+        transit_busy_x16: f.u128()?,
+        ..NetStats::default()
+    };
+    net.hops = f.counter()?;
+    net.local_latency = f.counter()?;
+    net.remote_latency = f.counter()?;
+    let mut f = Fields::new(lines.next()?, "netcubes")?;
+    let cubes = f.usize()?;
+    for _ in 0..cubes {
+        net.per_cube_accesses.push(f.u64()?);
+        net.per_cube_conflicts.push(f.u64()?);
+    }
+    if net.per_cube_accesses.len() != cubes {
+        return None;
+    }
+    r.net = net;
     Some(r)
 }
 
@@ -323,6 +362,11 @@ mod tests {
         r.mac.targets_per_entry.record(5);
         r.hmc.record_access(ReqSize::B16, 16, 1, false, 300);
         r.hmc.record_access(ReqSize::B256, 64, 4, true, 777);
+        r.net = NetStats::new(2);
+        r.net.record_access(0, 0, false, 300);
+        r.net.record_access(1, 2, true, 777);
+        r.net.transit_flits = 33;
+        r.net.transit_busy_x16 = 1234;
         r
     }
 
@@ -337,6 +381,7 @@ mod tests {
         assert_eq!(back.soc, r.soc);
         assert_eq!(back.mac, r.mac);
         assert_eq!(back.hmc, r.hmc);
+        assert_eq!(back.net, r.net);
         // And re-encoding is byte-stable.
         assert_eq!(encode_run(&back), text);
     }

@@ -8,7 +8,7 @@
 //! per-figure `mac-bench` binaries.
 
 use cache_model::MshrFile;
-use mac_types::{bandwidth, ns_to_cycles, FlitTablePolicy};
+use mac_types::{bandwidth, ns_to_cycles, FlitTablePolicy, MacPlacement, NetTopology};
 use mac_workloads::{all_workloads, extended_workloads, WorkloadParams};
 use soc_sim::ThreadOp;
 
@@ -766,6 +766,159 @@ fn smoke(ctx: &ExpCtx) -> Vec<Artifact> {
     )]
 }
 
+fn net_chain_sweep(ctx: &ExpCtx) -> Vec<Artifact> {
+    let cubes = [1usize, 2, 4, 8];
+    let mut reqs = Vec::new();
+    for &n in &cubes {
+        let mut cfg = paper_config(ctx.scale);
+        cfg.system = cfg
+            .system
+            .with_net(n, NetTopology::DaisyChain, MacPlacement::HostOnly);
+        reqs.push(crate::engine::SimRequest::new("sg", &cfg));
+    }
+    let reports = ctx.pool.run_batch(&reqs);
+    let rows = cubes
+        .iter()
+        .zip(&reports)
+        .map(|(n, r)| {
+            vec![
+                n.to_string(),
+                pct(r.remote_fraction()),
+                format!("{:.2}", r.net.hops.mean()),
+                format!("{:.0}", r.net.remote_latency.mean()),
+                format!("{:.0}", r.mean_access_latency()),
+                r.net.transit_flits.to_string(),
+            ]
+        })
+        .collect();
+    let mut a = art(
+        "net_chain_sweep",
+        "mac-net: SG over 1/2/4/8 daisy-chained cubes (host-side MAC)",
+        &[
+            "cubes",
+            "remote frac",
+            "mean hops",
+            "remote lat",
+            "mean lat",
+            "transit FLITs",
+        ],
+        rows,
+    );
+    a.notes = vec![
+        "1 cube is the single-device model bit for bit (mac-net identity test);".into(),
+        "remote latency grows with hop count, overall mean tracks the remote mix.".into(),
+    ];
+    vec![a]
+}
+
+fn net_placement(ctx: &ExpCtx) -> Vec<Artifact> {
+    let mut rows = Vec::new();
+    for (name, placement) in [
+        ("host-only (coalesce before hop)", MacPlacement::HostOnly),
+        ("per-cube (coalesce at ingress)", MacPlacement::PerCube),
+    ] {
+        let mut cfg = paper_config(ctx.scale);
+        cfg.system = cfg.system.with_net(4, NetTopology::DaisyChain, placement);
+        let reports = ctx.pool.run_suite(&all_workloads(), &cfg);
+        let transit: u128 = reports.iter().map(|(_, r)| r.net.transit_flits).sum();
+        rows.push(vec![
+            name.to_string(),
+            pct(mean_of(&reports, |r| r.coalescing_efficiency())),
+            pct(mean_of(&reports, |r| r.bandwidth_efficiency())),
+            format!("{:.0} cyc", mean_of(&reports, |r| r.mean_access_latency())),
+            transit.to_string(),
+        ]);
+    }
+    let mut a = art(
+        "net_placement",
+        "mac-net: coalescer placement on a 4-cube chain",
+        &[
+            "placement",
+            "coalescing",
+            "bw efficiency",
+            "mean latency",
+            "transit FLITs",
+        ],
+        rows,
+    );
+    a.notes =
+        vec!["per-cube MACs push raw request packets across the fabric before merging".into()];
+    vec![a]
+}
+
+fn net_topology(ctx: &ExpCtx) -> Vec<Artifact> {
+    let mut reqs = Vec::new();
+    let topos = [
+        ("daisy-chain", NetTopology::DaisyChain),
+        ("ring", NetTopology::Ring),
+        ("2x2 mesh", NetTopology::Mesh2x2),
+    ];
+    for (_, topo) in topos {
+        let mut cfg = paper_config(ctx.scale);
+        cfg.system = cfg.system.with_net(4, topo, MacPlacement::HostOnly);
+        reqs.push(crate::engine::SimRequest::new("sg", &cfg));
+    }
+    let reports = ctx.pool.run_batch(&reqs);
+    let rows = topos
+        .iter()
+        .zip(&reports)
+        .map(|((name, _), r)| {
+            vec![
+                name.to_string(),
+                format!("{:.2}", r.net.hops.mean()),
+                format!("{:.0}", r.net.remote_latency.mean()),
+                format!("{:.0}", r.mean_access_latency()),
+                r.net.transit_flits.to_string(),
+            ]
+        })
+        .collect();
+    vec![art(
+        "net_topology",
+        "mac-net: SG across 4 cubes, chain vs ring vs mesh",
+        &[
+            "topology",
+            "mean hops",
+            "remote lat",
+            "mean lat",
+            "transit FLITs",
+        ],
+        rows,
+    )]
+}
+
+fn net_smoke(ctx: &ExpCtx) -> Vec<Artifact> {
+    // One SG run over a chain of 2 at scale 1: fast enough for CI,
+    // exercising host links, one fabric hop, and the net cache fields.
+    let mut cfg = ExperimentConfig::paper(4);
+    cfg.workload.scale = 1;
+    cfg.max_cycles = 50_000_000;
+    cfg.system = cfg
+        .system
+        .with_net(2, NetTopology::DaisyChain, MacPlacement::HostOnly);
+    let reqs = [crate::engine::SimRequest::new("sg", &cfg)];
+    let reports = ctx.pool.run_batch(&reqs);
+    let r = &reports[0];
+    let rows = vec![vec![
+        "sg".to_string(),
+        r.soc.raw_requests.to_string(),
+        r.hmc.accesses().to_string(),
+        pct(r.remote_fraction()),
+        format!("{:.0}", r.net.remote_latency.mean()),
+    ]];
+    vec![art(
+        "net_smoke",
+        "mac-net CI smoke: SG over a chain of 2",
+        &[
+            "workload",
+            "raw requests",
+            "transactions",
+            "remote frac",
+            "remote lat",
+        ],
+        rows,
+    )]
+}
+
 /// Produce the artifacts for one manifest entry. Simulations go through
 /// `ctx.pool`; everything else (LLC replay, analytic models) runs inline.
 pub fn execute(exp: &Experiment, ctx: &ExpCtx) -> Vec<Artifact> {
@@ -796,6 +949,10 @@ pub fn execute(exp: &Experiment, ctx: &ExpCtx) -> Vec<Artifact> {
         ExpKind::ExtendedSuite => extended_suite(ctx),
         ExpKind::LatencyTails => latency_tails(ctx),
         ExpKind::Smoke => smoke(ctx),
+        ExpKind::NetChainSweep => net_chain_sweep(ctx),
+        ExpKind::NetPlacement => net_placement(ctx),
+        ExpKind::NetTopology => net_topology(ctx),
+        ExpKind::NetSmoke => net_smoke(ctx),
     }
 }
 

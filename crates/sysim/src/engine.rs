@@ -58,7 +58,7 @@ use crate::report::RunReport;
 /// Version salt folded into every cache key. Bump whenever simulation
 /// behaviour, config hashing, or the cache file formats change meaning,
 /// so stale entries can never be resurrected as fresh results.
-pub const CACHE_FORMAT_VERSION: u32 = 1;
+pub const CACHE_FORMAT_VERSION: u32 = 2;
 
 /// One rendered result table: the unit the engine writes to disk as
 /// `<name>.txt` (aligned text), `<name>.csv`, and `<name>.json`.

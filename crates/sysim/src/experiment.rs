@@ -4,10 +4,11 @@
 //! and work stealing lives in [`crate::engine`].
 
 use mac_telemetry::Tracer;
-use mac_types::{Fingerprint, Fnv128, SystemConfig};
+use mac_types::{Fingerprint, Fnv128, MacPlacement, SystemConfig};
 use mac_workloads::{Workload, WorkloadParams};
 use soc_sim::{ReplayProgram, ThreadProgram};
 
+use crate::netsystem::NetSystem;
 use crate::report::RunReport;
 use crate::system::SystemSim;
 
@@ -77,6 +78,16 @@ pub fn run_workload_with(
     tracer: Option<Tracer>,
 ) -> RunReport {
     let programs = programs_for(w, &cfg.workload);
+    // Per-cube coalescer placement gets its own system loop; everything
+    // else (single device, host-side coalescing over a network) runs the
+    // classic `SystemSim` path.
+    if cfg.system.net.enabled && cfg.system.net.placement == MacPlacement::PerCube {
+        let mut sim = NetSystem::new(&cfg.system, programs);
+        if let Some(t) = tracer {
+            sim.set_tracer(t);
+        }
+        return sim.run(cfg.max_cycles);
+    }
     let mut sim = SystemSim::new(&cfg.system, programs);
     if let Some(t) = tracer {
         sim.set_tracer(t);

@@ -7,7 +7,11 @@
 //! * [`system`] — [`SystemSim`]: one or more Figure 4 nodes (cores + MAC +
 //!   HMC) with an interconnect for remote accesses. Supports the paper's
 //!   baseline mode (`mac_disabled`) where raw 16 B requests go straight to
-//!   the device.
+//!   the device, and host-side coalescing over a multi-cube network
+//!   (`config.net.enabled`).
+//! * [`netsystem`] — [`NetSystem`]: the per-cube coalescer placement
+//!   (`MacPlacement::PerCube`), where raw requests cross the cube fabric
+//!   and one MAC per cube merges them at ingress.
 //! * [`report`] — [`RunReport`]: merged SoC/MAC/HMC statistics with the
 //!   paper's derived metrics (Eq. 1–3) and the Figure 17 speedup
 //!   computation.
@@ -31,6 +35,7 @@ pub mod engine;
 pub mod experiment;
 pub mod figures;
 pub mod manifest;
+pub mod netsystem;
 pub mod report;
 pub mod system;
 
@@ -38,5 +43,6 @@ pub use analyzer::{analyze, TraceAnalysis};
 pub use engine::{run_experiments, Artifact, EngineOptions, EngineRun, SimPool, SimRequest};
 pub use experiment::{run_pair, run_workload, ExperimentConfig};
 pub use manifest::{manifest, select, Experiment};
+pub use netsystem::NetSystem;
 pub use report::RunReport;
 pub use system::SystemSim;

@@ -15,7 +15,7 @@
 //! let figs = mac_sim::manifest::select("fig1?");
 //! assert!(figs.iter().all(|e| e.name.starts_with("fig1")));
 //! let smoke = mac_sim::manifest::select("smoke");
-//! assert_eq!(smoke.len(), 1);
+//! assert_eq!(smoke.len(), 2); // engine smoke + net smoke
 //! ```
 
 /// What an experiment computes; the engine's catalog maps each variant to
@@ -74,6 +74,14 @@ pub enum ExpKind {
     LatencyTails,
     /// CI smoke: two micro workloads, reduced cycle cap.
     Smoke,
+    /// mac-net: chain-length sweep (1/2/4/8 cubes, host-side MAC).
+    NetChainSweep,
+    /// mac-net: coalescer placement study (host vs per-cube MAC).
+    NetPlacement,
+    /// mac-net: topology comparison at 4 cubes (chain/ring/mesh).
+    NetTopology,
+    /// mac-net CI smoke: one chain-of-2 run, reduced cycle cap.
+    NetSmoke,
 }
 
 /// One manifest entry: a named, tagged experiment plus the paper claim it
@@ -278,6 +286,34 @@ pub fn manifest() -> Vec<Experiment> {
             tags: &["smoke", "sim", "paired"],
             kind: ExpKind::Smoke,
         },
+        Experiment {
+            name: "net_chain_sweep",
+            title: "mac-net: latency/efficiency vs chain length (1/2/4/8 cubes)",
+            claim: "HMC §7 chaining: remote latency grows per hop; 1 cube = single device",
+            tags: &["net", "aux", "sim"],
+            kind: ExpKind::NetChainSweep,
+        },
+        Experiment {
+            name: "net_placement",
+            title: "mac-net: coalescer placement, host vs per-cube ingress",
+            claim: "host-side MACs merge before the hop; per-cube MACs pay raw request traffic",
+            tags: &["net", "aux", "sim"],
+            kind: ExpKind::NetPlacement,
+        },
+        Experiment {
+            name: "net_topology",
+            title: "mac-net: chain vs ring vs mesh at 4 cubes",
+            claim: "fewer mean hops (ring, mesh) cut remote latency on the same traffic",
+            tags: &["net", "aux", "sim"],
+            kind: ExpKind::NetTopology,
+        },
+        Experiment {
+            name: "net_smoke",
+            title: "mac-net CI smoke: one chain-of-2 run, reduced cycle cap",
+            claim: "the cube network end-to-end in seconds (not a paper figure)",
+            tags: &["net", "smoke", "sim"],
+            kind: ExpKind::NetSmoke,
+        },
     ]
 }
 
@@ -321,8 +357,8 @@ impl Experiment {
 
 /// Manifest entries matching a comma-separated list of glob patterns
 /// (each matched against names and tags). An empty filter selects
-/// everything except the `smoke` entry, which must be asked for by name
-/// or tag.
+/// everything except the `smoke`-tagged entries, which must be asked for
+/// by name or tag.
 pub fn select(filter: &str) -> Vec<Experiment> {
     let pats: Vec<&str> = filter
         .split(',')
@@ -333,7 +369,7 @@ pub fn select(filter: &str) -> Vec<Experiment> {
         .into_iter()
         .filter(|e| {
             if pats.is_empty() {
-                e.kind != ExpKind::Smoke
+                !e.tags.contains(&"smoke")
             } else {
                 pats.iter().any(|p| e.matches(p))
             }
@@ -350,7 +386,7 @@ mod tests {
         let m = manifest();
         let names: std::collections::HashSet<_> = m.iter().map(|e| e.name).collect();
         assert_eq!(names.len(), m.len());
-        assert_eq!(m.len(), 26);
+        assert_eq!(m.len(), 30);
     }
 
     #[test]
@@ -369,15 +405,18 @@ mod tests {
     #[test]
     fn empty_filter_selects_all_but_smoke() {
         let sel = select("");
-        assert_eq!(sel.len(), manifest().len() - 1);
-        assert!(sel.iter().all(|e| e.kind != ExpKind::Smoke));
+        assert_eq!(sel.len(), manifest().len() - 2);
+        assert!(sel.iter().all(|e| !e.tags.contains(&"smoke")));
+        assert!(sel.iter().any(|e| e.name == "net_chain_sweep"));
     }
 
     #[test]
     fn filters_match_tags_and_names() {
         assert!(select("ablation").len() >= 9);
         assert!(select("paired").iter().any(|e| e.name == "fig17"));
-        assert_eq!(select("smoke").len(), 1);
+        assert_eq!(select("smoke").len(), 2);
+        assert_eq!(select("net_*").len(), 4);
+        assert_eq!(select("net").len(), 4);
         let multi = select("table1,fig03");
         assert_eq!(multi.len(), 2);
         assert!(select("no-such-thing").is_empty());

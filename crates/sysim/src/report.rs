@@ -2,6 +2,7 @@
 
 use hmc_model::HmcStats;
 use mac_coalescer::MacStats;
+use mac_net::NetStats;
 use mac_types::SystemConfig;
 use serde::{Deserialize, Serialize};
 use soc_sim::SocMetrics;
@@ -17,6 +18,8 @@ pub struct RunReport {
     pub mac: MacStats,
     /// Device statistics (merged over nodes).
     pub hmc: HmcStats,
+    /// Cube-network statistics (all-zero unless `config.net.enabled`).
+    pub net: NetStats,
     /// The configuration that produced this report.
     pub config: SystemConfig,
     /// Tracing summary (disabled/zero unless a tracer was attached).
@@ -110,6 +113,12 @@ impl RunReport {
     /// Tail access latency at quantile `q` (e.g. 0.99), in cycles.
     pub fn latency_quantile(&self, q: f64) -> u64 {
         self.hmc.latency_hist.quantile(q)
+    }
+
+    /// Fraction of device accesses that crossed the cube fabric (0.0 in
+    /// single-device runs).
+    pub fn remote_fraction(&self) -> f64 {
+        self.net.remote_fraction()
     }
 }
 

@@ -23,6 +23,7 @@ use std::collections::VecDeque;
 
 use hmc_model::{DdrDevice, HbmDevice, HmcDevice, MemoryDevice};
 use mac_coalescer::{Mac, MacEvent, RequestRouter, ResponseRouter, RoutedTo};
+use mac_net::NetDevice;
 use mac_telemetry::{
     TraceEvent, Tracer, ROUTE_GLOBAL, ROUTE_LOCAL, ROUTE_REMOTE_IN, ROUTE_STALLED,
 };
@@ -94,9 +95,14 @@ impl SystemSim {
                     router: RequestRouter::new(id, cfg.mac.router_queue_depth),
                     mac: Mac::new(&cfg.mac),
                     hmc: match cfg.backend {
-                        MemBackend::Hmc => {
-                            Box::new(HmcDevice::new(&cfg.hmc)) as Box<dyn MemoryDevice + Send>
+                        // A multi-cube network slots in behind the same
+                        // trait; at 1 cube it is the single device, bit
+                        // for bit (mac-net's identity test).
+                        MemBackend::Hmc if cfg.net.enabled => {
+                            Box::new(NetDevice::new(&cfg.hmc, &cfg.net))
+                                as Box<dyn MemoryDevice + Send>
                         }
+                        MemBackend::Hmc => Box::new(HmcDevice::new(&cfg.hmc)),
                         MemBackend::Hbm => Box::new(HbmDevice::new(&cfg.hbm)),
                         MemBackend::Ddr => Box::new(DdrDevice::new(&cfg.ddr)),
                     },
@@ -331,6 +337,9 @@ impl SystemSim {
             report.soc.threads += m.threads;
             report.mac.merge(n.mac.stats());
             report.hmc.merge(n.hmc.stats());
+            if let Some(net) = n.hmc.as_any().downcast_ref::<NetDevice>() {
+                report.net.merge(&net.net_stats());
+            }
         }
         report
     }

@@ -49,7 +49,7 @@ fn artifact_bytes(dir: &PathBuf) -> Vec<(String, Vec<u8>)> {
 #[test]
 fn parallel_runs_are_byte_identical_to_serial() {
     let exps = select("smoke");
-    assert_eq!(exps.len(), 1);
+    assert_eq!(exps.len(), 2, "engine smoke + net smoke");
 
     let serial_dir = scratch("serial");
     let parallel_dir = scratch("parallel");
@@ -88,7 +88,7 @@ fn warm_cache_rerun_executes_zero_simulations() {
     let warm = run_experiments(&exps, &opts(dir.clone(), 4, true)).unwrap();
     assert_eq!(warm.sims_executed, 0, "warm run must simulate nothing");
     assert_eq!(warm.sims_from_disk, 0, "artifact cache short-circuits sims");
-    assert!(warm.outcomes[0].from_artifact_cache);
+    assert!(warm.outcomes.iter().all(|o| o.from_artifact_cache));
     assert_eq!(artifact_bytes(&dir), cold_files, "warm outputs identical");
 
     let _ = std::fs::remove_dir_all(&dir);
@@ -121,6 +121,7 @@ fn sim_cache_round_trips_across_pools() {
         assert_eq!(a.soc, b.soc);
         assert_eq!(a.mac, b.mac);
         assert_eq!(a.hmc, b.hmc);
+        assert_eq!(a.net, b.net);
         assert_eq!(a.coalescing_efficiency(), b.coalescing_efficiency());
         assert_eq!(a.bandwidth_efficiency(), b.bandwidth_efficiency());
         assert_eq!(a.latency_quantile(0.99), b.latency_quantile(0.99));

@@ -23,13 +23,18 @@ use crate::event::{TraceEvent, TraceRecord};
 /// in `[2^(i-1), 2^i)`, with bucket 0 counting zeros.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PowHistogram {
+    /// Bucket `i` counts values in `[2^(i-1), 2^i)`; bucket 0 is zeros.
     pub buckets: [u64; 24],
+    /// Values recorded.
     pub count: u64,
+    /// Sum of recorded values.
     pub sum: u64,
+    /// Largest recorded value.
     pub max: u64,
 }
 
 impl PowHistogram {
+    /// Record one value.
     pub fn record(&mut self, v: u64) {
         let idx = match v {
             0 => 0,
@@ -41,6 +46,7 @@ impl PowHistogram {
         self.max = self.max.max(v);
     }
 
+    /// Mean of the recorded values (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0
@@ -81,14 +87,17 @@ impl PowHistogram {
 /// each enqueue.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct OccupancySeries {
+    /// `(cycle, queue depth)` pairs, one per enqueue.
     pub samples: Vec<(u64, u16)>,
 }
 
 impl OccupancySeries {
+    /// Peak queue depth observed.
     pub fn max(&self) -> u16 {
         self.samples.iter().map(|&(_, d)| d).max().unwrap_or(0)
     }
 
+    /// Mean queue depth across samples (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.samples.is_empty() {
             0.0

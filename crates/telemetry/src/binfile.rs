@@ -14,7 +14,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic: the ASCII bytes "MCTR"
-//! 4       2     version: u16, currently 1 — readers reject any other
+//! 4       2     version: u16, currently 2 — readers reject any other
 //! 6       2     reserved: u16, written as 0, ignored on read
 //! ```
 //!
@@ -26,7 +26,7 @@
 //!
 //! ```text
 //! offset  size  field
-//! 0       1     tag: u8, the TraceEvent discriminant (0..=16)
+//! 0       1     tag: u8, the TraceEvent discriminant (0..=18)
 //! 1       2     node: u16, SystemSim node id (Tracer::for_node)
 //! 3       8     cycle: u64, simulation cycle of the event
 //! 11      n     payload: fixed width per tag
@@ -49,7 +49,9 @@ use crate::tracer::TraceSink;
 /// The 4-byte magic at offset 0 of every `.mctr` file.
 pub const MAGIC: &[u8; 4] = b"MCTR";
 /// Format version written at offset 4; readers reject mismatches.
-pub const VERSION: u16 = 1;
+/// Version 2 added the multi-cube `HopEnqueue`/`HopForward` events
+/// (tags 17/18).
+pub const VERSION: u16 = 2;
 
 /// Largest encoded record (LinkTx/VaultActivate class: 11-byte head +
 /// 20-byte payload), used to size stack buffers.
@@ -177,6 +179,28 @@ fn encode_into(rec: &TraceRecord, buf: &mut Vec<u8>) {
             buf.push(targets);
             buf.extend_from_slice(&latency.to_le_bytes());
         }
+        TraceEvent::HopEnqueue {
+            from_cube,
+            to_cube,
+            flits,
+            up,
+        } => {
+            buf.push(from_cube);
+            buf.push(to_cube);
+            buf.extend_from_slice(&flits.to_le_bytes());
+            buf.push(up as u8);
+        }
+        TraceEvent::HopForward {
+            cube,
+            dest,
+            start,
+            done,
+        } => {
+            buf.push(cube);
+            buf.push(dest);
+            buf.extend_from_slice(&start.to_le_bytes());
+            buf.extend_from_slice(&done.to_le_bytes());
+        }
     }
 }
 
@@ -248,6 +272,7 @@ pub struct TraceReader<R: Read> {
 }
 
 impl TraceReader<BufReader<File>> {
+    /// Open a trace file and validate its header.
     pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
         TraceReader::new(BufReader::new(File::open(path)?))
     }
@@ -359,6 +384,18 @@ impl<R: Read> TraceReader<R> {
                 latency: b.u64()?,
             },
             16 => TraceEvent::Fanout { id: b.u64()? },
+            17 => TraceEvent::HopEnqueue {
+                from_cube: b.u8()?,
+                to_cube: b.u8()?,
+                flits: b.u16()?,
+                up: b.u8()? != 0,
+            },
+            18 => TraceEvent::HopForward {
+                cube: b.u8()?,
+                dest: b.u8()?,
+                start: b.u64()?,
+                done: b.u64()?,
+            },
             t => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
@@ -503,6 +540,26 @@ mod tests {
                 node: 0,
                 event: TraceEvent::Fanout { id: 7 },
             },
+            TraceRecord {
+                cycle: 21,
+                node: 1,
+                event: TraceEvent::HopEnqueue {
+                    from_cube: 0,
+                    to_cube: 1,
+                    flits: 17,
+                    up: false,
+                },
+            },
+            TraceRecord {
+                cycle: 22,
+                node: 2,
+                event: TraceEvent::HopForward {
+                    cube: 2,
+                    dest: 3,
+                    start: 22,
+                    done: 64,
+                },
+            },
         ]
     }
 
@@ -536,6 +593,8 @@ mod tests {
     fn rejects_bad_magic_and_version() {
         assert!(TraceReader::new(&b"NOPE\x01\x00\x00\x00"[..]).is_err());
         assert!(TraceReader::new(&b"MCTR\x63\x00\x00\x00"[..]).is_err());
+        // Version-1 files (pre-Hop events) are rejected, not misread.
+        assert!(TraceReader::new(&b"MCTR\x01\x00\x00\x00"[..]).is_err());
     }
 
     #[test]

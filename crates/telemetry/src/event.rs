@@ -36,7 +36,9 @@ pub const POP_FENCE: u8 = 2;
 pub enum TraceEvent {
     /// A core's raw request entered the request router.
     RawRoute {
+        /// Raw transaction id.
         id: u64,
+        /// Physical byte address.
         addr: u64,
         /// `ROUTE_*` constant.
         queue: u8,
@@ -44,21 +46,29 @@ pub enum TraceEvent {
     /// A raw request was accepted by the MAC and allocated a fresh ARQ
     /// entry.
     ArqAlloc {
+        /// ARQ allocation sequence number.
         entry: u32,
+        /// 256 B DRAM row index.
         row: u64,
+        /// True when the entry holds store traffic.
         is_store: bool,
         /// Entries occupied after the allocation.
         occupancy: u16,
     },
     /// A raw request CAM-merged into an existing ARQ entry (§4.1).
     ArqMerge {
+        /// ARQ allocation sequence number.
         entry: u32,
+        /// 256 B DRAM row index.
         row: u64,
         /// Raw requests in the entry after the merge.
         targets: u8,
     },
     /// A fence marker entered the ARQ.
-    ArqFence { id: u64 },
+    ArqFence {
+        /// Raw transaction id of the fence marker.
+        id: u64,
+    },
     /// A latency-hiding fill burst fired (§4.1): the ARQ began draining
     /// early because free entries outnumbered the backlog.
     ArqFillBurst {
@@ -67,6 +77,7 @@ pub enum TraceEvent {
     },
     /// An entry left the ARQ head.
     ArqPop {
+        /// ARQ allocation sequence number.
         entry: u32,
         /// `POP_*` constant.
         kind: u8,
@@ -74,17 +85,25 @@ pub enum TraceEvent {
         occupancy: u16,
     },
     /// A fence retired and its completion was delivered.
-    FenceRetire { id: u64 },
+    FenceRetire {
+        /// Raw transaction id of the fence marker.
+        id: u64,
+    },
     /// A group entry latched into builder stage 1 (OR-reduce, §4.2).
-    BuilderStage1 { entry: u32 },
+    BuilderStage1 {
+        /// ARQ allocation sequence number.
+        entry: u32,
+    },
     /// Stage 1 output latched into stage 2 (FLIT-table lookup, §4.2).
     BuilderStage2 {
+        /// ARQ allocation sequence number.
         entry: u32,
         /// 4-bit chunk mask produced by the OR-reduce.
         chunk_mask: u8,
     },
     /// The builder assembled and emitted a transaction.
     BuilderEmit {
+        /// ARQ allocation sequence number.
         entry: u32,
         /// Payload bytes of the assembled transaction.
         bytes: u16,
@@ -93,7 +112,9 @@ pub enum TraceEvent {
     },
     /// The MAC dispatched a transaction toward the device.
     Dispatch {
+        /// Transaction base address.
         addr: u64,
+        /// Payload bytes.
         bytes: u16,
         /// 0 = bypass, 1 = built, 2 = atomic (mirrors
         /// `mac_coalescer::Provenance`).
@@ -104,9 +125,11 @@ pub enum TraceEvent {
     /// FLITs serialized onto a link lane (request or response
     /// direction).
     LinkTx {
+        /// Link lane index.
         link: u8,
         /// True for the response (up) direction.
         up: bool,
+        /// 16 B FLITs serialized.
         flits: u16,
         /// Cycle serialization started.
         start: u64,
@@ -115,13 +138,16 @@ pub enum TraceEvent {
     },
     /// A transaction entered a vault's command queue.
     VaultEnqueue {
+        /// Vault index.
         vault: u8,
         /// Queue depth after the enqueue.
         occupancy: u16,
     },
     /// A vault issued the closed-page row cycle for a transaction.
     VaultActivate {
+        /// Vault index.
         vault: u8,
+        /// Bank index within the vault.
         bank: u8,
         /// Cycle the activate issued.
         start: u64,
@@ -132,13 +158,16 @@ pub enum TraceEvent {
     },
     /// A transaction found its bank busy (§5, Figure 12's observable).
     BankConflict {
+        /// Vault index.
         vault: u8,
+        /// Bank index within the vault.
         bank: u8,
         /// Cycles the transaction waited for the bank.
         waited: u64,
     },
     /// The device finished an access and the response left the vault.
     HmcComplete {
+        /// Transaction base address.
         addr: u64,
         /// Raw requests satisfied.
         targets: u8,
@@ -146,7 +175,34 @@ pub enum TraceEvent {
         latency: u64,
     },
     /// A raw-request completion fanned out to its issuing core.
-    Fanout { id: u64 },
+    Fanout {
+        /// Raw transaction id completed.
+        id: u64,
+    },
+    /// A packet entered an inter-cube fabric edge's serialization queue
+    /// (multi-cube networks; `mac-net`).
+    HopEnqueue {
+        /// Cube the packet is leaving.
+        from_cube: u8,
+        /// Cube at the far end of the edge.
+        to_cube: u8,
+        /// 16 B FLITs in the packet.
+        flits: u16,
+        /// True for the response (toward-host) direction.
+        up: bool,
+    },
+    /// An intermediate cube forwarded a transit packet: switch
+    /// pass-through plus link re-serialization (`mac-net`).
+    HopForward {
+        /// The forwarding (transit) cube.
+        cube: u8,
+        /// Final destination cube of the packet.
+        dest: u8,
+        /// Cycle the packet entered the cube's switch.
+        start: u64,
+        /// Cycle the last FLIT left on the outgoing link.
+        done: u64,
+    },
 }
 
 impl TraceEvent {
@@ -171,6 +227,8 @@ impl TraceEvent {
             TraceEvent::BankConflict { .. } => 14,
             TraceEvent::HmcComplete { .. } => 15,
             TraceEvent::Fanout { .. } => 16,
+            TraceEvent::HopEnqueue { .. } => 17,
+            TraceEvent::HopForward { .. } => 18,
         }
     }
 
@@ -194,6 +252,8 @@ impl TraceEvent {
             TraceEvent::BankConflict { .. } => "bank_conflict",
             TraceEvent::HmcComplete { .. } => "hmc_complete",
             TraceEvent::Fanout { .. } => "fanout",
+            TraceEvent::HopEnqueue { .. } => "hop_enqueue",
+            TraceEvent::HopForward { .. } => "hop_forward",
         }
     }
 }
@@ -205,6 +265,7 @@ pub struct TraceRecord {
     pub cycle: u64,
     /// Node (SoC + MAC + device stack) that emitted it.
     pub node: u16,
+    /// The event itself.
     pub event: TraceEvent,
 }
 
@@ -284,6 +345,18 @@ mod tests {
                 latency: 0,
             },
             TraceEvent::Fanout { id: 0 },
+            TraceEvent::HopEnqueue {
+                from_cube: 0,
+                to_cube: 0,
+                flits: 0,
+                up: false,
+            },
+            TraceEvent::HopForward {
+                cube: 0,
+                dest: 0,
+                start: 0,
+                done: 0,
+            },
         ];
         for (i, e) in events.iter().enumerate() {
             assert_eq!(e.tag() as usize, i, "{}", e.kind_name());

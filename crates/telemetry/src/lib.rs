@@ -24,6 +24,8 @@
 //!   observables (coalescing windows, row reuse, vault occupancy, bank
 //!   conflict maps) from a recorded stream, not from the live run.
 
+#![warn(missing_docs)]
+
 pub mod analyzer;
 pub mod binfile;
 pub mod event;

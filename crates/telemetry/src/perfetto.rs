@@ -21,6 +21,7 @@ const TID_DISPATCH: u32 = 4;
 const TID_LINK_DOWN: u32 = 10;
 const TID_LINK_UP: u32 = 20;
 const TID_VAULT: u32 = 100;
+const TID_FABRIC: u32 = 200;
 
 /// Serialize records into a complete Chrome trace JSON document.
 pub fn export_json(records: &[TraceRecord]) -> String {
@@ -350,6 +351,42 @@ pub fn export_json(records: &[TraceRecord]) -> String {
                     None,
                 );
             }
+            TraceEvent::HopEnqueue {
+                from_cube,
+                to_cube,
+                flits,
+                up,
+            } => {
+                let tid = TID_FABRIC + from_cube as u32;
+                instant(
+                    &mut out,
+                    &mut first,
+                    pid,
+                    tid,
+                    rec.cycle,
+                    "hop_enqueue",
+                    &[("to_cube", to_cube as u64), ("flits", flits as u64)],
+                    Some(if up { "up" } else { "down" }),
+                );
+            }
+            TraceEvent::HopForward {
+                cube,
+                dest,
+                start,
+                done,
+            } => {
+                let tid = TID_FABRIC + cube as u32;
+                span(
+                    &mut out,
+                    &mut first,
+                    pid,
+                    tid,
+                    start,
+                    done,
+                    "forward",
+                    &[("dest", dest as u64)],
+                );
+            }
         }
     }
 
@@ -382,6 +419,13 @@ fn track_of(event: &TraceEvent) -> (u32, String) {
         | TraceEvent::VaultActivate { vault, .. }
         | TraceEvent::BankConflict { vault, .. } => {
             (TID_VAULT + *vault as u32, format!("vault{vault}"))
+        }
+        TraceEvent::HopEnqueue { from_cube, .. } => (
+            TID_FABRIC + *from_cube as u32,
+            format!("fabric cube{from_cube}"),
+        ),
+        TraceEvent::HopForward { cube, .. } => {
+            (TID_FABRIC + *cube as u32, format!("fabric cube{cube}"))
         }
     }
 }
@@ -475,6 +519,7 @@ pub struct PerfettoSink {
 }
 
 impl PerfettoSink {
+    /// A sink that will write Chrome trace JSON to `path` on flush.
     pub fn create(path: impl Into<std::path::PathBuf>) -> PerfettoSink {
         PerfettoSink {
             path: path.into(),

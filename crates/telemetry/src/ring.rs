@@ -24,6 +24,7 @@ pub struct RingSink {
 }
 
 impl RingSink {
+    /// A sink holding at most `capacity` records (must be positive).
     pub fn new(capacity: usize) -> RingSink {
         assert!(capacity > 0, "ring capacity must be positive");
         RingSink {
@@ -76,6 +77,7 @@ impl RingHandle {
             .len()
     }
 
+    /// True when no records are buffered.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }

@@ -15,6 +15,7 @@ use crate::event::{TraceEvent, TraceRecord};
 /// Receives every emitted record. Implementations must be cheap: they
 /// run inside the simulation loop whenever tracing is enabled.
 pub trait TraceSink: Send {
+    /// Accept one emitted record.
     fn record(&mut self, rec: &TraceRecord);
 
     /// Push any buffered output to its destination (no-op by default).

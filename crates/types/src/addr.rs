@@ -129,6 +129,28 @@ impl std::fmt::Display for PhysAddr {
     }
 }
 
+/// Identifier of one cube in a multi-cube HMC network.
+///
+/// The cube id is not a fixed bit field of [`PhysAddr`]: it is carved
+/// out of the 52-bit address by the network address map according to
+/// [`crate::config::CubeMapping`] — either the high-order capacity bits
+/// (`Contiguous`) or the bits just above the vault/bank interleave
+/// (`Interleaved`). A single-cube system has zero cube bits and every
+/// address maps to `CubeId(0)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CubeId(pub u16);
+
+impl CubeId {
+    /// The host-attached cube (and the only cube when the net is off).
+    pub const HOST: CubeId = CubeId(0);
+}
+
+impl std::fmt::Display for CubeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cube:{}", self.0)
+    }
+}
+
 /// Identifier of one 256 B HMC DRAM row (the unit of coalescing).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct RowId(pub u64);

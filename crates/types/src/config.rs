@@ -140,6 +140,24 @@ impl Default for MacConfig {
     }
 }
 
+/// How [`HmcConfig::links`] are chosen when a request packet is sent
+/// down to the cube.
+///
+/// Historically the selection was implicit (earliest-free link, first
+/// index on ties — which rotates round-robin under uniform load); this
+/// enum names that behavior and adds an alternative, so experiments can
+/// state which policy they measured.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkSelectPolicy {
+    /// Earliest-free link, lowest index on ties (the historical implicit
+    /// behavior — byte-identical results to before the knob existed).
+    #[default]
+    RoundRobin,
+    /// Link with the least accumulated busy time, lowest index on ties.
+    /// Differs from `RoundRobin` only under non-uniform packet sizes.
+    LeastLoaded,
+}
+
 /// HMC device configuration (Table 1 plus HMC 2.1 spec structure).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HmcConfig {
@@ -181,6 +199,8 @@ pub struct HmcConfig {
     pub retry_penalty: u64,
     /// Seed for the error-injection RNG (deterministic runs).
     pub error_seed: u64,
+    /// How request packets are spread over the host links.
+    pub link_select: LinkSelectPolicy,
 }
 
 impl HmcConfig {
@@ -226,6 +246,7 @@ impl Default for HmcConfig {
             link_error_rate: 0.0,
             retry_penalty: 100,
             error_seed: 0x5EED,
+            link_select: LinkSelectPolicy::RoundRobin,
         }
     }
 }
@@ -325,6 +346,94 @@ impl Default for HbmConfig {
     }
 }
 
+/// Shape of the inter-cube network (HMC chaining, §7 of the HMC 2.1
+/// spec; studied by Hadidi et al. for NoC-connected stacks).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NetTopology {
+    /// Cubes in a line; the host attaches to cube 0. Worst-case hop
+    /// count grows linearly with the chain length.
+    #[default]
+    DaisyChain,
+    /// Cubes in a cycle; the host attaches to cube 0 and packets take
+    /// the shorter arc (ties go clockwise, deterministically).
+    Ring,
+    /// Four cubes in a 2×2 grid, host at cube 0, dimension-order (X
+    /// then Y) routing. Requires `cubes == 4`.
+    Mesh2x2,
+}
+
+/// Where the coalescer sits relative to the cube network.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MacPlacement {
+    /// One MAC at the host: packets crossing the network are already
+    /// coalesced (fewer, larger packets pay the hop serialization).
+    #[default]
+    HostOnly,
+    /// One MAC at each cube's ingress: raw 16 B requests cross the
+    /// network and coalesce only against traffic for the same cube.
+    PerCube,
+}
+
+/// How the cube-id field is carved out of the 52-bit physical address.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CubeMapping {
+    /// Cube id = high-order capacity bits (`addr / capacity`). Cube 0
+    /// owns the lowest addresses, so the mapping restricted to cube 0
+    /// is bit-for-bit today's single-cube mapping.
+    Contiguous,
+    /// Cube bits sit just above the vault/bank interleave bits, so
+    /// consecutive 128 KB row groups rotate across cubes and ordinary
+    /// working sets exercise every cube.
+    #[default]
+    Interleaved,
+}
+
+/// Multi-cube network configuration (the `mac-net` subsystem).
+///
+/// Disabled by default: a disabled net is the classic single-cube
+/// system and takes the `system.rs` fast path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetConfig {
+    /// Route requests through the cube network instead of a single
+    /// directly-attached device.
+    pub enabled: bool,
+    /// Number of cubes (power of two; `Mesh2x2` requires exactly 4).
+    pub cubes: usize,
+    /// How the cubes are wired together.
+    pub topology: NetTopology,
+    /// Where coalescing happens.
+    pub placement: MacPlacement,
+    /// How addresses map onto cubes.
+    pub mapping: CubeMapping,
+    /// Pass-through latency a transit packet pays inside an
+    /// intermediate cube's switch (link deser → route → reser), in
+    /// core cycles, per hop — on top of link serialization.
+    pub forward_latency: u64,
+}
+
+impl NetConfig {
+    /// Bits of the address that select the cube (`log2(cubes)`).
+    pub fn cube_bits(&self) -> u32 {
+        debug_assert!(self.cubes.is_power_of_two());
+        self.cubes.trailing_zeros()
+    }
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            enabled: false,
+            cubes: 1,
+            topology: NetTopology::DaisyChain,
+            placement: MacPlacement::HostOnly,
+            mapping: CubeMapping::Interleaved,
+            // Switch pass-through ≈ 12 ns (Hadidi et al. measure 9–14 ns
+            // per intermediate cube): 40 cycles at 3.3 GHz.
+            forward_latency: 40,
+        }
+    }
+}
+
 /// Complete system configuration.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SystemConfig {
@@ -343,6 +452,8 @@ pub struct SystemConfig {
     /// Run the baseline path (raw 16 B requests straight to the device)
     /// instead of coalescing through the MAC.
     pub mac_disabled: bool,
+    /// Multi-cube network parameters (ignored unless `net.enabled`).
+    pub net: NetConfig,
 }
 
 impl SystemConfig {
@@ -372,6 +483,23 @@ impl SystemConfig {
     /// Same system attached to a conventional DDR4 channel (§2.2).
     pub fn with_ddr(mut self) -> Self {
         self.backend = MemBackend::Ddr;
+        self
+    }
+
+    /// Same system attached to a network of `cubes` HMC cubes.
+    pub fn with_net(
+        mut self,
+        cubes: usize,
+        topology: NetTopology,
+        placement: MacPlacement,
+    ) -> Self {
+        self.net = NetConfig {
+            enabled: true,
+            cubes,
+            topology,
+            placement,
+            ..NetConfig::default()
+        };
         self
     }
 }
@@ -442,6 +570,25 @@ mod tests {
             assert_eq!(SystemConfig::paper(t).soc.threads, t);
         }
         assert!(SystemConfig::paper(8).without_mac().mac_disabled);
+    }
+
+    #[test]
+    fn net_is_disabled_by_default() {
+        let c = SystemConfig::default();
+        assert!(!c.net.enabled);
+        assert_eq!(c.net.cubes, 1);
+        assert_eq!(c.net.cube_bits(), 0);
+        assert_eq!(c.hmc.link_select, LinkSelectPolicy::RoundRobin);
+    }
+
+    #[test]
+    fn with_net_enables_and_sets_shape() {
+        let c = SystemConfig::paper(8).with_net(4, NetTopology::Ring, MacPlacement::PerCube);
+        assert!(c.net.enabled);
+        assert_eq!(c.net.cubes, 4);
+        assert_eq!(c.net.cube_bits(), 2);
+        assert_eq!(c.net.topology, NetTopology::Ring);
+        assert_eq!(c.net.placement, MacPlacement::PerCube);
     }
 
     #[test]

@@ -27,8 +27,8 @@
 //! resurrected under a new meaning.
 
 use crate::config::{
-    DdrConfig, FlitTablePolicy, HbmConfig, HmcConfig, MacConfig, MemBackend, SocConfig,
-    SystemConfig,
+    CubeMapping, DdrConfig, FlitTablePolicy, HbmConfig, HmcConfig, LinkSelectPolicy, MacConfig,
+    MacPlacement, MemBackend, NetConfig, NetTopology, SocConfig, SystemConfig,
 };
 
 const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
@@ -178,6 +178,55 @@ impl Fingerprint for HmcConfig {
         h.write_f64(self.link_error_rate);
         h.write_u64(self.retry_penalty);
         h.write_u64(self.error_seed);
+        self.link_select.fingerprint(h);
+    }
+}
+
+impl Fingerprint for LinkSelectPolicy {
+    fn fingerprint(&self, h: &mut Fnv128) {
+        h.write_bytes(&[match self {
+            LinkSelectPolicy::RoundRobin => 0,
+            LinkSelectPolicy::LeastLoaded => 1,
+        }]);
+    }
+}
+
+impl Fingerprint for NetTopology {
+    fn fingerprint(&self, h: &mut Fnv128) {
+        h.write_bytes(&[match self {
+            NetTopology::DaisyChain => 0,
+            NetTopology::Ring => 1,
+            NetTopology::Mesh2x2 => 2,
+        }]);
+    }
+}
+
+impl Fingerprint for MacPlacement {
+    fn fingerprint(&self, h: &mut Fnv128) {
+        h.write_bytes(&[match self {
+            MacPlacement::HostOnly => 0,
+            MacPlacement::PerCube => 1,
+        }]);
+    }
+}
+
+impl Fingerprint for CubeMapping {
+    fn fingerprint(&self, h: &mut Fnv128) {
+        h.write_bytes(&[match self {
+            CubeMapping::Contiguous => 0,
+            CubeMapping::Interleaved => 1,
+        }]);
+    }
+}
+
+impl Fingerprint for NetConfig {
+    fn fingerprint(&self, h: &mut Fnv128) {
+        h.write_bool(self.enabled);
+        h.write_usize(self.cubes);
+        self.topology.fingerprint(h);
+        self.placement.fingerprint(h);
+        self.mapping.fingerprint(h);
+        h.write_u64(self.forward_latency);
     }
 }
 
@@ -228,6 +277,7 @@ impl Fingerprint for SystemConfig {
         self.ddr.fingerprint(h);
         self.backend.fingerprint(h);
         h.write_bool(self.mac_disabled);
+        self.net.fingerprint(h);
     }
 }
 
@@ -272,6 +322,33 @@ mod tests {
         let mut c = SystemConfig::default();
         c.mac.flit_table = FlitTablePolicy::Always256;
         assert_ne!(base, fp(&c));
+        let mut c = SystemConfig::default();
+        c.hmc.link_select = LinkSelectPolicy::LeastLoaded;
+        assert_ne!(base, fp(&c));
+    }
+
+    #[test]
+    fn every_net_knob_changes_the_hash() {
+        use crate::config::{MacPlacement, NetTopology};
+        let base = fp(&SystemConfig::default());
+        let mut c = SystemConfig::default();
+        c.net.enabled = true;
+        assert_ne!(base, fp(&c));
+        let enabled = fp(&c);
+        c.net.cubes = 2;
+        assert_ne!(enabled, fp(&c));
+        let two = fp(&c);
+        c.net.topology = NetTopology::Ring;
+        assert_ne!(two, fp(&c));
+        let ring = fp(&c);
+        c.net.placement = MacPlacement::PerCube;
+        assert_ne!(ring, fp(&c));
+        let per_cube = fp(&c);
+        c.net.mapping = CubeMapping::Contiguous;
+        assert_ne!(per_cube, fp(&c));
+        let contig = fp(&c);
+        c.net.forward_latency += 1;
+        assert_ne!(contig, fp(&c));
     }
 
     #[test]
