@@ -1,0 +1,184 @@
+//! Metrics time-series CLI — inspect, compare, and export the
+//! interval-sampled CSV files written by `mac-bench run --metrics`:
+//!
+//! ```text
+//! metrics_tools summarize <file.csv>              # per-series overview
+//! metrics_tools diff <a.csv> <b.csv>              # per-series deltas
+//! metrics_tools export-perfetto-counters <file.csv> <out.json>
+//! metrics_tools help
+//! ```
+//!
+//! Paths follow the same convention as the runner: a bare file name (no
+//! directory separator) is looked up under `results/metrics/` when it
+//! doesn't resolve relative to the working directory, so series written
+//! by `mac-bench --metrics` are addressable by file name alone.
+
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+use mac_metrics::{MetricsSnapshot, SeriesKind};
+use mac_telemetry::{export_counter_tracks, CounterTrack};
+
+const USAGE: &str = "\
+usage: metrics_tools summarize <file.csv>
+       metrics_tools diff <a.csv> <b.csv>
+       metrics_tools export-perfetto-counters <file.csv> <out.json>
+       metrics_tools help";
+
+/// Missing/invalid arguments: complain and exit 2 (usage error).
+fn usage_error(msg: &str) -> ! {
+    eprintln!("metrics_tools: {msg}");
+    eprintln!("{USAGE}");
+    exit(2);
+}
+
+/// Runtime failure (I/O, bad file): complain and exit 1.
+fn fail(msg: String) -> ! {
+    eprintln!("metrics_tools: {msg}");
+    exit(1);
+}
+
+fn arg<'a>(args: &'a [String], i: usize, what: &str) -> &'a str {
+    args.get(i)
+        .map(String::as_str)
+        .unwrap_or_else(|| usage_error(&format!("missing {what}")))
+}
+
+/// Resolve a metrics CSV path for reading: the path as given, then the
+/// shared `results/metrics/` directory `mac-bench --metrics` writes to.
+fn resolve_in(name: &str) -> PathBuf {
+    let p = Path::new(name);
+    if p.exists() || p.components().count() > 1 {
+        return p.to_path_buf();
+    }
+    let shared = mac_sim::engine::EngineOptions::default()
+        .metrics_dir()
+        .join(name);
+    if shared.exists() {
+        shared
+    } else {
+        p.to_path_buf()
+    }
+}
+
+fn load(name: &str) -> MetricsSnapshot {
+    let path = resolve_in(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(format!("read {}: {e}", path.display())));
+    MetricsSnapshot::from_csv(&text)
+        .unwrap_or_else(|e| fail(format!("parse {}: {e}", path.display())))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("summarize") => cmd_summarize(&args),
+        Some("diff") => cmd_diff(&args),
+        Some("export-perfetto-counters") => cmd_export(&args),
+        Some("help") | Some("--help") | Some("-h") => println!("{USAGE}"),
+        Some(other) => usage_error(&format!("unknown subcommand `{other}`")),
+        None => usage_error("missing subcommand"),
+    }
+}
+
+fn cmd_summarize(args: &[String]) {
+    let snap = load(arg(args, 2, "metrics CSV path"));
+    println!(
+        "interval {} cycles, {} series",
+        snap.interval,
+        snap.series.len()
+    );
+    println!(
+        "{:<44} {:>8} {:>6} {:>14} {:>14}",
+        "series", "kind", "points", "last", "peak"
+    );
+    for s in &snap.series {
+        // Counters are cumulative: the interesting per-series figures are
+        // the final total and the busiest window; for gauges, the last
+        // sample and the maximum.
+        let (last, peak) = match s.kind {
+            SeriesKind::Counter => (
+                s.last(),
+                s.deltas().into_iter().map(|(_, d)| d).max().unwrap_or(0),
+            ),
+            SeriesKind::Gauge => (
+                s.last(),
+                s.points.iter().map(|&(_, v)| v).max().unwrap_or(0),
+            ),
+        };
+        println!(
+            "{:<44} {:>8} {:>6} {:>14} {:>14}",
+            s.name,
+            s.kind.as_str(),
+            s.points.len(),
+            last,
+            peak
+        );
+    }
+}
+
+fn cmd_diff(args: &[String]) {
+    let a = load(arg(args, 2, "first metrics CSV path"));
+    let b = load(arg(args, 3, "second metrics CSV path"));
+    if a.interval != b.interval {
+        println!(
+            "note: sampling intervals differ ({} vs {})",
+            a.interval, b.interval
+        );
+    }
+    println!(
+        "{:<44} {:>14} {:>14} {:>14}",
+        "series", "A last", "B last", "delta"
+    );
+    let mut only_a = 0usize;
+    let mut differing = 0usize;
+    for s in &a.series {
+        let Some(other) = b.get(&s.name) else {
+            only_a += 1;
+            println!("{:<44} {:>14} {:>14} {:>14}", s.name, s.last(), "-", "-");
+            continue;
+        };
+        let la = s.last() as i128;
+        let lb = other.last() as i128;
+        if la != lb || s.points != other.points {
+            differing += 1;
+            println!("{:<44} {:>14} {:>14} {:>+14}", s.name, la, lb, lb - la);
+        }
+    }
+    let only_b: Vec<&str> = b
+        .series
+        .iter()
+        .filter(|s| a.get(&s.name).is_none())
+        .map(|s| s.name.as_str())
+        .collect();
+    for name in &only_b {
+        println!("{:<44} {:>14} {:>14} {:>14}", name, "-", "-", "-");
+    }
+    println!(
+        "{} series compared: {} differ, {} only in A, {} only in B",
+        a.series.len().max(b.series.len()),
+        differing,
+        only_a,
+        only_b.len()
+    );
+}
+
+fn cmd_export(args: &[String]) {
+    let snap = load(arg(args, 2, "metrics CSV path"));
+    let out = arg(args, 3, "output JSON path");
+    let tracks: Vec<CounterTrack> = snap
+        .series
+        .iter()
+        .map(|s| CounterTrack {
+            name: s.name.clone(),
+            points: s.points.clone(),
+        })
+        .collect();
+    let json = export_counter_tracks(&tracks);
+    std::fs::write(out, &json).unwrap_or_else(|e| fail(format!("write {out}: {e}")));
+    println!(
+        "wrote {out} ({} tracks, {} bytes) — open at https://ui.perfetto.dev or chrome://tracing",
+        tracks.len(),
+        json.len()
+    );
+}

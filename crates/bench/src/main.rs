@@ -4,9 +4,16 @@
 //! manifest-driven engine in `mac-sim`:
 //!
 //! ```text
-//! mac-bench [--filter GLOB[,GLOB...]] [--jobs N] [--scale N]
-//!           [--out DIR] [--no-cache] [--trace] [--list]
+//! mac-bench [run] [--filter GLOB[,GLOB...]] [--jobs N] [--scale N]
+//!           [--out DIR] [--no-cache] [--trace]
+//!           [--metrics] [--metrics-interval N] [--list]
+//! mac-bench baseline [--check | --update] [--file PATH]
+//!           [--jobs N] [--out DIR] [--no-cache]
 //! ```
+//!
+//! The `run` subcommand name is optional — `mac-bench --filter smoke`
+//! keeps working — so existing scripts and CI invocations are
+//! unaffected.
 //!
 //! * `--filter` selects manifest entries by name or tag with `*`/`?`
 //!   globbing (`fig1*`, `ablation`, `table1,fig03`). No filter runs the
@@ -19,6 +26,15 @@
 //! * `--trace` writes one `.mctr` telemetry trace per executed
 //!   simulation under `<out>/traces` — the same directory `trace_tools
 //!   run --trace` resolves bare file names into.
+//! * `--metrics` samples component state every `--metrics-interval`
+//!   cycles (default 10000) in each *executed* simulation and writes the
+//!   time-series as `<out>/metrics/<workload>-<fp>.{csv,json}` — the
+//!   directory `metrics_tools` resolves bare file names into. Cached
+//!   sims emit nothing; combine with `--no-cache` for full coverage.
+//! * `baseline --check` re-simulates the smoke baseline set and exits
+//!   non-zero if any checked-in metric drifts out of tolerance;
+//!   `baseline --update` regenerates the file (default
+//!   `baselines/smoke.macb`).
 //!
 //! Artifacts land in `<out>/<name>.{txt,csv,json}`; see EXPERIMENTS.md
 //! for the entry → paper-claim → output-file catalog.
@@ -27,18 +43,31 @@ use std::path::PathBuf;
 use std::process::exit;
 use std::time::Instant;
 
-use mac_sim::engine::{run_experiments, EngineOptions};
+use mac_sim::baseline::{self, Baseline, DEFAULT_BASELINE_PATH};
+use mac_sim::engine::{run_experiments, EngineOptions, SimPool};
 use mac_sim::manifest::{manifest, select};
 
 const USAGE: &str = "\
-usage: mac-bench [options]
+usage: mac-bench [run] [options]
+       mac-bench baseline [--check | --update] [options]
+
+run options:
   --filter GLOB[,GLOB]   run entries matching name or tag (default: all but `smoke`)
   --jobs N               worker threads (0 or absent: one per core)
   --scale N              workload scale factor (default 2)
   --out DIR              output directory (default `results`)
   --no-cache             bypass the on-disk result cache
   --trace                write .mctr telemetry traces for executed sims
+  --metrics              write per-sim metrics time-series (CSV+JSON) for executed sims
+  --metrics-interval N   metrics sampling interval in cycles (default 10000)
   --list                 list manifest entries and exit
+
+baseline options:
+  --check                compare against the checked-in baseline (default)
+  --update               regenerate the baseline file from a fresh run
+  --file PATH            baseline file (default `baselines/smoke.macb`)
+  --jobs/--out/--no-cache as above
+
   --help                 this text";
 
 fn usage_error(msg: &str) -> ! {
@@ -53,43 +82,54 @@ struct Cli {
     opts: EngineOptions,
 }
 
-fn parse_args() -> Cli {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+fn value(args: &[String], i: usize, flag: &str) -> String {
+    args.get(i + 1)
+        .cloned()
+        .unwrap_or_else(|| usage_error(&format!("{flag} needs a value")))
+}
+
+fn parse_run_args(args: &[String]) -> Cli {
     let mut cli = Cli {
         filter: String::new(),
         list: false,
         opts: EngineOptions::default(),
     };
     let mut i = 0;
-    let value = |args: &[String], i: usize, flag: &str| -> String {
-        args.get(i + 1)
-            .cloned()
-            .unwrap_or_else(|| usage_error(&format!("{flag} needs a value")))
-    };
     while i < args.len() {
         match args[i].as_str() {
             "--filter" => {
-                cli.filter = value(&args, i, "--filter");
+                cli.filter = value(args, i, "--filter");
                 i += 1;
             }
             "--jobs" => {
-                cli.opts.jobs = value(&args, i, "--jobs")
+                cli.opts.jobs = value(args, i, "--jobs")
                     .parse()
                     .unwrap_or_else(|_| usage_error("--jobs needs an integer"));
                 i += 1;
             }
             "--scale" => {
-                cli.opts.scale = value(&args, i, "--scale")
+                cli.opts.scale = value(args, i, "--scale")
                     .parse()
                     .unwrap_or_else(|_| usage_error("--scale needs an integer"));
                 i += 1;
             }
             "--out" => {
-                cli.opts.out_dir = PathBuf::from(value(&args, i, "--out"));
+                cli.opts.out_dir = PathBuf::from(value(args, i, "--out"));
                 i += 1;
             }
             "--no-cache" => cli.opts.use_cache = false,
             "--trace" => cli.opts.trace = true,
+            "--metrics" => cli.opts.metrics = true,
+            "--metrics-interval" => {
+                cli.opts.metrics_interval = value(args, i, "--metrics-interval")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--metrics-interval needs an integer"));
+                if cli.opts.metrics_interval == 0 {
+                    usage_error("--metrics-interval must be at least 1");
+                }
+                cli.opts.metrics = true;
+                i += 1;
+            }
             "--list" => cli.list = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -102,8 +142,8 @@ fn parse_args() -> Cli {
     cli
 }
 
-fn main() {
-    let cli = parse_args();
+fn run_main(args: &[String]) {
+    let cli = parse_run_args(args);
 
     if cli.list {
         println!("{:<22} {:<10} title", "name", "tags");
@@ -147,6 +187,12 @@ fn main() {
             files.join(" ")
         );
     }
+    if cli.opts.metrics {
+        eprintln!(
+            "mac-bench: metrics time-series under {} (executed sims only)",
+            cli.opts.metrics_dir().display()
+        );
+    }
     eprintln!(
         "mac-bench: {} simulated, {} from disk cache, {} memoized, {:.1}s",
         run.sims_executed,
@@ -154,4 +200,116 @@ fn main() {
         run.sims_from_memo,
         t0.elapsed().as_secs_f64()
     );
+}
+
+fn baseline_main(args: &[String]) {
+    let mut update = false;
+    let mut file = PathBuf::from(DEFAULT_BASELINE_PATH);
+    let mut opts = EngineOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--check" => update = false,
+            "--update" => update = true,
+            "--file" => {
+                file = PathBuf::from(value(args, i, "--file"));
+                i += 1;
+            }
+            "--jobs" => {
+                opts.jobs = value(args, i, "--jobs")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--jobs needs an integer"));
+                i += 1;
+            }
+            "--out" => {
+                opts.out_dir = PathBuf::from(value(args, i, "--out"));
+                i += 1;
+            }
+            "--no-cache" => opts.use_cache = false,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                exit(0);
+            }
+            other => usage_error(&format!("unknown baseline argument `{other}`")),
+        }
+        i += 1;
+    }
+
+    let mut pool = SimPool::new(opts.jobs);
+    if opts.use_cache {
+        pool = pool.with_cache(&opts.cache_dir());
+    }
+    eprintln!(
+        "mac-bench: collecting baseline metrics ({} sims, cache {})",
+        baseline::baseline_requests().len(),
+        if opts.use_cache { "on" } else { "off" },
+    );
+    let current = baseline::collect(&pool);
+
+    if update {
+        if let Some(parent) = file.parent() {
+            if !parent.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+        }
+        if let Err(e) = std::fs::write(&file, current.encode()) {
+            eprintln!("mac-bench: cannot write {}: {e}", file.display());
+            exit(1);
+        }
+        eprintln!(
+            "mac-bench: wrote {} ({} entries)",
+            file.display(),
+            current.entries.len()
+        );
+        return;
+    }
+
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "mac-bench: cannot read baseline {}: {e} (run `mac-bench baseline --update` first)",
+                file.display()
+            );
+            exit(1);
+        }
+    };
+    let expected = match Baseline::decode(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("mac-bench: malformed baseline {}: {e}", file.display());
+            exit(1);
+        }
+    };
+    let result = expected.check(&current);
+    for w in &result.warnings {
+        eprintln!("mac-bench: warning: {w}");
+    }
+    if result.passed() {
+        eprintln!(
+            "mac-bench: baseline OK ({} entries, {} metrics)",
+            expected.entries.len(),
+            expected.entries.values().map(|m| m.len()).sum::<usize>()
+        );
+        return;
+    }
+    for v in &result.violations {
+        eprintln!("mac-bench: baseline drift: {v}");
+    }
+    eprintln!(
+        "mac-bench: baseline check FAILED ({} violation(s)); if intentional, re-run `mac-bench baseline --update`",
+        result.violations.len()
+    );
+    exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Subcommand dispatch with back-compat: a leading flag (or nothing)
+    // means `run`.
+    match args.first().map(String::as_str) {
+        Some("run") => run_main(&args[1..]),
+        Some("baseline") => baseline_main(&args[1..]),
+        _ => run_main(&args),
+    }
 }

@@ -228,6 +228,28 @@ impl Mac {
     pub fn config(&self) -> &MacConfig {
         &self.cfg
     }
+
+    /// Current ARQ occupancy (entries held, including a latched fence).
+    pub fn arq_len(&self) -> usize {
+        self.arq.len()
+    }
+
+    /// Total ARQ capacity in entries.
+    pub fn arq_capacity(&self) -> usize {
+        self.arq.capacity()
+    }
+
+    /// Append one metrics sample: ARQ occupancy and direct-path queue
+    /// gauges plus cumulative request counters (the coalescing rate is
+    /// the windowed delta of `emitted_requests` over `raw_requests`).
+    /// Observational — reads state, never mutates it.
+    pub fn sample_metrics(&self, s: &mut mac_metrics::Sampler<'_>) {
+        s.gauge("arq_occupancy", self.arq.len() as u64);
+        s.gauge("direct_queue", self.direct.len() as u64);
+        s.counter("raw_requests", self.stats.raw_memory_requests());
+        s.counter("emitted_requests", self.stats.emitted_total());
+        s.counter("fences_retired", self.stats.fences_retired);
+    }
 }
 
 #[cfg(test)]

@@ -178,6 +178,17 @@ impl HmcDevice {
     pub fn addr_map(&self) -> &AddrMap {
         &self.map
     }
+
+    /// Append one metrics sample: cumulative access/conflict counters,
+    /// in-flight transaction gauge, link FLIT utilization, per-vault
+    /// queue depths. Observational — reads state, never mutates it.
+    pub fn sample_metrics(&self, now: Cycle, s: &mut mac_metrics::Sampler<'_>) {
+        s.counter("accesses", self.stats.accesses());
+        s.counter("bank_conflicts", self.stats.bank_conflicts);
+        s.gauge("inflight", self.completion.len() as u64);
+        self.links.sample_metrics(s);
+        self.vaults.sample_metrics(now, s);
+    }
 }
 
 impl crate::device_trait::MemoryDevice for HmcDevice {
@@ -201,6 +212,9 @@ impl crate::device_trait::MemoryDevice for HmcDevice {
     }
     fn set_tracer(&mut self, tracer: Tracer) {
         HmcDevice::set_tracer(self, tracer)
+    }
+    fn sample_metrics(&self, now: Cycle, s: &mut mac_metrics::Sampler<'_>) {
+        HmcDevice::sample_metrics(self, now, s)
     }
     fn as_any(&self) -> &dyn std::any::Any {
         self

@@ -34,6 +34,11 @@ pub trait MemoryDevice {
     /// Attach a tracer. Devices without instrumentation ignore it.
     fn set_tracer(&mut self, _tracer: mac_telemetry::Tracer) {}
 
+    /// Append one metrics sample (queue depths, utilization counters) at
+    /// cycle `now`. Observational: must not change simulated state.
+    /// Devices without instrumentation record nothing.
+    fn sample_metrics(&self, _now: Cycle, _s: &mut mac_metrics::Sampler<'_>) {}
+
     /// `Any` hook so front ends can recover device-specific statistics
     /// (e.g. a multi-cube network's hop counters) from behind the trait
     /// object. Implementations return `self`.

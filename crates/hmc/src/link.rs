@@ -145,6 +145,26 @@ impl LinkSet {
         self.up.iter().map(|c| c.busy_x16 as f64 / 16.0).sum()
     }
 
+    /// Busy time summed over all downstream channels in 1/16-cycle fixed
+    /// point (the lossless integer view of [`LinkSet::down_busy_cycles`],
+    /// used by the metrics sampler).
+    pub fn down_busy_x16(&self) -> u64 {
+        self.down.iter().map(|c| c.busy_x16).sum()
+    }
+
+    /// Busy time summed over all upstream channels in 1/16-cycle fixed
+    /// point.
+    pub fn up_busy_x16(&self) -> u64 {
+        self.up.iter().map(|c| c.busy_x16).sum()
+    }
+
+    /// Append FLIT-utilization series: cumulative busy x16-cycles per
+    /// direction (windowed utilization = delta / (16 · links · interval)).
+    pub fn sample_metrics(&self, s: &mut mac_metrics::Sampler<'_>) {
+        s.counter("link_down_busy_x16", self.down_busy_x16());
+        s.counter("link_up_busy_x16", self.up_busy_x16());
+    }
+
     /// Number of links.
     pub fn len(&self) -> usize {
         self.down.len()

@@ -138,6 +138,33 @@ impl VaultSet {
     pub fn bank_busy_cycles(&self) -> u128 {
         self.bank_busy
     }
+
+    /// Number of vault controllers.
+    pub fn vault_count(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Command-queue occupancy per vault at `now`: in-flight accesses
+    /// whose service has not yet finished. Non-mutating — sampling must
+    /// not prune the queues [`VaultSet::can_accept`] relies on.
+    pub fn queue_depths(&self, now: Cycle) -> Vec<usize> {
+        self.inflight
+            .iter()
+            .map(|q| q.iter().filter(|&&t| t > now).count())
+            .collect()
+    }
+
+    /// Append per-vault queue-depth gauges and the cumulative bank-busy
+    /// counter.
+    pub fn sample_metrics(&self, now: Cycle, s: &mut mac_metrics::Sampler<'_>) {
+        for (i, depth) in self.queue_depths(now).into_iter().enumerate() {
+            s.gauge(&format!("vault{i}_queue"), depth as u64);
+        }
+        s.counter(
+            "bank_busy_cycles",
+            self.bank_busy.min(u64::MAX as u128) as u64,
+        );
+    }
 }
 
 #[cfg(test)]

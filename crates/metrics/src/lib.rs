@@ -1,0 +1,332 @@
+//! Interval-sampled metrics for the MAC reproduction.
+//!
+//! The paper's headline claims are rates over time — coalescing rate,
+//! link utilization, bank-conflict intensity — but end-of-run aggregate
+//! statistics flatten the dynamics that explain them. This crate adds a
+//! windowed metrics layer: simulation loops sample component state every
+//! `interval` simulated cycles into named time-series, exported as CSV
+//! and JSON for offline analysis (`metrics_tools`) and Perfetto counter
+//! tracks.
+//!
+//! # Design
+//!
+//! [`MetricsHub`] follows the same zero-overhead-when-disabled pattern
+//! as `mac_telemetry::Tracer`: a disabled hub is a `None` and every
+//! operation short-circuits on one branch, so metrics never perturb
+//! simulated behavior or (measurably) wall-clock time when off. Sampling
+//! is *pull-based and observational*: once per interval the system loop
+//! calls [`MetricsHub::sample`] and components append one point per
+//! series via the [`Sampler`]. Components never hold the hub, so
+//! simulated state — and therefore the content-addressed result cache —
+//! is untouched by enabling metrics.
+//!
+//! Series are either [`SeriesKind::Gauge`] (an instantaneous level, e.g.
+//! ARQ occupancy) or [`SeriesKind::Counter`] (a cumulative count, e.g.
+//! requests emitted; per-window rates are derived at analysis time as
+//! deltas between consecutive points). Series names are `/`-separated
+//! paths (`node0/arq_occupancy`, `cube1/vault3_queue`) built with
+//! [`Sampler::scoped`]. The registry is a `BTreeMap`, so export order is
+//! deterministic and byte-identical across runs and `--jobs` settings.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod export;
+
+pub use export::{MetricsSnapshot, SeriesData};
+
+use mac_types::Histogram;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Whether a series reports an instantaneous level or a running total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesKind {
+    /// Instantaneous level at the sample cycle (queue depth, occupancy).
+    Gauge,
+    /// Cumulative count since cycle 0; windowed rates are the deltas
+    /// between consecutive samples.
+    Counter,
+}
+
+impl SeriesKind {
+    /// Stable lowercase name used in the CSV/JSON schema.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SeriesKind::Gauge => "gauge",
+            SeriesKind::Counter => "counter",
+        }
+    }
+
+    /// Inverse of [`SeriesKind::as_str`].
+    pub fn parse(s: &str) -> Option<SeriesKind> {
+        match s {
+            "gauge" => Some(SeriesKind::Gauge),
+            "counter" => Some(SeriesKind::Counter),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Series {
+    kind: SeriesKind,
+    points: Vec<(u64, u64)>,
+}
+
+#[derive(Debug)]
+struct Registry {
+    interval: u64,
+    series: BTreeMap<String, Series>,
+    last_cycle: Option<u64>,
+}
+
+/// Handle to the metrics registry shared by every component of one
+/// simulation. Cheap to clone (an `Arc` bump); a disabled hub is free.
+///
+/// `PartialEq` always returns `true`: metrics are observational, so two
+/// otherwise-equal components must compare equal regardless of
+/// instrumentation (this keeps `#[derive(PartialEq)]` meaningful on
+/// structs that embed a hub).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsHub {
+    inner: Option<Arc<Mutex<Registry>>>,
+}
+
+impl PartialEq for MetricsHub {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl MetricsHub {
+    /// A disabled hub: every operation is a no-op behind one branch.
+    pub fn disabled() -> Self {
+        MetricsHub { inner: None }
+    }
+
+    /// An enabled hub sampling every `interval` simulated cycles
+    /// (clamped to at least 1).
+    pub fn new(interval: u64) -> Self {
+        MetricsHub {
+            inner: Some(Arc::new(Mutex::new(Registry {
+                interval: interval.max(1),
+                series: BTreeMap::new(),
+                last_cycle: None,
+            }))),
+        }
+    }
+
+    /// Whether sampling is active.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The sampling interval in cycles (0 when disabled).
+    pub fn interval(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.lock().unwrap().interval,
+            None => 0,
+        }
+    }
+
+    /// Whether the loop should take a sample at cycle `now`. This is the
+    /// hot-path check: one branch when disabled.
+    #[inline]
+    pub fn should_sample(&self, now: u64) -> bool {
+        match &self.inner {
+            Some(inner) => now.is_multiple_of(inner.lock().unwrap().interval),
+            None => false,
+        }
+    }
+
+    /// Take one sample at cycle `now`: the closure appends points via
+    /// the [`Sampler`]. A cycle is sampled at most once — repeat calls
+    /// for the same `now` (e.g. the end-of-run tail sample landing on an
+    /// interval boundary) are ignored, so every series stays aligned.
+    pub fn sample(&self, now: u64, f: impl FnOnce(&mut Sampler<'_>)) {
+        if let Some(inner) = &self.inner {
+            let mut reg = inner.lock().unwrap();
+            if reg.last_cycle == Some(now) {
+                return;
+            }
+            reg.last_cycle = Some(now);
+            let mut sampler = Sampler {
+                reg: &mut reg,
+                cycle: now,
+                prefix: String::new(),
+            };
+            f(&mut sampler);
+        }
+    }
+
+    /// Snapshot every series for export. `None` when disabled.
+    pub fn snapshot(&self) -> Option<MetricsSnapshot> {
+        let inner = self.inner.as_ref()?;
+        let reg = inner.lock().unwrap();
+        Some(MetricsSnapshot {
+            interval: reg.interval,
+            series: reg
+                .series
+                .iter()
+                .map(|(name, s)| SeriesData {
+                    name: name.clone(),
+                    kind: s.kind,
+                    points: s.points.clone(),
+                })
+                .collect(),
+        })
+    }
+}
+
+/// Appends one sample's points to the registry. Passed to the closure
+/// given to [`MetricsHub::sample`]; components expose a
+/// `sample_metrics(&self, s: &mut Sampler)` method that registers their
+/// series by name.
+#[derive(Debug)]
+pub struct Sampler<'a> {
+    reg: &'a mut Registry,
+    cycle: u64,
+    prefix: String,
+}
+
+impl Sampler<'_> {
+    fn push(&mut self, name: &str, kind: SeriesKind, value: u64) {
+        let full = if self.prefix.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}{}", self.prefix, name)
+        };
+        let series = self.reg.series.entry(full).or_insert_with(|| Series {
+            kind,
+            points: Vec::new(),
+        });
+        series.points.push((self.cycle, value));
+    }
+
+    /// Record an instantaneous level (queue depth, occupancy, ...).
+    pub fn gauge(&mut self, name: &str, value: u64) {
+        self.push(name, SeriesKind::Gauge, value);
+    }
+
+    /// Record a cumulative count (total requests, busy sub-cycles, ...).
+    /// Values must be non-decreasing across samples of one run.
+    pub fn counter(&mut self, name: &str, value: u64) {
+        self.push(name, SeriesKind::Counter, value);
+    }
+
+    /// Record derived series from a log-scaled histogram: `{name}_count`
+    /// (counter) plus `{name}_p50` / `{name}_p99` quantile gauges.
+    pub fn histogram(&mut self, name: &str, h: &Histogram) {
+        self.push(&format!("{name}_count"), SeriesKind::Counter, h.count());
+        self.push(&format!("{name}_p50"), SeriesKind::Gauge, h.quantile(0.5));
+        self.push(&format!("{name}_p99"), SeriesKind::Gauge, h.quantile(0.99));
+    }
+
+    /// Run `f` with `segment/` prepended to every series name, nesting
+    /// with any enclosing scope (`node0/`, `cube1/vaults/`, ...).
+    pub fn scoped(&mut self, segment: &str, f: impl FnOnce(&mut Sampler<'_>)) {
+        let saved = self.prefix.len();
+        self.prefix.push_str(segment);
+        self.prefix.push('/');
+        f(self);
+        self.prefix.truncate(saved);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_hub_is_inert() {
+        let hub = MetricsHub::disabled();
+        assert!(!hub.is_enabled());
+        assert!(!hub.should_sample(0));
+        assert_eq!(hub.interval(), 0);
+        hub.sample(10, |_| panic!("closure must not run when disabled"));
+        assert!(hub.snapshot().is_none());
+    }
+
+    #[test]
+    fn sampling_builds_series_in_name_order() {
+        let hub = MetricsHub::new(100);
+        assert!(hub.is_enabled());
+        assert_eq!(hub.interval(), 100);
+        assert!(hub.should_sample(0));
+        assert!(!hub.should_sample(150));
+        assert!(hub.should_sample(200));
+
+        for cycle in [100u64, 200, 300] {
+            hub.sample(cycle, |s| {
+                s.gauge("zeta", cycle / 100);
+                s.counter("alpha", cycle * 2);
+            });
+        }
+        let snap = hub.snapshot().unwrap();
+        assert_eq!(snap.interval, 100);
+        let names: Vec<&str> = snap.series.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["alpha", "zeta"]);
+        assert_eq!(snap.series[0].kind, SeriesKind::Counter);
+        assert_eq!(snap.series[0].points, [(100, 200), (200, 400), (300, 600)]);
+        assert_eq!(snap.series[1].points, [(100, 1), (200, 2), (300, 3)]);
+    }
+
+    #[test]
+    fn duplicate_cycle_is_sampled_once() {
+        let hub = MetricsHub::new(10);
+        hub.sample(10, |s| s.gauge("g", 1));
+        hub.sample(10, |s| s.gauge("g", 2));
+        let snap = hub.snapshot().unwrap();
+        assert_eq!(snap.series[0].points, [(10, 1)]);
+    }
+
+    #[test]
+    fn scoped_prefixes_nest_and_restore() {
+        let hub = MetricsHub::new(1);
+        hub.sample(5, |s| {
+            s.scoped("node0", |s| {
+                s.gauge("arq", 7);
+                s.scoped("hmc", |s| s.counter("accesses", 9));
+            });
+            s.gauge("top", 1);
+        });
+        let snap = hub.snapshot().unwrap();
+        let names: Vec<&str> = snap.series.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["node0/arq", "node0/hmc/accesses", "top"]);
+    }
+
+    #[test]
+    fn histogram_emits_derived_series() {
+        let mut h = Histogram::new();
+        for v in [3u64, 5, 300] {
+            h.record(v);
+        }
+        let hub = MetricsHub::new(1);
+        hub.sample(1, |s| s.histogram("lat", &h));
+        let snap = hub.snapshot().unwrap();
+        let names: Vec<&str> = snap.series.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["lat_count", "lat_p50", "lat_p99"]);
+        assert_eq!(snap.series[0].points, [(1, 3)]);
+        assert_eq!(snap.series[0].kind, SeriesKind::Counter);
+        assert_eq!(snap.series[1].kind, SeriesKind::Gauge);
+    }
+
+    #[test]
+    fn hub_equality_is_observational() {
+        assert_eq!(MetricsHub::new(5), MetricsHub::disabled());
+        let a = MetricsHub::new(1);
+        let b = a.clone();
+        b.sample(1, |s| s.gauge("g", 1));
+        // The clone shares the registry.
+        assert_eq!(a.snapshot().unwrap().series.len(), 1);
+    }
+
+    #[test]
+    fn interval_zero_clamps_to_one() {
+        let hub = MetricsHub::new(0);
+        assert_eq!(hub.interval(), 1);
+        assert!(hub.should_sample(3));
+    }
+}

@@ -271,6 +271,25 @@ impl NetDevice {
         self.fabric.set_tracer(&tracer);
         self.tracer = tracer;
     }
+
+    /// Append one metrics sample: host-link utilization, fabric transit
+    /// load, local/remote access counters, and per-cube vault queue
+    /// depths plus access/conflict counters (scoped `cube{c}/...`).
+    /// Observational — reads state, never mutates it.
+    pub fn sample_metrics(&self, now: Cycle, s: &mut mac_metrics::Sampler<'_>) {
+        s.counter("local_accesses", self.net_stats.local_accesses);
+        s.counter("remote_accesses", self.net_stats.remote_accesses);
+        s.gauge("inflight", self.completion.len() as u64);
+        self.host_links.sample_metrics(s);
+        self.fabric.sample_metrics(s);
+        for (c, vaults) in self.vaults.iter().enumerate() {
+            s.scoped(&format!("cube{c}"), |s| {
+                s.counter("accesses", self.net_stats.per_cube_accesses[c]);
+                s.counter("bank_conflicts", self.net_stats.per_cube_conflicts[c]);
+                vaults.sample_metrics(now, s);
+            });
+        }
+    }
 }
 
 impl MemoryDevice for NetDevice {
@@ -294,6 +313,9 @@ impl MemoryDevice for NetDevice {
     }
     fn set_tracer(&mut self, tracer: Tracer) {
         NetDevice::set_tracer(self, tracer)
+    }
+    fn sample_metrics(&self, now: Cycle, s: &mut mac_metrics::Sampler<'_>) {
+        NetDevice::sample_metrics(self, now, s)
     }
     fn as_any(&self) -> &dyn std::any::Any {
         self

@@ -105,6 +105,19 @@ impl Fabric {
     pub fn forward_latency(&self) -> u64 {
         self.forward_latency
     }
+
+    /// Append fabric transit-load series: cumulative FLITs and busy
+    /// x16-cycles summed over every inter-cube edge.
+    pub fn sample_metrics(&self, s: &mut mac_metrics::Sampler<'_>) {
+        s.counter(
+            "transit_flits",
+            self.transit_flits.min(u64::MAX as u128) as u64,
+        );
+        s.counter(
+            "transit_busy_x16",
+            self.transit_busy_x16().min(u64::MAX as u128) as u64,
+        );
+    }
 }
 
 #[cfg(test)]

@@ -5,10 +5,21 @@
 //! report: how much traffic left the host-attached cube, how many hops
 //! it paid, and what that did to its round-trip latency.
 
-use mac_types::Counter;
+use mac_types::{Counter, Histogram};
 use serde::{Deserialize, Serialize};
 
 /// Aggregate statistics for one cube network.
+///
+/// # Histogram bucket boundaries
+///
+/// The hop and latency distributions use [`mac_types::Histogram`]'s
+/// log-scaled buckets: bucket `i` holds values in `[2^i, 2^(i+1))` —
+/// the **upper edge is exclusive** — except bucket 0, which holds both
+/// 0 and 1. So a 2-hop access lands in bucket 1 (`[2, 4)`), not bucket
+/// 0, and a latency of exactly 1024 lands in bucket 10 (`[1024, 2048)`),
+/// not bucket 9. [`Histogram::quantile`] reports the *inclusive* upper
+/// bound of the containing bucket (`2^(i+1) - 1`). The boundary tests
+/// below pin this down value by value.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct NetStats {
     /// Accesses served by the host-attached cube (cube 0).
@@ -17,10 +28,16 @@ pub struct NetStats {
     pub remote_accesses: u64,
     /// Hops (inter-cube edges) traversed per access, one way.
     pub hops: Counter,
+    /// Hop-count distribution (log-scaled buckets; see the struct docs
+    /// for boundary semantics).
+    pub hop_hist: Histogram,
     /// Host round-trip latency of cube-0 accesses, in cycles.
     pub local_latency: Counter,
     /// Host round-trip latency of remote-cube accesses, in cycles.
     pub remote_latency: Counter,
+    /// Round-trip latency distribution over *all* accesses (local and
+    /// remote), for p50/p99 reporting.
+    pub latency_hist: Histogram,
     /// FLITs serialized onto inter-cube edges (both directions).
     pub transit_flits: u128,
     /// Busy time accumulated on inter-cube edges, in 1/16-cycle fixed
@@ -45,6 +62,8 @@ impl NetStats {
     /// Record one completed access.
     pub fn record_access(&mut self, cube: u16, hops: usize, conflict: bool, latency: u64) {
         self.hops.record(hops as u64);
+        self.hop_hist.record(hops as u64);
+        self.latency_hist.record(latency);
         if cube == 0 {
             self.local_accesses += 1;
             self.local_latency.record(latency);
@@ -82,8 +101,10 @@ impl NetStats {
         self.local_accesses += other.local_accesses;
         self.remote_accesses += other.remote_accesses;
         self.hops.merge(&other.hops);
+        self.hop_hist.merge(&other.hop_hist);
         self.local_latency.merge(&other.local_latency);
         self.remote_latency.merge(&other.remote_latency);
+        self.latency_hist.merge(&other.latency_hist);
         self.transit_flits += other.transit_flits;
         self.transit_busy_x16 += other.transit_busy_x16;
         if self.per_cube_accesses.len() < other.per_cube_accesses.len() {
@@ -133,5 +154,77 @@ mod tests {
         assert_eq!(a.accesses(), 2);
         assert_eq!(a.per_cube_accesses, vec![1, 0, 0, 1]);
         assert_eq!(a.per_cube_conflicts, vec![0, 0, 0, 1]);
+        assert_eq!(a.hop_hist.count(), 2);
+        assert_eq!(a.latency_hist.count(), 2);
+    }
+
+    #[test]
+    fn hop_hist_bucket_upper_edges_are_exclusive() {
+        // Bucket i spans [2^i, 2^(i+1)); a value equal to a power of two
+        // belongs to the bucket it *opens*, not the one below it.
+        for (hops, bucket) in [
+            (0usize, 0usize),
+            (1, 0),
+            (2, 1),
+            (3, 1),
+            (4, 2),
+            (7, 2),
+            (8, 3),
+        ] {
+            let mut s = NetStats::new(16);
+            s.record_access(1, hops, false, 0);
+            let got = s.hop_hist.buckets().iter().position(|&n| n > 0).unwrap();
+            assert_eq!(got, bucket, "hops={hops} must land in bucket {bucket}");
+        }
+    }
+
+    #[test]
+    fn latency_hist_bucket_upper_edges_are_exclusive() {
+        for (latency, bucket) in [
+            (1u64, 0usize),
+            (2, 1),
+            (1023, 9),  // 2^10 - 1: last value of [512, 1024)
+            (1024, 10), // exactly 2^10 opens [1024, 2048)
+            (1025, 10),
+            (2047, 10),
+            (2048, 11),
+        ] {
+            let mut s = NetStats::new(1);
+            s.record_access(0, 0, false, latency);
+            let got = s
+                .latency_hist
+                .buckets()
+                .iter()
+                .position(|&n| n > 0)
+                .unwrap();
+            assert_eq!(
+                got, bucket,
+                "latency={latency} must land in bucket {bucket}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_reports_inclusive_bucket_upper_bound() {
+        let mut s = NetStats::new(4);
+        // Three accesses at exactly 3 hops: bucket 1 = [2, 4), whose
+        // reported quantile is the inclusive upper bound 3 — not 4.
+        for _ in 0..3 {
+            s.record_access(2, 3, false, 1024);
+        }
+        assert_eq!(s.hop_hist.quantile(0.5), 3);
+        assert_eq!(s.hop_hist.quantile(1.0), 3);
+        // Latency 1024 sits at the *bottom* of [1024, 2048): the
+        // quantile is that bucket's inclusive upper bound, 2047.
+        assert_eq!(s.latency_hist.quantile(0.5), 2047);
+    }
+
+    #[test]
+    fn zero_and_one_hop_share_bucket_zero() {
+        let mut s = NetStats::new(2);
+        s.record_access(0, 0, false, 10); // local: 0 hops
+        s.record_access(1, 1, false, 20); // neighbor: 1 hop
+        assert_eq!(s.hop_hist.buckets()[0], 2);
+        assert_eq!(s.hop_hist.quantile(1.0), 1, "bucket 0's upper bound is 1");
     }
 }

@@ -26,14 +26,35 @@ use crate::report::RunReport;
 
 /// Format version of the `MACS` simulation-result file. Bump when the
 /// field list below changes. (v2 added the `net`/`netcubes` lines for
-/// multi-cube runs.)
-pub const SIM_FORMAT_VERSION: u32 = 2;
+/// multi-cube runs; v3 added the `nethophist`/`netlathist` histograms.)
+pub const SIM_FORMAT_VERSION: u32 = 3;
 
 /// Format version of the `MACA` artifact file.
 pub const ART_FORMAT_VERSION: u32 = 1;
 
 fn push_counter(out: &mut String, c: &Counter) {
     out.push_str(&format!(" {} {} {} {}", c.events, c.sum, c.min, c.max));
+}
+
+fn push_hist(out: &mut String, tag: &str, h: &Histogram) {
+    out.push_str(&format!("{tag} {}", h.count()));
+    for b in h.buckets() {
+        out.push_str(&format!(" {b}"));
+    }
+    out.push('\n');
+}
+
+fn parse_hist(line: &str, tag: &str) -> Option<Histogram> {
+    let mut f = Fields::new(line, tag)?;
+    let count = f.u64()?;
+    let mut buckets = Vec::with_capacity(64);
+    while let Some(b) = f.u64() {
+        buckets.push(b);
+    }
+    if buckets.len() != 64 {
+        return None;
+    }
+    Some(Histogram::from_parts(&buckets, count))
 }
 
 /// Serialize a run report's statistics (everything except the config and
@@ -91,11 +112,7 @@ pub fn encode_run(r: &RunReport) -> String {
     push_counter(&mut hmc, &h.latency);
     hmc.push('\n');
     s.push_str(&hmc);
-    s.push_str(&format!("hist {}", h.latency_hist.count()));
-    for b in h.latency_hist.buckets() {
-        s.push_str(&format!(" {b}"));
-    }
-    s.push('\n');
+    push_hist(&mut s, "hist", &h.latency_hist);
     let n = &r.net;
     let mut net = format!(
         "net {} {} {} {}",
@@ -106,6 +123,8 @@ pub fn encode_run(r: &RunReport) -> String {
     push_counter(&mut net, &n.remote_latency);
     net.push('\n');
     s.push_str(&net);
+    push_hist(&mut s, "nethophist", &n.hop_hist);
+    push_hist(&mut s, "netlathist", &n.latency_hist);
     s.push_str(&format!("netcubes {}", n.per_cube_accesses.len()));
     for (a, c) in n.per_cube_accesses.iter().zip(&n.per_cube_conflicts) {
         s.push_str(&format!(" {a} {c}"));
@@ -206,16 +225,7 @@ pub fn decode_run(text: &str) -> Option<RunReport> {
     hmc.row_hits = f.u64()?;
     hmc.latency = f.counter()?;
 
-    let mut f = Fields::new(lines.next()?, "hist")?;
-    let count = f.u64()?;
-    let mut buckets = Vec::with_capacity(64);
-    while let Some(b) = f.u64() {
-        buckets.push(b);
-    }
-    if buckets.len() != 64 {
-        return None;
-    }
-    hmc.latency_hist = Histogram::from_parts(&buckets, count);
+    hmc.latency_hist = parse_hist(lines.next()?, "hist")?;
     r.hmc = hmc;
 
     let mut f = Fields::new(lines.next()?, "net")?;
@@ -229,6 +239,8 @@ pub fn decode_run(text: &str) -> Option<RunReport> {
     net.hops = f.counter()?;
     net.local_latency = f.counter()?;
     net.remote_latency = f.counter()?;
+    net.hop_hist = parse_hist(lines.next()?, "nethophist")?;
+    net.latency_hist = parse_hist(lines.next()?, "netlathist")?;
     let mut f = Fields::new(lines.next()?, "netcubes")?;
     let cubes = f.usize()?;
     for _ in 0..cubes {

@@ -33,6 +33,13 @@
 //!   node via `Tracer::for_node`. Tracing never perturbs simulated
 //!   behaviour (`sysim`'s cycle-identity test), so traced and untraced
 //!   runs produce identical artifacts.
+//! * **Metrics** — with [`EngineOptions::metrics`], every *executed*
+//!   simulation attaches a `mac-metrics` [`MetricsHub`] sampling
+//!   component state every [`EngineOptions::metrics_interval`] cycles;
+//!   the series land as `results/metrics/<workload>-<fp>.csv` and
+//!   `.json`. Like tracing, sampling is observational and per-sim, so
+//!   metrics files are byte-identical across `--jobs` settings and the
+//!   result cache is untouched.
 //!
 //! Cached statistics are stored losslessly (integers only — see
 //! [`crate::cachefmt`]), and the requested configuration is re-attached
@@ -45,12 +52,13 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use mac_metrics::MetricsHub;
 use mac_telemetry::{BinarySink, Tracer};
 use mac_types::{Fingerprint, Fnv128};
 use mac_workloads::{by_name, Workload};
 
 use crate::catalog;
-use crate::experiment::{run_workload_with, ExperimentConfig};
+use crate::experiment::{run_workload_instrumented, ExperimentConfig};
 use crate::figures::render_table;
 use crate::manifest::Experiment;
 use crate::report::RunReport;
@@ -58,7 +66,11 @@ use crate::report::RunReport;
 /// Version salt folded into every cache key. Bump whenever simulation
 /// behaviour, config hashing, or the cache file formats change meaning,
 /// so stale entries can never be resurrected as fresh results.
-pub const CACHE_FORMAT_VERSION: u32 = 2;
+/// v3: `NetStats` gained hop/latency histograms (cache format v3).
+pub const CACHE_FORMAT_VERSION: u32 = 3;
+
+/// Default metrics sampling interval in simulated cycles.
+pub const DEFAULT_METRICS_INTERVAL: u64 = 10_000;
 
 /// One rendered result table: the unit the engine writes to disk as
 /// `<name>.txt` (aligned text), `<name>.csv`, and `<name>.json`.
@@ -259,6 +271,8 @@ pub struct SimPool {
     workers: usize,
     cache_dir: Option<PathBuf>,
     trace_dir: Option<PathBuf>,
+    metrics_dir: Option<PathBuf>,
+    metrics_interval: u64,
     memo: Mutex<HashMap<u128, RunReport>>,
     executed: AtomicU64,
     disk_hits: AtomicU64,
@@ -280,6 +294,8 @@ impl SimPool {
             workers,
             cache_dir: None,
             trace_dir: None,
+            metrics_dir: None,
+            metrics_interval: DEFAULT_METRICS_INTERVAL,
             memo: Mutex::new(HashMap::new()),
             executed: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
@@ -298,6 +314,16 @@ impl SimPool {
     /// cache (or `--no-cache`) to trace everything.
     pub fn with_trace(mut self, dir: &Path) -> Self {
         self.trace_dir = Some(dir.to_path_buf());
+        self
+    }
+
+    /// Sample interval metrics every `interval` cycles for each
+    /// *executed* simulation, writing `<workload>-<fp>.csv`/`.json`
+    /// time-series under `dir`. Cached simulations produce no metrics;
+    /// combine with a cold cache (or `--no-cache`) to cover everything.
+    pub fn with_metrics(mut self, dir: &Path, interval: u64) -> Self {
+        self.metrics_dir = Some(dir.to_path_buf());
+        self.metrics_interval = interval.max(1);
         self
     }
 
@@ -359,8 +385,19 @@ impl SimPool {
             let path = dir.join(format!("{}-{:016x}.mctr", req.workload, fp as u64));
             BinarySink::create(&path).ok().map(Tracer::new)
         });
+        let metrics = match &self.metrics_dir {
+            Some(_) => MetricsHub::new(self.metrics_interval),
+            None => MetricsHub::disabled(),
+        };
         self.executed.fetch_add(1, Ordering::Relaxed);
-        run_workload_with(w.as_ref(), &req.cfg, tracer)
+        let report = run_workload_instrumented(w.as_ref(), &req.cfg, tracer, metrics.clone());
+        if let (Some(dir), Some(snap)) = (&self.metrics_dir, metrics.snapshot()) {
+            let _ = std::fs::create_dir_all(dir);
+            let stem = format!("{}-{:016x}", req.workload, fp as u64);
+            let _ = std::fs::write(dir.join(format!("{stem}.csv")), snap.to_csv());
+            let _ = std::fs::write(dir.join(format!("{stem}.json")), snap.to_json());
+        }
+        report
     }
 
     /// Run a batch of requests, in parallel, returning reports **in
@@ -505,6 +542,12 @@ pub struct EngineOptions {
     pub use_cache: bool,
     /// Record `.mctr` telemetry traces for executed simulations.
     pub trace: bool,
+    /// Record interval-sampled metrics time-series for executed
+    /// simulations (`--metrics`).
+    pub metrics: bool,
+    /// Metrics sampling interval in simulated cycles
+    /// (`--metrics-interval`).
+    pub metrics_interval: u64,
 }
 
 impl Default for EngineOptions {
@@ -515,6 +558,8 @@ impl Default for EngineOptions {
             out_dir: PathBuf::from("results"),
             use_cache: true,
             trace: false,
+            metrics: false,
+            metrics_interval: DEFAULT_METRICS_INTERVAL,
         }
     }
 }
@@ -530,6 +575,13 @@ impl EngineOptions {
     /// two CLIs agree (see `EXPERIMENTS.md`).
     pub fn traces_dir(&self) -> PathBuf {
         self.out_dir.join("traces")
+    }
+
+    /// Where metrics time-series live for this invocation.
+    /// `metrics_tools` resolves bare file names into the same directory
+    /// so the two CLIs agree.
+    pub fn metrics_dir(&self) -> PathBuf {
+        self.out_dir.join("metrics")
     }
 }
 
@@ -585,6 +637,9 @@ pub fn run_experiments(exps: &[Experiment], opts: &EngineOptions) -> std::io::Re
     }
     if opts.trace {
         pool = pool.with_trace(&opts.traces_dir());
+    }
+    if opts.metrics {
+        pool = pool.with_metrics(&opts.metrics_dir(), opts.metrics_interval);
     }
     std::fs::create_dir_all(&opts.out_dir)?;
 

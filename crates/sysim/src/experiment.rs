@@ -3,6 +3,7 @@
 //! These are the low-level building blocks; batch execution with caching
 //! and work stealing lives in [`crate::engine`].
 
+use mac_metrics::MetricsHub;
 use mac_telemetry::Tracer;
 use mac_types::{Fingerprint, Fnv128, MacPlacement, SystemConfig};
 use mac_workloads::{Workload, WorkloadParams};
@@ -77,6 +78,21 @@ pub fn run_workload_with(
     cfg: &ExperimentConfig,
     tracer: Option<Tracer>,
 ) -> RunReport {
+    run_workload_instrumented(w, cfg, tracer, MetricsHub::disabled())
+}
+
+/// Run one workload with both kinds of instrumentation: an optional
+/// telemetry tracer and a metrics hub (pass
+/// [`MetricsHub::disabled`] for none). Both are observational — the
+/// report is identical whatever is attached; an enabled hub fills with
+/// interval-sampled time-series the caller can
+/// [`MetricsHub::snapshot`] afterwards.
+pub fn run_workload_instrumented(
+    w: &dyn Workload,
+    cfg: &ExperimentConfig,
+    tracer: Option<Tracer>,
+    metrics: MetricsHub,
+) -> RunReport {
     let programs = programs_for(w, &cfg.workload);
     // Per-cube coalescer placement gets its own system loop; everything
     // else (single device, host-side coalescing over a network) runs the
@@ -86,12 +102,14 @@ pub fn run_workload_with(
         if let Some(t) = tracer {
             sim.set_tracer(t);
         }
+        sim.set_metrics(metrics);
         return sim.run(cfg.max_cycles);
     }
     let mut sim = SystemSim::new(&cfg.system, programs);
     if let Some(t) = tracer {
         sim.set_tracer(t);
     }
+    sim.set_metrics(metrics);
     sim.run(cfg.max_cycles)
 }
 

@@ -23,12 +23,15 @@
 //! * [`mod@manifest`] — every figure/table/ablation as a declarative
 //!   [`manifest::Experiment`] entry the `mac-bench` runner dispatches.
 //! * [`catalog`] — the row-building code behind each manifest entry.
+//! * [`baseline`] — the perf-regression baseline harness behind
+//!   `mac-bench baseline --check`.
 //! * [`cachefmt`] — the versioned text formats for cached results.
 //! * [`figures`] — one function per paper figure/table returning raw rows.
 
 #![warn(missing_docs)]
 
 pub mod analyzer;
+pub mod baseline;
 pub mod cachefmt;
 pub mod catalog;
 pub mod engine;
@@ -40,6 +43,7 @@ pub mod report;
 pub mod system;
 
 pub use analyzer::{analyze, TraceAnalysis};
+pub use baseline::{Baseline, BaselineCheck};
 pub use engine::{run_experiments, Artifact, EngineOptions, EngineRun, SimPool, SimRequest};
 pub use experiment::{run_pair, run_workload, ExperimentConfig};
 pub use manifest::{manifest, select, Experiment};

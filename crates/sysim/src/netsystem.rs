@@ -27,6 +27,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use mac_coalescer::{Mac, MacEvent, RequestRouter, ResponseRouter, RoutedTo};
+use mac_metrics::MetricsHub;
 use mac_net::NetDevice;
 use mac_telemetry::{TraceEvent, Tracer, ROUTE_GLOBAL, ROUTE_LOCAL, ROUTE_STALLED};
 use mac_types::{Cycle, FlitMap, HmcRequest, MemOpKind, NodeId, RawRequest, ReqSize, SystemConfig};
@@ -59,6 +60,7 @@ pub struct NetSystem {
     seq: u64,
     now: Cycle,
     tracer: Tracer,
+    metrics: MetricsHub,
 }
 
 impl NetSystem {
@@ -88,6 +90,7 @@ impl NetSystem {
             seq: 0,
             now: 0,
             tracer: Tracer::disabled(),
+            metrics: MetricsHub::disabled(),
             cfg,
         }
     }
@@ -101,6 +104,30 @@ impl NetSystem {
         }
         self.dev.set_tracer(tracer.clone());
         self.tracer = tracer;
+    }
+
+    /// Attach a metrics hub (disabled by default). Sampling is
+    /// observational and never changes simulated behavior.
+    pub fn set_metrics(&mut self, metrics: MetricsHub) {
+        self.metrics = metrics;
+    }
+
+    /// Take one metrics sample: host router, each cube's ingress MAC
+    /// stage (scoped `cube{c}/mac/...`), and the network device (scoped
+    /// `net/...`).
+    fn take_metrics_sample(&self) {
+        let now = self.now;
+        self.metrics.sample(now, |s| {
+            s.gauge("router_queue", self.router.queued() as u64);
+            for (c, stage) in self.cubes.iter().enumerate() {
+                s.scoped(&format!("cube{c}"), |s| {
+                    s.gauge("ingress_queue", stage.ingress.len() as u64);
+                    s.gauge("dispatch_queue", stage.dispatch_q.len() as u64);
+                    s.scoped("mac", |s| stage.mac.sample_metrics(s));
+                });
+            }
+            s.scoped("net", |s| self.dev.sample_metrics(now, s));
+        });
     }
 
     /// Request packet length in FLITs for one *raw* (un-coalesced)
@@ -260,9 +287,17 @@ impl NetSystem {
     /// Run to completion (or `max_cycles`) and produce the report.
     pub fn run(&mut self, max_cycles: Cycle) -> RunReport {
         while self.now < max_cycles {
-            if !self.tick() {
+            let more = self.tick();
+            if self.metrics.should_sample(self.now) {
+                self.take_metrics_sample();
+            }
+            if !more {
                 break;
             }
+        }
+        if self.metrics.is_enabled() {
+            // Tail window (deduped when the run ends on a boundary).
+            self.take_metrics_sample();
         }
         self.tracer.flush();
         self.report()

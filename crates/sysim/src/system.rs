@@ -23,6 +23,7 @@ use std::collections::VecDeque;
 
 use hmc_model::{DdrDevice, HbmDevice, HmcDevice, MemoryDevice};
 use mac_coalescer::{Mac, MacEvent, RequestRouter, ResponseRouter, RoutedTo};
+use mac_metrics::MetricsHub;
 use mac_net::NetDevice;
 use mac_telemetry::{
     TraceEvent, Tracer, ROUTE_GLOBAL, ROUTE_LOCAL, ROUTE_REMOTE_IN, ROUTE_STALLED,
@@ -68,6 +69,7 @@ pub struct SystemSim {
     net_responses: VecDeque<InFlight<TransactionId>>,
     now: Cycle,
     tracer: Tracer,
+    metrics: MetricsHub,
 }
 
 impl SystemSim {
@@ -120,6 +122,7 @@ impl SystemSim {
             net_responses: VecDeque::new(),
             now: 0,
             tracer: Tracer::disabled(),
+            metrics: MetricsHub::disabled(),
         }
     }
 
@@ -134,6 +137,29 @@ impl SystemSim {
             n.tracer = t;
         }
         self.tracer = tracer;
+    }
+
+    /// Attach a metrics hub (disabled by default). Like tracing,
+    /// sampling is observational: it reads component state once per
+    /// interval and never changes simulated behavior.
+    pub fn set_metrics(&mut self, metrics: MetricsHub) {
+        self.metrics = metrics;
+    }
+
+    /// Take one metrics sample of every node's components, scoped
+    /// `node{i}/...`.
+    fn take_metrics_sample(&self) {
+        let now = self.now;
+        self.metrics.sample(now, |s| {
+            for (i, n) in self.nodes.iter().enumerate() {
+                s.scoped(&format!("node{i}"), |s| {
+                    s.gauge("router_queue", n.router.queued() as u64);
+                    s.gauge("dispatch_queue", n.dispatch_q.len() as u64);
+                    n.mac.sample_metrics(s);
+                    s.scoped("hmc", |s| n.hmc.sample_metrics(now, s));
+                });
+            }
+        });
     }
 
     /// Origin node encoded in a transaction id (see `soc_sim::Node`).
@@ -309,9 +335,18 @@ impl SystemSim {
     /// Run to completion (or `max_cycles`) and produce the report.
     pub fn run(&mut self, max_cycles: Cycle) -> RunReport {
         while self.now < max_cycles {
-            if !self.tick() {
+            let more = self.tick();
+            if self.metrics.should_sample(self.now) {
+                self.take_metrics_sample();
+            }
+            if !more {
                 break;
             }
+        }
+        if self.metrics.is_enabled() {
+            // Tail window: capture the final state even when the run did
+            // not end on an interval boundary (deduped when it did).
+            self.take_metrics_sample();
         }
         self.tracer.flush();
         self.report()

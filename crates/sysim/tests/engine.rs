@@ -23,7 +23,7 @@ fn opts(out: PathBuf, jobs: usize, use_cache: bool) -> EngineOptions {
         scale: 1,
         out_dir: out,
         use_cache,
-        trace: false,
+        ..EngineOptions::default()
     }
 }
 

@@ -39,7 +39,7 @@ pub use event::{
     TraceEvent, TraceRecord, POP_BUILDER, POP_BYPASS, POP_FENCE, ROUTE_GLOBAL, ROUTE_LOCAL,
     ROUTE_REMOTE_IN, ROUTE_STALLED,
 };
-pub use perfetto::{export_json, PerfettoSink};
+pub use perfetto::{export_counter_tracks, export_json, CounterTrack, PerfettoSink};
 pub use ring::{RingHandle, RingSink};
 pub use tracer::{TraceSink, TraceSummary, Tracer};
 

@@ -509,6 +509,44 @@ fn counter(out: &mut String, first: &mut bool, pid: u16, ts: u64, name: &str, va
     });
 }
 
+/// A named counter time-series rendered as a Perfetto counter track —
+/// the bridge from `mac-metrics` interval samples (or any other
+/// `(cycle, value)` series) into the trace UI.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterTrack {
+    /// Track name shown in the UI (typically the metric series name,
+    /// e.g. `node0/arq_occupancy`).
+    pub name: String,
+    /// `(cycle, value)` samples in ascending cycle order.
+    pub points: Vec<(u64, u64)>,
+}
+
+/// Serialize counter tracks into a complete Chrome trace JSON document:
+/// one `metrics` process holding one `"C"` series per track, with the
+/// same cycle-as-microsecond timestamp convention as [`export_json`].
+/// The result can be opened standalone or merged with an event trace in
+/// <https://ui.perfetto.dev>.
+pub fn export_counter_tracks(tracks: &[CounterTrack]) -> String {
+    let points: usize = tracks.iter().map(|t| t.points.len()).sum();
+    let mut out = String::with_capacity(points * 72 + 1024);
+    out.push_str("{\"traceEvents\":[\n");
+    let mut first = true;
+    emit_obj(&mut out, &mut first, |o| {
+        let _ = write!(
+            o,
+            "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":0,\"tid\":0,\
+             \"args\":{{\"name\":\"metrics\"}}}}"
+        );
+    });
+    for t in tracks {
+        for &(cycle, value) in &t.points {
+            counter(&mut out, &mut first, 0, cycle, &t.name, value);
+        }
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
 /// Sink that buffers every record and writes the Chrome trace JSON to a
 /// file when flushed (and on drop, if records arrived after the last
 /// flush).
@@ -639,5 +677,33 @@ mod tests {
     fn empty_trace_is_valid_json_shape() {
         let json = export_json(&[]);
         assert!(json.contains("\"traceEvents\":[\n\n]"));
+    }
+
+    #[test]
+    fn counter_tracks_render_one_c_event_per_point() {
+        let tracks = vec![
+            CounterTrack {
+                name: "node0/arq_occupancy".into(),
+                points: vec![(0, 0), (10_000, 7)],
+            },
+            CounterTrack {
+                name: "node0/hmc/accesses".into(),
+                points: vec![(10_000, 42)],
+            },
+        ];
+        let json = export_counter_tracks(&tracks);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"metrics\""));
+        assert_eq!(json.matches("\"ph\":\"C\"").count(), 3);
+        assert!(json.contains("\"name\":\"node0/arq_occupancy\",\"pid\":0,\"ts\":10000"));
+        assert!(json.contains("{\"value\":42}"));
+        assert!(!json.contains(",\n]"));
+    }
+
+    #[test]
+    fn empty_counter_tracks_are_a_valid_document() {
+        let json = export_counter_tracks(&[]);
+        assert!(json.contains("\"process_name\""));
+        assert!(json.trim_end().ends_with('}'));
     }
 }
