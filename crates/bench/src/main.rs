@@ -9,6 +9,8 @@
 //!           [--metrics] [--metrics-interval N] [--list]
 //! mac-bench baseline [--check | --update] [--file PATH]
 //!           [--jobs N] [--out DIR] [--no-cache]
+//! mac-bench fuzz [--iters N] [--seed S] [--out DIR] [--max-cycles N]
+//!           [--smoke] [--replay FILE]
 //! ```
 //!
 //! The `run` subcommand name is optional — `mac-bench --filter smoke`
@@ -35,6 +37,12 @@
 //!   non-zero if any checked-in metric drifts out of tolerance;
 //!   `baseline --update` regenerates the file (default
 //!   `baselines/smoke.macb`).
+//! * `fuzz` runs the differential conformance fuzzer: seeded random
+//!   configs × adversarial address streams, each simulated with the
+//!   `mac-check` invariant checker attached and diffed against the
+//!   functional oracle. Failing cases shrink to reproducers under
+//!   `results/fuzz/`; `--replay FILE` re-runs one, `--smoke` adds the
+//!   deterministic checked workload set CI uses.
 //!
 //! Artifacts land in `<out>/<name>.{txt,csv,json}`; see EXPERIMENTS.md
 //! for the entry → paper-claim → output-file catalog.
@@ -45,11 +53,14 @@ use std::time::Instant;
 
 use mac_sim::baseline::{self, Baseline, DEFAULT_BASELINE_PATH};
 use mac_sim::engine::{run_experiments, EngineOptions, SimPool};
+use mac_sim::fuzz::{self, FuzzOptions};
 use mac_sim::manifest::{manifest, select};
 
 const USAGE: &str = "\
 usage: mac-bench [run] [options]
        mac-bench baseline [--check | --update] [options]
+       mac-bench fuzz [--iters N] [--seed S] [--out DIR] [--max-cycles N]
+                      [--smoke] [--replay FILE]
 
 run options:
   --filter GLOB[,GLOB]   run entries matching name or tag (default: all but `smoke`)
@@ -67,6 +78,14 @@ baseline options:
   --update               regenerate the baseline file from a fresh run
   --file PATH            baseline file (default `baselines/smoke.macb`)
   --jobs/--out/--no-cache as above
+
+fuzz options:
+  --iters N              random cases to run (default 100)
+  --seed S               campaign seed (default 1)
+  --out DIR              reproducer directory (default `results/fuzz`)
+  --max-cycles N         cycle cap per case (default 2000000)
+  --smoke                also run the deterministic checked smoke set
+  --replay FILE          re-run one reproducer file instead of fuzzing
 
   --help                 this text";
 
@@ -303,6 +322,141 @@ fn baseline_main(args: &[String]) {
     exit(1);
 }
 
+fn fuzz_main(args: &[String]) {
+    let mut opts = FuzzOptions::default();
+    let mut smoke = false;
+    let mut replay: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--iters" => {
+                opts.iters = value(args, i, "--iters")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--iters needs an integer"));
+                i += 1;
+            }
+            "--seed" => {
+                opts.seed = value(args, i, "--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--seed needs an integer"));
+                i += 1;
+            }
+            "--out" => {
+                opts.out_dir = PathBuf::from(value(args, i, "--out"));
+                i += 1;
+            }
+            "--max-cycles" => {
+                opts.max_cycles = value(args, i, "--max-cycles")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--max-cycles needs an integer"));
+                i += 1;
+            }
+            "--smoke" => smoke = true,
+            "--replay" => {
+                replay = Some(PathBuf::from(value(args, i, "--replay")));
+                i += 1;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                exit(0);
+            }
+            other => usage_error(&format!("unknown fuzz argument `{other}`")),
+        }
+        i += 1;
+    }
+
+    let mut failed = false;
+
+    if let Some(path) = replay {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("mac-bench: cannot read {}: {e}", path.display());
+                exit(1);
+            }
+        };
+        let case = match fuzz::decode_reproducer(&text) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("mac-bench: malformed reproducer {}: {e}", path.display());
+                exit(1);
+            }
+        };
+        let run = case.run();
+        for v in &run.violations {
+            eprintln!("mac-bench: violation: {v}");
+        }
+        for d in &run.divergences {
+            eprintln!("mac-bench: divergence: {d}");
+        }
+        if run.is_clean() {
+            eprintln!("mac-bench: replay clean ({} cycles)", run.report.cycles);
+            return;
+        }
+        eprintln!(
+            "mac-bench: replay FAILED ({} violation(s), {} divergence(s))",
+            run.violations.len(),
+            run.divergences.len()
+        );
+        exit(1);
+    }
+
+    if smoke {
+        eprintln!("mac-bench: checked smoke set (calibration + sg over a 2-cube net)");
+        for (label, run) in fuzz::run_checked_smoke() {
+            for v in &run.violations {
+                eprintln!("mac-bench: {label}: violation: {v}");
+            }
+            for d in &run.divergences {
+                eprintln!("mac-bench: {label}: divergence: {d}");
+            }
+            let ok = run.is_clean();
+            failed |= !ok;
+            println!(
+                "smoke {:<18} {}",
+                label,
+                if ok { "[clean]" } else { "[FAILED]" }
+            );
+        }
+    }
+
+    if opts.iters > 0 {
+        eprintln!(
+            "mac-bench: fuzzing {} case(s), seed {}, reproducers under {}",
+            opts.iters,
+            opts.seed,
+            opts.out_dir.display()
+        );
+        let t0 = Instant::now();
+        let report = match fuzz::run_fuzz(&opts) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("mac-bench: fuzzer failed: {e}");
+                exit(1);
+            }
+        };
+        for (iter, path) in &report.failures {
+            eprintln!(
+                "mac-bench: case {iter} FAILED, reproducer at {}",
+                path.display()
+            );
+        }
+        eprintln!(
+            "mac-bench: fuzz {} case(s) ({} single-device, {} multi-cube), {} failure(s), {:.1}s",
+            report.iters,
+            report.single_device,
+            report.multi_cube,
+            report.failures.len(),
+            t0.elapsed().as_secs_f64()
+        );
+        failed |= !report.is_clean();
+    }
+
+    if failed {
+        exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Subcommand dispatch with back-compat: a leading flag (or nothing)
@@ -310,6 +464,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("run") => run_main(&args[1..]),
         Some("baseline") => baseline_main(&args[1..]),
+        Some("fuzz") => fuzz_main(&args[1..]),
         _ => run_main(&args),
     }
 }

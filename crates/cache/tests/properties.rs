@@ -1,0 +1,200 @@
+//! Property-based tests for the set-associative cache and the MSHR
+//! file: hit/miss/eviction accounting, LRU retention, merge windows,
+//! and structural-hazard behaviour under arbitrary access streams.
+
+use proptest::prelude::*;
+
+use cache_model::{Cache, CacheConfig, MshrFile, MshrOutcome};
+use mac_types::PhysAddr;
+
+fn small_cfg(ways: usize, prefetch: bool) -> CacheConfig {
+    // ways * 8 sets * 64 B lines.
+    CacheConfig {
+        capacity: (ways as u64) * 8 * 64,
+        ways,
+        line_bytes: 64,
+        prefetch_next_line: prefetch,
+    }
+}
+
+proptest! {
+    /// Accounting: every demand access is exactly one hit or one miss,
+    /// with or without the prefetcher, and the miss rate stays in [0, 1].
+    #[test]
+    fn hits_and_misses_partition_accesses(
+        addrs in prop::collection::vec(0u64..(1 << 16), 1..300),
+        ways in 1usize..=4,
+        prefetch in any::<bool>(),
+    ) {
+        let mut c = Cache::new(small_cfg(ways, prefetch));
+        for &a in &addrs {
+            c.access(PhysAddr::new(a));
+        }
+        let s = *c.stats();
+        prop_assert_eq!(s.hits + s.misses, addrs.len() as u64);
+        prop_assert!((0.0..=1.0).contains(&s.miss_rate()));
+    }
+
+    /// Without prefetch fills, only demand misses allocate lines, so
+    /// evictions can never exceed misses; and a working set that fits in
+    /// one set's ways never evicts (checked per-set via the resident
+    /// count: misses - evictions lines are live, bounded by capacity).
+    #[test]
+    fn evictions_bounded_by_misses(
+        addrs in prop::collection::vec(0u64..(1 << 20), 1..400),
+        ways in 1usize..=4,
+    ) {
+        let cfg = small_cfg(ways, false);
+        let lines = cfg.capacity / cfg.line_bytes;
+        let mut c = Cache::new(cfg);
+        for &a in &addrs {
+            c.access(PhysAddr::new(a));
+        }
+        let s = *c.stats();
+        prop_assert!(s.evictions <= s.misses);
+        prop_assert!(s.misses - s.evictions <= lines,
+            "resident lines exceed capacity: {s:?}");
+    }
+
+    /// Any address re-accessed immediately hits (the line was just
+    /// filled or refreshed; no-prefetch config so no interfering fills).
+    #[test]
+    fn immediate_reaccess_hits(
+        addrs in prop::collection::vec(0u64..(1 << 16), 1..200),
+        ways in 1usize..=4,
+    ) {
+        let mut c = Cache::new(small_cfg(ways, false));
+        for &a in &addrs {
+            c.access(PhysAddr::new(a));
+            prop_assert!(c.access(PhysAddr::new(a)), "immediate re-access of {a:#x} missed");
+        }
+    }
+
+    /// Offsets within one line are interchangeable: the tag model only
+    /// looks at the line number.
+    #[test]
+    fn line_offset_is_ignored(
+        base in (0u64..(1 << 12)).prop_map(|l| l * 64),
+        off1 in 0u64..64,
+        off2 in 0u64..64,
+    ) {
+        let mut c = Cache::new(small_cfg(2, false));
+        c.access(PhysAddr::new(base + off1));
+        prop_assert!(c.access(PhysAddr::new(base + off2)), "same line must hit");
+    }
+
+    /// LRU retention: cycling a working set of at most `ways` lines of
+    /// one set misses only on the first pass; every later pass hits.
+    #[test]
+    fn lru_keeps_working_set_within_associativity(
+        ways in 1usize..=4,
+        passes in 2usize..6,
+    ) {
+        let cfg = small_cfg(ways, false);
+        let sets = cfg.sets() as u64;
+        let mut c = Cache::new(cfg);
+        // `ways` distinct lines that all map to set 0.
+        let lines: Vec<u64> = (0..ways as u64).map(|i| i * sets * 64).collect();
+        for pass in 0..passes {
+            for &a in &lines {
+                let hit = c.access(PhysAddr::new(a));
+                prop_assert_eq!(hit, pass > 0, "pass {} addr {:#x}", pass, a);
+            }
+        }
+        prop_assert_eq!(c.stats().misses, ways as u64);
+        prop_assert_eq!(c.stats().evictions, 0);
+    }
+
+    /// `run` over a stream reports exactly the stats delta it caused,
+    /// and `reset` restores the pristine state (same stream replays to
+    /// the same miss rate).
+    #[test]
+    fn run_is_consistent_and_reset_restores(
+        addrs in prop::collection::vec(0u64..(1 << 16), 1..300),
+        prefetch in any::<bool>(),
+    ) {
+        let mut c = Cache::new(small_cfg(2, prefetch));
+        let mr1 = c.run(addrs.iter().map(|&a| PhysAddr::new(a)));
+        let s = *c.stats();
+        let expect = s.misses as f64 / (s.hits + s.misses) as f64;
+        prop_assert!((mr1 - expect).abs() < 1e-12);
+        c.reset();
+        prop_assert_eq!(c.stats().accesses(), 0);
+        let mr2 = c.run(addrs.iter().map(|&a| PhysAddr::new(a)));
+        prop_assert!((mr1 - mr2).abs() < 1e-12, "replay after reset diverged");
+    }
+
+    /// MSHR conservation: every non-stalled offer is exactly one
+    /// dispatch or one merge; stalls are counted separately and never
+    /// inflate the request count; outstanding entries never exceed the
+    /// file's capacity.
+    #[test]
+    fn mshr_conserves_offers(
+        offers in prop::collection::vec((0u64..(1 << 12), 0u64..4), 1..300),
+        capacity in 1usize..16,
+        latency in 1u64..200,
+    ) {
+        let mut m = MshrFile::new(capacity, 64, latency);
+        let mut now = 0u64;
+        let mut dispatched = 0u64;
+        let mut merged = 0u64;
+        let mut stalled = 0u64;
+        for &(addr, dt) in &offers {
+            now += dt;
+            match m.offer(PhysAddr::new(addr * 8), now) {
+                MshrOutcome::Dispatched => dispatched += 1,
+                MshrOutcome::Merged => merged += 1,
+                MshrOutcome::Stalled => stalled += 1,
+            }
+            prop_assert!(m.outstanding(now) <= capacity);
+        }
+        let s = *m.stats();
+        prop_assert_eq!(s.transactions, dispatched);
+        prop_assert_eq!(s.merged, merged);
+        prop_assert_eq!(s.stalls, stalled);
+        prop_assert_eq!(s.requests, dispatched + merged);
+        prop_assert!((0.0..=1.0).contains(&s.merge_efficiency()));
+    }
+
+    /// Merge-window ordering: offers to one line merge exactly while the
+    /// fill is outstanding; the first offer at or past `fill_at`
+    /// re-dispatches. This pins the §2.3.2 "latency window" semantics.
+    #[test]
+    fn mshr_merge_window_is_the_miss_latency(
+        line in 0u64..(1 << 10),
+        latency in 1u64..500,
+        gaps in prop::collection::vec(0u64..700, 1..40),
+    ) {
+        let mut m = MshrFile::new(4, 64, latency);
+        let addr = PhysAddr::new(line * 64);
+        let mut now = 0u64;
+        prop_assert_eq!(m.offer(addr, now), MshrOutcome::Dispatched);
+        let mut fill_at = now + latency;
+        for &dt in &gaps {
+            now += dt;
+            let got = m.offer(addr, now);
+            if now < fill_at {
+                prop_assert_eq!(got, MshrOutcome::Merged, "inside window at {}", now);
+            } else {
+                prop_assert_eq!(got, MshrOutcome::Dispatched, "window closed at {}", now);
+                fill_at = now + latency;
+            }
+        }
+    }
+
+    /// Fixed line granularity: concurrent misses to distinct lines never
+    /// merge — one transaction per distinct line, however close the
+    /// addresses are (the MSHR limitation MAC's FLIT maps remove).
+    #[test]
+    fn mshr_distinct_lines_never_merge(
+        raw_lines in prop::collection::vec(0u64..64, 1..8),
+    ) {
+        let lines: std::collections::BTreeSet<u64> = raw_lines.into_iter().collect();
+        let mut m = MshrFile::new(64, 64, 1000);
+        for &l in &lines {
+            prop_assert_eq!(m.offer(PhysAddr::new(l * 64), 0), MshrOutcome::Dispatched);
+        }
+        prop_assert_eq!(m.stats().transactions, lines.len() as u64);
+        prop_assert_eq!(m.stats().merged, 0);
+    }
+}

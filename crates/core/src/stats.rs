@@ -84,6 +84,42 @@ impl MacStats {
         }
     }
 
+    /// Self-check the counters against each other, returning a
+    /// description of the first inconsistency. Only identities valid at
+    /// *any* instant of a run are checked (in-flight requests make
+    /// stronger equalities transiently false); the conformance checker
+    /// asserts the end-of-run identities separately.
+    pub fn consistency_error(&self) -> Option<String> {
+        let split = self.emitted_bypass + self.emitted_built + self.emitted_atomic;
+        if self.emitted_total() != split {
+            return Some(format!(
+                "MacStats: size histogram total {} != provenance split {}",
+                self.emitted_total(),
+                split
+            ));
+        }
+        if self.emitted_atomic > self.raw_atomics {
+            return Some(format!(
+                "MacStats: {} atomic dispatches from {} raw atomics",
+                self.emitted_atomic, self.raw_atomics
+            ));
+        }
+        if self.fences_retired > self.raw_fences {
+            return Some(format!(
+                "MacStats: {} fences retired but only {} accepted",
+                self.fences_retired, self.raw_fences
+            ));
+        }
+        let coalescable = u128::from(self.raw_loads + self.raw_stores);
+        if self.targets_per_entry.sum > coalescable {
+            return Some(format!(
+                "MacStats: targets-per-entry sum {} exceeds raw loads+stores {}",
+                self.targets_per_entry.sum, coalescable
+            ));
+        }
+        None
+    }
+
     /// Merge another MAC's stats (multi-node systems / parallel sweeps).
     pub fn merge(&mut self, other: &MacStats) {
         self.raw_loads += other.raw_loads;
@@ -148,6 +184,22 @@ mod tests {
         assert_eq!(s.emitted_bypass, 1);
         assert_eq!(s.emitted_atomic, 1);
         assert_eq!(s.emitted_built, 1);
+    }
+
+    #[test]
+    fn consistency_catches_split_mismatch() {
+        let mut s = MacStats::default();
+        assert_eq!(s.consistency_error(), None);
+        s.raw_loads = 4;
+        s.record_dispatch(ReqSize::B64, Provenance::Built);
+        s.targets_per_entry.record(4);
+        assert_eq!(s.consistency_error(), None);
+        s.emitted_bypass += 1; // split no longer matches the histogram
+        assert!(s.consistency_error().unwrap().contains("provenance split"));
+        s.emitted_by_size[0] += 1;
+        assert_eq!(s.consistency_error(), None);
+        s.fences_retired = 1; // retired a fence that was never accepted
+        assert!(s.consistency_error().is_some());
     }
 
     #[test]

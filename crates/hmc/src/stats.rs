@@ -92,6 +92,56 @@ impl HmcStats {
         self.data_bytes + self.control_bytes
     }
 
+    /// Self-check the counters against each other, returning a
+    /// description of the first inconsistency. Every access updates all
+    /// derived counters atomically in [`HmcStats::record_access`], so
+    /// these identities hold at any instant of a run.
+    pub fn consistency_error(&self) -> Option<String> {
+        let sizes = [16u128, 32, 64, 128, 256];
+        let expected_data: u128 = self
+            .by_size
+            .iter()
+            .zip(sizes)
+            .map(|(&n, b)| u128::from(n) * b)
+            .sum();
+        if self.data_bytes != expected_data {
+            return Some(format!(
+                "HmcStats: data_bytes {} != size-histogram weighted total {}",
+                self.data_bytes, expected_data
+            ));
+        }
+        let expected_control = u128::from(self.accesses()) * CONTROL_BYTES_PER_ACCESS as u128;
+        if self.control_bytes != expected_control {
+            return Some(format!(
+                "HmcStats: control_bytes {} != 32 B x {} accesses",
+                self.control_bytes,
+                self.accesses()
+            ));
+        }
+        if self.useful_bytes > self.data_bytes {
+            return Some(format!(
+                "HmcStats: useful_bytes {} > data_bytes {}",
+                self.useful_bytes, self.data_bytes
+            ));
+        }
+        if self.latency.events != self.accesses() || self.latency_hist.count() != self.accesses() {
+            return Some(format!(
+                "HmcStats: latency samples {}/{} != {} accesses",
+                self.latency.events,
+                self.latency_hist.count(),
+                self.accesses()
+            ));
+        }
+        if self.raw_satisfied < self.accesses() {
+            return Some(format!(
+                "HmcStats: {} raw satisfied by {} accesses (each serves >= 1)",
+                self.raw_satisfied,
+                self.accesses()
+            ));
+        }
+        None
+    }
+
     /// Merge another device's stats (used when sweeping in parallel).
     pub fn merge(&mut self, other: &HmcStats) {
         for i in 0..5 {
@@ -142,6 +192,20 @@ mod tests {
         assert_eq!(s.bandwidth_efficiency(), 0.0);
         assert_eq!(s.data_utilization(), 0.0);
         assert_eq!(s.accesses(), 0);
+    }
+
+    #[test]
+    fn consistency_catches_skewed_byte_totals() {
+        let mut s = HmcStats::default();
+        assert_eq!(s.consistency_error(), None);
+        s.record_access(ReqSize::B64, 32, 2, false, 100);
+        s.record_access(ReqSize::B16, 16, 1, true, 200);
+        assert_eq!(s.consistency_error(), None);
+        s.data_bytes += 1;
+        assert!(s.consistency_error().unwrap().contains("data_bytes"));
+        s.data_bytes -= 1;
+        s.raw_satisfied = 1; // fewer raw served than accesses
+        assert!(s.consistency_error().is_some());
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! Property and fuzz-style tests for the metrics CSV/JSON exporters:
+//! encode→decode round-trips over arbitrary snapshots, and `from_csv`
+//! on malformed, mutated, and truncated input must return `Err` — never
+//! panic, never mis-parse.
+
+use proptest::prelude::*;
+
+use mac_metrics::{MetricsSnapshot, SeriesData, SeriesKind};
+
+/// A safe series-name character set (the encoder never quotes, so
+/// legitimate names exclude commas and newlines).
+fn name_from(raw: &[u8]) -> String {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_/";
+    raw.iter()
+        .map(|&b| ALPHABET[b as usize % ALPHABET.len()] as char)
+        .collect()
+}
+
+/// Build a snapshot from generator output: unique non-empty names, at
+/// least one point per series (the encoder drops empty series, so only
+/// such snapshots can round-trip).
+#[allow(clippy::type_complexity)]
+fn snapshot_from(
+    interval: u64,
+    series_raw: Vec<(Vec<u8>, bool, Vec<(u64, u64)>)>,
+) -> MetricsSnapshot {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut series = Vec::new();
+    for (i, (name_raw, counter, points)) in series_raw.into_iter().enumerate() {
+        let mut name = name_from(&name_raw);
+        name.push_str(&format!("_{i}")); // force uniqueness
+        if !seen.insert(name.clone()) || points.is_empty() {
+            continue;
+        }
+        series.push(SeriesData {
+            name,
+            kind: if counter {
+                SeriesKind::Counter
+            } else {
+                SeriesKind::Gauge
+            },
+            points,
+        });
+    }
+    MetricsSnapshot { interval, series }
+}
+
+/// Arbitrary text made of the characters that actually appear in the
+/// CSV grammar, so fuzz inputs hit the parser's interesting paths
+/// (digits, commas, comments, interval tokens) instead of bailing on
+/// the first byte.
+fn csv_soup(raw: &[u8]) -> String {
+    const ALPHABET: &[u8] = b"0123456789,#=abcdefgz \n\t-.counterguage";
+    raw.iter()
+        .map(|&b| ALPHABET[b as usize % ALPHABET.len()] as char)
+        .collect()
+}
+
+proptest! {
+    /// Encode→decode identity for every well-formed snapshot.
+    #[test]
+    fn csv_round_trips_arbitrary_snapshots(
+        interval in 0u64..1_000_000,
+        series_raw in prop::collection::vec(
+            (
+                prop::collection::vec(any::<u8>(), 1..12),
+                any::<bool>(),
+                prop::collection::vec((0u64..(1 << 40), any::<u64>()), 1..20),
+            ),
+            0..8,
+        ),
+    ) {
+        let snap = snapshot_from(interval, series_raw);
+        let back = MetricsSnapshot::from_csv(&snap.to_csv())
+            .expect("encoder output must decode");
+        prop_assert_eq!(back, snap);
+    }
+
+    /// Arbitrary grammar-flavoured soup: `from_csv` returns `Ok` or
+    /// `Err`, but never panics and never fabricates points from rows it
+    /// rejected (an accepted parse has as many points as data rows).
+    #[test]
+    fn from_csv_never_panics_on_soup(raw in prop::collection::vec(any::<u8>(), 0..400)) {
+        let text = csv_soup(&raw);
+        if let Ok(snap) = MetricsSnapshot::from_csv(&text) {
+            let data_rows = text
+                .lines()
+                .map(str::trim)
+                .filter(|l| {
+                    !l.is_empty() && !l.starts_with('#') && *l != "cycle,series,kind,value"
+                })
+                .count();
+            let points: usize = snap.series.iter().map(|s| s.points.len()).sum();
+            prop_assert_eq!(points, data_rows, "accepted rows != decoded points");
+        }
+    }
+
+    /// Truncating a valid export anywhere must not panic; a cut through
+    /// the final row either drops it or fails cleanly.
+    #[test]
+    fn from_csv_survives_truncation(
+        interval in 1u64..100_000,
+        series_raw in prop::collection::vec(
+            (
+                prop::collection::vec(any::<u8>(), 1..8),
+                any::<bool>(),
+                prop::collection::vec((0u64..(1 << 30), any::<u64>()), 1..8),
+            ),
+            1..4,
+        ),
+        cut_ppm in 0u64..1_000_000,
+    ) {
+        let snap = snapshot_from(interval, series_raw);
+        let csv = snap.to_csv();
+        let mut cut = (csv.len() as u64 * cut_ppm / 1_000_000) as usize;
+        while cut < csv.len() && !csv.is_char_boundary(cut) {
+            cut += 1;
+        }
+        let truncated = &csv[..cut.min(csv.len())];
+        if let Ok(partial) = MetricsSnapshot::from_csv(truncated) {
+            let full: usize = snap.series.iter().map(|s| s.points.len()).sum();
+            let got: usize = partial.series.iter().map(|s| s.points.len()).sum();
+            prop_assert!(got <= full, "truncation cannot add points");
+        }
+    }
+
+    /// Flipping one character of a valid export must not panic, and a
+    /// still-accepted parse keeps the row count consistent.
+    #[test]
+    fn from_csv_survives_single_char_mutation(
+        interval in 1u64..100_000,
+        pos_ppm in 0u64..1_000_000,
+        replacement in 0u8..128,
+        points in prop::collection::vec((0u64..(1 << 30), any::<u64>()), 1..10),
+    ) {
+        let snap = snapshot_from(interval, vec![(vec![1, 2, 3], true, points)]);
+        let csv = snap.to_csv();
+        let mut pos = (csv.len() as u64 * pos_ppm / 1_000_000) as usize;
+        while pos < csv.len() && !csv.is_char_boundary(pos) {
+            pos += 1;
+        }
+        if pos >= csv.len() {
+            return Ok::<(), String>(());
+        }
+        let mut mutated = String::with_capacity(csv.len());
+        mutated.push_str(&csv[..pos]);
+        mutated.push((replacement as char).to_ascii_lowercase());
+        let rest = &csv[pos..];
+        let mut chars = rest.chars();
+        chars.next();
+        mutated.push_str(chars.as_str());
+        let _ = MetricsSnapshot::from_csv(&mutated); // must not panic
+        Ok::<(), String>(())
+    }
+
+    /// The JSON encoder always produces structurally balanced output
+    /// with the schema marker and every series name present, whatever
+    /// the snapshot contents (including names needing escaping).
+    #[test]
+    fn to_json_is_balanced_and_complete(
+        interval in 0u64..1_000_000,
+        series_raw in prop::collection::vec(
+            (
+                prop::collection::vec(any::<u8>(), 1..10),
+                any::<bool>(),
+                prop::collection::vec((0u64..(1 << 40), any::<u64>()), 1..10),
+            ),
+            0..6,
+        ),
+    ) {
+        let snap = snapshot_from(interval, series_raw);
+        let json = snap.to_json();
+        prop_assert!(json.starts_with("{\"schema\":\"mac-metrics-v1\""));
+        let depth = json.chars().fold(0i64, |d, c| match c {
+            '{' | '[' => d + 1,
+            '}' | ']' => d - 1,
+            _ => d,
+        });
+        prop_assert_eq!(depth, 0, "unbalanced JSON");
+        for s in &snap.series {
+            prop_assert!(json.contains(&format!("\"name\":\"{}\"", s.name)));
+        }
+    }
+}

@@ -96,6 +96,52 @@ impl NetStats {
         }
     }
 
+    /// Self-check the counters against each other, returning a
+    /// description of the first inconsistency. [`NetStats::record_access`]
+    /// updates every derived counter at once, so these identities hold at
+    /// any instant of a run.
+    pub fn consistency_error(&self) -> Option<String> {
+        let total = self.accesses();
+        if self.hops.events != total {
+            return Some(format!(
+                "NetStats: {} hop samples != {} accesses",
+                self.hops.events, total
+            ));
+        }
+        if self.local_latency.events != self.local_accesses
+            || self.remote_latency.events != self.remote_accesses
+        {
+            return Some(format!(
+                "NetStats: latency samples {}/{} != accesses {}/{} (local/remote)",
+                self.local_latency.events,
+                self.remote_latency.events,
+                self.local_accesses,
+                self.remote_accesses
+            ));
+        }
+        if self.hop_hist.count() != total || self.latency_hist.count() != total {
+            return Some(format!(
+                "NetStats: histogram counts {}/{} != {} accesses",
+                self.hop_hist.count(),
+                self.latency_hist.count(),
+                total
+            ));
+        }
+        let per_cube: u64 = self.per_cube_accesses.iter().sum();
+        if per_cube != total {
+            return Some(format!(
+                "NetStats: per-cube accesses sum {per_cube} != {total} total"
+            ));
+        }
+        let conflicts: u64 = self.per_cube_conflicts.iter().sum();
+        if conflicts > total {
+            return Some(format!(
+                "NetStats: {conflicts} conflicts from {total} accesses"
+            ));
+        }
+        None
+    }
+
     /// Merge another network's stats into this one (multi-node runs).
     pub fn merge(&mut self, other: &NetStats) {
         self.local_accesses += other.local_accesses;
@@ -142,6 +188,20 @@ mod tests {
         assert_eq!(s.per_cube_conflicts, vec![0, 0, 1, 0]);
         assert_eq!(s.remote_latency.mean(), 510.0);
         assert_eq!(s.hops.max, 2);
+    }
+
+    #[test]
+    fn consistency_catches_lost_samples() {
+        let mut s = NetStats::new(4);
+        assert_eq!(s.consistency_error(), None);
+        s.record_access(0, 0, false, 100);
+        s.record_access(2, 2, true, 500);
+        assert_eq!(s.consistency_error(), None);
+        s.remote_accesses += 1; // an access that left no latency sample
+        assert!(s.consistency_error().is_some());
+        s.remote_accesses -= 1;
+        s.per_cube_accesses[3] += 1;
+        assert!(s.consistency_error().unwrap().contains("per-cube"));
     }
 
     #[test]

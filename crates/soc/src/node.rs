@@ -68,7 +68,7 @@ impl Node {
             cores,
             thread_home,
             pending: HashMap::new(),
-            next_txn: (id.0 as u64) << 48, // node-unique id spaces
+            next_txn: TransactionId::compose(id.0, 0).0, // node-unique id spaces
             nodes_in_system: cfg.nodes.max(1),
             metrics: SocMetrics::default(),
             tags: HashMap::new(),

@@ -3,11 +3,12 @@
 //! These are the low-level building blocks; batch execution with caching
 //! and work stealing lives in [`crate::engine`].
 
+use mac_check::{ConformanceChecker, OracleReplay, Violation};
 use mac_metrics::MetricsHub;
 use mac_telemetry::Tracer;
 use mac_types::{Fingerprint, Fnv128, MacPlacement, SystemConfig};
 use mac_workloads::{Workload, WorkloadParams};
-use soc_sim::{ReplayProgram, ThreadProgram};
+use soc_sim::{ReplayProgram, ThreadOp, ThreadProgram};
 
 use crate::netsystem::NetSystem;
 use crate::report::RunReport;
@@ -111,6 +112,76 @@ pub fn run_workload_instrumented(
     }
     sim.set_metrics(metrics);
     sim.run(cfg.max_cycles)
+}
+
+/// Outcome of a conformance-checked run: the ordinary report plus the
+/// invariant checker's violations and the oracle diff.
+#[derive(Debug)]
+pub struct CheckedRun {
+    /// The run's report, exactly as an unchecked run would produce it.
+    pub report: RunReport,
+    /// Invariant violations the checker recorded (I1–I10).
+    pub violations: Vec<Violation>,
+    /// Functional divergences between the simulator and the timing-free
+    /// oracle replay of the same operation lists.
+    pub divergences: Vec<String>,
+}
+
+impl CheckedRun {
+    /// True when the run was both invariant-clean and oracle-faithful.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.divergences.is_empty()
+    }
+}
+
+/// Run explicit per-node, per-thread operation lists under `sys` with
+/// the conformance checker attached, then diff the observed behaviour
+/// against the functional oracle. `ops_per_node[n][t]` is node `n`'s
+/// thread `t` program; per-cube placement requires a single node.
+pub fn run_ops_checked(
+    sys: &SystemConfig,
+    ops_per_node: &[Vec<Vec<ThreadOp>>],
+    max_cycles: u64,
+) -> CheckedRun {
+    let oracle = OracleReplay::replay(ops_per_node);
+    let programs: Vec<Vec<Box<dyn ThreadProgram>>> = ops_per_node
+        .iter()
+        .map(|threads| {
+            threads
+                .iter()
+                .map(|ops| Box::new(ReplayProgram::new(ops.clone())) as Box<dyn ThreadProgram>)
+                .collect()
+        })
+        .collect();
+    let (report, checker) = if sys.net.enabled && sys.net.placement == MacPlacement::PerCube {
+        assert_eq!(
+            programs.len(),
+            1,
+            "per-cube placement models a single host node"
+        );
+        let mut sim = NetSystem::new(sys, programs.into_iter().next().expect("one node"));
+        sim.set_checker(ConformanceChecker::new(sys));
+        let report = sim.run(max_cycles);
+        (report, sim.take_checker().expect("attached above"))
+    } else {
+        let mut sim = SystemSim::new_multi(sys, programs);
+        sim.set_checker(ConformanceChecker::new(sys));
+        let report = sim.run(max_cycles);
+        (report, sim.take_checker().expect("attached above"))
+    };
+    let divergences = oracle.diff(&checker);
+    CheckedRun {
+        report,
+        violations: checker.into_violations(),
+        divergences,
+    }
+}
+
+/// Run one workload on one configuration with the conformance checker
+/// attached and the oracle diffed (the `mac-bench fuzz --smoke` path).
+pub fn run_workload_checked(w: &dyn Workload, cfg: &ExperimentConfig) -> CheckedRun {
+    let ops = vec![w.generate(&cfg.workload)];
+    run_ops_checked(&cfg.system, &ops, cfg.max_cycles)
 }
 
 /// Run one workload with and without the MAC (same traces, same device).

@@ -1,0 +1,717 @@
+//! Differential conformance fuzzing (`mac-bench fuzz`).
+//!
+//! Each iteration draws a random system configuration (ARQ geometry,
+//! pop/accept rates, bypass and latency-hiding switches, FLIT-table
+//! policy, queue depths, topology/placement/mapping for multi-cube
+//! setups, baseline mode) and a random-but-adversarial address stream
+//! per thread (same-row hammers, strides, uniform random, bank
+//! hammers, with stores/atomics/fences mixed in), then runs the real
+//! simulator with the `mac-check` invariant checker attached and diffs
+//! the outcome against the timing-free functional oracle
+//! ([`crate::experiment::run_ops_checked`]).
+//!
+//! A failing case is *shrunk* — nodes, threads, then operations are
+//! removed while the failure persists — and written to
+//! `results/fuzz/case-NNNN.txt` as a self-contained reproducer
+//! ([`encode_reproducer`]) that `mac-bench fuzz --replay FILE` decodes
+//! and re-runs ([`decode_reproducer`]).
+//!
+//! Everything is deterministic in `--seed`: iteration `i` derives its
+//! own [`SmallRng`] stream, so one failing iteration can be re-run in
+//! isolation.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+use mac_types::{
+    CubeMapping, FlitTablePolicy, MacPlacement, MemOpKind, NetTopology, PhysAddr, SystemConfig,
+};
+use soc_sim::ThreadOp;
+
+use crate::experiment::{run_ops_checked, run_workload_checked, CheckedRun, ExperimentConfig};
+
+/// Knobs for one fuzzing campaign.
+#[derive(Debug, Clone)]
+pub struct FuzzOptions {
+    /// Number of random cases to run.
+    pub iters: u64,
+    /// Campaign seed; every iteration derives a sub-seed from it.
+    pub seed: u64,
+    /// Directory for shrunk reproducers of failing cases.
+    pub out_dir: PathBuf,
+    /// Cycle cap per simulated case (a case that cannot drain within the
+    /// cap is itself an I1 failure).
+    pub max_cycles: u64,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> Self {
+        FuzzOptions {
+            iters: 100,
+            seed: 1,
+            out_dir: PathBuf::from("results/fuzz"),
+            max_cycles: 2_000_000,
+        }
+    }
+}
+
+/// Outcome of a fuzzing campaign.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzReport {
+    /// Cases executed.
+    pub iters: u64,
+    /// Cases that ran on a single device (no network, or a 1-cube one).
+    pub single_device: u64,
+    /// Cases that ran over a multi-cube network.
+    pub multi_cube: u64,
+    /// Failing iterations and the reproducer files written for them.
+    pub failures: Vec<(u64, PathBuf)>,
+}
+
+impl FuzzReport {
+    /// True when every case was invariant-clean and oracle-faithful.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// One generated (or decoded) fuzz case: a full system configuration
+/// plus explicit per-node, per-thread operation lists.
+#[derive(Debug, Clone)]
+pub struct FuzzCase {
+    /// System under test.
+    pub sys: SystemConfig,
+    /// `ops[node][thread]` operation lists.
+    pub ops: Vec<Vec<Vec<ThreadOp>>>,
+    /// Cycle cap for the run.
+    pub max_cycles: u64,
+}
+
+impl FuzzCase {
+    /// Run this case through the checked runner.
+    pub fn run(&self) -> CheckedRun {
+        run_ops_checked(&self.sys, &self.ops, self.max_cycles)
+    }
+
+    fn total_ops(&self) -> usize {
+        self.ops
+            .iter()
+            .flat_map(|n| n.iter())
+            .map(|t| t.len())
+            .sum()
+    }
+}
+
+/// Summarize a checked run's failure as printable lines (empty = clean).
+fn failure_lines(run: &CheckedRun) -> Vec<String> {
+    let mut lines: Vec<String> = run.violations.iter().map(|v| v.to_string()).collect();
+    lines.extend(run.divergences.iter().cloned());
+    lines
+}
+
+/// Derive iteration `i`'s private RNG from the campaign seed.
+fn iter_rng(seed: u64, i: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i + 1))
+}
+
+fn pick<T: Copy>(rng: &mut SmallRng, xs: &[T]) -> T {
+    xs[rng.gen_range(0..xs.len())]
+}
+
+/// Draw a random system configuration.
+fn gen_config(rng: &mut SmallRng) -> SystemConfig {
+    let threads = pick(rng, &[1usize, 2, 4, 8]);
+    let mut sys = SystemConfig::paper(threads);
+    sys.mac.arq_entries = pick(rng, &[4usize, 8, 16, 32, 64]);
+    sys.mac.pop_interval = pick(rng, &[1u64, 2, 4]);
+    sys.mac.accepts_per_cycle = pick(rng, &[1usize, 2, 4]);
+    sys.mac.bypass_enabled = rng.gen_bool(0.75);
+    sys.mac.latency_hiding = rng.gen_bool(0.5);
+    sys.mac.flit_table = pick(
+        rng,
+        &[
+            FlitTablePolicy::SpanRounded,
+            FlitTablePolicy::Always256,
+            FlitTablePolicy::PerChunk64,
+        ],
+    );
+    sys.mac.router_queue_depth = pick(rng, &[4usize, 16, 64]);
+    sys.hmc.vault_queue_depth = pick(rng, &[2usize, 8, 32]);
+    sys.soc.max_outstanding_per_thread = pick(rng, &[1usize, 4, 16, 256]);
+    sys.mac_disabled = rng.gen_bool(0.1);
+    if rng.gen_bool(0.5) {
+        let cubes = pick(rng, &[1usize, 2, 4, 8]);
+        let topology = match cubes {
+            1 => NetTopology::DaisyChain,
+            4 => pick(
+                rng,
+                &[
+                    NetTopology::DaisyChain,
+                    NetTopology::Ring,
+                    NetTopology::Mesh2x2,
+                ],
+            ),
+            _ => pick(rng, &[NetTopology::DaisyChain, NetTopology::Ring]),
+        };
+        let placement = if rng.gen_bool(0.5) {
+            MacPlacement::HostOnly
+        } else {
+            MacPlacement::PerCube
+        };
+        sys = sys.with_net(cubes, topology, placement);
+        if rng.gen_bool(0.2) {
+            sys.net.mapping = CubeMapping::Contiguous;
+        }
+    } else if rng.gen_bool(0.3) {
+        sys.soc.nodes = 2;
+    }
+    sys
+}
+
+/// Draw one thread's operation stream.
+fn gen_thread_ops(rng: &mut SmallRng) -> Vec<ThreadOp> {
+    let len = rng.gen_range(4usize..40);
+    let pattern = rng.gen_range(0u32..4);
+    // Pattern-specific address walk state.
+    let row_base: u64 = u64::from(rng.gen_range(0u32..256)) * 256;
+    let stride = pick(rng, &[16u64, 64, 256, 4096]);
+    let mut cursor: u64 = u64::from(rng.gen_range(0u32..4096)) * 16;
+    let mut ops = Vec::with_capacity(len);
+    for _ in 0..len {
+        if rng.gen_bool(0.2) {
+            ops.push(ThreadOp::Compute(rng.gen_range(1u64..8)));
+        }
+        let kind = match rng.gen_range(0u32..100) {
+            0..=4 => MemOpKind::Fence,
+            5..=9 => MemOpKind::Atomic,
+            10..=29 => MemOpKind::Store,
+            _ => MemOpKind::Load,
+        };
+        if kind == MemOpKind::Fence {
+            ops.push(ThreadOp::Mem {
+                addr: PhysAddr::new(0),
+                kind,
+            });
+            continue;
+        }
+        let addr = match pattern {
+            // Same-row hammer: random FLITs of one row.
+            0 => row_base + u64::from(rng.gen_range(0u32..16)) * 16,
+            // Strided walk.
+            1 => {
+                cursor += stride;
+                cursor
+            }
+            // Uniform random over a 4 MiB span, FLIT-aligned.
+            2 => u64::from(rng.gen_range(0u32..(1 << 18))) * 16,
+            // Bank hammer: consecutive rows that alias onto few banks.
+            3 => {
+                cursor += 32 * 256;
+                cursor
+            }
+            _ => unreachable!(),
+        };
+        ops.push(ThreadOp::Mem {
+            addr: PhysAddr::new(addr),
+            kind,
+        });
+    }
+    ops
+}
+
+/// Draw a complete case.
+fn gen_case(rng: &mut SmallRng, max_cycles: u64) -> FuzzCase {
+    let sys = gen_config(rng);
+    let nodes = if sys.net.enabled { 1 } else { sys.soc.nodes };
+    let ops = (0..nodes.max(1))
+        .map(|_| (0..sys.soc.threads).map(|_| gen_thread_ops(rng)).collect())
+        .collect();
+    FuzzCase {
+        sys,
+        ops,
+        max_cycles,
+    }
+}
+
+/// Shrink a failing case: try removing whole nodes, whole threads, op
+/// halves, and single ops, keeping each reduction that still fails.
+/// Bounded by `budget` re-runs.
+pub fn shrink_case(case: &FuzzCase, mut budget: u32) -> FuzzCase {
+    let mut best = case.clone();
+    let mut progress = true;
+    while progress && budget > 0 {
+        progress = false;
+        // Drop a node (multi-node cases only; keep at least one).
+        if best.ops.len() > 1 {
+            for n in (0..best.ops.len()).rev() {
+                let mut cand = best.clone();
+                cand.ops.remove(n);
+                budget = budget.saturating_sub(1);
+                if !failure_lines(&cand.run()).is_empty() {
+                    best = cand;
+                    progress = true;
+                    break;
+                }
+                if budget == 0 {
+                    return best;
+                }
+            }
+        }
+        // Empty out one thread at a time (thread count is part of the
+        // config, so the slot stays; its program becomes empty).
+        'threads: for n in 0..best.ops.len() {
+            for t in 0..best.ops[n].len() {
+                if best.ops[n][t].is_empty() {
+                    continue;
+                }
+                let mut cand = best.clone();
+                cand.ops[n][t].clear();
+                budget = budget.saturating_sub(1);
+                if !failure_lines(&cand.run()).is_empty() {
+                    best = cand;
+                    progress = true;
+                    break 'threads;
+                }
+                if budget == 0 {
+                    return best;
+                }
+            }
+        }
+        // Halve, then (once small) drop individual operations.
+        'ops: for n in 0..best.ops.len() {
+            for t in 0..best.ops[n].len() {
+                let len = best.ops[n][t].len();
+                if len >= 2 {
+                    for keep_front in [false, true] {
+                        let mut cand = best.clone();
+                        let half = len / 2;
+                        if keep_front {
+                            cand.ops[n][t].truncate(half);
+                        } else {
+                            cand.ops[n][t].drain(..half);
+                        }
+                        budget = budget.saturating_sub(1);
+                        if !failure_lines(&cand.run()).is_empty() {
+                            best = cand;
+                            progress = true;
+                            break 'ops;
+                        }
+                        if budget == 0 {
+                            return best;
+                        }
+                    }
+                }
+                if best.total_ops() <= 24 {
+                    for i in (0..best.ops[n][t].len()).rev() {
+                        let mut cand = best.clone();
+                        cand.ops[n][t].remove(i);
+                        budget = budget.saturating_sub(1);
+                        if !failure_lines(&cand.run()).is_empty() {
+                            best = cand;
+                            progress = true;
+                            break 'ops;
+                        }
+                        if budget == 0 {
+                            return best;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+fn table_token(t: FlitTablePolicy) -> &'static str {
+    match t {
+        FlitTablePolicy::SpanRounded => "span",
+        FlitTablePolicy::Always256 => "always256",
+        FlitTablePolicy::PerChunk64 => "perchunk64",
+    }
+}
+
+fn topology_token(t: NetTopology) -> &'static str {
+    match t {
+        NetTopology::DaisyChain => "daisy",
+        NetTopology::Ring => "ring",
+        NetTopology::Mesh2x2 => "mesh",
+    }
+}
+
+/// Serialize a case (plus the failure it reproduces) in the versioned
+/// reproducer text format documented in DESIGN.md §12.
+pub fn encode_reproducer(case: &FuzzCase, failure: &[String]) -> String {
+    let mut out = String::from("# mac-check fuzz reproducer v1\n");
+    for line in failure {
+        let _ = writeln!(out, "# {line}");
+    }
+    let _ = writeln!(out, "maxcycles {}", case.max_cycles);
+    let s = &case.sys;
+    let _ = writeln!(
+        out,
+        "config threads={} arq={} pop={} accepts={} bypass={} hiding={} table={} router={} \
+         vaultq={} maxout={} macdisabled={} nodes={}",
+        s.soc.threads,
+        s.mac.arq_entries,
+        s.mac.pop_interval,
+        s.mac.accepts_per_cycle,
+        s.mac.bypass_enabled as u8,
+        s.mac.latency_hiding as u8,
+        table_token(s.mac.flit_table),
+        s.mac.router_queue_depth,
+        s.hmc.vault_queue_depth,
+        s.soc.max_outstanding_per_thread.min(1 << 32),
+        s.mac_disabled as u8,
+        case.ops.len(),
+    );
+    let _ = writeln!(
+        out,
+        "net enabled={} cubes={} topology={} placement={} mapping={}",
+        s.net.enabled as u8,
+        s.net.cubes,
+        topology_token(s.net.topology),
+        match s.net.placement {
+            MacPlacement::HostOnly => "host",
+            MacPlacement::PerCube => "percube",
+        },
+        match s.net.mapping {
+            CubeMapping::Contiguous => "contig",
+            CubeMapping::Interleaved => "interleave",
+        },
+    );
+    for (n, threads) in case.ops.iter().enumerate() {
+        for (t, ops) in threads.iter().enumerate() {
+            let _ = write!(out, "thread {n}.{t}");
+            for op in ops {
+                match op {
+                    ThreadOp::Compute(c) => {
+                        let _ = write!(out, " C:{c}");
+                    }
+                    ThreadOp::Spm => out.push_str(" P"),
+                    ThreadOp::Done => out.push_str(" D"),
+                    ThreadOp::Mem { addr, kind } => {
+                        let a = addr.raw();
+                        let _ = match kind {
+                            MemOpKind::Load => write!(out, " L:{a:x}"),
+                            MemOpKind::Store => write!(out, " S:{a:x}"),
+                            MemOpKind::Atomic => write!(out, " A:{a:x}"),
+                            MemOpKind::Fence => write!(out, " F"),
+                        };
+                    }
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn kv<'a>(token: &'a str, key: &str) -> Option<&'a str> {
+    token
+        .strip_prefix(key)
+        .and_then(|rest| rest.strip_prefix('='))
+}
+
+/// Parse a reproducer produced by [`encode_reproducer`].
+pub fn decode_reproducer(text: &str) -> Result<FuzzCase, String> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    match lines.next() {
+        Some(l) if l.starts_with("# mac-check fuzz reproducer v1") => {}
+        other => return Err(format!("bad reproducer header: {other:?}")),
+    }
+    let mut max_cycles = 2_000_000u64;
+    let mut sys: Option<SystemConfig> = None;
+    let mut nodes = 1usize;
+    let mut net: Option<(bool, usize, NetTopology, MacPlacement, CubeMapping)> = None;
+    let mut threads: Vec<(usize, usize, Vec<ThreadOp>)> = Vec::new();
+    let parse = |v: &str| -> Result<u64, String> {
+        v.parse::<u64>().map_err(|e| format!("bad number {v}: {e}"))
+    };
+    for line in lines {
+        let line = line.trim();
+        if line.starts_with('#') {
+            continue;
+        }
+        let mut toks = line.split_whitespace();
+        match toks.next() {
+            Some("maxcycles") => {
+                max_cycles = parse(toks.next().ok_or("maxcycles needs a value")?)?;
+            }
+            Some("config") => {
+                let mut threads_cfg = 1usize;
+                let mut pending: Vec<(String, String)> = Vec::new();
+                for tok in toks {
+                    let (k, v) = tok.split_once('=').ok_or_else(|| format!("bad {tok}"))?;
+                    if k == "threads" {
+                        threads_cfg = parse(v)? as usize;
+                    } else {
+                        pending.push((k.to_string(), v.to_string()));
+                    }
+                }
+                let mut s = SystemConfig::paper(threads_cfg.max(1));
+                for (k, v) in pending {
+                    match k.as_str() {
+                        "arq" => s.mac.arq_entries = parse(&v)? as usize,
+                        "pop" => s.mac.pop_interval = parse(&v)?,
+                        "accepts" => s.mac.accepts_per_cycle = parse(&v)? as usize,
+                        "bypass" => s.mac.bypass_enabled = v == "1",
+                        "hiding" => s.mac.latency_hiding = v == "1",
+                        "table" => {
+                            s.mac.flit_table = match v.as_str() {
+                                "span" => FlitTablePolicy::SpanRounded,
+                                "always256" => FlitTablePolicy::Always256,
+                                "perchunk64" => FlitTablePolicy::PerChunk64,
+                                _ => return Err(format!("unknown table {v}")),
+                            }
+                        }
+                        "router" => s.mac.router_queue_depth = parse(&v)? as usize,
+                        "vaultq" => s.hmc.vault_queue_depth = parse(&v)? as usize,
+                        "maxout" => s.soc.max_outstanding_per_thread = parse(&v)? as usize,
+                        "macdisabled" => s.mac_disabled = v == "1",
+                        "nodes" => nodes = parse(&v)? as usize,
+                        _ => return Err(format!("unknown config key {k}")),
+                    }
+                }
+                sys = Some(s);
+            }
+            Some("net") => {
+                let mut enabled = false;
+                let mut cubes = 1usize;
+                let mut topology = NetTopology::DaisyChain;
+                let mut placement = MacPlacement::HostOnly;
+                let mut mapping = CubeMapping::Interleaved;
+                for tok in toks {
+                    if let Some(v) = kv(tok, "enabled") {
+                        enabled = v == "1";
+                    } else if let Some(v) = kv(tok, "cubes") {
+                        cubes = parse(v)? as usize;
+                    } else if let Some(v) = kv(tok, "topology") {
+                        topology = match v {
+                            "daisy" => NetTopology::DaisyChain,
+                            "ring" => NetTopology::Ring,
+                            "mesh" => NetTopology::Mesh2x2,
+                            _ => return Err(format!("unknown topology {v}")),
+                        };
+                    } else if let Some(v) = kv(tok, "placement") {
+                        placement = match v {
+                            "host" => MacPlacement::HostOnly,
+                            "percube" => MacPlacement::PerCube,
+                            _ => return Err(format!("unknown placement {v}")),
+                        };
+                    } else if let Some(v) = kv(tok, "mapping") {
+                        mapping = match v {
+                            "contig" => CubeMapping::Contiguous,
+                            "interleave" => CubeMapping::Interleaved,
+                            _ => return Err(format!("unknown mapping {v}")),
+                        };
+                    } else {
+                        return Err(format!("unknown net token {tok}"));
+                    }
+                }
+                net = Some((enabled, cubes, topology, placement, mapping));
+            }
+            Some("thread") => {
+                let id = toks.next().ok_or("thread needs node.tid")?;
+                let (n, t) = id.split_once('.').ok_or_else(|| format!("bad id {id}"))?;
+                let (n, t) = (parse(n)? as usize, parse(t)? as usize);
+                let mut ops = Vec::new();
+                for tok in toks {
+                    let op = if tok == "F" {
+                        ThreadOp::Mem {
+                            addr: PhysAddr::new(0),
+                            kind: MemOpKind::Fence,
+                        }
+                    } else if tok == "P" {
+                        ThreadOp::Spm
+                    } else if tok == "D" {
+                        ThreadOp::Done
+                    } else if let Some(v) = tok.strip_prefix("C:") {
+                        ThreadOp::Compute(parse(v)?)
+                    } else {
+                        let (k, v) = tok.split_once(':').ok_or_else(|| format!("bad op {tok}"))?;
+                        let addr = u64::from_str_radix(v, 16)
+                            .map_err(|e| format!("bad address {v}: {e}"))?;
+                        let kind = match k {
+                            "L" => MemOpKind::Load,
+                            "S" => MemOpKind::Store,
+                            "A" => MemOpKind::Atomic,
+                            _ => return Err(format!("unknown op {tok}")),
+                        };
+                        ThreadOp::Mem {
+                            addr: PhysAddr::new(addr),
+                            kind,
+                        }
+                    };
+                    ops.push(op);
+                }
+                threads.push((n, t, ops));
+            }
+            Some(other) => return Err(format!("unknown directive {other}")),
+            None => {}
+        }
+    }
+    let mut sys = sys.ok_or("missing config line")?;
+    if let Some((enabled, cubes, topology, placement, mapping)) = net {
+        if enabled {
+            sys = sys.with_net(cubes, topology, placement);
+            sys.net.mapping = mapping;
+        }
+    }
+    if !sys.net.enabled {
+        sys.soc.nodes = nodes;
+    }
+    let mut ops = vec![vec![Vec::new(); sys.soc.threads]; nodes.max(1)];
+    for (n, t, list) in threads {
+        let node = ops
+            .get_mut(n)
+            .ok_or_else(|| format!("node {n} out of range"))?;
+        let slot = node
+            .get_mut(t)
+            .ok_or_else(|| format!("thread {n}.{t} out of range"))?;
+        *slot = list;
+    }
+    Ok(FuzzCase {
+        sys,
+        ops,
+        max_cycles,
+    })
+}
+
+/// Run a fuzzing campaign. Reproducers for failing cases are written
+/// under `opts.out_dir`; the returned report lists them.
+pub fn run_fuzz(opts: &FuzzOptions) -> std::io::Result<FuzzReport> {
+    let mut report = FuzzReport::default();
+    for i in 0..opts.iters {
+        let mut rng = iter_rng(opts.seed, i);
+        let case = gen_case(&mut rng, opts.max_cycles);
+        if case.sys.net.enabled && case.sys.net.cubes > 1 {
+            report.multi_cube += 1;
+        } else {
+            report.single_device += 1;
+        }
+        let failure = failure_lines(&case.run());
+        if !failure.is_empty() {
+            let minimal = shrink_case(&case, 300);
+            let final_failure = failure_lines(&minimal.run());
+            let path = write_reproducer(&opts.out_dir, i, &minimal, &final_failure)?;
+            report.failures.push((i, path));
+        }
+        report.iters += 1;
+    }
+    Ok(report)
+}
+
+/// Write one reproducer file, creating the output directory on demand.
+fn write_reproducer(
+    dir: &Path,
+    iter: u64,
+    case: &FuzzCase,
+    failure: &[String],
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("case-{iter:04}.txt"));
+    std::fs::write(&path, encode_reproducer(case, failure))?;
+    Ok(path)
+}
+
+/// The deterministic CI smoke set: the calibration workloads with and
+/// without the MAC, plus scatter-gather over a 2-cube network in both
+/// coalescer placements — each run with the invariant checker attached
+/// and diffed against the oracle.
+pub fn run_checked_smoke() -> Vec<(String, CheckedRun)> {
+    let mut base = ExperimentConfig::paper(4);
+    base.workload.scale = 1;
+    base.max_cycles = 50_000_000;
+    let mut out = Vec::new();
+    for w in mac_workloads::micro::calibration_workloads() {
+        for disabled in [false, true] {
+            let mut cfg = base.clone();
+            cfg.system.mac_disabled = disabled;
+            let label = format!("{}/{}", w.name(), if disabled { "nomac" } else { "mac" });
+            out.push((label, run_workload_checked(w.as_ref(), &cfg)));
+        }
+    }
+    for placement in [MacPlacement::HostOnly, MacPlacement::PerCube] {
+        let mut cfg = base.clone();
+        cfg.system = cfg.system.with_net(2, NetTopology::DaisyChain, placement);
+        let label = format!(
+            "sg/net2-{}",
+            match placement {
+                MacPlacement::HostOnly => "host",
+                MacPlacement::PerCube => "percube",
+            }
+        );
+        out.push((
+            label,
+            run_workload_checked(&mac_workloads::sg::ScatterGather, &cfg),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_cases_are_deterministic_per_seed() {
+        let mk = || {
+            let mut rng = iter_rng(42, 7);
+            gen_case(&mut rng, 1_000_000)
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(format!("{:?}", a.sys), format!("{:?}", b.sys));
+        assert_eq!(a.ops, b.ops);
+    }
+
+    #[test]
+    fn reproducer_round_trips() {
+        let mut rng = iter_rng(9, 3);
+        let case = gen_case(&mut rng, 500_000);
+        let text = encode_reproducer(&case, &["I6 @ cycle 10: example".into()]);
+        let back = decode_reproducer(&text).expect("decodes");
+        assert_eq!(back.max_cycles, case.max_cycles);
+        assert_eq!(back.ops, case.ops);
+        assert_eq!(back.sys.mac.arq_entries, case.sys.mac.arq_entries);
+        assert_eq!(back.sys.mac.flit_table, case.sys.mac.flit_table);
+        assert_eq!(back.sys.net.enabled, case.sys.net.enabled);
+        assert_eq!(back.sys.net.cubes, case.sys.net.cubes);
+        assert_eq!(back.sys.net.placement, case.sys.net.placement);
+        assert_eq!(back.sys.mac_disabled, case.sys.mac_disabled);
+        // And the decoded case must behave identically.
+        let a = case.run();
+        let b = back.run();
+        assert_eq!(a.report.cycles, b.report.cycles);
+        assert_eq!(a.report.soc, b.report.soc);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode_reproducer("").is_err());
+        assert!(decode_reproducer("# mac-check fuzz reproducer v1\nbogus 1\n").is_err());
+        assert!(
+            decode_reproducer("# mac-check fuzz reproducer v1\nconfig threads=1 table=nope\n")
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn tiny_campaign_is_clean() {
+        let opts = FuzzOptions {
+            iters: 5,
+            seed: 1,
+            out_dir: std::env::temp_dir().join("mac-fuzz-test"),
+            max_cycles: 2_000_000,
+        };
+        let report = run_fuzz(&opts).expect("io");
+        assert_eq!(report.iters, 5);
+        assert!(
+            report.is_clean(),
+            "unexpected failures: {:?}",
+            report.failures
+        );
+    }
+}

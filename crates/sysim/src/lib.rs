@@ -25,6 +25,11 @@
 //! * [`catalog`] — the row-building code behind each manifest entry.
 //! * [`baseline`] — the perf-regression baseline harness behind
 //!   `mac-bench baseline --check`.
+//! * [`fuzz`] — the differential conformance fuzzer behind
+//!   `mac-bench fuzz`: seeded random configs × adversarial address
+//!   streams run with the `mac-check` invariant checker attached and
+//!   diffed against the functional oracle, with failing cases shrunk to
+//!   minimal reproducers.
 //! * [`cachefmt`] — the versioned text formats for cached results.
 //! * [`figures`] — one function per paper figure/table returning raw rows.
 
@@ -37,6 +42,7 @@ pub mod catalog;
 pub mod engine;
 pub mod experiment;
 pub mod figures;
+pub mod fuzz;
 pub mod manifest;
 pub mod netsystem;
 pub mod report;
@@ -45,7 +51,10 @@ pub mod system;
 pub use analyzer::{analyze, TraceAnalysis};
 pub use baseline::{Baseline, BaselineCheck};
 pub use engine::{run_experiments, Artifact, EngineOptions, EngineRun, SimPool, SimRequest};
-pub use experiment::{run_pair, run_workload, ExperimentConfig};
+pub use experiment::{
+    run_ops_checked, run_pair, run_workload, run_workload_checked, CheckedRun, ExperimentConfig,
+};
+pub use fuzz::{run_fuzz, FuzzOptions, FuzzReport};
 pub use manifest::{manifest, select, Experiment};
 pub use netsystem::NetSystem;
 pub use report::RunReport;

@@ -26,6 +26,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
+use mac_check::{ConformanceChecker, FinishProbe, StatsProbe};
 use mac_coalescer::{Mac, MacEvent, RequestRouter, ResponseRouter, RoutedTo};
 use mac_metrics::MetricsHub;
 use mac_net::NetDevice;
@@ -61,6 +62,7 @@ pub struct NetSystem {
     now: Cycle,
     tracer: Tracer,
     metrics: MetricsHub,
+    checker: Option<ConformanceChecker>,
 }
 
 impl NetSystem {
@@ -91,6 +93,7 @@ impl NetSystem {
             now: 0,
             tracer: Tracer::disabled(),
             metrics: MetricsHub::disabled(),
+            checker: None,
             cfg,
         }
     }
@@ -110,6 +113,65 @@ impl NetSystem {
     /// observational and never changes simulated behavior.
     pub fn set_metrics(&mut self, metrics: MetricsHub) {
         self.metrics = metrics;
+    }
+
+    /// Attach a conformance checker (observational; see
+    /// [`crate::system::SystemSim::set_checker`]).
+    pub fn set_checker(&mut self, checker: ConformanceChecker) {
+        self.checker = Some(checker);
+    }
+
+    /// Detach the conformance checker (after `run`, to inspect its
+    /// verdict). `run` already called `finish` on it.
+    pub fn take_checker(&mut self) -> Option<ConformanceChecker> {
+        self.checker.take()
+    }
+
+    /// Snapshot the aggregate statistics the checker cross-checks, plus
+    /// any per-component self-check failures.
+    fn stats_probe(&self) -> (StatsProbe, Vec<String>) {
+        let mut p = StatsProbe::default();
+        let mut errs = Vec::new();
+        for stage in &self.cubes {
+            let m = stage.mac.stats();
+            p.mac_raw_memory += m.raw_memory_requests();
+            p.mac_raw_fences += m.raw_fences;
+            p.mac_fences_retired += m.fences_retired;
+            p.mac_emitted_total += m.emitted_total();
+            p.mac_emitted_split += m.emitted_bypass + m.emitted_built + m.emitted_atomic;
+            p.mac_emitted_bypass_built += m.emitted_bypass + m.emitted_built;
+            p.mac_pop_groups += m.targets_per_entry.events;
+            p.mac_targets_sum += m.targets_per_entry.sum;
+            if let Some(e) = m.consistency_error() {
+                errs.push(e);
+            }
+        }
+        let h = self.dev.stats();
+        p.device_accesses = h.accesses();
+        p.device_raw_satisfied = h.raw_satisfied;
+        p.device_data_bytes = h.data_bytes;
+        p.device_useful_bytes = h.useful_bytes;
+        if let Some(e) = h.consistency_error() {
+            errs.push(e);
+        }
+        if let Some(e) = self.dev.net_stats().consistency_error() {
+            errs.push(e);
+        }
+        (p, errs)
+    }
+
+    /// Feed the checker one statistics cross-check.
+    fn check_stats(&mut self) {
+        if self.checker.is_none() {
+            return;
+        }
+        let (probe, errs) = self.stats_probe();
+        let now = self.now;
+        let checker = self.checker.as_mut().expect("checked");
+        for e in &errs {
+            checker.on_component_error(now, e);
+        }
+        checker.on_cycle_batch(now, &probe);
     }
 
     /// Take one metrics sample: host router, each cube's ingress MAC
@@ -165,6 +227,7 @@ impl NetSystem {
         // 1. Cores issue into the host router.
         let router = &mut self.router;
         let tracer = &self.tracer;
+        let checker = &mut self.checker;
         self.node.tick(now, |raw| {
             let (id, addr) = (raw.id.0, raw.addr.raw());
             let routed = router.route(raw);
@@ -177,7 +240,13 @@ impl NetSystem {
                     RoutedTo::Stalled => ROUTE_STALLED,
                 },
             });
-            routed != RoutedTo::Stalled
+            let accepted = routed != RoutedTo::Stalled;
+            if accepted {
+                if let Some(c) = checker.as_mut() {
+                    c.on_raw_issued(&raw, now);
+                }
+            }
+            accepted
         });
 
         // 2. Host packetizer: one raw request per cycle onto the network.
@@ -186,6 +255,9 @@ impl NetSystem {
                 // The host queue is FIFO and every earlier request has
                 // already left for the network, so retiring here
                 // preserves fence ordering.
+                if let Some(c) = self.checker.as_mut() {
+                    c.on_fence_retired(&raw, now);
+                }
                 self.node.complete_fence(&raw);
             } else {
                 let dest = self.dev.addr_map().cube_of(raw.addr);
@@ -217,7 +289,11 @@ impl NetSystem {
                 stage.ingress.pop();
                 let raw = stage.arriving.remove(&key).expect("queued arrival");
                 if mac_disabled {
-                    stage.dispatch_q.push_back(Self::raw_to_txn(&raw, now));
+                    let txn = Self::raw_to_txn(&raw, now);
+                    if let Some(c) = self.checker.as_mut() {
+                        c.on_dispatch(&txn, now);
+                    }
+                    stage.dispatch_q.push_back(txn);
                     continue;
                 }
                 let backlog = stage.ingress.len();
@@ -233,8 +309,20 @@ impl NetSystem {
             if !mac_disabled {
                 for ev in stage.mac.tick(now) {
                     match ev {
-                        MacEvent::Dispatch(req) => stage.dispatch_q.push_back(req),
-                        MacEvent::FenceRetired(raw) => self.node.complete_fence(&raw),
+                        MacEvent::Dispatch(req) => {
+                            if let Some(c) = self.checker.as_mut() {
+                                c.on_dispatch(&req, now);
+                            }
+                            stage.dispatch_q.push_back(req);
+                        }
+                        MacEvent::FenceRetired(raw) => {
+                            // Unreachable in practice: fences retire at
+                            // the host packetizer and never reach a cube.
+                            if let Some(c) = self.checker.as_mut() {
+                                c.on_fence_retired(&raw, now);
+                            }
+                            self.node.complete_fence(&raw);
+                        }
                     }
                 }
             }
@@ -264,9 +352,16 @@ impl NetSystem {
 
         // 5. Responses fan out to threads.
         for rsp in self.dev.drain_completed(now) {
-            for c in self.rsp_router.expand(&rsp) {
-                self.tracer.emit(now, || TraceEvent::Fanout { id: c.id.0 });
-                self.node.complete(c.id, now);
+            if let Some(c) = self.checker.as_mut() {
+                c.on_response(&rsp, now);
+            }
+            for cpl in self.rsp_router.expand(&rsp) {
+                if let Some(c) = self.checker.as_mut() {
+                    c.on_completion(cpl.id, now);
+                }
+                self.tracer
+                    .emit(now, || TraceEvent::Fanout { id: cpl.id.0 });
+                self.node.complete(cpl.id, now);
             }
         }
 
@@ -291,6 +386,9 @@ impl NetSystem {
             if self.metrics.should_sample(self.now) {
                 self.take_metrics_sample();
             }
+            if self.checker.is_some() && self.now.is_multiple_of(crate::system::CHECK_BATCH) {
+                self.check_stats();
+            }
             if !more {
                 break;
             }
@@ -300,7 +398,25 @@ impl NetSystem {
             self.take_metrics_sample();
         }
         self.tracer.flush();
-        self.report()
+        let report = self.report();
+        if self.checker.is_some() {
+            let idle = self.is_idle();
+            let (stats, errs) = self.stats_probe();
+            let now = self.now;
+            let probe = FinishProbe {
+                idle,
+                soc_raw_requests: report.soc.raw_requests,
+                soc_completions: report.soc.completions,
+                stats,
+            };
+            if let Some(checker) = self.checker.as_mut() {
+                for e in &errs {
+                    checker.on_component_error(now, e);
+                }
+                checker.finish(&probe, now);
+            }
+        }
+        report
     }
 
     /// Snapshot the merged statistics (MAC stats merged over cubes).

@@ -22,6 +22,7 @@
 use std::collections::VecDeque;
 
 use hmc_model::{DdrDevice, HbmDevice, HmcDevice, MemoryDevice};
+use mac_check::{ConformanceChecker, FinishProbe, StatsProbe};
 use mac_coalescer::{Mac, MacEvent, RequestRouter, ResponseRouter, RoutedTo};
 use mac_metrics::MetricsHub;
 use mac_net::NetDevice;
@@ -70,7 +71,12 @@ pub struct SystemSim {
     now: Cycle,
     tracer: Tracer,
     metrics: MetricsHub,
+    checker: Option<ConformanceChecker>,
 }
+
+/// How often the attached conformance checker cross-checks aggregate
+/// statistics (every this many cycles).
+pub(crate) const CHECK_BATCH: Cycle = 1024;
 
 impl SystemSim {
     /// Build a single-node system (the paper's evaluation configuration)
@@ -123,6 +129,7 @@ impl SystemSim {
             now: 0,
             tracer: Tracer::disabled(),
             metrics: MetricsHub::disabled(),
+            checker: None,
         }
     }
 
@@ -146,6 +153,70 @@ impl SystemSim {
         self.metrics = metrics;
     }
 
+    /// Attach a conformance checker. Like tracing and metrics, checking
+    /// is observational: the run loop feeds it every accepted issue,
+    /// dispatch, response, completion, and fence retirement, plus a
+    /// statistics snapshot every 1024 cycles (`CHECK_BATCH`), and never
+    /// reads it back.
+    pub fn set_checker(&mut self, checker: ConformanceChecker) {
+        self.checker = Some(checker);
+    }
+
+    /// Detach the conformance checker (after `run`, to inspect its
+    /// verdict). `run` already called `finish` on it.
+    pub fn take_checker(&mut self) -> Option<ConformanceChecker> {
+        self.checker.take()
+    }
+
+    /// Snapshot the aggregate statistics the checker cross-checks, plus
+    /// any per-component self-check failures.
+    fn stats_probe(&self) -> (StatsProbe, Vec<String>) {
+        let mut p = StatsProbe::default();
+        let mut errs = Vec::new();
+        for n in &self.nodes {
+            let m = n.mac.stats();
+            p.mac_raw_memory += m.raw_memory_requests();
+            p.mac_raw_fences += m.raw_fences;
+            p.mac_fences_retired += m.fences_retired;
+            p.mac_emitted_total += m.emitted_total();
+            p.mac_emitted_split += m.emitted_bypass + m.emitted_built + m.emitted_atomic;
+            p.mac_emitted_bypass_built += m.emitted_bypass + m.emitted_built;
+            p.mac_pop_groups += m.targets_per_entry.events;
+            p.mac_targets_sum += m.targets_per_entry.sum;
+            if let Some(e) = m.consistency_error() {
+                errs.push(e);
+            }
+            let h = n.hmc.stats();
+            p.device_accesses += h.accesses();
+            p.device_raw_satisfied += h.raw_satisfied;
+            p.device_data_bytes += h.data_bytes;
+            p.device_useful_bytes += h.useful_bytes;
+            if let Some(e) = h.consistency_error() {
+                errs.push(e);
+            }
+            if let Some(net) = n.hmc.as_any().downcast_ref::<NetDevice>() {
+                if let Some(e) = net.net_stats().consistency_error() {
+                    errs.push(e);
+                }
+            }
+        }
+        (p, errs)
+    }
+
+    /// Feed the checker one statistics cross-check.
+    fn check_stats(&mut self) {
+        if self.checker.is_none() {
+            return;
+        }
+        let (probe, errs) = self.stats_probe();
+        let now = self.now;
+        let checker = self.checker.as_mut().expect("checked");
+        for e in &errs {
+            checker.on_component_error(now, e);
+        }
+        checker.on_cycle_batch(now, &probe);
+    }
+
     /// Take one metrics sample of every node's components, scoped
     /// `node{i}/...`.
     fn take_metrics_sample(&self) {
@@ -164,7 +235,7 @@ impl SystemSim {
 
     /// Origin node encoded in a transaction id (see `soc_sim::Node`).
     fn origin_of(id: TransactionId) -> usize {
-        (id.0 >> 48) as usize
+        id.origin_node() as usize
     }
 
     /// Wrap a raw request as a single-FLIT device transaction (the
@@ -227,6 +298,7 @@ impl SystemSim {
             self.nodes[origin].node.complete(m.payload, now);
         }
 
+        let checker = &mut self.checker;
         for n in &mut self.nodes {
             // 1. Cores issue into the router.
             let router = &mut n.router;
@@ -243,7 +315,13 @@ impl SystemSim {
                         RoutedTo::Stalled => ROUTE_STALLED,
                     },
                 });
-                routed != RoutedTo::Stalled
+                let accepted = routed != RoutedTo::Stalled;
+                if accepted {
+                    if let Some(c) = checker.as_mut() {
+                        c.on_raw_issued(&raw, now);
+                    }
+                }
+                accepted
             });
 
             // Remote requests leave for the interconnect.
@@ -261,9 +339,16 @@ impl SystemSim {
                         // No MAC: a fence retires once all earlier
                         // requests were dispatched — queues are FIFO, so
                         // retiring here preserves order.
+                        if let Some(c) = checker.as_mut() {
+                            c.on_fence_retired(&raw, now);
+                        }
                         n.node.complete_fence(&raw);
                     } else {
-                        n.dispatch_q.push_back(Self::raw_to_txn(&raw, now));
+                        let txn = Self::raw_to_txn(&raw, now);
+                        if let Some(c) = checker.as_mut() {
+                            c.on_dispatch(&txn, now);
+                        }
+                        n.dispatch_q.push_back(txn);
                     }
                 }
             } else {
@@ -279,8 +364,18 @@ impl SystemSim {
                 }
                 for ev in n.mac.tick(now) {
                     match ev {
-                        MacEvent::Dispatch(req) => n.dispatch_q.push_back(req),
-                        MacEvent::FenceRetired(raw) => n.node.complete_fence(&raw),
+                        MacEvent::Dispatch(req) => {
+                            if let Some(c) = checker.as_mut() {
+                                c.on_dispatch(&req, now);
+                            }
+                            n.dispatch_q.push_back(req);
+                        }
+                        MacEvent::FenceRetired(raw) => {
+                            if let Some(c) = checker.as_mut() {
+                                c.on_fence_retired(&raw, now);
+                            }
+                            n.node.complete_fence(&raw);
+                        }
                     }
                 }
             }
@@ -297,13 +392,22 @@ impl SystemSim {
 
             // 5. Responses fan out to threads.
             for rsp in n.hmc.drain_completed(now) {
-                for c in n.rsp_router.expand(&rsp) {
-                    let origin = Self::origin_of(c.id);
+                if let Some(c) = checker.as_mut() {
+                    c.on_response(&rsp, now);
+                }
+                for cpl in n.rsp_router.expand(&rsp) {
+                    // Remote completions are recorded here too: expand
+                    // visits each raw exactly once regardless of where
+                    // its thread lives.
+                    if let Some(c) = checker.as_mut() {
+                        c.on_completion(cpl.id, now);
+                    }
+                    let origin = Self::origin_of(cpl.id);
                     if origin == n.node.id().0 as usize {
-                        n.tracer.emit(now, || TraceEvent::Fanout { id: c.id.0 });
-                        n.node.complete(c.id, now);
+                        n.tracer.emit(now, || TraceEvent::Fanout { id: cpl.id.0 });
+                        n.node.complete(cpl.id, now);
                     } else {
-                        n.outbound_rsp.push_back((now + latency, c.id));
+                        n.outbound_rsp.push_back((now + latency, cpl.id));
                     }
                 }
             }
@@ -339,6 +443,9 @@ impl SystemSim {
             if self.metrics.should_sample(self.now) {
                 self.take_metrics_sample();
             }
+            if self.checker.is_some() && self.now.is_multiple_of(CHECK_BATCH) {
+                self.check_stats();
+            }
             if !more {
                 break;
             }
@@ -349,7 +456,25 @@ impl SystemSim {
             self.take_metrics_sample();
         }
         self.tracer.flush();
-        self.report()
+        let report = self.report();
+        if self.checker.is_some() {
+            let idle = self.is_idle();
+            let (stats, errs) = self.stats_probe();
+            let now = self.now;
+            let probe = FinishProbe {
+                idle,
+                soc_raw_requests: report.soc.raw_requests,
+                soc_completions: report.soc.completions,
+                stats,
+            };
+            if let Some(checker) = self.checker.as_mut() {
+                for e in &errs {
+                    checker.on_component_error(now, e);
+                }
+                checker.finish(&probe, now);
+            }
+        }
+        report
     }
 
     /// Snapshot the merged statistics.

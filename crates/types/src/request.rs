@@ -29,6 +29,33 @@ pub struct NodeId(pub u16);
 )]
 pub struct TransactionId(pub u64);
 
+impl TransactionId {
+    /// Bits of the id reserved for the per-node sequence number; the
+    /// originating node occupies the bits above.
+    pub const SEQ_BITS: u32 = 48;
+
+    /// Compose an id from its originating node and per-node sequence
+    /// number (the encoding `soc_sim::Node` uses when issuing).
+    #[inline]
+    pub const fn compose(node: u16, seq: u64) -> Self {
+        TransactionId(((node as u64) << Self::SEQ_BITS) | (seq & ((1 << Self::SEQ_BITS) - 1)))
+    }
+
+    /// The node that issued this request. Conformance checking relies on
+    /// this being recoverable from the id alone, so responses can be
+    /// attributed without side tables.
+    #[inline]
+    pub const fn origin_node(self) -> u16 {
+        (self.0 >> Self::SEQ_BITS) as u16
+    }
+
+    /// Issue-order sequence number within the originating node.
+    #[inline]
+    pub const fn local_seq(self) -> u64 {
+        self.0 & ((1 << Self::SEQ_BITS) - 1)
+    }
+}
+
 /// Kind of memory operation carried by a raw request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum MemOpKind {
@@ -296,6 +323,17 @@ mod tests {
             dispatched_at: 0,
         };
         assert_eq!(req.useful_bytes(), 48);
+    }
+
+    #[test]
+    fn transaction_id_round_trips_origin_and_seq() {
+        let id = TransactionId::compose(7, 0x1234);
+        assert_eq!(id.origin_node(), 7);
+        assert_eq!(id.local_seq(), 0x1234);
+        assert_eq!(id, TransactionId((7u64 << 48) | 0x1234));
+        let max = TransactionId::compose(u16::MAX, (1 << 48) - 1);
+        assert_eq!(max.origin_node(), u16::MAX);
+        assert_eq!(max.local_seq(), (1 << 48) - 1);
     }
 
     #[test]
