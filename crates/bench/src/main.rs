@@ -11,6 +11,9 @@
 //!           [--jobs N] [--out DIR] [--no-cache]
 //! mac-bench fuzz [--iters N] [--seed S] [--out DIR] [--max-cycles N]
 //!           [--smoke] [--replay FILE]
+//! mac-bench serve [--addr A] [--workers N] [--sim-jobs N] [--out DIR]
+//!           [--queue N] [--per-client N] [--paused]
+//! mac-bench client [--addr A] [--name NAME] VERB ...
 //! ```
 //!
 //! The `run` subcommand name is optional — `mac-bench --filter smoke`
@@ -33,34 +36,59 @@
 //!   time-series as `<out>/metrics/<workload>-<fp>.{csv,json}` — the
 //!   directory `metrics_tools` resolves bare file names into. Cached
 //!   sims emit nothing; combine with `--no-cache` for full coverage.
+//! * A `run` whose simulations all drain exits 0; any simulation that
+//!   hits its cycle cap marks its entry `[FAILED]` in the per-entry
+//!   summary and the run exits non-zero — truncated measurements must
+//!   not pass silently in CI.
 //! * `baseline --check` re-simulates the smoke baseline set and exits
 //!   non-zero if any checked-in metric drifts out of tolerance;
 //!   `baseline --update` regenerates the file (default
-//!   `baselines/smoke.macb`).
+//!   `baselines/smoke.macb`). A check also appends the repo's perf
+//!   trajectory: per-entry wall-clock sims/sec land in
+//!   `BENCH_<date>.json` at the repository root (machine-dependent, so
+//!   informational only — never part of the pass/fail verdict).
 //! * `fuzz` runs the differential conformance fuzzer: seeded random
 //!   configs × adversarial address streams, each simulated with the
 //!   `mac-check` invariant checker attached and diffed against the
 //!   functional oracle. Failing cases shrink to reproducers under
 //!   `results/fuzz/`; `--replay FILE` re-runs one, `--smoke` adds the
 //!   deterministic checked workload set CI uses.
+//! * `serve` starts the `mac-serve` job server (MACS-1 over TCP) on
+//!   `--addr`, sharing its artifact store with plain runs under the same
+//!   `--out`; it serves until a client sends `shutdown`, then drains and
+//!   writes its counters to `<out>/serve/server-metrics.csv`.
+//! * `client` speaks to a running server: `submit key=value...` (the
+//!   MACS-1 submit fields, e.g. `entry=smoke scale=1` or
+//!   `workload=sg threads=4 checked=true`; add `--wait` to block until
+//!   the job finishes and `--fetch` to print its artifact), plus
+//!   `poll JOB`, `wait JOB`, `fetch JOB`, `stats`, `pause`, `resume`,
+//!   and `shutdown`. A shed submission prints the server's explicit
+//!   `retry_after_ms` backpressure answer and exits 3.
 //!
 //! Artifacts land in `<out>/<name>.{txt,csv,json}`; see EXPERIMENTS.md
-//! for the entry → paper-claim → output-file catalog.
+//! for the entry → paper-claim → output-file catalog and DESIGN.md §13
+//! for the serving protocol.
 
 use std::path::PathBuf;
 use std::process::exit;
 use std::time::Instant;
 
+use mac_serve::proto::{Fields, Scalar};
+use mac_serve::{serve, AdmissionConfig, JobSpec, JobState, Response, ServeClient, ServerConfig};
 use mac_sim::baseline::{self, Baseline, DEFAULT_BASELINE_PATH};
 use mac_sim::engine::{run_experiments, EngineOptions, SimPool};
 use mac_sim::fuzz::{self, FuzzOptions};
 use mac_sim::manifest::{manifest, select};
+use mac_types::JobId;
 
 const USAGE: &str = "\
 usage: mac-bench [run] [options]
        mac-bench baseline [--check | --update] [options]
        mac-bench fuzz [--iters N] [--seed S] [--out DIR] [--max-cycles N]
                       [--smoke] [--replay FILE]
+       mac-bench serve [--addr A] [--workers N] [--sim-jobs N] [--out DIR]
+                       [--queue N] [--per-client N] [--paused]
+       mac-bench client [--addr A] [--name NAME] VERB ...
 
 run options:
   --filter GLOB[,GLOB]   run entries matching name or tag (default: all but `smoke`)
@@ -86,6 +114,29 @@ fuzz options:
   --max-cycles N         cycle cap per case (default 2000000)
   --smoke                also run the deterministic checked smoke set
   --replay FILE          re-run one reproducer file instead of fuzzing
+
+serve options:
+  --addr A               listen address (default 127.0.0.1:4650; port 0 = any free port)
+  --workers N            concurrent jobs (default: up to 4)
+  --sim-jobs N           sim threads per job (default: one per core)
+  --out DIR              artifact store root (default `results`, shared with runs)
+  --queue N              queue capacity; watermarks derived (default 64)
+  --per-client N         per-client in-flight fairness cap (default 16)
+  --paused               start with dispatch paused (resume via client)
+
+client verbs (after global --addr A and --name NAME):
+  submit key=value...    submit a job (`entry=smoke scale=1`, or `workload=sg`
+                         plus overrides: threads/scale/seed/maxcycles/nomac/
+                         arq/pop/accepts/bypass/hiding/cubes/topology/
+                         placement/mapping/checked); --wait blocks until it
+                         finishes, --fetch prints the artifact; a shed
+                         submission prints retry_after_ms and exits 3
+  poll JOB               print a job's current state
+  wait JOB               wait server-side for the job (--timeout-ms N, default 60000)
+  fetch JOB              print a finished job's artifact to stdout
+  stats                  print the server counters (mac-metrics v1 CSV)
+  pause | resume         stop/restart dispatching queued jobs
+  shutdown               drain the queue, then stop the server
 
   --help                 this text";
 
@@ -198,7 +249,9 @@ fn run_main(args: &[String]) {
         println!(
             "{:<22} {} {}",
             o.name,
-            if o.from_artifact_cache {
+            if !o.passed() {
+                "[FAILED]"
+            } else if o.from_artifact_cache {
                 "[cached]"
             } else {
                 "[ran]   "
@@ -219,6 +272,24 @@ fn run_main(args: &[String]) {
         run.sims_from_memo,
         t0.elapsed().as_secs_f64()
     );
+    // A simulation that hit its cycle cap produced a truncated
+    // measurement; the run must fail loudly, not exit 0.
+    if !run.passed() {
+        for o in run.outcomes.iter().filter(|o| !o.passed()) {
+            eprintln!(
+                "mac-bench: {}: {} simulation(s) hit the cycle cap: {}",
+                o.name,
+                o.sims_timed_out,
+                o.timeout_labels.join(" ")
+            );
+        }
+        let failed = run.outcomes.iter().filter(|o| !o.passed()).count();
+        eprintln!(
+            "mac-bench: FAILED ({failed}/{} entries with truncated simulations)",
+            run.outcomes.len()
+        );
+        exit(1);
+    }
 }
 
 fn baseline_main(args: &[String]) {
@@ -263,7 +334,26 @@ fn baseline_main(args: &[String]) {
         baseline::baseline_requests().len(),
         if opts.use_cache { "on" } else { "off" },
     );
-    let current = baseline::collect(&pool);
+    // Checks run entries one at a time so each gets an attributable
+    // wall-clock figure for the perf-trajectory file; updates use the
+    // parallel collector (no timings needed).
+    let current = if update {
+        baseline::collect(&pool)
+    } else {
+        let (current, samples) = baseline::collect_timed(&pool);
+        let date = today_utc();
+        let path = PathBuf::from(format!("BENCH_{date}.json"));
+        let json = baseline::encode_bench_json(&date, &samples, current.sims_per_sec_milli);
+        match std::fs::write(&path, json) {
+            Ok(()) => eprintln!(
+                "mac-bench: wrote {} ({} entries, info only)",
+                path.display(),
+                samples.len()
+            ),
+            Err(e) => eprintln!("mac-bench: cannot write {}: {e}", path.display()),
+        }
+        current
+    };
 
     if update {
         if let Some(parent) = file.parent() {
@@ -457,6 +547,288 @@ fn fuzz_main(args: &[String]) {
     }
 }
 
+/// Today's UTC date as `YYYY-MM-DD` (civil-from-days, no date crate).
+fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn serve_main(args: &[String]) {
+    let mut cfg = ServerConfig::default();
+    let mut queue: Option<usize> = None;
+    let mut per_client: Option<usize> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                cfg.addr = value(args, i, "--addr");
+                i += 1;
+            }
+            "--workers" => {
+                cfg.workers = value(args, i, "--workers")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--workers needs an integer"));
+                i += 1;
+            }
+            "--sim-jobs" => {
+                cfg.sim_jobs = value(args, i, "--sim-jobs")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--sim-jobs needs an integer"));
+                i += 1;
+            }
+            "--out" => {
+                cfg.out_dir = PathBuf::from(value(args, i, "--out"));
+                i += 1;
+            }
+            "--queue" => {
+                let n: usize = value(args, i, "--queue")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--queue needs an integer"));
+                if n == 0 {
+                    usage_error("--queue must be at least 1");
+                }
+                queue = Some(n);
+                i += 1;
+            }
+            "--per-client" => {
+                per_client = Some(
+                    value(args, i, "--per-client")
+                        .parse()
+                        .unwrap_or_else(|_| usage_error("--per-client needs an integer")),
+                );
+                i += 1;
+            }
+            "--paused" => cfg.start_paused = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                exit(0);
+            }
+            other => usage_error(&format!("unknown serve argument `{other}`")),
+        }
+        i += 1;
+    }
+    if let Some(n) = queue {
+        cfg.admission = AdmissionConfig::for_capacity(n);
+    }
+    if let Some(n) = per_client {
+        cfg.admission.per_client_inflight = n;
+    }
+
+    let out = cfg.out_dir.clone();
+    let handle = match serve(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("mac-bench: serve failed to start: {e}");
+            exit(1);
+        }
+    };
+    eprintln!(
+        "mac-bench: serving on {} (store {}); stop with `mac-bench client shutdown`",
+        handle.addr(),
+        out.display()
+    );
+    match handle.wait() {
+        Ok(_) => eprintln!(
+            "mac-bench: server drained; counters at {}",
+            out.join("serve").join("server-metrics.csv").display()
+        ),
+        Err(e) => {
+            eprintln!("mac-bench: server exited with error: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn parse_job_arg(arg: Option<&String>) -> JobId {
+    arg.unwrap_or_else(|| usage_error("this verb needs a JOB id (32 hex digits)"))
+        .parse()
+        .unwrap_or_else(|e| usage_error(&format!("bad job id: {e}")))
+}
+
+fn print_state(job: JobId, state: &JobState) {
+    match state {
+        JobState::Failed { reason } => println!("job={job} state=failed reason={reason}"),
+        s => println!("job={job} state={}", s.as_str()),
+    }
+}
+
+fn client_main(args: &[String]) {
+    let mut addr = "127.0.0.1:4650".to_string();
+    let mut name = "mac-bench".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                addr = value(args, i, "--addr");
+                i += 2;
+            }
+            "--name" => {
+                name = value(args, i, "--name");
+                i += 2;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                exit(0);
+            }
+            _ => break,
+        }
+    }
+    let Some(verb) = args.get(i) else {
+        usage_error("client needs a verb (submit/poll/wait/fetch/stats/pause/resume/shutdown)");
+    };
+    let rest = &args[i + 1..];
+
+    let mut c = match ServeClient::connect(&addr, &name) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("mac-bench: cannot connect to {addr}: {e}");
+            exit(1);
+        }
+    };
+    let fail = |what: &str, e: std::io::Error| -> ! {
+        eprintln!("mac-bench: {what} failed: {e}");
+        exit(1);
+    };
+
+    match verb.as_str() {
+        "submit" => {
+            let mut wait = false;
+            let mut fetch = false;
+            let mut timeout_ms: u64 = 60_000;
+            let mut fields = Fields::new();
+            let mut j = 0;
+            while j < rest.len() {
+                match rest[j].as_str() {
+                    "--wait" => wait = true,
+                    "--fetch" => {
+                        wait = true;
+                        fetch = true;
+                    }
+                    "--timeout-ms" => {
+                        timeout_ms = value(rest, j, "--timeout-ms")
+                            .parse()
+                            .unwrap_or_else(|_| usage_error("--timeout-ms needs an integer"));
+                        j += 1;
+                    }
+                    tok => {
+                        let Some((k, v)) = tok.split_once('=') else {
+                            usage_error(&format!("submit fields are key=value, got `{tok}`"));
+                        };
+                        let scalar = if v == "true" {
+                            Scalar::Bool(true)
+                        } else if v == "false" {
+                            Scalar::Bool(false)
+                        } else if let Ok(n) = v.parse::<u64>() {
+                            Scalar::Num(n)
+                        } else {
+                            Scalar::Str(v.to_string())
+                        };
+                        fields.insert(k.to_string(), scalar);
+                    }
+                }
+                j += 1;
+            }
+            let spec = JobSpec::from_fields(&fields)
+                .unwrap_or_else(|e| usage_error(&format!("bad submit spec: {e}")));
+            match c.submit(&spec) {
+                Ok(Response::Accepted {
+                    job,
+                    state,
+                    dedup,
+                    cached,
+                    queue_pos,
+                }) => {
+                    print!(
+                        "accepted job={job} state={} dedup={dedup} cached={cached}",
+                        state.as_str()
+                    );
+                    match queue_pos {
+                        Some(p) => println!(" queue_pos={p}"),
+                        None => println!(),
+                    }
+                    if wait {
+                        let final_state = c.wait(job, timeout_ms).unwrap_or_else(|e| {
+                            fail("wait", e);
+                        });
+                        print_state(job, &final_state);
+                        match final_state {
+                            JobState::Done => {
+                                if fetch {
+                                    let payload = c.fetch(job).unwrap_or_else(|e| fail("fetch", e));
+                                    print!("{payload}");
+                                }
+                            }
+                            JobState::Failed { .. } => exit(1),
+                            _ => exit(4), // still queued/running at timeout
+                        }
+                    }
+                }
+                Ok(Response::Rejected {
+                    reason,
+                    retry_after_ms,
+                }) => {
+                    eprintln!("mac-bench: shed: reason={reason} retry_after_ms={retry_after_ms}");
+                    exit(3);
+                }
+                Ok(other) => fail(
+                    "submit",
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("unexpected answer {other:?}"),
+                    ),
+                ),
+                Err(e) => fail("submit", e),
+            }
+        }
+        "poll" => {
+            let job = parse_job_arg(rest.first());
+            let state = c.poll(job).unwrap_or_else(|e| fail("poll", e));
+            print_state(job, &state);
+        }
+        "wait" => {
+            let job = parse_job_arg(rest.first());
+            let timeout_ms = match rest.get(1).map(String::as_str) {
+                Some("--timeout-ms") => value(rest, 1, "--timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--timeout-ms needs an integer")),
+                _ => 60_000,
+            };
+            let state = c.wait(job, timeout_ms).unwrap_or_else(|e| fail("wait", e));
+            print_state(job, &state);
+            match state {
+                JobState::Done => {}
+                JobState::Failed { .. } => exit(1),
+                _ => exit(4),
+            }
+        }
+        "fetch" => {
+            let job = parse_job_arg(rest.first());
+            let payload = c.fetch(job).unwrap_or_else(|e| fail("fetch", e));
+            print!("{payload}");
+        }
+        "stats" => {
+            let csv = c.stats().unwrap_or_else(|e| fail("stats", e));
+            print!("{csv}");
+        }
+        "pause" => c.pause().unwrap_or_else(|e| fail("pause", e)),
+        "resume" => c.resume().unwrap_or_else(|e| fail("resume", e)),
+        "shutdown" => c.shutdown().unwrap_or_else(|e| fail("shutdown", e)),
+        other => usage_error(&format!("unknown client verb `{other}`")),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Subcommand dispatch with back-compat: a leading flag (or nothing)
@@ -465,6 +837,8 @@ fn main() {
         Some("run") => run_main(&args[1..]),
         Some("baseline") => baseline_main(&args[1..]),
         Some("fuzz") => fuzz_main(&args[1..]),
+        Some("serve") => serve_main(&args[1..]),
+        Some("client") => client_main(&args[1..]),
         _ => run_main(&args),
     }
 }

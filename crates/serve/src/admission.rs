@@ -1,0 +1,304 @@
+//! Admission control: a pure, deterministic load-shedding supervisor.
+//!
+//! The supervisor decides, for every submission, whether to **accept**
+//! the job into the bounded queue or to **shed** it with an explicit
+//! retry-after backpressure answer. It is written in the
+//! evidence-accumulation + hysteresis idiom the ROADMAP prescribes for
+//! runtime controllers: a plain state machine over integers, with no
+//! clocks, no randomness, and no I/O, so the same observation sequence
+//! always produces the same decision sequence (snapshot/restore safe,
+//! and unit-testable without a server).
+//!
+//! # Rules
+//!
+//! 1. **Hard capacity** — a full queue always sheds (`queue-full`).
+//! 2. **Per-client fairness** — a client already holding
+//!    `per_client_inflight` queued/running jobs is shed
+//!    (`client-limit`) without touching the pressure evidence: one
+//!    greedy client must not push the server into overload mode for
+//!    everyone else.
+//! 3. **Evidence + hysteresis** — every decision tick observes queue
+//!    depth. Depth at or above the high watermark accumulates pressure
+//!    evidence; depth at or below the low watermark drains it (twice as
+//!    fast, so recovery is sticky-free). When evidence crosses
+//!    `shed_threshold` the supervisor enters *overload* mode and sheds
+//!    all new work (`overload`) until the evidence drains to zero — the
+//!    hysteresis band prevents accept/shed flapping around a single
+//!    watermark.
+//!
+//! Suggested retry delays scale linearly with queue fullness, so
+//! clients observing deeper queues back off longer — a deterministic
+//! `Retry-After` analogue.
+
+/// Tunables for the admission supervisor.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Hard bound on queued (not yet running) jobs.
+    pub queue_capacity: usize,
+    /// Queue depth at or above which pressure evidence accumulates.
+    pub high_watermark: usize,
+    /// Queue depth at or below which pressure evidence drains.
+    pub low_watermark: usize,
+    /// Evidence level that flips the supervisor into overload mode.
+    pub shed_threshold: u32,
+    /// Most queued + running jobs one client may hold.
+    pub per_client_inflight: usize,
+    /// Base retry suggestion in milliseconds; scaled by queue fullness.
+    pub retry_base_ms: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            queue_capacity: 64,
+            high_watermark: 48,
+            low_watermark: 16,
+            shed_threshold: 4,
+            per_client_inflight: 16,
+            retry_base_ms: 200,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// Derive watermarks for a given queue capacity (¾ high, ¼ low).
+    pub fn for_capacity(queue_capacity: usize) -> Self {
+        AdmissionConfig {
+            queue_capacity,
+            high_watermark: (queue_capacity * 3 / 4).max(1),
+            low_watermark: queue_capacity / 4,
+            ..AdmissionConfig::default()
+        }
+    }
+}
+
+/// What the supervisor sees at one decision point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Observation {
+    /// Jobs currently queued (excluding running).
+    pub queue_depth: usize,
+    /// Jobs currently executing on workers.
+    pub running: usize,
+    /// Queued + running jobs already held by the submitting client.
+    pub client_inflight: usize,
+}
+
+/// The supervisor's verdict for one submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decision {
+    /// Enqueue the job.
+    Accept,
+    /// Shed the job; the client should retry after the given delay.
+    Shed {
+        /// Which rule fired: `queue-full`, `client-limit`, or
+        /// `overload`.
+        reason: &'static str,
+        /// Suggested backoff in milliseconds.
+        retry_after_ms: u64,
+    },
+}
+
+impl Decision {
+    /// True for [`Decision::Accept`].
+    pub fn accepted(&self) -> bool {
+        matches!(self, Decision::Accept)
+    }
+}
+
+/// The supervisor itself: configuration plus accumulated evidence.
+#[derive(Debug, Clone)]
+pub struct Admission {
+    cfg: AdmissionConfig,
+    evidence: u32,
+    overloaded: bool,
+}
+
+impl Admission {
+    /// A fresh supervisor with zero accumulated evidence.
+    pub fn new(cfg: AdmissionConfig) -> Self {
+        Admission {
+            cfg,
+            evidence: 0,
+            overloaded: false,
+        }
+    }
+
+    /// Current pressure evidence (for counters/telemetry).
+    pub fn evidence(&self) -> u32 {
+        self.evidence
+    }
+
+    /// True while the supervisor is shedding on pressure (rule 3).
+    pub fn overloaded(&self) -> bool {
+        self.overloaded
+    }
+
+    /// Retry suggestion for the observed queue depth: base delay scaled
+    /// up to 4× as the queue fills. Deterministic in the observation.
+    fn retry_after_ms(&self, queue_depth: usize) -> u64 {
+        let cap = self.cfg.queue_capacity.max(1) as u64;
+        let fill = (queue_depth as u64).min(cap);
+        self.cfg.retry_base_ms + (3 * self.cfg.retry_base_ms * fill) / cap
+    }
+
+    /// Fold one observation into the evidence counters (rule 3's
+    /// accumulate/drain step). Called on every decision; exposed so the
+    /// server can also tick it when jobs *finish* and pressure falls.
+    pub fn observe(&mut self, queue_depth: usize) {
+        if queue_depth >= self.cfg.high_watermark {
+            self.evidence = self.evidence.saturating_add(1);
+        } else if queue_depth <= self.cfg.low_watermark {
+            self.evidence = self.evidence.saturating_sub(2);
+        }
+        if self.evidence >= self.cfg.shed_threshold {
+            self.overloaded = true;
+        } else if self.evidence == 0 {
+            self.overloaded = false;
+        }
+    }
+
+    /// Decide one submission. Pure in (state, observation); mutates only
+    /// the evidence counters.
+    pub fn decide(&mut self, obs: &Observation) -> Decision {
+        self.observe(obs.queue_depth);
+        if obs.queue_depth >= self.cfg.queue_capacity {
+            return Decision::Shed {
+                reason: "queue-full",
+                retry_after_ms: self.retry_after_ms(obs.queue_depth),
+            };
+        }
+        if obs.client_inflight >= self.cfg.per_client_inflight {
+            return Decision::Shed {
+                reason: "client-limit",
+                retry_after_ms: self.retry_after_ms(obs.queue_depth),
+            };
+        }
+        if self.overloaded {
+            return Decision::Shed {
+                reason: "overload",
+                retry_after_ms: self.retry_after_ms(obs.queue_depth),
+            };
+        }
+        Decision::Accept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AdmissionConfig {
+        AdmissionConfig {
+            queue_capacity: 8,
+            high_watermark: 6,
+            low_watermark: 2,
+            shed_threshold: 3,
+            per_client_inflight: 4,
+            retry_base_ms: 100,
+        }
+    }
+
+    fn obs(queue_depth: usize) -> Observation {
+        Observation {
+            queue_depth,
+            running: 0,
+            client_inflight: 0,
+        }
+    }
+
+    #[test]
+    fn accepts_when_idle() {
+        let mut a = Admission::new(cfg());
+        assert_eq!(a.decide(&obs(0)), Decision::Accept);
+        assert!(!a.overloaded());
+    }
+
+    #[test]
+    fn full_queue_always_sheds() {
+        let mut a = Admission::new(cfg());
+        match a.decide(&obs(8)) {
+            Decision::Shed {
+                reason,
+                retry_after_ms,
+            } => {
+                assert_eq!(reason, "queue-full");
+                assert_eq!(retry_after_ms, 400, "4x base at a full queue");
+            }
+            d => panic!("expected shed, got {d:?}"),
+        }
+    }
+
+    #[test]
+    fn client_limit_sheds_without_building_evidence() {
+        let mut a = Admission::new(cfg());
+        for _ in 0..10 {
+            let d = a.decide(&Observation {
+                queue_depth: 0,
+                running: 0,
+                client_inflight: 4,
+            });
+            assert!(matches!(
+                d,
+                Decision::Shed {
+                    reason: "client-limit",
+                    ..
+                }
+            ));
+        }
+        assert_eq!(a.evidence(), 0, "low queue drains, never accumulates");
+        // Other clients are unaffected.
+        assert_eq!(a.decide(&obs(0)), Decision::Accept);
+    }
+
+    #[test]
+    fn hysteresis_enters_overload_then_recovers_only_at_zero() {
+        let mut a = Admission::new(cfg());
+        // Pressure builds: 3 ticks at/above the high watermark.
+        for _ in 0..2 {
+            a.decide(&obs(6));
+            assert!(!a.overloaded());
+        }
+        a.decide(&obs(6));
+        assert!(a.overloaded());
+        assert!(matches!(
+            a.decide(&obs(5)),
+            Decision::Shed {
+                reason: "overload",
+                ..
+            }
+        ));
+        // Mid-band depth (between watermarks) neither builds nor drains:
+        // still shedding — that is the hysteresis.
+        assert!(matches!(
+            a.decide(&obs(4)),
+            Decision::Shed {
+                reason: "overload",
+                ..
+            }
+        ));
+        // Depth at/below the low watermark drains evidence to zero.
+        a.observe(2);
+        a.observe(2);
+        assert!(!a.overloaded(), "evidence drained: {}", a.evidence());
+        assert_eq!(a.decide(&obs(2)), Decision::Accept);
+    }
+
+    #[test]
+    fn decision_sequence_is_deterministic() {
+        let seq: Vec<usize> = vec![0, 3, 6, 6, 6, 7, 5, 2, 2, 2, 0, 6];
+        let run = |mut a: Admission| -> Vec<Decision> {
+            seq.iter().map(|&d| a.decide(&obs(d))).collect()
+        };
+        assert_eq!(run(Admission::new(cfg())), run(Admission::new(cfg())));
+    }
+
+    #[test]
+    fn for_capacity_derives_sane_watermarks() {
+        let c = AdmissionConfig::for_capacity(100);
+        assert_eq!(c.queue_capacity, 100);
+        assert_eq!(c.high_watermark, 75);
+        assert_eq!(c.low_watermark, 25);
+        let tiny = AdmissionConfig::for_capacity(1);
+        assert!(tiny.high_watermark >= 1);
+    }
+}

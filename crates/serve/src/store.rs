@@ -1,0 +1,222 @@
+//! The shared artifact store: content-addressed job results under
+//! `results/`.
+//!
+//! The store deliberately reuses the engine's cache layout and formats,
+//! so server jobs and plain `mac-bench` runs feed each other:
+//!
+//! * sim jobs → `<root>/cache/sim-<fp>.mrc` (the engine's result cache,
+//!   `cachefmt` MACS format) — a sim the CLI already ran is a warm hit
+//!   for the server, and vice versa;
+//! * entry jobs → `<root>/cache/exp-<fp>.art` (the engine's artifact
+//!   cache);
+//! * checked sim jobs → `<root>/serve/job-<fp>.chk`, a versioned
+//!   envelope (`# mac-serve checked result v1`) holding the conformance
+//!   verdict plus the embedded `.mrc` payload.
+//!
+//! All writes go through the engine's `atomic_write` (temp file +
+//! rename), so concurrent pools and servers sharing one `results/` tree
+//! never expose torn files to each other.
+
+use std::path::{Path, PathBuf};
+
+use mac_sim::cachefmt;
+use mac_sim::engine::{atomic_write, Artifact};
+use mac_sim::report::RunReport;
+
+use crate::job::{JobKind, JobSpec};
+
+/// Version of the `.chk` checked-result envelope.
+pub const CHECKED_FORMAT_VERSION: u32 = 1;
+
+/// Header line of the `.chk` envelope.
+const CHECKED_HEADER: &str = "# mac-serve checked result v1";
+
+/// A content-addressed result store rooted at one `results/` tree.
+#[derive(Debug, Clone)]
+pub struct ArtifactStore {
+    root: PathBuf,
+}
+
+impl ArtifactStore {
+    /// A store rooted at `root` (typically `results/`). Directories are
+    /// created on first write.
+    pub fn new(root: &Path) -> Self {
+        ArtifactStore {
+            root: root.to_path_buf(),
+        }
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The engine-shared cache directory (`<root>/cache`).
+    pub fn cache_dir(&self) -> PathBuf {
+        self.root.join("cache")
+    }
+
+    /// Where a job's payload lives on disk.
+    pub fn path_for(&self, spec: &JobSpec) -> PathBuf {
+        let id = spec.job_id();
+        match &spec.kind {
+            JobKind::Entry { .. } => self.cache_dir().join(format!("exp-{id}.art")),
+            JobKind::Sim { .. } if spec.checked => {
+                self.root.join("serve").join(format!("job-{id}.chk"))
+            }
+            JobKind::Sim { .. } => self.cache_dir().join(format!("sim-{id}.mrc")),
+        }
+    }
+
+    /// Load a job's payload, validating that it decodes in its format.
+    /// A file that exists but fails validation is treated as absent (it
+    /// will be regenerated and atomically replaced).
+    pub fn load(&self, spec: &JobSpec) -> Option<String> {
+        let text = std::fs::read_to_string(self.path_for(spec)).ok()?;
+        let valid = match &spec.kind {
+            JobKind::Entry { .. } => cachefmt::decode_artifacts(&text).is_some(),
+            JobKind::Sim { .. } if spec.checked => decode_checked(&text).is_some(),
+            JobKind::Sim { .. } => cachefmt::decode_run(&text).is_some(),
+        };
+        valid.then_some(text)
+    }
+
+    /// Store a sim job's report (normalized like the engine's cache:
+    /// trace summary cleared).
+    pub fn store_sim(&self, spec: &JobSpec, report: &RunReport) -> std::io::Result<String> {
+        let mut stored = report.clone();
+        stored.trace = Default::default();
+        let text = cachefmt::encode_run(&stored);
+        atomic_write(&self.path_for(spec), &text)?;
+        Ok(text)
+    }
+
+    /// Store an entry job's rendered artifacts.
+    pub fn store_entry(&self, spec: &JobSpec, arts: &[Artifact]) -> std::io::Result<String> {
+        let text = cachefmt::encode_artifacts(arts);
+        atomic_write(&self.path_for(spec), &text)?;
+        Ok(text)
+    }
+
+    /// Store a checked sim job's verdict + report envelope.
+    pub fn store_checked(
+        &self,
+        spec: &JobSpec,
+        violations: &[String],
+        divergences: &[String],
+        report: &RunReport,
+    ) -> std::io::Result<String> {
+        let text = encode_checked(violations, divergences, report);
+        atomic_write(&self.path_for(spec), &text)?;
+        Ok(text)
+    }
+}
+
+/// Render the `.chk` envelope: verdict lines, a `---` separator, then
+/// the embedded `.mrc` payload.
+pub fn encode_checked(violations: &[String], divergences: &[String], report: &RunReport) -> String {
+    let mut out = format!("{CHECKED_HEADER}\n");
+    out.push_str(&format!("violations {}\n", violations.len()));
+    out.push_str(&format!("divergences {}\n", divergences.len()));
+    for v in violations {
+        out.push_str(&format!("v {}\n", v.replace('\n', " ")));
+    }
+    for d in divergences {
+        out.push_str(&format!("d {}\n", d.replace('\n', " ")));
+    }
+    out.push_str("---\n");
+    let mut stored = report.clone();
+    stored.trace = Default::default();
+    out.push_str(&cachefmt::encode_run(&stored));
+    out
+}
+
+/// Parse a `.chk` envelope into `(violations, divergences, report)`.
+pub fn decode_checked(text: &str) -> Option<(Vec<String>, Vec<String>, RunReport)> {
+    let mut lines = text.lines();
+    if lines.next()? != CHECKED_HEADER {
+        return None;
+    }
+    let nv: usize = lines.next()?.strip_prefix("violations ")?.parse().ok()?;
+    let nd: usize = lines.next()?.strip_prefix("divergences ")?.parse().ok()?;
+    let mut violations = Vec::with_capacity(nv);
+    let mut divergences = Vec::with_capacity(nd);
+    for line in lines.by_ref() {
+        if line == "---" {
+            break;
+        } else if let Some(v) = line.strip_prefix("v ") {
+            violations.push(v.to_string());
+        } else if let Some(d) = line.strip_prefix("d ") {
+            divergences.push(d.to_string());
+        } else {
+            return None;
+        }
+    }
+    if violations.len() != nv || divergences.len() != nd {
+        return None;
+    }
+    let rest: String = lines.map(|l| format!("{l}\n")).collect();
+    let report = cachefmt::decode_run(&rest)?;
+    Some((violations, divergences, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mac_sim::experiment::ExperimentConfig;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mac-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn sim_payloads_round_trip_through_the_store() {
+        let root = tmp_root("sim");
+        let store = ArtifactStore::new(&root);
+        let spec = JobSpec::sim("sg", ExperimentConfig::paper(2));
+        assert!(store.load(&spec).is_none(), "cold store");
+        let report = RunReport {
+            cycles: 1234,
+            ..RunReport::default()
+        };
+        let text = store.store_sim(&spec, &report).expect("stores");
+        assert_eq!(store.load(&spec).as_deref(), Some(text.as_str()));
+        // The path is the engine's cache layout: a CLI run would hit it.
+        assert!(store
+            .path_for(&spec)
+            .to_string_lossy()
+            .contains("cache/sim-"));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_entries_read_as_absent() {
+        let root = tmp_root("corrupt");
+        let store = ArtifactStore::new(&root);
+        let spec = JobSpec::sim("sg", ExperimentConfig::paper(2));
+        let path = store.path_for(&spec);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, "not a cache file").unwrap();
+        assert!(store.load(&spec).is_none());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn checked_envelope_round_trips() {
+        let report = RunReport {
+            cycles: 77,
+            ..RunReport::default()
+        };
+        let v = vec!["I3 @ cycle 9: echo mismatch".to_string()];
+        let d = vec!["thread 0: loads 5 != 6".to_string()];
+        let text = encode_checked(&v, &d, &report);
+        let (rv, rd, rr) = decode_checked(&text).expect("decodes");
+        assert_eq!(rv, v);
+        assert_eq!(rd, d);
+        assert_eq!(rr.cycles, 77);
+        assert!(decode_checked("garbage").is_none());
+        assert!(decode_checked(&text.replace("violations 1", "violations 2")).is_none());
+    }
+}

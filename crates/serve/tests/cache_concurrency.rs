@@ -1,0 +1,171 @@
+//! Concurrency stress for the shared artifact store: multiple `SimPool`s
+//! and an [`ArtifactStore`] hammering the same `results/` tree at once
+//! must never corrupt cache entries. Every write in that tree goes
+//! through atomic temp-file + rename, so readers see either nothing or a
+//! complete, decodable file — never a torn one.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use mac_serve::{ArtifactStore, JobSpec};
+use mac_sim::cachefmt;
+use mac_sim::engine::{SimPool, SimRequest};
+use mac_sim::experiment::ExperimentConfig;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mac-cache-stress-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn cfg(seed: u64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::paper(2);
+    cfg.workload.scale = 1;
+    cfg.workload.seed = seed;
+    cfg.max_cycles = 50_000_000;
+    cfg
+}
+
+/// Two independent pools (separate memo tables, shared disk cache) plus
+/// the serve-side store race on the same request set. Afterwards every
+/// cache file must decode, warm reads must be byte-identical across
+/// readers, and a third cold pool must serve everything from disk.
+#[test]
+fn concurrent_pools_and_store_share_one_cache_without_corruption() {
+    let root = scratch("pools");
+    let cache = root.join("cache");
+    let reqs: Arc<Vec<SimRequest>> = Arc::new(
+        (0..6)
+            .flat_map(|i| {
+                let c = cfg(900 + i);
+                ["gups", "stream"]
+                    .into_iter()
+                    .map(move |w| SimRequest::new(w, &c))
+            })
+            .collect(),
+    );
+
+    // Both pools race the full duplicate-heavy set concurrently. Each
+    // request appears in both pools, so nearly every disk write races a
+    // concurrent write or read of the same path.
+    let racers: Vec<_> = (0..2)
+        .map(|_| {
+            let cache = cache.clone();
+            let reqs = Arc::clone(&reqs);
+            std::thread::spawn(move || {
+                let pool = SimPool::new(4).with_cache(&cache);
+                pool.run_batch(&reqs)
+            })
+        })
+        .collect();
+    // Meanwhile the serve-side store reads and (re)writes the same tree.
+    let store = ArtifactStore::new(&root);
+    let store_specs: Vec<JobSpec> = (0..6).map(|i| JobSpec::sim("gups", cfg(900 + i))).collect();
+    for _ in 0..50 {
+        for spec in &store_specs {
+            if let Some(text) = store.load(spec) {
+                // A load must always be a complete, decodable payload.
+                assert!(
+                    cachefmt::decode_run(&text).is_some(),
+                    "store returned an undecodable payload for {}",
+                    spec.label()
+                );
+            }
+        }
+    }
+    let results: Vec<_> = racers
+        .into_iter()
+        .map(|t| t.join().expect("racer thread"))
+        .collect();
+
+    // The two pools agree on every report (deterministic simulator).
+    for (a, b) in results[0].iter().zip(&results[1]) {
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.hmc, b.hmc);
+    }
+
+    // Every cache file on disk decodes cleanly, and no temp litter
+    // survived the renames.
+    let mut files = 0;
+    for entry in std::fs::read_dir(&cache).expect("cache dir exists") {
+        let path = entry.expect("dir entry").path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(
+            !name.contains(".tmp."),
+            "leftover temp file {name} in shared cache"
+        );
+        if name.ends_with(".mrc") {
+            let text = std::fs::read_to_string(&path).expect("readable");
+            assert!(cachefmt::decode_run(&text).is_some(), "{name} is torn");
+            files += 1;
+        }
+    }
+    assert_eq!(files, reqs.len(), "every distinct request was cached");
+
+    // A cold pool reads everything warm, byte-identically with the store.
+    let cold = SimPool::new(2).with_cache(&cache);
+    let warm = cold.run_batch(&reqs);
+    assert_eq!(cold.sims_executed(), 0, "fully warm");
+    for (a, b) in results[0].iter().zip(&warm) {
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.soc, b.soc);
+    }
+    for spec in &store_specs {
+        let via_store = store.load(spec).expect("warm store read");
+        let direct = std::fs::read_to_string(store.path_for(spec)).expect("file read");
+        assert_eq!(via_store, direct, "store and raw reads agree byte-for-byte");
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Interleaved writers on one store path: last rename wins, and every
+/// intermediate read is complete. Exercises `atomic_write` under direct
+/// contention on a single key.
+#[test]
+fn contended_single_key_writes_stay_atomic() {
+    let root = scratch("single");
+    let store = Arc::new(ArtifactStore::new(&root));
+    let spec = JobSpec::sim("gups", cfg(4242));
+
+    // Seed one valid payload so readers always have something to find.
+    let pool = SimPool::new(1).with_cache(&store.cache_dir());
+    let report = pool
+        .run_batch(&[SimRequest::new("gups", &cfg(4242))])
+        .pop()
+        .expect("one report");
+
+    let writers: Vec<_> = (0..4)
+        .map(|_| {
+            let store = Arc::clone(&store);
+            let spec = spec.clone();
+            let report = report.clone();
+            std::thread::spawn(move || {
+                for _ in 0..100 {
+                    store.store_sim(&spec, &report).expect("write succeeds");
+                }
+            })
+        })
+        .collect();
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let store = Arc::clone(&store);
+            let spec = spec.clone();
+            std::thread::spawn(move || {
+                let mut seen = 0;
+                for _ in 0..200 {
+                    if let Some(text) = store.load(&spec) {
+                        assert!(cachefmt::decode_run(&text).is_some(), "torn read");
+                        seen += 1;
+                    }
+                }
+                seen
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().expect("writer");
+    }
+    let seen: usize = readers.into_iter().map(|r| r.join().expect("reader")).sum();
+    assert!(seen > 0, "readers observed the payload");
+    let _ = std::fs::remove_dir_all(&root);
+}

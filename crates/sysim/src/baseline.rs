@@ -166,6 +166,105 @@ pub fn collect(pool: &SimPool) -> Baseline {
     b
 }
 
+/// Wall-clock timing for one baseline entry, collected by
+/// [`collect_timed`] for the `BENCH_<date>.json` perf-trajectory file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchSample {
+    /// Baseline entry label (`stream/mac`, `sg/net2`, …).
+    pub label: String,
+    /// Wall-clock time for the entry, in microseconds.
+    pub micros: u64,
+    /// Whether the simulation actually executed (false = served from
+    /// cache/memo, so the timing says nothing about simulator speed).
+    pub executed: bool,
+}
+
+impl BenchSample {
+    /// Throughput in milli-simulations per second (0 when the entry was
+    /// not executed or ran too fast to time).
+    pub fn sims_per_sec_milli(&self) -> u64 {
+        if !self.executed || self.micros == 0 {
+            return 0;
+        }
+        1_000_000_000 / self.micros
+    }
+}
+
+/// Like [`collect`], but run the baseline entries one at a time and
+/// record per-entry wall-clock timings alongside the metrics. Used by
+/// `mac-bench baseline --check` to append the repo's perf trajectory;
+/// slower than [`collect`] (no cross-entry parallelism), which is the
+/// price of attributable timings.
+pub fn collect_timed(pool: &SimPool) -> (Baseline, Vec<BenchSample>) {
+    let cases = baseline_requests();
+    let mut b = Baseline::default();
+    let mut samples = Vec::with_capacity(cases.len());
+    let mut total_executed = 0;
+    let mut total_elapsed = std::time::Duration::ZERO;
+    for (label, req) in &cases {
+        let executed_before = pool.sims_executed();
+        let start = std::time::Instant::now();
+        let report = pool
+            .run_batch(std::slice::from_ref(req))
+            .pop()
+            .expect("one report per request");
+        let elapsed = start.elapsed();
+        let executed = pool.sims_executed() - executed_before;
+        b.entries.insert(label.clone(), key_metrics(&report));
+        samples.push(BenchSample {
+            label: label.clone(),
+            micros: elapsed.as_micros() as u64,
+            executed: executed > 0,
+        });
+        total_executed += executed;
+        total_elapsed += elapsed;
+    }
+    if total_executed > 0 && !total_elapsed.is_zero() {
+        b.sims_per_sec_milli =
+            Some((total_executed as f64 * 1000.0 / total_elapsed.as_secs_f64()) as u64);
+    }
+    (b, samples)
+}
+
+/// Render a `BENCH_<date>.json` perf-trajectory document: the date, the
+/// aggregate throughput, and one sims/sec figure per baseline entry that
+/// actually executed (cached entries report `"executed": false` and no
+/// throughput). Flat, hand-rendered JSON like the artifact exporter.
+pub fn encode_bench_json(date: &str, samples: &[BenchSample], total_milli: Option<u64>) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"format\": \"mac-bench v1\",");
+    let _ = writeln!(s, "  \"date\": \"{date}\",");
+    match total_milli {
+        Some(t) => {
+            let _ = writeln!(s, "  \"sims_per_sec\": {}.{:03},", t / 1000, t % 1000);
+        }
+        None => {
+            let _ = writeln!(s, "  \"sims_per_sec\": null,");
+        }
+    }
+    s.push_str("  \"entries\": [\n");
+    for (i, sample) in samples.iter().enumerate() {
+        let t = sample.sims_per_sec_milli();
+        let _ = write!(
+            s,
+            "    {{\"label\": \"{}\", \"executed\": {}, \"micros\": {}, \"sims_per_sec\": ",
+            sample.label, sample.executed, sample.micros
+        );
+        if sample.executed {
+            let _ = write!(s, "{}.{:03}", t / 1000, t % 1000);
+        } else {
+            s.push_str("null");
+        }
+        s.push('}');
+        if i + 1 < samples.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 impl Baseline {
     /// Serialize to the `MACB` text format (deterministic: entries and
     /// metrics are emitted in sorted order).
@@ -396,6 +495,33 @@ mod tests {
         let r = b.check(&cur);
         assert!(r.passed(), "machine speed never fails the check");
         assert_eq!(r.warnings.len(), 1);
+    }
+
+    #[test]
+    fn bench_json_renders_executed_and_cached_entries() {
+        let samples = vec![
+            BenchSample {
+                label: "stream/mac".into(),
+                micros: 2_000_000,
+                executed: true,
+            },
+            BenchSample {
+                label: "sg/net2".into(),
+                micros: 15,
+                executed: false,
+            },
+        ];
+        assert_eq!(samples[0].sims_per_sec_milli(), 500, "0.5 sims/s");
+        assert_eq!(samples[1].sims_per_sec_milli(), 0, "cached: no figure");
+        let json = encode_bench_json("2026-08-08", &samples, Some(500));
+        assert!(json.contains("\"date\": \"2026-08-08\""));
+        assert!(json.contains("\"sims_per_sec\": 0.500,"));
+        assert!(json.contains("\"label\": \"stream/mac\", \"executed\": true"));
+        assert!(json.contains("\"label\": \"sg/net2\", \"executed\": false"));
+        assert!(json.contains("\"sims_per_sec\": null}"));
+        let none = encode_bench_json("2026-08-08", &[], None);
+        assert!(none.contains("\"sims_per_sec\": null,"));
+        assert!(none.contains("\"entries\": [\n  ]"));
     }
 
     #[test]

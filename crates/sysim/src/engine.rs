@@ -72,6 +72,36 @@ pub const CACHE_FORMAT_VERSION: u32 = 3;
 /// Default metrics sampling interval in simulated cycles.
 pub const DEFAULT_METRICS_INTERVAL: u64 = 10_000;
 
+/// Monotonic discriminator for temp-file names, so concurrent writers in
+/// the same process never collide (cross-process uniqueness comes from
+/// the pid component).
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Write `contents` to `path` atomically: write a unique sibling temp
+/// file, then rename it into place. Concurrent writers of the same cache
+/// entry (two pools, or a pool and a `mac-serve` instance, sharing one
+/// `results/` tree) each land a complete file; readers never observe a
+/// torn or partially written entry. Content-addressed entries are
+/// byte-identical across writers, so last-rename-wins is harmless.
+pub fn atomic_write(path: &Path, contents: &str) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let tmp = path.with_extension(format!(
+        "tmp.{}.{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&tmp, contents)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
 /// One rendered result table: the unit the engine writes to disk as
 /// `<name>.txt` (aligned text), `<name>.csv`, and `<name>.json`.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -277,6 +307,8 @@ pub struct SimPool {
     executed: AtomicU64,
     disk_hits: AtomicU64,
     memo_hits: AtomicU64,
+    timeouts: AtomicU64,
+    timeout_labels: Mutex<Vec<String>>,
 }
 
 impl SimPool {
@@ -300,6 +332,8 @@ impl SimPool {
             executed: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             memo_hits: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            timeout_labels: Mutex::new(Vec::new()),
         }
     }
 
@@ -347,6 +381,20 @@ impl SimPool {
         self.memo_hits.load(Ordering::Relaxed)
     }
 
+    /// Requests whose simulation hit the configured cycle cap without
+    /// draining — the engine's definition of a *failed* simulation.
+    /// Counted per request (duplicates and cache hits included), so a
+    /// filtered run can report every failing entry.
+    pub fn sims_timed_out(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Labels (`<workload>-<fp16>`) of the requests counted by
+    /// [`SimPool::sims_timed_out`], in resolution order.
+    pub fn timeout_labels(&self) -> Vec<String> {
+        self.timeout_labels.lock().expect("labels poisoned").clone()
+    }
+
     fn sim_cache_path(&self, fp: u128) -> Option<PathBuf> {
         self.cache_dir
             .as_ref()
@@ -367,14 +415,11 @@ impl SimPool {
         let Some(path) = self.sim_cache_path(fp) else {
             return;
         };
-        if let Some(dir) = path.parent() {
-            let _ = std::fs::create_dir_all(dir);
-        }
         // Normalize: cache contents must not depend on whether this run
         // happened to be traced.
         let mut stored = report.clone();
         stored.trace = Default::default();
-        let _ = std::fs::write(path, crate::cachefmt::encode_run(&stored));
+        let _ = atomic_write(&path, &crate::cachefmt::encode_run(&stored));
     }
 
     fn execute(&self, req: &SimRequest, fp: u128) -> RunReport {
@@ -464,7 +509,7 @@ impl SimPool {
 
         // Fill duplicates of just-computed fingerprints.
         let memo = self.memo.lock().expect("memo poisoned");
-        results
+        let out: Vec<RunReport> = results
             .into_iter()
             .enumerate()
             .map(|(i, r)| {
@@ -477,7 +522,27 @@ impl SimPool {
                     hit
                 })
             })
-            .collect()
+            .collect();
+        drop(memo);
+
+        // A run that reaches its cycle cap did not drain: the report is a
+        // truncated measurement, which callers must treat as a failure.
+        // Checked here (after resolution) so cached and deduped requests
+        // are judged against *their* request's cap too.
+        for (req, report) in reqs.iter().zip(&out) {
+            if report.cycles >= req.cfg.max_cycles {
+                self.timeouts.fetch_add(1, Ordering::Relaxed);
+                self.timeout_labels
+                    .lock()
+                    .expect("labels poisoned")
+                    .push(format!(
+                        "{}-{:016x}",
+                        req.workload,
+                        req.fingerprint() as u64
+                    ));
+            }
+        }
+        out
     }
 
     /// Run every workload in `ws` under `cfg`, labelled by name.
@@ -597,6 +662,19 @@ pub struct ExperimentOutcome {
     pub from_artifact_cache: bool,
     /// Files written for this experiment (3 per artifact).
     pub written: Vec<PathBuf>,
+    /// Simulations in this entry's batches that hit their cycle cap
+    /// without draining. Non-zero means the entry's numbers are
+    /// truncated measurements: the run as a whole must fail.
+    pub sims_timed_out: u64,
+    /// Labels of the timed-out simulations (`<workload>-<fp16>`).
+    pub timeout_labels: Vec<String>,
+}
+
+impl ExperimentOutcome {
+    /// True when every simulation behind this entry ran to completion.
+    pub fn passed(&self) -> bool {
+        self.sims_timed_out == 0
+    }
 }
 
 /// Aggregate result of [`run_experiments`].
@@ -610,16 +688,34 @@ pub struct EngineRun {
     pub sims_from_disk: u64,
     /// Simulations served from the in-process memo table.
     pub sims_from_memo: u64,
+    /// Simulations that hit their cycle cap without draining, across the
+    /// whole run (sum of the per-outcome counts).
+    pub sims_timed_out: u64,
 }
 
-fn experiment_key(exp: &Experiment, opts: &EngineOptions) -> u128 {
+impl EngineRun {
+    /// True when no simulation anywhere in the run timed out.
+    pub fn passed(&self) -> bool {
+        self.sims_timed_out == 0
+    }
+}
+
+/// Content address of one manifest entry's rendered artifacts at a given
+/// workload scale — the name of the `exp-<hex>.art` cache entry. Public
+/// so `mac-serve` jobs that run manifest entries share the CLI's
+/// artifact cache.
+pub fn experiment_cache_key(name: &str, scale: u32) -> u128 {
     let mut h = Fnv128::new();
     h.write_str("mac-sim/experiment");
     h.write_u64(CACHE_FORMAT_VERSION as u64);
     h.write_u64(crate::cachefmt::ART_FORMAT_VERSION as u64);
-    h.write_str(exp.name);
-    h.write_u64(opts.scale as u64);
+    h.write_str(name);
+    h.write_u64(scale as u64);
     h.finish()
+}
+
+fn experiment_key(exp: &Experiment, opts: &EngineOptions) -> u128 {
+    experiment_cache_key(exp.name, opts.scale)
 }
 
 /// Run the given manifest entries and write their artifacts under
@@ -655,6 +751,8 @@ pub fn run_experiments(exps: &[Experiment], opts: &EngineOptions) -> std::io::Re
             None
         };
         let from_artifact_cache = cached.is_some();
+        let timeouts_before = pool.sims_timed_out();
+        let labels_before = pool.timeout_labels().len();
         let artifacts = match cached {
             Some(a) => a,
             None => {
@@ -664,14 +762,13 @@ pub fn run_experiments(exps: &[Experiment], opts: &EngineOptions) -> std::io::Re
                 };
                 let arts = catalog::execute(exp, &ctx);
                 if opts.use_cache {
-                    if let Some(dir) = art_path.parent() {
-                        let _ = std::fs::create_dir_all(dir);
-                    }
-                    let _ = std::fs::write(&art_path, crate::cachefmt::encode_artifacts(&arts));
+                    let _ = atomic_write(&art_path, &crate::cachefmt::encode_artifacts(&arts));
                 }
                 arts
             }
         };
+        let sims_timed_out = pool.sims_timed_out() - timeouts_before;
+        let timeout_labels = pool.timeout_labels().split_off(labels_before);
         let mut written = Vec::with_capacity(artifacts.len() * 3);
         for a in &artifacts {
             for (ext, body) in [("txt", a.text()), ("csv", a.csv()), ("json", a.json())] {
@@ -685,6 +782,8 @@ pub fn run_experiments(exps: &[Experiment], opts: &EngineOptions) -> std::io::Re
             artifacts,
             from_artifact_cache,
             written,
+            sims_timed_out,
+            timeout_labels,
         });
     }
     Ok(EngineRun {
@@ -692,6 +791,7 @@ pub fn run_experiments(exps: &[Experiment], opts: &EngineOptions) -> std::io::Re
         sims_executed: pool.sims_executed(),
         sims_from_disk: pool.disk_cache_hits(),
         sims_from_memo: pool.memo_hits(),
+        sims_timed_out: pool.sims_timed_out(),
     })
 }
 
@@ -739,6 +839,41 @@ mod tests {
         assert!(a.csv().contains("\"x,y\",1"));
         assert!(a.json().contains("\"name\": \"x,y\""));
         assert!(a.json().contains("Demo, with commas"));
+    }
+
+    #[test]
+    fn cycle_cap_hits_are_counted_as_timeouts() {
+        let pool = SimPool::new(1);
+        let mut cfg = ExperimentConfig::paper(2);
+        cfg.workload.scale = 1;
+        cfg.max_cycles = 100; // far too few cycles to drain: a timeout
+        let reports = pool.run_batch(&[SimRequest::new("sg", &cfg)]);
+        assert!(reports[0].cycles >= cfg.max_cycles);
+        assert_eq!(pool.sims_timed_out(), 1);
+        let labels = pool.timeout_labels();
+        assert_eq!(labels.len(), 1);
+        assert!(labels[0].starts_with("sg-"), "{labels:?}");
+        // The same request served from the memo counts again.
+        pool.run_batch(&[SimRequest::new("sg", &cfg)]);
+        assert_eq!(pool.sims_timed_out(), 2);
+    }
+
+    #[test]
+    fn atomic_write_lands_complete_files() {
+        let dir = std::env::temp_dir().join(format!("mac-aw-{}", std::process::id()));
+        let path = dir.join("nested").join("entry.mrc");
+        atomic_write(&path, "hello\n").expect("writes");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "hello\n");
+        atomic_write(&path, "replaced\n").expect("replaces");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "replaced\n");
+        // No temp droppings left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains("tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::report::RunReport;
 use crate::system::SystemSim;
 
 /// How to run one experiment.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentConfig {
     /// The system under test.
     pub system: SystemConfig,

@@ -1,0 +1,98 @@
+//! Job identifiers for the simulation-as-a-service layer (`mac-serve`).
+//!
+//! A job's identity *is* its content address: the same 128-bit
+//! [fingerprint](crate::fingerprint) the result cache is keyed by. Two
+//! clients submitting byte-equivalent work therefore ask for the same
+//! [`JobId`], which is what lets the server dedupe submissions in flight
+//! and serve warm results from the shared artifact store without any
+//! coordination protocol between clients.
+//!
+//! The wire/text form is the same fixed-width lowercase hex used by the
+//! cache file names (`sim-<32 hex>.mrc`), so a job id can be grepped
+//! straight from `results/`.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A content-addressed job identifier: a 128-bit configuration
+/// fingerprint rendered as 32 lowercase hex digits.
+///
+/// ```
+/// use mac_types::JobId;
+///
+/// let id = JobId::from(0xdeadbeefu128);
+/// let text = id.to_string();
+/// assert_eq!(text.len(), 32);
+/// assert_eq!(text.parse::<JobId>().unwrap(), id);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(u128);
+
+impl JobId {
+    /// The raw 128-bit fingerprint.
+    pub fn as_u128(self) -> u128 {
+        self.0
+    }
+}
+
+impl From<u128> for JobId {
+    fn from(fp: u128) -> Self {
+        JobId(fp)
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Why a [`JobId`] failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseJobIdError;
+
+impl fmt::Display for ParseJobIdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job id must be exactly 32 lowercase hex digits")
+    }
+}
+
+impl std::error::Error for ParseJobIdError {}
+
+impl FromStr for JobId {
+    type Err = ParseJobIdError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(ParseJobIdError);
+        }
+        u128::from_str_radix(s, 16)
+            .map(JobId)
+            .map_err(|_| ParseJobIdError)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_is_fixed_width() {
+        for fp in [0u128, 1, u128::MAX, 0xdead_beef_cafe] {
+            let id = JobId::from(fp);
+            let text = id.to_string();
+            assert_eq!(text.len(), 32);
+            assert_eq!(text.parse::<JobId>().unwrap(), id);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_ids() {
+        assert!("".parse::<JobId>().is_err());
+        assert!("abc".parse::<JobId>().is_err());
+        assert!("zz000000000000000000000000000000".parse::<JobId>().is_err());
+        assert!("0123456789abcdef0123456789abcdef0"
+            .parse::<JobId>()
+            .is_err());
+    }
+}
