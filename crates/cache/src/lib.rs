@@ -17,6 +17,8 @@
 //!    transaction is one fixed-size line. The `mac-bench` ablations
 //!    compare it against the MAC's adaptive 64–256 B packets.
 
+#![warn(missing_docs)]
+
 pub mod cache;
 pub mod mshr;
 

@@ -17,6 +17,12 @@ use crate::flit_table::FlitTable;
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct Stage1 {
     entry: GroupEntry,
+    /// The OR-reduce result, computed once at latch time. The entry's
+    /// FLIT map is frozen the moment it leaves the ARQ, so the mask is a
+    /// pure function of the latch contents; computing it at `push`
+    /// batches the reduction instead of re-deriving it on the s1→s2
+    /// move.
+    mask: ChunkMask,
     ready_at: Cycle,
 }
 
@@ -69,10 +75,27 @@ impl RequestBuilder {
         self.tracer.emit(now, || TraceEvent::BuilderStage1 {
             entry: entry.entry_id as u32,
         });
+        let mask = entry.flit_map.chunk_mask();
         self.s1 = Some(Stage1 {
             entry,
+            mask,
             ready_at: now + self.s1_latency,
         });
+    }
+
+    /// Earliest cycle at which [`RequestBuilder::tick`] could change
+    /// state (a latch completing or an emit), or `None` when both stages
+    /// are empty. When stage 1 is blocked behind an occupied stage 2 the
+    /// true next change is stage 2's emit; the value returned is always a
+    /// conservative lower bound on it.
+    pub fn next_ready(&self) -> Option<Cycle> {
+        match (&self.s1, &self.s2) {
+            (None, None) => None,
+            (Some(s1), None) => Some(s1.ready_at),
+            (None, Some(s2)) => Some(s2.ready_at),
+            // Stage 1 cannot move until stage 2 emits.
+            (Some(_), Some(s2)) => Some(s2.ready_at),
+        }
     }
 
     /// Advance the pipeline one cycle; returns any transactions completed
@@ -92,8 +115,9 @@ impl RequestBuilder {
             if let Some(s1) = &self.s1 {
                 if s1.ready_at <= now {
                     let s1 = self.s1.take().expect("checked above");
-                    // Stage 1's combinational result: the OR-reduce.
-                    let mask = s1.entry.flit_map.chunk_mask();
+                    // Stage 1's combinational result: the OR-reduce,
+                    // computed once when the entry was latched.
+                    let mask = s1.mask;
                     let entry = s1.entry.entry_id as u32;
                     self.tracer.emit(now, || TraceEvent::BuilderStage2 {
                         entry,

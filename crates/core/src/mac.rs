@@ -199,6 +199,23 @@ impl Mac {
         events
     }
 
+    /// Earliest cycle `>= now` at which [`Mac::tick`] could change state:
+    /// a queued atomic dispatches, the builder pipeline latches or emits,
+    /// or the ARQ's pop-rate window opens with entries waiting. `None`
+    /// means the MAC is fully drained — ticking it is a no-op until a new
+    /// request is accepted.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if !self.direct.is_empty() {
+            return Some(now);
+        }
+        let mut next = self.builder.next_ready();
+        if !self.arq.is_empty() {
+            let at = self.next_pop.max(now);
+            next = Some(next.map_or(at, |n| n.min(at)));
+        }
+        next.map(|t| t.max(now))
+    }
+
     /// Emit the dispatch trace event for a transaction leaving the MAC.
     fn emit_dispatch(&self, req: &HmcRequest, provenance: Provenance, now: Cycle) {
         self.tracer.emit(now, || TraceEvent::Dispatch {

@@ -39,81 +39,137 @@ impl std::fmt::Display for Reg {
 /// Width of a memory access in bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Width {
+    /// Byte.
     B = 1,
+    /// Half-word (16-bit).
     H = 2,
+    /// Word (32-bit).
     W = 4,
+    /// Double-word (64-bit).
     D = 8,
 }
 
 /// Register-register ALU operations (OP / OP-32 / M extension).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AluOp {
+    /// `add` — wrapping addition.
     Add,
+    /// `sub` — wrapping subtraction.
     Sub,
+    /// `sll` — shift left logical.
     Sll,
+    /// `slt` — set if less than (signed).
     Slt,
+    /// `sltu` — set if less than (unsigned).
     Sltu,
+    /// `xor`.
     Xor,
+    /// `srl` — shift right logical.
     Srl,
+    /// `sra` — shift right arithmetic.
     Sra,
+    /// `or`.
     Or,
+    /// `and`.
     And,
+    /// `addw` — 32-bit add, sign-extended.
     Addw,
+    /// `subw` — 32-bit subtract, sign-extended.
     Subw,
+    /// `sllw` — 32-bit shift left.
     Sllw,
+    /// `srlw` — 32-bit shift right logical.
     Srlw,
+    /// `sraw` — 32-bit shift right arithmetic.
     Sraw,
+    /// `mul` — low 64 bits of the product.
     Mul,
+    /// `mulh` — high bits, signed × signed.
     Mulh,
+    /// `mulhsu` — high bits, signed × unsigned.
     Mulhsu,
+    /// `mulhu` — high bits, unsigned × unsigned.
     Mulhu,
+    /// `div` — signed division.
     Div,
+    /// `divu` — unsigned division.
     Divu,
+    /// `rem` — signed remainder.
     Rem,
+    /// `remu` — unsigned remainder.
     Remu,
+    /// `mulw` — 32-bit multiply, sign-extended.
     Mulw,
+    /// `divw` — 32-bit signed division.
     Divw,
+    /// `divuw` — 32-bit unsigned division.
     Divuw,
+    /// `remw` — 32-bit signed remainder.
     Remw,
+    /// `remuw` — 32-bit unsigned remainder.
     Remuw,
 }
 
 /// Register-immediate ALU operations (OP-IMM / OP-IMM-32).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AluImmOp {
+    /// `addi`.
     Addi,
+    /// `slti` — set if less than immediate (signed).
     Slti,
+    /// `sltiu` — set if less than immediate (unsigned).
     Sltiu,
+    /// `xori`.
     Xori,
+    /// `ori`.
     Ori,
+    /// `andi`.
     Andi,
+    /// `slli` — shift left by immediate.
     Slli,
+    /// `srli` — logical shift right by immediate.
     Srli,
+    /// `srai` — arithmetic shift right by immediate.
     Srai,
+    /// `addiw` — 32-bit add immediate, sign-extended.
     Addiw,
+    /// `slliw` — 32-bit shift left.
     Slliw,
+    /// `srliw` — 32-bit logical shift right.
     Srliw,
+    /// `sraiw` — 32-bit arithmetic shift right.
     Sraiw,
 }
 
 /// Branch conditions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BranchOp {
+    /// `beq` — equal.
     Eq,
+    /// `bne` — not equal.
     Ne,
+    /// `blt` — less than (signed).
     Lt,
+    /// `bge` — greater or equal (signed).
     Ge,
+    /// `bltu` — less than (unsigned).
     Ltu,
+    /// `bgeu` — greater or equal (unsigned).
     Geu,
 }
 
 /// Atomic memory operations (A extension subset).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AmoOp {
+    /// `amoswap` — exchange.
     Swap,
+    /// `amoadd` — fetch-and-add.
     Add,
+    /// `amoxor` — fetch-and-xor.
     Xor,
+    /// `amoand` — fetch-and-and.
     And,
+    /// `amoor` — fetch-and-or.
     Or,
 }
 
@@ -121,47 +177,90 @@ pub enum AmoOp {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Instruction {
     /// `lui rd, imm20`
-    Lui { rd: Reg, imm: i64 },
+    Lui {
+        /// Destination register.
+        rd: Reg,
+        /// Immediate operand.
+        imm: i64,
+    },
     /// `auipc rd, imm20`
-    Auipc { rd: Reg, imm: i64 },
+    Auipc {
+        /// Destination register.
+        rd: Reg,
+        /// Immediate operand.
+        imm: i64,
+    },
     /// `jal rd, offset`
-    Jal { rd: Reg, offset: i64 },
+    Jal {
+        /// Destination register.
+        rd: Reg,
+        /// Byte offset (branch/jump target or memory displacement).
+        offset: i64,
+    },
     /// `jalr rd, rs1, offset`
-    Jalr { rd: Reg, rs1: Reg, offset: i64 },
+    Jalr {
+        /// Destination register.
+        rd: Reg,
+        /// First source register (base address for memory forms).
+        rs1: Reg,
+        /// Byte offset (branch/jump target or memory displacement).
+        offset: i64,
+    },
     /// Conditional branch.
     Branch {
+        /// Operation selector.
         op: BranchOp,
+        /// First source register (base address for memory forms).
         rs1: Reg,
+        /// Second source register (store/AMO data).
         rs2: Reg,
+        /// Byte offset (branch/jump target or memory displacement).
         offset: i64,
     },
     /// Load from memory; `signed` distinguishes LB/LBU etc.
     Load {
+        /// Destination register.
         rd: Reg,
+        /// First source register (base address for memory forms).
         rs1: Reg,
+        /// Byte offset (branch/jump target or memory displacement).
         offset: i64,
+        /// Access width.
         width: Width,
+        /// Sign-extend the loaded value (LB/LH/LW vs LBU/LHU/LWU).
         signed: bool,
     },
     /// Store to memory.
     Store {
+        /// First source register (base address for memory forms).
         rs1: Reg,
+        /// Second source register (store/AMO data).
         rs2: Reg,
+        /// Byte offset (branch/jump target or memory displacement).
         offset: i64,
+        /// Access width.
         width: Width,
     },
     /// Register-immediate ALU.
     AluImm {
+        /// Operation selector.
         op: AluImmOp,
+        /// Destination register.
         rd: Reg,
+        /// First source register (base address for memory forms).
         rs1: Reg,
+        /// Immediate operand.
         imm: i64,
     },
     /// Register-register ALU.
     Alu {
+        /// Operation selector.
         op: AluOp,
+        /// Destination register.
         rd: Reg,
+        /// First source register (base address for memory forms).
         rs1: Reg,
+        /// Second source register (store/AMO data).
         rs2: Reg,
     },
     /// Memory fence.
@@ -169,29 +268,59 @@ pub enum Instruction {
     /// Environment call — halts the hart in this simulator.
     Ecall,
     /// `lr.w/.d rd, (rs1)`
-    LoadReserved { rd: Reg, rs1: Reg, width: Width },
+    LoadReserved {
+        /// Destination register.
+        rd: Reg,
+        /// First source register (base address for memory forms).
+        rs1: Reg,
+        /// Access width.
+        width: Width,
+    },
     /// `sc.w/.d rd, rs2, (rs1)`
     StoreConditional {
+        /// Destination register.
         rd: Reg,
+        /// First source register (base address for memory forms).
         rs1: Reg,
+        /// Second source register (store/AMO data).
         rs2: Reg,
+        /// Access width.
         width: Width,
     },
     /// `amoOP.w/.d rd, rs2, (rs1)`
     Amo {
+        /// Operation selector.
         op: AmoOp,
+        /// Destination register.
         rd: Reg,
+        /// First source register (base address for memory forms).
         rs1: Reg,
+        /// Second source register (store/AMO data).
         rs2: Reg,
+        /// Access width.
         width: Width,
     },
     /// Custom-0: `spm.fetch rd, rs1, imm` — copy `imm` bytes from main
     /// memory at `[rs1]` into the scratchpad at `[rd]` (paper §5.1's SPM
     /// prefetch extension).
-    SpmFetch { rd: Reg, rs1: Reg, imm: i64 },
+    SpmFetch {
+        /// Destination register.
+        rd: Reg,
+        /// First source register (base address for memory forms).
+        rs1: Reg,
+        /// Immediate operand.
+        imm: i64,
+    },
     /// Custom-0: `spm.flush rd, rs1, imm` — copy `imm` bytes from the
     /// scratchpad at `[rs1]` back to main memory at `[rd]` (write-back).
-    SpmFlush { rd: Reg, rs1: Reg, imm: i64 },
+    SpmFlush {
+        /// Destination register.
+        rd: Reg,
+        /// First source register (base address for memory forms).
+        rs1: Reg,
+        /// Immediate operand.
+        imm: i64,
+    },
 }
 
 #[cfg(test)]

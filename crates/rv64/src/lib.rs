@@ -23,6 +23,8 @@
 //! The `soc-sim` crate schedules several harts and turns their events into
 //! raw requests for the MAC.
 
+#![warn(missing_docs)]
+
 pub mod asm;
 pub mod cpu;
 pub mod decode;

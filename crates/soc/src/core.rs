@@ -176,6 +176,40 @@ impl Core {
         }
     }
 
+    /// Earliest cycle `>= now` at which [`Core::tick`] could change any
+    /// state (issue, start a context switch, retire a `Done` marker).
+    ///
+    /// `None` means the core is quiescent: every thread is finished or
+    /// blocked on an *external* event (a memory completion or fence
+    /// retirement), so ticking it before that event arrives is a no-op.
+    /// The returned cycle is a conservative lower bound — reporting too
+    /// early is harmless (the run loop just ticks a no-op cycle),
+    /// reporting too late would skip real work and is never done here.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if self.threads.is_empty() {
+            return None;
+        }
+        // Mid-context-switch: nothing can happen before the switch ends.
+        if now < self.switch_busy_until {
+            return Some(self.switch_busy_until);
+        }
+        let mut next: Option<Cycle> = None;
+        for t in &self.threads {
+            if t.done || t.fence_pending {
+                continue; // needs complete_fence (or is finished)
+            }
+            if t.held.is_none() && t.outstanding >= self.max_outstanding {
+                continue; // needs complete_mem to free a slot
+            }
+            let at = t.busy_until.max(now);
+            next = Some(next.map_or(at, |n| n.min(at)));
+            if at == now {
+                break; // cannot get earlier
+            }
+        }
+        next
+    }
+
     /// A memory completion arrived for thread `tid`.
     pub fn complete_mem(&mut self, tid: u16) {
         if let Some(t) = self.threads.iter_mut().find(|t| t.tid == tid) {

@@ -18,6 +18,8 @@
 //! * [`metrics`] — IPC / RPI / memory-access-rate accounting and the
 //!   Eq. 2 requests-per-cycle (RPC) computation behind Figure 9.
 
+#![warn(missing_docs)]
+
 pub mod core;
 pub mod metrics;
 pub mod node;

@@ -124,6 +124,23 @@ impl Node {
         self.metrics.cycles = now + 1;
     }
 
+    /// Earliest cycle `>= now` at which any core could change state (see
+    /// [`Core::next_event`]); `None` when every core is quiescent until
+    /// an external completion arrives.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        self.cores.iter().filter_map(|c| c.next_event(now)).min()
+    }
+
+    /// Bring the cycle counter up to `now` without ticking, exactly as
+    /// the skipped no-op ticks of an idle span would have (each tick at
+    /// cycle `c` sets the counter to `c + 1`). The event-driven run
+    /// loop calls this when it advances time past ticks it proved
+    /// redundant, so reports and metrics samples stay byte-identical to
+    /// stepped mode even on cap-truncated or sampled runs.
+    pub fn sync_cycles(&mut self, now: Cycle) {
+        self.metrics.cycles = now;
+    }
+
     /// A raw request completed (response data arrived).
     pub fn complete(&mut self, id: TransactionId, now: Cycle) {
         if let Some(tid) = self.pending.remove(&id) {

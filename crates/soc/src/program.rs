@@ -17,7 +17,12 @@ pub enum ThreadOp {
     /// One scratchpad access (node-local; costs the SPM latency).
     Spm,
     /// One main-memory operation at FLIT granularity.
-    Mem { addr: PhysAddr, kind: MemOpKind },
+    Mem {
+        /// Physical address of the access (FLIT-aligned by the core).
+        addr: PhysAddr,
+        /// Load or store.
+        kind: MemOpKind,
+    },
     /// The thread has finished its program.
     Done,
 }

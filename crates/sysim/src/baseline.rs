@@ -122,6 +122,30 @@ pub fn baseline_requests() -> Vec<(String, SimRequest)> {
         .system
         .with_net(2, NetTopology::DaisyChain, MacPlacement::HostOnly);
     out.push(("sg/net2".to_string(), SimRequest::new("sg", &net)));
+
+    for (w, req) in latency_requests() {
+        out.push((format!("{w}/lat1"), req));
+    }
+    out
+}
+
+/// Idle-heavy latency-bound entries: one hardware thread with a single
+/// outstanding access allowed, so the core spends almost every cycle
+/// stalled on memory. These are the configurations where the
+/// event-driven loop (DESIGN.md §14) pays off — the stepped loop burns
+/// a tick per stalled cycle while the fast path jumps straight to the
+/// device's next completion — so their timings anchor the sims/sec
+/// trajectory in `BENCH_<date>.json`.
+pub fn latency_requests() -> Vec<(&'static str, SimRequest)> {
+    let mut lat = ExperimentConfig::paper(1);
+    lat.workload.scale = 1;
+    lat.max_cycles = 50_000_000;
+    lat.system.soc.max_outstanding_per_thread = 1;
+    let mut out = Vec::new();
+    for w in mac_workloads::micro::calibration_workloads() {
+        out.push((w.name(), SimRequest::new(w.name(), &lat)));
+    }
+    out.push(("sg", SimRequest::new("sg", &lat)));
     out
 }
 
@@ -177,6 +201,17 @@ pub struct BenchSample {
     /// Whether the simulation actually executed (false = served from
     /// cache/memo, so the timing says nothing about simulator speed).
     pub executed: bool,
+    /// Wall-clock time for the same entry under the cycle-stepped
+    /// reference loop, when a `--stepped-ref` run measured one. The
+    /// event-driven/stepped ratio is the fast path's speedup on this
+    /// entry.
+    pub stepped_micros: Option<u64>,
+    /// Wall-clock time for the event-driven loop timed the same way as
+    /// the stepped reference — directly, bypassing the pool and its
+    /// dispatch overhead — so [`BenchSample::speedup_milli`] compares
+    /// like with like. `micros` (through the pool) remains the
+    /// trajectory figure.
+    pub direct_micros: Option<u64>,
 }
 
 impl BenchSample {
@@ -188,6 +223,24 @@ impl BenchSample {
         }
         1_000_000_000 / self.micros
     }
+
+    /// Reference-loop throughput in milli-simulations per second, when
+    /// measured.
+    pub fn stepped_sims_per_sec_milli(&self) -> Option<u64> {
+        match self.stepped_micros {
+            Some(us) if us > 0 => Some(1_000_000_000 / us),
+            _ => None,
+        }
+    }
+
+    /// Event-driven speedup over the stepped reference in milli-units
+    /// (`5000` = 5x), when both direct timings exist.
+    pub fn speedup_milli(&self) -> Option<u64> {
+        match (self.stepped_micros, self.direct_micros) {
+            (Some(st), Some(us)) if us > 0 => Some(st.saturating_mul(1000) / us),
+            _ => None,
+        }
+    }
 }
 
 /// Like [`collect`], but run the baseline entries one at a time and
@@ -196,6 +249,19 @@ impl BenchSample {
 /// slower than [`collect`] (no cross-entry parallelism), which is the
 /// price of attributable timings.
 pub fn collect_timed(pool: &SimPool) -> (Baseline, Vec<BenchSample>) {
+    collect_timed_with_reference(pool, false)
+}
+
+/// [`collect_timed`], optionally re-running every entry a second time
+/// under the cycle-stepped reference loop (`stepped_ref = true`) so the
+/// `BENCH_<date>.json` file records the event-driven speedup per entry.
+/// The stepped pass bypasses the pool (its cache would hide the work)
+/// and its report is asserted identical to the pooled one — the bench
+/// doubles as an end-to-end equivalence check.
+pub fn collect_timed_with_reference(
+    pool: &SimPool,
+    stepped_ref: bool,
+) -> (Baseline, Vec<BenchSample>) {
     let cases = baseline_requests();
     let mut b = Baseline::default();
     let mut samples = Vec::with_capacity(cases.len());
@@ -210,11 +276,43 @@ pub fn collect_timed(pool: &SimPool) -> (Baseline, Vec<BenchSample>) {
             .expect("one report per request");
         let elapsed = start.elapsed();
         let executed = pool.sims_executed() - executed_before;
+        let (stepped_micros, direct_micros) = if stepped_ref {
+            let w = mac_workloads::by_name(&req.workload).expect("baseline workload registered");
+            let start = std::time::Instant::now();
+            let stepped = crate::experiment::run_workload_stepped(
+                w.as_ref(),
+                &req.cfg,
+                None,
+                mac_metrics::MetricsHub::disabled(),
+            );
+            let stepped_micros = start.elapsed().as_micros() as u64;
+            assert_eq!(
+                stepped, report,
+                "{label}: stepped reference diverged from event-driven report"
+            );
+            let start = std::time::Instant::now();
+            let event = crate::experiment::run_workload_instrumented(
+                w.as_ref(),
+                &req.cfg,
+                None,
+                mac_metrics::MetricsHub::disabled(),
+            );
+            let direct_micros = start.elapsed().as_micros() as u64;
+            assert_eq!(
+                event, report,
+                "{label}: direct event-driven run diverged from pooled report"
+            );
+            (Some(stepped_micros), Some(direct_micros))
+        } else {
+            (None, None)
+        };
         b.entries.insert(label.clone(), key_metrics(&report));
         samples.push(BenchSample {
             label: label.clone(),
             micros: elapsed.as_micros() as u64,
             executed: executed > 0,
+            stepped_micros,
+            direct_micros,
         });
         total_executed += executed;
         total_elapsed += elapsed;
@@ -255,6 +353,17 @@ pub fn encode_bench_json(date: &str, samples: &[BenchSample], total_milli: Optio
         } else {
             s.push_str("null");
         }
+        if let Some(st) = sample.stepped_sims_per_sec_milli() {
+            let _ = write!(
+                s,
+                ", \"stepped_sims_per_sec\": {}.{:03}",
+                st / 1000,
+                st % 1000
+            );
+        }
+        if let Some(x) = sample.speedup_milli() {
+            let _ = write!(s, ", \"speedup\": {}.{:03}", x / 1000, x % 1000);
+        }
         s.push('}');
         if i + 1 < samples.len() {
             s.push(',');
@@ -263,6 +372,99 @@ pub fn encode_bench_json(date: &str, samples: &[BenchSample], total_milli: Optio
     }
     s.push_str("  ]\n}\n");
     s
+}
+
+/// Parse one `"key": 12.345` milli-unit figure out of an entry line.
+/// Returns `None` when the key is absent or explicitly `null`.
+fn parse_milli_field(line: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\": ");
+    let rest = &line[line.find(&needle)? + needle.len()..];
+    if rest.starts_with("null") {
+        return None;
+    }
+    let num: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.')
+        .collect();
+    let (whole, frac) = num.split_once('.')?;
+    let whole: u64 = whole.parse().ok()?;
+    let frac: u64 = format!("{frac:0<3}").get(..3)?.parse().ok()?;
+    Some(whole * 1000 + frac)
+}
+
+/// Decode a `BENCH_<date>.json` perf-trajectory file back into
+/// per-entry throughput figures: `label -> milli-sims/sec` (`None` when
+/// the entry was served from cache and carries no figure). The parser
+/// accepts exactly what [`encode_bench_json`] emits — one entry object
+/// per line — which is all the trajectory gate ever reads.
+pub fn decode_bench_json(text: &str) -> Result<BTreeMap<String, Option<u64>>, String> {
+    if !text.contains("\"format\": \"mac-bench v1\"") {
+        return Err("not a mac-bench v1 file".to_string());
+    }
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.starts_with("{\"label\": \"") {
+            continue;
+        }
+        let label = line["{\"label\": \"".len()..]
+            .split('"')
+            .next()
+            .ok_or_else(|| format!("unterminated label: `{line}`"))?
+            .to_string();
+        out.insert(label, parse_milli_field(line, "sims_per_sec"));
+    }
+    Ok(out)
+}
+
+/// The outcome of a trajectory comparison: one human-readable delta per
+/// entry measured in both runs, with >30% throughput drops split out as
+/// regressions (the `[PERF-REGRESSION]` CI gate).
+#[derive(Debug, Clone, Default)]
+pub struct TrajectoryReport {
+    /// Per-entry delta lines for entries with figures in both runs.
+    pub deltas: Vec<String>,
+    /// Entries whose throughput dropped by more than 30%.
+    pub regressions: Vec<String>,
+}
+
+/// Maximum tolerated per-entry throughput drop vs the previous
+/// trajectory point, in milli-units (300 = 30%). Generous on purpose:
+/// CI machines differ in speed, and the gate must only catch real
+/// simulator slowdowns, not scheduler noise.
+pub const TRAJECTORY_TOLERANCE_MILLI: u64 = 300;
+
+/// Compare a fresh run's samples against the previous trajectory
+/// point's per-entry figures (from [`decode_bench_json`]). Entries
+/// missing from either side are skipped — the trajectory gates drift on
+/// common entries, not set membership (the MACB baseline already gates
+/// that).
+pub fn compare_trajectory(
+    prev: &BTreeMap<String, Option<u64>>,
+    samples: &[BenchSample],
+) -> TrajectoryReport {
+    let mut out = TrajectoryReport::default();
+    for s in samples {
+        let cur = s.sims_per_sec_milli();
+        let Some(Some(before)) = prev.get(&s.label) else {
+            continue;
+        };
+        if cur == 0 || *before == 0 {
+            continue;
+        }
+        let delta_pct = (cur as f64 - *before as f64) * 100.0 / *before as f64;
+        let line = format!(
+            "{}: {:.3} -> {:.3} sims/s ({delta_pct:+.1}%)",
+            s.label,
+            *before as f64 / 1000.0,
+            cur as f64 / 1000.0
+        );
+        if cur.saturating_mul(1000) < before.saturating_mul(1000 - TRAJECTORY_TOLERANCE_MILLI) {
+            out.regressions.push(line.clone());
+        }
+        out.deltas.push(line);
+    }
+    out
 }
 
 impl Baseline {
@@ -504,11 +706,15 @@ mod tests {
                 label: "stream/mac".into(),
                 micros: 2_000_000,
                 executed: true,
+                stepped_micros: None,
+                direct_micros: None,
             },
             BenchSample {
                 label: "sg/net2".into(),
                 micros: 15,
                 executed: false,
+                stepped_micros: None,
+                direct_micros: None,
             },
         ];
         assert_eq!(samples[0].sims_per_sec_milli(), 500, "0.5 sims/s");
@@ -525,12 +731,89 @@ mod tests {
     }
 
     #[test]
+    fn bench_json_stepped_reference_fields() {
+        let s = BenchSample {
+            label: "stream/lat1".into(),
+            micros: 100,
+            executed: true,
+            stepped_micros: Some(3_400),
+            direct_micros: Some(100),
+        };
+        assert_eq!(s.stepped_sims_per_sec_milli(), Some(294_117));
+        assert_eq!(s.speedup_milli(), Some(34_000), "34x");
+        let json = encode_bench_json("2026-08-08", &[s], Some(500));
+        assert!(json.contains("\"stepped_sims_per_sec\": 294.117"));
+        assert!(json.contains("\"speedup\": 34.000"));
+    }
+
+    #[test]
+    fn bench_json_round_trips_through_decoder() {
+        let samples = vec![
+            BenchSample {
+                label: "stream/mac".into(),
+                micros: 116_320,
+                executed: true,
+                stepped_micros: Some(130_000),
+                direct_micros: Some(116_320),
+            },
+            BenchSample {
+                label: "sg/net2".into(),
+                micros: 15,
+                executed: false,
+                stepped_micros: None,
+                direct_micros: None,
+            },
+        ];
+        let json = encode_bench_json("2026-08-08", &samples, Some(500));
+        let back = decode_bench_json(&json).expect("decodes");
+        assert_eq!(back.len(), 2);
+        assert_eq!(back["stream/mac"], Some(samples[0].sims_per_sec_milli()));
+        assert_eq!(back["sg/net2"], None, "cached entry has no figure");
+        assert!(decode_bench_json("{}").is_err(), "format line required");
+    }
+
+    #[test]
+    fn trajectory_flags_only_big_drops() {
+        let mut prev = BTreeMap::new();
+        prev.insert("a".to_string(), Some(10_000u64)); // 10 sims/s
+        prev.insert("b".to_string(), Some(10_000));
+        prev.insert("cached".to_string(), None);
+        let mk = |label: &str, micros: u64| BenchSample {
+            label: label.into(),
+            micros,
+            executed: true,
+            stepped_micros: None,
+            direct_micros: None,
+        };
+        let samples = vec![
+            mk("a", 125_000),  // 8 sims/s: -20%, tolerated
+            mk("b", 200_000),  // 5 sims/s: -50%, regression
+            mk("cached", 100), // no previous figure: skipped
+            mk("new", 100),    // not in previous file: skipped
+        ];
+        let r = compare_trajectory(&prev, &samples);
+        assert_eq!(r.deltas.len(), 2, "{:?}", r.deltas);
+        assert_eq!(r.regressions.len(), 1, "{:?}", r.regressions);
+        assert!(r.regressions[0].starts_with("b:"), "{:?}", r.regressions);
+        assert!(r.regressions[0].contains("-50.0%"), "{:?}", r.regressions);
+    }
+
+    #[test]
     fn baseline_requests_cover_pairs_and_net() {
         let cases = baseline_requests();
         assert!(cases.len() >= 3);
         assert!(cases.iter().any(|(l, _)| l.ends_with("/mac")));
         assert!(cases.iter().any(|(l, _)| l.ends_with("/nomac")));
         assert!(cases.iter().any(|(l, _)| l == "sg/net2"));
+        // The idle-heavy latency entries that anchor the perf
+        // trajectory: one thread, one outstanding access.
+        let lat: Vec<&(String, SimRequest)> =
+            cases.iter().filter(|(l, _)| l.ends_with("/lat1")).collect();
+        assert!(lat.len() >= 3, "need three idle-heavy entries");
+        for (_, req) in lat {
+            assert_eq!(req.cfg.workload.threads, 1);
+            assert_eq!(req.cfg.system.soc.max_outstanding_per_thread, 1);
+        }
         // Labels are unique.
         let mut labels: Vec<&String> = cases.iter().map(|(l, _)| l).collect();
         labels.sort();

@@ -94,6 +94,29 @@ pub fn run_workload_instrumented(
     tracer: Option<Tracer>,
     metrics: MetricsHub,
 ) -> RunReport {
+    run_workload_mode(w, cfg, tracer, metrics, false)
+}
+
+/// [`run_workload_instrumented`] forced onto the cycle-by-cycle
+/// reference loop instead of the event-driven fast path. Both modes
+/// produce byte-identical reports and metrics (DESIGN.md §14); this
+/// entry point exists so the golden equivalence tests can prove it.
+pub fn run_workload_stepped(
+    w: &dyn Workload,
+    cfg: &ExperimentConfig,
+    tracer: Option<Tracer>,
+    metrics: MetricsHub,
+) -> RunReport {
+    run_workload_mode(w, cfg, tracer, metrics, true)
+}
+
+fn run_workload_mode(
+    w: &dyn Workload,
+    cfg: &ExperimentConfig,
+    tracer: Option<Tracer>,
+    metrics: MetricsHub,
+    stepped: bool,
+) -> RunReport {
     let programs = programs_for(w, &cfg.workload);
     // Per-cube coalescer placement gets its own system loop; everything
     // else (single device, host-side coalescing over a network) runs the
@@ -104,6 +127,7 @@ pub fn run_workload_instrumented(
             sim.set_tracer(t);
         }
         sim.set_metrics(metrics);
+        sim.set_stepped(stepped);
         return sim.run(cfg.max_cycles);
     }
     let mut sim = SystemSim::new(&cfg.system, programs);
@@ -111,6 +135,7 @@ pub fn run_workload_instrumented(
         sim.set_tracer(t);
     }
     sim.set_metrics(metrics);
+    sim.set_stepped(stepped);
     sim.run(cfg.max_cycles)
 }
 

@@ -60,6 +60,14 @@ pub struct NetSystem {
     raw_link: HashMap<u64, usize>,
     seq: u64,
     now: Cycle,
+    /// Force cycle-by-cycle stepping (the reference mode the event-driven
+    /// fast path must match byte for byte; see DESIGN.md §14).
+    stepped: bool,
+    /// Current skip-attempt backoff (doubles per failed attempt, resets
+    /// on success; see the run loop).
+    skip_backoff: Cycle,
+    /// Cycles left before the next skip attempt.
+    skip_cooldown: Cycle,
     tracer: Tracer,
     metrics: MetricsHub,
     checker: Option<ConformanceChecker>,
@@ -91,11 +99,23 @@ impl NetSystem {
             raw_link: HashMap::new(),
             seq: 0,
             now: 0,
+            stepped: false,
+            skip_backoff: 0,
+            skip_cooldown: 0,
             tracer: Tracer::disabled(),
             metrics: MetricsHub::disabled(),
             checker: None,
             cfg,
         }
+    }
+
+    /// Select the run-loop mode: `true` ticks every cycle unconditionally
+    /// (the reference behavior), `false` (the default) skips provably
+    /// idle spans between component events. Both modes produce
+    /// byte-identical [`RunReport`]s, traces, metrics, and checker
+    /// observations (see [`crate::system::SystemSim::set_stepped`]).
+    pub fn set_stepped(&mut self, stepped: bool) {
+        self.stepped = stepped;
     }
 
     /// Attach a tracer: host-side events keep the caller's tag, each
@@ -379,6 +399,69 @@ impl NetSystem {
             && self.dev.pending() == 0
     }
 
+    /// Earliest cycle `>= now` at which ticking could change any state,
+    /// or `None` when every component is quiescent (the run loop then
+    /// steps normally; see [`crate::system::SystemSim`]). Every
+    /// contribution is a conservative lower bound on the component's next
+    /// state change.
+    fn next_event(&self) -> Option<Cycle> {
+        use crate::system::merge_next;
+        let now = self.now;
+        let mut next = self.node.next_event(now);
+        if !self.router.is_empty() {
+            // The host packetizer pops one queued raw per cycle.
+            next = merge_next(next, Some(now));
+        }
+        for stage in &self.cubes {
+            if next == Some(now) {
+                return next; // cannot get earlier
+            }
+            if let Some(&Reverse((t, _))) = stage.ingress.peek() {
+                next = merge_next(next, Some(t.max(now)));
+            }
+            next = merge_next(next, stage.mac.next_event(now));
+            if !stage.dispatch_q.is_empty() {
+                // Vault backpressure is probed (and can mutate device
+                // bookkeeping) while the dispatch queue is non-empty, so
+                // never skip across it.
+                next = merge_next(next, Some(now));
+            }
+        }
+        merge_next(next, self.dev.next_completion().map(|t| t.max(now)))
+    }
+
+    /// Advance `now` to the next component event (or `max_cycles`),
+    /// visiting every metrics-interval and checker-batch boundary in
+    /// between — identical clamping to
+    /// [`crate::system::SystemSim`]'s idle-span skip.
+    fn skip_idle_span(&mut self, max_cycles: Cycle) {
+        let Some(next) = self.next_event() else {
+            return;
+        };
+        let target = next.min(max_cycles);
+        while self.now < target {
+            let mut stop = target;
+            let iv = self.metrics.interval();
+            if let Some(next) = self.now.checked_div(iv) {
+                stop = stop.min((next + 1) * iv);
+            }
+            if self.checker.is_some() {
+                stop = stop
+                    .min((self.now / crate::system::CHECK_BATCH + 1) * crate::system::CHECK_BATCH);
+            }
+            self.now = stop;
+            // The skipped ticks were no-ops except for the node's cycle
+            // counter, which a stepped run would have advanced to `stop`.
+            self.node.sync_cycles(stop);
+            if self.metrics.should_sample(self.now) {
+                self.take_metrics_sample();
+            }
+            if self.checker.is_some() && self.now.is_multiple_of(crate::system::CHECK_BATCH) {
+                self.check_stats();
+            }
+        }
+    }
+
     /// Run to completion (or `max_cycles`) and produce the report.
     pub fn run(&mut self, max_cycles: Cycle) -> RunReport {
         while self.now < max_cycles {
@@ -391,6 +474,24 @@ impl NetSystem {
             }
             if !more {
                 break;
+            }
+            // Back off after failed skip attempts so dense phases pay at
+            // most one wasted next_event() scan per MAX_SKIP_BACKOFF
+            // ticks (see the identical loop in SystemSim::run).
+            if !self.stepped {
+                if self.skip_cooldown > 0 {
+                    self.skip_cooldown -= 1;
+                } else {
+                    let before = self.now;
+                    self.skip_idle_span(max_cycles);
+                    if self.now == before {
+                        self.skip_backoff =
+                            (self.skip_backoff.max(1) * 2).min(crate::system::MAX_SKIP_BACKOFF);
+                        self.skip_cooldown = self.skip_backoff;
+                    } else {
+                        self.skip_backoff = 0;
+                    }
+                }
             }
         }
         if self.metrics.is_enabled() {

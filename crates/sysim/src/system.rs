@@ -69,6 +69,14 @@ pub struct SystemSim {
     /// Remote completions in flight back to their origin node.
     net_responses: VecDeque<InFlight<TransactionId>>,
     now: Cycle,
+    /// Force cycle-by-cycle stepping (the reference mode the event-driven
+    /// fast path must match byte for byte; see DESIGN.md §14).
+    stepped: bool,
+    /// Current skip-attempt backoff (doubles per failed attempt, resets
+    /// on success; see the run loop).
+    skip_backoff: Cycle,
+    /// Cycles left before the next skip attempt.
+    skip_cooldown: Cycle,
     tracer: Tracer,
     metrics: MetricsHub,
     checker: Option<ConformanceChecker>,
@@ -77,6 +85,20 @@ pub struct SystemSim {
 /// How often the attached conformance checker cross-checks aggregate
 /// statistics (every this many cycles).
 pub(crate) const CHECK_BATCH: Cycle = 1024;
+
+/// Cap on the skip-attempt backoff: during dense phases at most one
+/// wasted `next_event` scan per this many ticks, while an idle span is
+/// entered at most this many ticks late (then skipped in full).
+pub(crate) const MAX_SKIP_BACKOFF: Cycle = 64;
+
+/// Fold a component's next-event time into the running minimum.
+pub(crate) fn merge_next(next: Option<Cycle>, t: Option<Cycle>) -> Option<Cycle> {
+    match (next, t) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, None) => a,
+        (None, b) => b,
+    }
+}
 
 impl SystemSim {
     /// Build a single-node system (the paper's evaluation configuration)
@@ -127,10 +149,22 @@ impl SystemSim {
             net_requests: VecDeque::new(),
             net_responses: VecDeque::new(),
             now: 0,
+            stepped: false,
+            skip_backoff: 0,
+            skip_cooldown: 0,
             tracer: Tracer::disabled(),
             metrics: MetricsHub::disabled(),
             checker: None,
         }
+    }
+
+    /// Select the run-loop mode: `true` ticks every cycle unconditionally
+    /// (the reference behavior), `false` (the default) skips provably
+    /// idle spans between component events. Both modes produce
+    /// byte-identical [`RunReport`]s, traces, metrics, and checker
+    /// observations; stepping exists for the golden equivalence tests.
+    pub fn set_stepped(&mut self, stepped: bool) {
+        self.stepped = stepped;
     }
 
     /// Attach a tracer and propagate node-tagged clones to every node's
@@ -436,6 +470,86 @@ impl SystemSim {
             })
     }
 
+    /// Earliest cycle `>= now` at which ticking could change any state,
+    /// or `None` when every component is quiescent (ticking is a no-op
+    /// until external input that will never come — i.e. the run is over
+    /// or deadlocked; the run loop then steps normally so both cases
+    /// terminate exactly as in stepped mode).
+    ///
+    /// Every contribution is a conservative *lower* bound: reporting an
+    /// event too early merely costs a no-op tick, reporting one too late
+    /// would change behavior and is never done. Interconnect queues are
+    /// FIFO, so their front entry's arrival time bounds the whole queue
+    /// even when a full remote router delayed it.
+    fn next_event(&self) -> Option<Cycle> {
+        let now = self.now;
+        let mut next = None;
+        next = merge_next(
+            next,
+            self.net_requests.front().map(|m| m.arrives_at.max(now)),
+        );
+        next = merge_next(
+            next,
+            self.net_responses.front().map(|m| m.arrives_at.max(now)),
+        );
+        for n in &self.nodes {
+            if next == Some(now) {
+                break; // cannot get earlier
+            }
+            next = merge_next(next, n.node.next_event(now));
+            if !n.router.is_empty() {
+                // Queued raw requests feed the MAC (or baseline path)
+                // on the very next tick.
+                next = merge_next(next, Some(now));
+            }
+            next = merge_next(next, n.mac.next_event(now));
+            if !n.dispatch_q.is_empty() {
+                // Vault backpressure is probed (and can mutate device
+                // bookkeeping) whenever the dispatch queue is non-empty,
+                // so never skip across it.
+                next = merge_next(next, Some(now));
+            }
+            next = merge_next(next, n.hmc.next_completion().map(|t| t.max(now)));
+        }
+        next
+    }
+
+    /// Advance `now` to the next component event (or `max_cycles`),
+    /// visiting every metrics-interval and checker-batch boundary in
+    /// between so observers see exactly the cycles stepped mode shows
+    /// them. Only provably idle cycles are skipped: `next_event`
+    /// guarantees a tick at each skipped cycle would have changed
+    /// nothing.
+    fn skip_idle_span(&mut self, max_cycles: Cycle) {
+        let Some(next) = self.next_event() else {
+            return;
+        };
+        let target = next.min(max_cycles);
+        while self.now < target {
+            let mut stop = target;
+            let iv = self.metrics.interval();
+            if let Some(next) = self.now.checked_div(iv) {
+                stop = stop.min((next + 1) * iv);
+            }
+            if self.checker.is_some() {
+                stop = stop.min((self.now / CHECK_BATCH + 1) * CHECK_BATCH);
+            }
+            self.now = stop;
+            // The skipped ticks were no-ops except for the per-node
+            // cycle counter, which a stepped run would have advanced to
+            // `stop`; observers below (and the final report) read it.
+            for n in &mut self.nodes {
+                n.node.sync_cycles(stop);
+            }
+            if self.metrics.should_sample(self.now) {
+                self.take_metrics_sample();
+            }
+            if self.checker.is_some() && self.now.is_multiple_of(CHECK_BATCH) {
+                self.check_stats();
+            }
+        }
+    }
+
     /// Run to completion (or `max_cycles`) and produce the report.
     pub fn run(&mut self, max_cycles: Cycle) -> RunReport {
         while self.now < max_cycles {
@@ -448,6 +562,25 @@ impl SystemSim {
             }
             if !more {
                 break;
+            }
+            // Attempting a skip costs a full next_event() scan, which is
+            // pure overhead on traffic-dense phases where no cycle can be
+            // skipped. Back off exponentially after each failed attempt
+            // (skipping fewer cycles is always byte-safe) and retry
+            // eagerly again after any success.
+            if !self.stepped {
+                if self.skip_cooldown > 0 {
+                    self.skip_cooldown -= 1;
+                } else {
+                    let before = self.now;
+                    self.skip_idle_span(max_cycles);
+                    if self.now == before {
+                        self.skip_backoff = (self.skip_backoff.max(1) * 2).min(MAX_SKIP_BACKOFF);
+                        self.skip_cooldown = self.skip_backoff;
+                    } else {
+                        self.skip_backoff = 0;
+                    }
+                }
             }
         }
         if self.metrics.is_enabled() {

@@ -1,0 +1,161 @@
+//! Golden equivalence tests for the event-driven fast path (DESIGN.md
+//! §14): the idle-span-skipping run loop must produce results
+//! byte-identical to the cycle-stepped reference — same `RunReport`,
+//! same metrics time-series, same conformance-checker observations —
+//! on every configuration the manifest exercises.
+//!
+//! The manifest's entries all dispatch through the same two run loops
+//! (`SystemSim` / `NetSystem`), so coverage here is by configuration
+//! axis: the full smoke baseline set (calibration pairs, the 2-cube
+//! HostOnly net run, and the idle-heavy latency entries), per-cube MAC
+//! placement, multi-node interconnects, disabled MAC, the HBM/DDR
+//! backends, and runs with metrics sampling attached. A seeded
+//! mac-check fuzz mini-campaign (50 iterations, checker + oracle
+//! attached) rides on top, exercising the fast path under adversarial
+//! configs and address streams.
+
+use mac_metrics::MetricsHub;
+use mac_sim::baseline::baseline_requests;
+use mac_sim::experiment::{run_workload_instrumented, run_workload_stepped, ExperimentConfig};
+use mac_sim::fuzz::{run_fuzz, FuzzOptions};
+use mac_sim::report::RunReport;
+use mac_types::{MacPlacement, MemBackend, NetTopology};
+use mac_workloads::by_name;
+
+/// Run `workload` under `cfg` in both modes, with a metrics hub
+/// sampling every `interval` cycles in each, and assert the reports and
+/// exported CSV time-series are identical.
+fn assert_modes_identical(workload: &str, cfg: &ExperimentConfig, interval: u64) -> RunReport {
+    let w = by_name(workload).expect("workload registered");
+
+    let stepped_hub = MetricsHub::new(interval);
+    let stepped = run_workload_stepped(w.as_ref(), cfg, None, stepped_hub.clone());
+
+    let event_hub = MetricsHub::new(interval);
+    let event = run_workload_instrumented(w.as_ref(), cfg, None, event_hub.clone());
+
+    assert_eq!(
+        stepped, event,
+        "{workload}: event-driven report diverged from stepped reference"
+    );
+    let stepped_csv = stepped_hub.snapshot().expect("sampled").to_csv();
+    let event_csv = event_hub.snapshot().expect("sampled").to_csv();
+    assert_eq!(
+        stepped_csv, event_csv,
+        "{workload}: metrics time-series diverged between modes"
+    );
+    event
+}
+
+#[test]
+fn baseline_set_is_mode_identical() {
+    // The full smoke baseline set: calibration pairs at 4 threads, the
+    // 2-cube HostOnly scatter/gather run, and the three idle-heavy
+    // latency entries where the fast path actually skips (the sampler
+    // clamp is what this asserts: interval boundaries inside skipped
+    // spans must still be visited).
+    for (label, req) in baseline_requests() {
+        let report = assert_modes_identical(&req.workload, &req.cfg, 10_000);
+        assert!(report.cycles > 0, "{label}: empty run proves nothing");
+        assert_eq!(
+            report.soc.raw_requests, report.soc.completions,
+            "{label}: run must drain"
+        );
+    }
+}
+
+#[test]
+fn per_cube_placement_is_mode_identical() {
+    // NetSystem has its own run loop and skip logic; cover both mapped
+    // placements over a 4-cube chain and a 2-cube degenerate network.
+    for cubes in [2usize, 4] {
+        let mut cfg = ExperimentConfig::paper(4);
+        cfg.workload.scale = 1;
+        cfg.max_cycles = 50_000_000;
+        cfg.system = cfg
+            .system
+            .with_net(cubes, NetTopology::DaisyChain, MacPlacement::PerCube);
+        let report = assert_modes_identical("sg", &cfg, 5_000);
+        assert!(report.cycles > 0);
+    }
+}
+
+#[test]
+fn multi_node_interconnect_is_mode_identical() {
+    // Multiple SoC nodes share one device through the interconnect
+    // queues; their in-flight messages are one of the next_event
+    // sources.
+    let mut cfg = ExperimentConfig::paper(4);
+    cfg.workload.scale = 1;
+    cfg.max_cycles = 50_000_000;
+    cfg.system.soc.nodes = 2;
+    let report = assert_modes_identical("stream", &cfg, 10_000);
+    assert!(report.cycles > 0);
+}
+
+#[test]
+fn disabled_mac_and_alt_backends_are_mode_identical() {
+    // The baseline (MAC-bypassed) path and the HBM/DDR memory models
+    // take different dispatch and completion code; the skip must bound
+    // all of them.
+    let mut nomac = ExperimentConfig::paper(2);
+    nomac.workload.scale = 1;
+    nomac.max_cycles = 50_000_000;
+    nomac.system.mac_disabled = true;
+    assert_modes_identical("gups", &nomac, 10_000);
+
+    for backend in [MemBackend::Hbm, MemBackend::Ddr] {
+        let mut cfg = ExperimentConfig::paper(2);
+        cfg.workload.scale = 1;
+        cfg.max_cycles = 50_000_000;
+        cfg.system.backend = backend;
+        assert_modes_identical("stream", &cfg, 10_000);
+    }
+}
+
+#[test]
+fn idle_heavy_entry_is_cycle_exact_under_fine_sampling() {
+    // A 1-cycle metrics interval forces the skip loop to visit every
+    // single cycle boundary inside skipped spans — the strongest form
+    // of the sampler-clamp contract. Use a tiny run to keep it fast.
+    let mut cfg = ExperimentConfig::paper(1);
+    cfg.workload.scale = 1;
+    cfg.max_cycles = 200_000;
+    cfg.system.soc.max_outstanding_per_thread = 1;
+    let w = by_name("gups").expect("workload");
+
+    let stepped_hub = MetricsHub::new(1);
+    let stepped = run_workload_stepped(w.as_ref(), &cfg, None, stepped_hub.clone());
+    let event_hub = MetricsHub::new(1);
+    let event = run_workload_instrumented(w.as_ref(), &cfg, None, event_hub.clone());
+    assert_eq!(stepped, event);
+    assert_eq!(
+        stepped_hub.snapshot().expect("sampled").to_csv(),
+        event_hub.snapshot().expect("sampled").to_csv()
+    );
+}
+
+#[test]
+fn fuzz_mini_campaign_is_clean_on_event_driven_loop() {
+    // 50 seeded adversarial cases, each simulated by the (default)
+    // event-driven loop with the mac-check invariant checker attached
+    // and diffed against the functional oracle. The checker's I7 stats
+    // batches land on CHECK_BATCH boundaries, which the skip loop must
+    // visit at the same cycles as stepped mode — a violation or
+    // divergence here would catch a clamp bug the report comparison
+    // can't see.
+    let dir = std::env::temp_dir().join("mac-eventdriven-fuzz");
+    let opts = FuzzOptions {
+        iters: 50,
+        seed: 0xED,
+        out_dir: dir,
+        max_cycles: 2_000_000,
+    };
+    let report = run_fuzz(&opts).expect("fuzz campaign runs");
+    assert!(
+        report.is_clean(),
+        "event-driven fuzz campaign found failures: {:?}",
+        report.failures
+    );
+    assert_eq!(report.iters, 50);
+}

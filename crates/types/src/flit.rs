@@ -108,14 +108,18 @@ impl FlitMap {
     /// OR-reduce each group of 4 consecutive FLIT bits into one chunk bit.
     ///
     /// This is the single-cycle operation performed by the 4 OR gates.
+    /// Implemented as a branch-free parallel reduction: the four bits of
+    /// every nibble are OR-folded onto the nibble's low bit, then the
+    /// four low bits are gathered into the 4-bit mask — all 4 nibbles
+    /// reduce at once instead of testing them one comparison at a time.
     #[inline]
     pub const fn chunk_mask(self) -> ChunkMask {
         let b = self.0;
-        let c0 = (b & 0x000F != 0) as u8;
-        let c1 = (b & 0x00F0 != 0) as u8;
-        let c2 = (b & 0x0F00 != 0) as u8;
-        let c3 = (b & 0xF000 != 0) as u8;
-        ChunkMask(c0 | (c1 << 1) | (c2 << 2) | (c3 << 3))
+        // Fold each nibble onto its bit 0: f has bits 0/4/8/12 set iff
+        // the corresponding nibble of `b` is non-zero.
+        let f = (b | (b >> 1) | (b >> 2) | (b >> 3)) & 0x1111;
+        // Gather bits 0/4/8/12 into bits 0..4.
+        ChunkMask(((f | (f >> 3) | (f >> 6) | (f >> 9)) & 0xF) as u8)
     }
 }
 

@@ -25,6 +25,8 @@
 //! dedicated [`sg::sequential_stream`] / [`sg::random_stream`] address
 //! generators for the seq-vs-random miss-rate sweep.
 
+#![warn(missing_docs)]
+
 pub mod bots;
 pub mod gap;
 pub mod grappolo;
