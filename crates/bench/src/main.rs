@@ -15,6 +15,9 @@
 //! mac-bench serve [--addr A] [--workers N] [--sim-jobs N] [--out DIR]
 //!           [--queue N] [--per-client N] [--paused]
 //! mac-bench client [--addr A] [--name NAME] VERB ...
+//! mac-bench guest list | assemble NAME [--out FILE] | disasm NAME
+//!           | run NAME [--threads N] [--scale N] [--seed S]
+//!           | xval [NAME] [--vs MODELED] [--threads N] [--scale N] [--seed S]
 //! ```
 //!
 //! The `run` subcommand name is optional — `mac-bench --filter smoke`
@@ -74,6 +77,15 @@
 //!   and `shutdown`. A shed submission prints the server's explicit
 //!   `retry_after_ms` backpressure answer and exits 3.
 //!
+//! * `guest` drives the mac-guest toolchain directly: `list` the
+//!   shipped guest programs, `assemble` one to an ELF file, `disasm`
+//!   its loaded image, `run` it once per simulated thread on the rv64
+//!   interpreter (non-zero exit if any thread fails), and `xval` its
+//!   captured address stream against the modeled counterpart (`--vs`
+//!   overrides the counterpart; any tolerance breach exits 1). The
+//!   `guest_smoke`/`guest_xval` manifest entries run the same pipeline
+//!   through the engine.
+//!
 //! Artifacts land in `<out>/<name>.{txt,csv,json}`; see EXPERIMENTS.md
 //! for the entry → paper-claim → output-file catalog and DESIGN.md §13
 //! for the serving protocol.
@@ -98,6 +110,9 @@ usage: mac-bench [run] [options]
        mac-bench serve [--addr A] [--workers N] [--sim-jobs N] [--out DIR]
                        [--queue N] [--per-client N] [--paused]
        mac-bench client [--addr A] [--name NAME] VERB ...
+       mac-bench guest list | assemble NAME [--out FILE] | disasm NAME
+                 | run NAME [--threads N] [--scale N] [--seed S]
+                 | xval [NAME] [--vs MODELED] [--threads N] [--scale N] [--seed S]
 
 run options:
   --filter GLOB[,GLOB]   run entries matching name or tag (default: all but `smoke`)
@@ -150,6 +165,18 @@ client verbs (after global --addr A and --name NAME):
   stats                  print the server counters (mac-metrics v1 CSV)
   pause | resume         stop/restart dispatching queued jobs
   shutdown               drain the queue, then stop the server
+
+guest actions:
+  list                   list the shipped guest programs
+  assemble NAME          assemble to ELF; --out FILE writes it (default NAME.elf)
+  disasm NAME            print the loaded image's labelled disassembly
+  run NAME               execute once per thread on the rv64 interpreter;
+                         exits non-zero if any thread fails
+  xval [NAME]            cross-validate captured vs modeled address streams
+                         (default: every guest with a modeled counterpart);
+                         --vs MODELED overrides the counterpart; any
+                         tolerance breach exits 1
+  --threads/--scale/--seed set the workload parameters (default 8/1/0xC0FFEE)
 
   --help                 this text";
 
@@ -927,6 +954,245 @@ fn client_main(args: &[String]) {
     }
 }
 
+/// Workload parameters shared by the `guest` actions.
+struct GuestCli {
+    params: mac_workloads::WorkloadParams,
+    out: Option<PathBuf>,
+    vs: Option<String>,
+    names: Vec<String>,
+}
+
+fn parse_guest_args(args: &[String]) -> GuestCli {
+    let mut cli = GuestCli {
+        params: mac_workloads::WorkloadParams::default(),
+        out: None,
+        vs: None,
+        names: Vec::new(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                cli.params.threads = value(args, i, "--threads")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--threads needs an integer"));
+                if cli.params.threads == 0 {
+                    usage_error("--threads must be at least 1");
+                }
+                i += 1;
+            }
+            "--scale" => {
+                cli.params.scale = value(args, i, "--scale")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--scale needs an integer"));
+                i += 1;
+            }
+            "--seed" => {
+                cli.params.seed = value(args, i, "--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--seed needs an integer"));
+                i += 1;
+            }
+            "--out" => {
+                cli.out = Some(PathBuf::from(value(args, i, "--out")));
+                i += 1;
+            }
+            "--vs" => {
+                cli.vs = Some(value(args, i, "--vs"));
+                i += 1;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                exit(0);
+            }
+            flag if flag.starts_with("--") => {
+                usage_error(&format!("unknown guest argument `{flag}`"))
+            }
+            name => cli.names.push(name.to_string()),
+        }
+        i += 1;
+    }
+    cli
+}
+
+fn guest_spec(name: &str) -> &'static mac_guest::ProgramSpec {
+    mac_guest::program_by_name(name).unwrap_or_else(|| {
+        let known: Vec<&str> = mac_guest::shipped_programs()
+            .iter()
+            .map(|p| p.name)
+            .collect();
+        usage_error(&format!(
+            "unknown guest program `{name}` (shipped: {})",
+            known.join(", ")
+        ));
+    })
+}
+
+fn guest_main(args: &[String]) {
+    let Some(action) = args.first() else {
+        usage_error("guest needs an action (list/assemble/disasm/run/xval)");
+    };
+    let cli = parse_guest_args(&args[1..]);
+    let one_name = || -> &String {
+        cli.names
+            .first()
+            .unwrap_or_else(|| usage_error("this guest action needs a program NAME"))
+    };
+
+    match action.as_str() {
+        "list" => {
+            println!("{:<16} {:<10} title", "name", "modeled");
+            for p in mac_guest::shipped_programs() {
+                println!(
+                    "{:<16} {:<10} {}",
+                    p.name,
+                    p.modeled.unwrap_or("-"),
+                    p.title
+                );
+            }
+        }
+        "assemble" => {
+            let spec = guest_spec(one_name());
+            let bytes = spec.elf_bytes().unwrap_or_else(|e| {
+                eprintln!("mac-bench: assemble failed: {e}");
+                exit(1);
+            });
+            let path = cli
+                .out
+                .unwrap_or_else(|| PathBuf::from(format!("{}.elf", spec.name)));
+            if let Err(e) = std::fs::write(&path, &bytes) {
+                eprintln!("mac-bench: cannot write {}: {e}", path.display());
+                exit(1);
+            }
+            eprintln!(
+                "mac-bench: wrote {} ({} bytes, entry {:#x})",
+                path.display(),
+                bytes.len(),
+                spec.load().expect("just assembled").entry
+            );
+        }
+        "disasm" => {
+            let spec = guest_spec(one_name());
+            let elf = spec.load().unwrap_or_else(|e| {
+                eprintln!("mac-bench: {e}");
+                exit(1);
+            });
+            for line in elf.listing() {
+                println!("{line}");
+            }
+        }
+        "run" => {
+            let spec = guest_spec(one_name());
+            let elf = spec.load().unwrap_or_else(|e| {
+                eprintln!("mac-bench: {e}");
+                exit(1);
+            });
+            let cfg = mac_guest::GuestConfig {
+                mem_bytes: spec.mem_bytes(cli.params.threads, cli.params.scale),
+                max_steps: spec.max_steps(cli.params.scale),
+                ..mac_guest::GuestConfig::default()
+            };
+            let mut failed = false;
+            for tid in 0..cli.params.threads {
+                let ga = mac_guest::GuestArgs {
+                    tid: tid as u64,
+                    nthreads: cli.params.threads as u64,
+                    scale: cli.params.scale as u64,
+                    seed: cli.params.seed,
+                };
+                let run = mac_guest::run_guest(&elf, &ga, &cfg).unwrap_or_else(|e| {
+                    eprintln!("mac-bench: {e}");
+                    exit(1);
+                });
+                let ok = run.exit.is_success();
+                failed |= !ok;
+                println!(
+                    "thread {tid}: {} steps={} mem_ops={} markers={:?}{}",
+                    run.exit,
+                    run.steps,
+                    run.ops
+                        .iter()
+                        .filter(|op| matches!(op, soc_sim::ThreadOp::Mem { .. }))
+                        .count(),
+                    run.markers,
+                    if run.stdout.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" stdout={:?}", run.stdout)
+                    }
+                );
+            }
+            if failed {
+                eprintln!("mac-bench: guest run FAILED");
+                exit(1);
+            }
+        }
+        "xval" => {
+            let tol = mac_guest::XvalTolerances::default();
+            let mut failed = false;
+            let mut compared = 0;
+            let specs: Vec<&'static mac_guest::ProgramSpec> = if cli.names.is_empty() {
+                mac_guest::shipped_programs().iter().collect()
+            } else {
+                cli.names.iter().map(|n| guest_spec(n)).collect()
+            };
+            for spec in specs {
+                let report = match &cli.vs {
+                    // Explicit counterpart: pair the captured stream with
+                    // any modeled workload (the CI mismatch gate).
+                    Some(modeled) => {
+                        let guest = mac_guest::capture_traces(
+                            spec,
+                            cli.params.threads,
+                            cli.params.scale,
+                            cli.params.seed,
+                        )
+                        .unwrap_or_else(|e| {
+                            eprintln!("mac-bench: {e}");
+                            exit(1);
+                        });
+                        let w = mac_workloads::by_name(modeled).unwrap_or_else(|| {
+                            usage_error(&format!("--vs: unknown workload `{modeled}`"))
+                        });
+                        let model = w.generate(&cli.params);
+                        Some(mac_guest::cross_validate(
+                            &mac_guest::TraceProfile::of(&guest),
+                            &mac_guest::TraceProfile::of(&model),
+                            &tol,
+                        ))
+                    }
+                    None => mac_sim::catalog::guest_xval_pair(spec, &cli.params, &tol)
+                        .unwrap_or_else(|e| {
+                            eprintln!("mac-bench: {e}");
+                            exit(1);
+                        }),
+                };
+                let Some(report) = report else {
+                    eprintln!(
+                        "mac-bench: {}: no modeled counterpart, skipped (use --vs)",
+                        spec.name
+                    );
+                    continue;
+                };
+                compared += 1;
+                let against = cli.vs.as_deref().or(spec.modeled).unwrap_or("-");
+                println!("{} vs {}:", spec.name, against);
+                println!("{report}");
+                failed |= !report.pass;
+            }
+            if compared == 0 {
+                usage_error("xval compared nothing (no guest has a modeled counterpart?)");
+            }
+            if failed {
+                eprintln!("mac-bench: xval FAILED");
+                exit(1);
+            }
+            eprintln!("mac-bench: xval OK ({compared} pair(s))");
+        }
+        other => usage_error(&format!("unknown guest action `{other}`")),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Subcommand dispatch with back-compat: a leading flag (or nothing)
@@ -937,6 +1203,7 @@ fn main() {
         Some("fuzz") => fuzz_main(&args[1..]),
         Some("serve") => serve_main(&args[1..]),
         Some("client") => client_main(&args[1..]),
+        Some("guest") => guest_main(&args[1..]),
         _ => run_main(&args),
     }
 }

@@ -1,0 +1,49 @@
+# pointer-chase: serial dependent loads over a per-thread random ring.
+#
+# Each thread builds a full-period permutation ring of 8192 pointer
+# slots in a private 64 KB region (next = (5*cur + 12345) mod 8192 — a
+# maximal-period LCG for a power-of-two modulus), then chases
+# 16384 * scale dependent loads through it. No modeled counterpart:
+# this is the latency-bound guest the modeled suite lacks.
+#
+# entry: a0 = tid, a1 = nthreads, a2 = scale, a3 = seed
+
+        .text
+        .globl _start
+_start:
+        li      t0, 8192            # slots per thread
+        li      t1, 0x10000         # region bytes per thread
+        mul     t1, t1, a0
+        li      s1, 0x1000000
+        add     s1, s1, t1          # this thread's region base
+        li      t2, 0               # cur = 0
+        li      t3, 0               # built count
+init:
+        li      t4, 5
+        mul     t4, t4, t2
+        li      t5, 12345
+        add     t4, t4, t5
+        li      t5, 8191
+        and     t4, t4, t5          # next = (5*cur + 12345) mod 8192
+        slli    t6, t4, 3
+        add     t6, t6, s1          # &slot[next]
+        slli    t5, t2, 3
+        add     t5, t5, s1          # &slot[cur]
+        sd      t6, 0(t5)           # slot[cur] = &slot[next]
+        mv      t2, t4
+        addi    t3, t3, 1
+        bltu    t3, t0, init
+        li      t0, 16384
+        mul     t0, t0, a2          # chase length
+        mv      t5, s1              # p = &slot[0]
+        li      t3, 0
+chase:
+        ld      t5, 0(t5)           # p = *p (dependent load)
+        addi    t3, t3, 1
+        bltu    t3, t0, chase
+        li      a7, 103
+        mv      a0, t5
+        ecall                       # marker(final pointer): defeat DCE
+        li      a0, 0
+        li      a7, 93
+        ecall                       # exit(0)

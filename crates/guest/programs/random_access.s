@@ -1,0 +1,49 @@
+# random-access (GUPS): atomic xor-updates at uniformly random table
+# slots.
+#
+# Mirrors the modeled `gups` kernel: updates = 8192 * scale split
+# round-robin over threads, each an atomic RMW at a random slot of a
+# table at the 16 MB heap base. The guest table is 2^21 elements
+# (16 MB) instead of the model's 2^24 (128 MB) to keep per-thread guest
+# memory small; the resulting birthday-bound row-reuse difference is
+# ~5% and inside the xval tolerances (see DESIGN.md §15).
+#
+# entry: a0 = tid, a1 = nthreads, a2 = scale, a3 = seed
+
+        .text
+        .globl _start
+_start:
+        li      t0, 8192
+        mul     t0, t0, a2          # total updates
+        divu    t1, t0, a1          # per-thread base count
+        remu    t2, t0, a1          # remainder
+        bgeu    a0, t2, counted
+        addi    t1, t1, 1           # first `rem` threads take one extra
+counted:
+        beqz    t1, done
+        # per-thread xorshift64* stream, seeded from (seed, tid)
+        li      t3, 0x9E3779B97F4A7C15
+        mul     t3, t3, a0
+        xor     s1, a3, t3
+        ori     s1, s1, 1           # never-zero state
+        li      s2, 0x1000000       # table base
+        li      s3, 0x1FFFFF        # slot mask (2^21 - 1)
+        li      s4, 0x2545F4914F6CDD1D
+loop:
+        srli    t3, s1, 12
+        xor     s1, s1, t3
+        slli    t3, s1, 25
+        xor     s1, s1, t3
+        srli    t3, s1, 27
+        xor     s1, s1, t3          # xorshift64 state update
+        mul     t3, s1, s4          # * mix constant
+        and     t3, t3, s3          # slot index
+        slli    t3, t3, 3
+        add     t3, t3, s2          # slot address
+        amoxor.d x0, s1, (t3)       # atomic update
+        addi    t1, t1, -1
+        bnez    t1, loop
+done:
+        li      a0, 0
+        li      a7, 93
+        ecall                       # exit(0)

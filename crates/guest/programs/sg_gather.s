@@ -1,0 +1,65 @@
+# scatter-gather: a[i] = b[c[i]] with uniformly random gather indices.
+#
+# Mirrors the modeled `sg` kernel: arrays a (n), b (2^22 elements,
+# 32 MB) and c (n) placed consecutively from the 16 MB heap base,
+# n = 4096 * scale, static block split, and the same per-element
+# load c[i] / load b[index] / store a[i] order. The model pre-draws
+# its random indices; the guest draws from a per-thread xorshift64*
+# stream — same uniform distribution over b, so the streams
+# cross-validate.
+#
+# entry: a0 = tid, a1 = nthreads, a2 = scale, a3 = seed
+
+        .text
+        .globl _start
+_start:
+        li      t0, 4096
+        mul     t0, t0, a2          # n = 4096 * scale
+        add     t1, t0, a1
+        addi    t1, t1, -1
+        divu    t1, t1, a1          # chunk = ceil(n / nthreads)
+        mul     t2, t1, a0          # lo
+        add     t3, t2, t1          # hi
+        bltu    t3, t0, clamped
+        mv      t3, t0
+clamped:
+        bgeu    t2, t3, done
+        li      s1, 0x1000000       # a = heap base
+        li      t4, 0x8000
+        mul     t4, t4, a2
+        add     s2, s1, t4          # b = a + n*8 (rounded)
+        li      t4, 0x2000000
+        add     s3, s2, t4          # c = b + 32 MB
+        # per-thread xorshift64* stream, seeded from (seed, tid)
+        li      t4, 0x9E3779B97F4A7C15
+        mul     t4, t4, a0
+        xor     s4, a3, t4
+        ori     s4, s4, 1
+        li      s5, 0x2545F4914F6CDD1D
+        li      s6, 0x3FFFFF        # b index mask (2^22 - 1)
+        slli    t4, t2, 3
+        add     s7, s1, t4          # &a[lo]
+        add     s8, s3, t4          # &c[lo]
+loop:
+        ld      t4, 0(s8)           # load c[i] (index table slot)
+        srli    t5, s4, 12
+        xor     s4, s4, t5
+        slli    t5, s4, 25
+        xor     s4, s4, t5
+        srli    t5, s4, 27
+        xor     s4, s4, t5          # xorshift64 state update
+        mul     t5, s4, s5          # * mix constant
+        and     t5, t5, s6          # gather index
+        slli    t5, t5, 3
+        add     t5, t5, s2
+        ld      t5, 0(t5)           # load b[index]
+        add     t5, t5, t4
+        sd      t5, 0(s7)           # store a[i]
+        addi    s7, s7, 8
+        addi    s8, s8, 8
+        addi    t2, t2, 1
+        bltu    t2, t3, loop
+done:
+        li      a0, 0
+        li      a7, 93
+        ecall                       # exit(0)

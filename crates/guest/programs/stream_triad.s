@@ -1,0 +1,57 @@
+# stream-triad: a[i] = b[i] + k * c[i] over this thread's static block.
+#
+# Mirrors the modeled `stream` kernel exactly: same array placement
+# (a, b, c consecutively from the 16 MB heap base), same element count
+# (n = 16384 * scale), the same per-element load b / load c / store a
+# order, and the same OpenMP-style static block split over threads —
+# so its address stream must cross-validate against the model.
+#
+# entry: a0 = tid, a1 = nthreads, a2 = scale, a3 = seed
+
+        .text
+        .globl _start
+_start:
+        li      a7, 103
+        ecall                       # marker(tid): trace start
+        li      t0, 16384
+        mul     t0, t0, a2          # n = 16384 * scale
+        add     t1, t0, a1
+        addi    t1, t1, -1
+        divu    t1, t1, a1          # chunk = ceil(n / nthreads)
+        mul     t2, t1, a0          # lo = tid * chunk
+        add     t3, t2, t1          # hi = lo + chunk
+        bltu    t3, t0, clamped
+        mv      t3, t0              # hi = min(hi, n)
+clamped:
+        bgeu    t2, t3, done        # empty block for this thread
+        la      t4, k_mul
+        ld      s5, 0(t4)           # triad scalar from .data
+        li      s1, 0x1000000       # a = heap base
+        li      t5, 0x20000
+        mul     t5, t5, a2          # array stride in bytes
+        add     s2, s1, t5          # b
+        add     s3, s2, t5          # c
+        slli    t6, t2, 3
+        add     s1, s1, t6          # &a[lo]
+        add     s2, s2, t6          # &b[lo]
+        add     s3, s3, t6          # &c[lo]
+loop:
+        ld      t4, 0(s2)           # load b[i]
+        ld      t6, 0(s3)           # load c[i]
+        mul     t6, t6, s5
+        add     t4, t4, t6
+        sd      t4, 0(s1)           # store a[i]
+        addi    s1, s1, 8
+        addi    s2, s2, 8
+        addi    s3, s3, 8
+        addi    t2, t2, 1
+        bltu    t2, t3, loop
+done:
+        li      a0, 0
+        li      a7, 93
+        ecall                       # exit(0)
+
+        .data
+        .align 3
+k_mul:
+        .dword 3

@@ -1,0 +1,635 @@
+//! Section-aware assembler: grows the rv64 line parser into a small
+//! direct-to-object toolchain.
+//!
+//! The flat `rv64_sim::assemble` is enough for test snippets but cannot
+//! place data, export symbols, or span more than a short branch. This
+//! front-end adds `.text`/`.data` sections, data directives, `la`, and
+//! label branches resolved by *convergence-based relaxation*: every
+//! variable-length item starts at its shortest form and only ever grows
+//! (branch → inverted branch + `jal`, `la` → the full `li`
+//! materialization), so iterating layout until no item grows terminates
+//! at a fixpoint.
+
+use rv64_sim::isa::{AluImmOp, BranchOp, Instruction, Reg};
+use rv64_sim::{encode, li_items, parse_line, AsmItem};
+use std::collections::HashMap;
+
+/// Load address of the `.text` section (and default entry point).
+pub const TEXT_BASE: u64 = 0x10000;
+
+/// Page size used for section alignment (ELF `p_align`).
+pub const PAGE: u64 = 0x1000;
+
+/// Maximum layout iterations before declaring non-convergence.
+const MAX_RELAX_ITERS: usize = 32;
+
+/// A defined symbol (label) in an assembled object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Symbol {
+    /// Symbol name.
+    pub name: String,
+    /// Absolute address.
+    pub addr: u64,
+    /// Marked `.globl`.
+    pub global: bool,
+    /// Defined in `.text` (else `.data`).
+    pub in_text: bool,
+}
+
+/// An assembled program: placed sections, symbols, and the entry point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Object {
+    /// Load address of `.text`.
+    pub text_base: u64,
+    /// Encoded `.text` bytes.
+    pub text: Vec<u8>,
+    /// Load address of `.data` (page-aligned above the text end).
+    pub data_base: u64,
+    /// `.data` bytes.
+    pub data: Vec<u8>,
+    /// Entry point: `_start` when defined, else `text_base`.
+    pub entry: u64,
+    /// All defined symbols.
+    pub symbols: Vec<Symbol>,
+}
+
+impl Object {
+    /// Address of a symbol by name.
+    pub fn symbol(&self, name: &str) -> Option<u64> {
+        self.symbols.iter().find(|s| s.name == name).map(|s| s.addr)
+    }
+}
+
+/// Round `v` up to a multiple of `to` (a power of two).
+pub fn align_up(v: u64, to: u64) -> u64 {
+    (v + to - 1) & !(to - 1)
+}
+
+/// One text statement whose encoded size may depend on symbol layout.
+#[derive(Debug, Clone)]
+enum TextEntry {
+    /// A fixed instruction: always one word.
+    Ready(Instruction),
+    /// Conditional branch to a label; relaxes to inverted-branch + `jal`.
+    Branch {
+        op: BranchOp,
+        rs1: Reg,
+        rs2: Reg,
+        target: String,
+    },
+    /// `jal`/`j`/`call` to a label (always one word; range-checked).
+    Jal { rd: Reg, target: String },
+    /// `la rd, symbol`: the `li` materialization of the symbol address.
+    La { rd: Reg, sym: String },
+    /// `.align` padding; size recomputed from the current address.
+    Align { bytes: u64 },
+}
+
+#[derive(Debug, Clone)]
+struct TextSlot {
+    entry: TextEntry,
+    /// Reserved size in words. Only grows across relaxation iterations
+    /// (except `Align`, which is recomputed from its address).
+    words: u32,
+}
+
+const NOP: Instruction = Instruction::AluImm {
+    op: AluImmOp::Addi,
+    rd: Reg::ZERO,
+    rs1: Reg::ZERO,
+    imm: 0,
+};
+
+fn invert(op: BranchOp) -> BranchOp {
+    match op {
+        BranchOp::Eq => BranchOp::Ne,
+        BranchOp::Ne => BranchOp::Eq,
+        BranchOp::Lt => BranchOp::Ge,
+        BranchOp::Ge => BranchOp::Lt,
+        BranchOp::Ltu => BranchOp::Geu,
+        BranchOp::Geu => BranchOp::Ltu,
+    }
+}
+
+/// Strip a `#` comment, ignoring `#` inside double quotes.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parse a `.asciz`-style string literal with minimal escapes.
+fn parse_string(s: &str) -> Result<Vec<u8>, String> {
+    let s = s.trim();
+    let inner = s
+        .strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .ok_or_else(|| format!("bad string literal `{s}`"))?;
+    let mut out = Vec::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            let mut buf = [0u8; 4];
+            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push(b'\n'),
+            Some('t') => out.push(b'\t'),
+            Some('0') => out.push(0),
+            Some('\\') => out.push(b'\\'),
+            Some('"') => out.push(b'"'),
+            other => return Err(format!("bad escape `\\{:?}`", other)),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_int(s: &str) -> Option<i64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        return i64::from_str_radix(hex, 16)
+            .ok()
+            .or_else(|| u64::from_str_radix(hex, 16).ok().map(|v| v as i64));
+    }
+    if let Some(hex) = s.strip_prefix("-0x") {
+        return i64::from_str_radix(hex, 16).ok().map(|v| -v);
+    }
+    s.parse::<i64>()
+        .ok()
+        .or_else(|| s.parse::<u64>().ok().map(|v| v as i64))
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Text,
+    Data,
+}
+
+/// Assemble source text into a placed [`Object`].
+///
+/// Accepts everything `rv64_sim::assemble` does plus sections
+/// (`.text`/`.data`), symbol export (`.globl`), alignment (`.align n` =
+/// 2^n bytes), data directives (`.byte`/`.half`/`.word`/`.dword`/
+/// `.quad`/`.zero`/`.asciz`), and `la rd, symbol`.
+pub fn assemble_object(src: &str) -> Result<Object, String> {
+    let mut slots: Vec<TextSlot> = Vec::new();
+    // Label -> slot index (text) or byte offset (data).
+    let mut text_labels: HashMap<String, usize> = HashMap::new();
+    let mut data_labels: HashMap<String, u64> = HashMap::new();
+    let mut label_order: Vec<(String, bool)> = Vec::new(); // (name, in_text)
+    let mut globals: Vec<String> = Vec::new();
+    let mut data: Vec<u8> = Vec::new();
+    let mut section = Section::Text;
+
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |m: String| format!("line {}: {m}: `{line}`", lineno + 1);
+
+        // Leading labels (possibly several).
+        let mut rest = line;
+        while let Some(colon) = rest.find(':') {
+            let (label, tail) = rest.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) || label.contains('"') {
+                break;
+            }
+            let dup = text_labels.contains_key(label) || data_labels.contains_key(label);
+            if dup {
+                return Err(err(format!("duplicate label `{label}`")));
+            }
+            match section {
+                Section::Text => {
+                    text_labels.insert(label.to_string(), slots.len());
+                }
+                Section::Data => {
+                    data_labels.insert(label.to_string(), data.len() as u64);
+                }
+            }
+            label_order.push((label.to_string(), section == Section::Text));
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+
+        if let Some(directive) = rest.strip_prefix('.') {
+            let (name, args) = match directive.find(char::is_whitespace) {
+                Some(i) => (&directive[..i], directive[i..].trim()),
+                None => (directive, ""),
+            };
+            match name {
+                "text" => section = Section::Text,
+                "data" => section = Section::Data,
+                "globl" | "global" => {
+                    if args.is_empty() {
+                        return Err(err("`.globl` needs a symbol".into()));
+                    }
+                    globals.push(args.to_string());
+                }
+                "align" | "p2align" => {
+                    let n = parse_int(args).ok_or_else(|| err("bad alignment".into()))?;
+                    if !(0..=12).contains(&n) {
+                        return Err(err(format!("alignment 2^{n} out of range")));
+                    }
+                    let bytes = 1u64 << n;
+                    match section {
+                        Section::Text => {
+                            if bytes > 4 {
+                                slots.push(TextSlot {
+                                    entry: TextEntry::Align { bytes },
+                                    words: 0,
+                                });
+                            }
+                        }
+                        Section::Data => {
+                            while !(data.len() as u64).is_multiple_of(bytes) {
+                                data.push(0);
+                            }
+                        }
+                    }
+                }
+                "byte" | "half" | "word" | "dword" | "quad" => {
+                    if section != Section::Data {
+                        return Err(err(format!("`.{name}` only allowed in .data")));
+                    }
+                    let width = match name {
+                        "byte" => 1,
+                        "half" => 2,
+                        "word" => 4,
+                        _ => 8,
+                    };
+                    for piece in args.split(',') {
+                        let v = parse_int(piece).ok_or_else(|| err("bad value".into()))?;
+                        data.extend_from_slice(&(v as u64).to_le_bytes()[..width]);
+                    }
+                }
+                "zero" => {
+                    if section != Section::Data {
+                        return Err(err("`.zero` only allowed in .data".into()));
+                    }
+                    let n = parse_int(args).ok_or_else(|| err("bad size".into()))?;
+                    if !(0..=(64 << 20)).contains(&n) {
+                        return Err(err("`.zero` size out of range".into()));
+                    }
+                    data.extend(std::iter::repeat_n(0u8, n as usize));
+                }
+                "asciz" | "string" => {
+                    if section != Section::Data {
+                        return Err(err(format!("`.{name}` only allowed in .data")));
+                    }
+                    data.extend(parse_string(args).map_err(err)?);
+                    data.push(0);
+                }
+                other => return Err(err(format!("unknown directive `.{other}`"))),
+            }
+            continue;
+        }
+
+        // Instruction statement.
+        if section != Section::Text {
+            return Err(err("instructions only allowed in .text".into()));
+        }
+        // `la rd, symbol` is ours; everything else delegates to rv64.
+        let (mnemonic, margs) = match rest.find(char::is_whitespace) {
+            Some(i) => (&rest[..i], rest[i..].trim()),
+            None => (rest, ""),
+        };
+        if mnemonic == "la" {
+            let ops: Vec<&str> = margs.split(',').map(str::trim).collect();
+            if ops.len() != 2 {
+                return Err(err("`la` takes 2 operands".into()));
+            }
+            let rd = Reg::parse(ops[0]).ok_or_else(|| err(format!("bad register `{}`", ops[0])))?;
+            match parse_int(ops[1]) {
+                Some(v) => {
+                    for ins in li_items(rd, v) {
+                        slots.push(TextSlot {
+                            entry: TextEntry::Ready(ins),
+                            words: 1,
+                        });
+                    }
+                }
+                None => slots.push(TextSlot {
+                    entry: TextEntry::La {
+                        rd,
+                        sym: ops[1].to_string(),
+                    },
+                    words: 1,
+                }),
+            }
+            continue;
+        }
+        let items = parse_line(rest).map_err(err)?;
+        for item in items {
+            let (entry, words) = match item {
+                AsmItem::Ready(ins) => (TextEntry::Ready(ins), 1),
+                AsmItem::Branch(op, rs1, rs2, target) => (
+                    TextEntry::Branch {
+                        op,
+                        rs1,
+                        rs2,
+                        target,
+                    },
+                    1,
+                ),
+                AsmItem::Jal(rd, target) => (TextEntry::Jal { rd, target }, 1),
+            };
+            slots.push(TextSlot { entry, words });
+        }
+    }
+
+    // --- Layout: iterate until no variable-length item grows. ---
+    let mut addrs: Vec<u64> = Vec::with_capacity(slots.len() + 1);
+    let mut text_end = TEXT_BASE;
+    let mut data_base;
+    for iter in 0.. {
+        if iter >= MAX_RELAX_ITERS {
+            return Err("layout did not converge (relaxation oscillation)".into());
+        }
+        addrs.clear();
+        let mut addr = TEXT_BASE;
+        for slot in slots.iter_mut() {
+            addrs.push(addr);
+            if let TextEntry::Align { bytes } = slot.entry {
+                slot.words = ((align_up(addr, bytes) - addr) / 4) as u32;
+            }
+            addr += 4 * slot.words as u64;
+        }
+        addrs.push(addr);
+        text_end = addr;
+        data_base = align_up(text_end.max(TEXT_BASE + 4), PAGE);
+
+        let resolve = |name: &str| -> Result<u64, String> {
+            if let Some(&idx) = text_labels.get(name) {
+                Ok(addrs[idx])
+            } else if let Some(&off) = data_labels.get(name) {
+                Ok(data_base + off)
+            } else {
+                Err(format!("undefined symbol `{name}`"))
+            }
+        };
+
+        let mut grew = false;
+        for (idx, slot) in slots.iter_mut().enumerate() {
+            let need = match &slot.entry {
+                TextEntry::Ready(_) => 1,
+                TextEntry::Jal { .. } => 1,
+                TextEntry::Align { .. } => continue,
+                TextEntry::Branch { target, .. } => {
+                    let delta = resolve(target)? as i64 - addrs[idx] as i64;
+                    if (-4096..4096).contains(&delta) {
+                        1
+                    } else {
+                        2
+                    }
+                }
+                TextEntry::La { rd, sym } => li_items(*rd, resolve(sym)? as i64).len() as u32,
+            };
+            if need > slot.words {
+                slot.words = need;
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    let data_base = align_up(text_end.max(TEXT_BASE + 4), PAGE);
+
+    let resolve = |name: &str| -> Result<u64, String> {
+        if let Some(&idx) = text_labels.get(name) {
+            Ok(addrs[idx])
+        } else if let Some(&off) = data_labels.get(name) {
+            Ok(data_base + off)
+        } else {
+            Err(format!("undefined symbol `{name}`"))
+        }
+    };
+
+    // --- Encode. ---
+    let mut text = Vec::with_capacity(4 * slots.len());
+    let mut push = |ins: Instruction| text.extend_from_slice(&encode(ins).to_le_bytes());
+    for (idx, slot) in slots.iter().enumerate() {
+        let addr = addrs[idx];
+        match &slot.entry {
+            TextEntry::Ready(ins) => push(*ins),
+            TextEntry::Align { .. } => {
+                for _ in 0..slot.words {
+                    push(NOP);
+                }
+            }
+            TextEntry::Jal { rd, target } => {
+                let offset = resolve(target)? as i64 - addr as i64;
+                if !(-(1 << 20)..(1 << 20)).contains(&offset) {
+                    return Err(format!("jal to `{target}` out of range ({offset:+})"));
+                }
+                push(Instruction::Jal { rd: *rd, offset });
+            }
+            TextEntry::Branch {
+                op,
+                rs1,
+                rs2,
+                target,
+            } => {
+                let offset = resolve(target)? as i64 - addr as i64;
+                if slot.words == 1 {
+                    push(Instruction::Branch {
+                        op: *op,
+                        rs1: *rs1,
+                        rs2: *rs2,
+                        offset,
+                    });
+                } else {
+                    // Long form: inverted branch skips over a jal.
+                    push(Instruction::Branch {
+                        op: invert(*op),
+                        rs1: *rs1,
+                        rs2: *rs2,
+                        offset: 8,
+                    });
+                    let joff = offset - 4;
+                    if !(-(1 << 20)..(1 << 20)).contains(&joff) {
+                        return Err(format!("branch to `{target}` out of range ({offset:+})"));
+                    }
+                    push(Instruction::Jal {
+                        rd: Reg::ZERO,
+                        offset: joff,
+                    });
+                }
+            }
+            TextEntry::La { rd, sym } => {
+                let items = li_items(*rd, resolve(sym)? as i64);
+                debug_assert!(items.len() as u32 <= slot.words);
+                let pad = slot.words - items.len() as u32;
+                for ins in items {
+                    push(ins);
+                }
+                for _ in 0..pad {
+                    push(NOP);
+                }
+            }
+        }
+    }
+
+    // --- Symbols. ---
+    let mut symbols = Vec::with_capacity(label_order.len());
+    for (name, in_text) in &label_order {
+        let addr = resolve(name)?;
+        symbols.push(Symbol {
+            name: name.clone(),
+            addr,
+            global: globals.iter().any(|g| g == name),
+            in_text: *in_text,
+        });
+    }
+    for g in &globals {
+        if !text_labels.contains_key(g) && !data_labels.contains_key(g) {
+            return Err(format!(".globl names undefined symbol `{g}`"));
+        }
+    }
+    let entry = symbols
+        .iter()
+        .find(|s| s.name == "_start")
+        .map(|s| s.addr)
+        .unwrap_or(TEXT_BASE);
+
+    Ok(Object {
+        text_base: TEXT_BASE,
+        text,
+        data_base,
+        data,
+        entry,
+        symbols,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv64_sim::{Cpu, ExecResult, FlatMemory};
+
+    fn run(obj: &Object, steps: u64) -> (Cpu, FlatMemory, ExecResult) {
+        let mut mem = FlatMemory::new(1 << 20);
+        mem.load_image(obj.text_base, &obj.text);
+        mem.load_image(obj.data_base, &obj.data);
+        let mut cpu = Cpu::new(obj.entry, 1024);
+        let (_, r) = cpu.run(&mut mem, steps);
+        (cpu, mem, r)
+    }
+
+    #[test]
+    fn sections_symbols_and_entry() {
+        let obj = assemble_object(
+            r#"
+            .text
+            .globl _start
+        _start:
+            la a0, answer
+            ld a1, 0(a0)
+            ecall
+            .data
+            .align 3
+        answer:
+            .dword 42
+            "#,
+        )
+        .unwrap();
+        assert_eq!(obj.entry, TEXT_BASE);
+        assert_eq!(obj.data_base % PAGE, 0);
+        assert!(obj.data_base >= obj.text_base + obj.text.len() as u64);
+        let answer = obj.symbol("answer").unwrap();
+        assert_eq!(answer, obj.data_base);
+        assert!(obj.symbols.iter().any(|s| s.name == "_start" && s.global));
+        let (cpu, _, r) = run(&obj, 100);
+        assert_eq!(r, ExecResult::Halted);
+        assert_eq!(cpu.reg(Reg(11)), 42);
+    }
+
+    #[test]
+    fn data_directives_lay_out_bytes() {
+        let obj = assemble_object(
+            ".data\nv:\n.byte 1, 2\n.half 0x0304\n.word 5\n.zero 3\n.asciz \"hi\"\n",
+        )
+        .unwrap();
+        assert_eq!(
+            obj.data,
+            vec![1, 2, 4, 3, 5, 0, 0, 0, 0, 0, 0, b'h', b'i', 0]
+        );
+    }
+
+    #[test]
+    fn short_branch_stays_short() {
+        let obj = assemble_object("_start:\nbeq a0, a1, out\nnop\nout:\necall\n").unwrap();
+        assert_eq!(obj.text.len(), 12, "no relaxation needed");
+    }
+
+    #[test]
+    fn far_branch_relaxes_and_still_executes() {
+        // > 4 KB of padding between the branch and its target forces the
+        // inverted-branch + jal long form.
+        let mut src = String::from("_start:\nli a0, 7\nli a1, 7\nbeq a0, a1, far\n");
+        for _ in 0..1100 {
+            src.push_str("addi a2, a2, 1\n");
+        }
+        src.push_str("far:\nli a3, 1\necall\n");
+        let obj = assemble_object(&src).unwrap();
+        let (cpu, _, r) = run(&obj, 10_000);
+        assert_eq!(r, ExecResult::Halted);
+        assert_eq!(cpu.reg(Reg(13)), 1, "took the far branch");
+        assert_eq!(cpu.reg(Reg(12)), 0, "skipped the padding");
+
+        // The not-taken direction must fall through into the padding.
+        let src_ne = src.replacen("li a1, 7", "li a1, 8", 1);
+        let obj = assemble_object(&src_ne).unwrap();
+        let (cpu, _, r) = run(&obj, 10_000);
+        assert_eq!(r, ExecResult::Halted);
+        assert_eq!(cpu.reg(Reg(12)), 1100, "fell through the padding");
+    }
+
+    #[test]
+    fn la_of_label_matches_symbol_address() {
+        let obj = assemble_object(
+            ".text\n_start:\nla a0, here\necall\nhere:\nnop\n.data\nd:\n.dword 1\n",
+        )
+        .unwrap();
+        let here = obj.symbol("here").unwrap();
+        let (cpu, _, _) = run(&obj, 100);
+        assert_eq!(cpu.reg(Reg(10)), here);
+    }
+
+    #[test]
+    fn align_pads_text_with_nops() {
+        let obj = assemble_object("_start:\nnop\n.align 4\ntgt:\necall\n").unwrap();
+        assert_eq!(obj.symbol("tgt").unwrap() % 16, 0);
+    }
+
+    #[test]
+    fn errors_name_the_line_and_symbol() {
+        let e = assemble_object("nop\nj nowhere\n").unwrap_err();
+        assert!(e.contains("nowhere"), "{e}");
+        let e = assemble_object(".data\nnop\n").unwrap_err();
+        assert!(e.contains("line 2"), "{e}");
+        let e = assemble_object(".text\n.dword 3\n").unwrap_err();
+        assert!(e.contains(".data"), "{e}");
+        let e = assemble_object("a:\nnop\n.data\na:\n").unwrap_err();
+        assert!(e.contains("duplicate"), "{e}");
+        let e = assemble_object(".globl missing\nnop\n").unwrap_err();
+        assert!(e.contains("missing"), "{e}");
+    }
+
+    #[test]
+    fn comment_hash_inside_string_is_kept() {
+        let obj = assemble_object(".data\ns:\n.asciz \"#1\" # real comment\n").unwrap();
+        assert_eq!(obj.data, vec![b'#', b'1', 0]);
+    }
+}

@@ -1,0 +1,339 @@
+//! Cross-validation: guest address streams vs. modeled kernels.
+//!
+//! The modeled workloads are address-accurate by construction; a guest
+//! binary reproducing the same kernel should emit a statistically
+//! indistinguishable stream even though instruction scheduling and RNG
+//! details differ. This module summarizes a trace into a
+//! [`TraceProfile`] (read/write mix, stride histogram, DRAM-row touch
+//! statistics) and diffs two profiles under explicit tolerances — the
+//! same measured-vs-modeled calibration move the 3D-stacked-memory
+//! characterization literature uses. All arithmetic is integer (milli
+//! units) so reports are deterministic across platforms.
+
+use mac_types::ROW_BYTES;
+use soc_sim::ThreadOp;
+use std::collections::HashMap;
+
+/// Number of stride-histogram buckets (see [`TraceProfile::stride`]).
+pub const STRIDE_BUCKETS: usize = 9;
+
+/// Distribution summary of one workload trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceProfile {
+    /// Load operations.
+    pub loads: u64,
+    /// Store operations.
+    pub stores: u64,
+    /// Atomic operations.
+    pub atomics: u64,
+    /// Fences.
+    pub fences: u64,
+    /// Total memory operations (loads + stores + atomics + fences).
+    pub mem_ops: u64,
+    /// Distinct DRAM rows touched (addr / ROW_BYTES).
+    pub distinct_rows: u64,
+    /// Mean touches per distinct row, in milli (1000 = each row once).
+    pub touch_mean_milli: u64,
+    /// Per-thread consecutive-access stride histogram. Buckets:
+    /// `[0]` zero stride, `[1..=4]` forward ≤64 / ≤256 / ≤4096 / >4096
+    /// bytes, `[5..=8]` backward mirrored.
+    pub stride: [u64; STRIDE_BUCKETS],
+}
+
+fn stride_bucket(delta: i64) -> usize {
+    let (mag, back) = if delta >= 0 { (delta, 0) } else { (-delta, 4) };
+    let b = match mag {
+        0 => return 0,
+        1..=64 => 1,
+        65..=256 => 2,
+        257..=4096 => 3,
+        _ => 4,
+    };
+    b + back
+}
+
+impl TraceProfile {
+    /// Profile a per-thread operation trace.
+    pub fn of(trace: &[Vec<ThreadOp>]) -> TraceProfile {
+        use mac_types::MemOpKind;
+        let mut p = TraceProfile::default();
+        let mut rows: HashMap<u64, u64> = HashMap::new();
+        for thread in trace {
+            let mut prev: Option<u64> = None;
+            for op in thread {
+                let ThreadOp::Mem { addr, kind } = op else {
+                    continue;
+                };
+                p.mem_ops += 1;
+                match kind {
+                    MemOpKind::Load => p.loads += 1,
+                    MemOpKind::Store => p.stores += 1,
+                    MemOpKind::Atomic => p.atomics += 1,
+                    MemOpKind::Fence => {
+                        // Fences carry no address: count the op, skip the
+                        // stride/row statistics.
+                        p.fences += 1;
+                        continue;
+                    }
+                }
+                let a = addr.raw();
+                *rows.entry(a / ROW_BYTES).or_insert(0) += 1;
+                if let Some(prev) = prev {
+                    p.stride[stride_bucket(a as i64 - prev as i64)] += 1;
+                }
+                prev = Some(a);
+            }
+        }
+        p.distinct_rows = rows.len() as u64;
+        let touches: u64 = rows.values().sum();
+        p.touch_mean_milli = (touches * 1000).checked_div(p.distinct_rows).unwrap_or(0);
+        p
+    }
+
+    fn addressed(&self) -> u64 {
+        self.loads + self.stores + self.atomics
+    }
+}
+
+/// Tolerances for [`cross_validate`], all in milli units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XvalTolerances {
+    /// Max per-kind operation-mix share difference (milli of all ops).
+    pub mix_milli: u64,
+    /// Max L1 distance between normalized stride histograms.
+    pub stride_l1_milli: u64,
+    /// Max deviation of the distinct-row ratio from 1000.
+    pub rows_ratio_milli: u64,
+    /// Max deviation of the touches-per-row ratio from 1000.
+    pub touch_ratio_milli: u64,
+    /// Max deviation of the total-op-count ratio from 1000.
+    pub ops_ratio_milli: u64,
+}
+
+impl Default for XvalTolerances {
+    fn default() -> Self {
+        XvalTolerances {
+            mix_milli: 30,
+            stride_l1_milli: 150,
+            rows_ratio_milli: 100,
+            touch_ratio_milli: 200,
+            ops_ratio_milli: 100,
+        }
+    }
+}
+
+/// One compared statistic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XvalCheck {
+    /// Statistic name.
+    pub name: &'static str,
+    /// Guest-side value (milli).
+    pub guest: u64,
+    /// Model-side value (milli).
+    pub model: u64,
+    /// Absolute difference actually scored (milli).
+    pub delta_milli: u64,
+    /// Allowed difference (milli).
+    pub limit_milli: u64,
+    /// Within tolerance.
+    pub pass: bool,
+}
+
+/// Outcome of one guest-vs-model comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XvalReport {
+    /// Individual statistics, in a fixed order.
+    pub checks: Vec<XvalCheck>,
+    /// Every check passed.
+    pub pass: bool,
+}
+
+impl std::fmt::Display for XvalReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for c in &self.checks {
+            writeln!(
+                f,
+                "  {} {:<12} guest {:>6} model {:>6} |d| {:>5} limit {:>5}",
+                if c.pass { "ok  " } else { "FAIL" },
+                c.name,
+                c.guest,
+                c.model,
+                c.delta_milli,
+                c.limit_milli,
+            )?;
+        }
+        write!(f, "  => {}", if self.pass { "PASS" } else { "FAIL" })
+    }
+}
+
+fn share_milli(part: u64, whole: u64) -> u64 {
+    (part * 1000).checked_div(whole).unwrap_or(0)
+}
+
+/// `|a/b - 1| * 1000`, saturating; 0/0 compares equal, x/0 maximally off.
+fn ratio_delta_milli(a: u64, b: u64) -> (u64, u64) {
+    if b == 0 {
+        return if a == 0 {
+            (1000, 0)
+        } else {
+            (u64::MAX, u64::MAX)
+        };
+    }
+    let r = a.saturating_mul(1000) / b;
+    (r, r.abs_diff(1000))
+}
+
+/// Compare a guest trace profile against its modeled counterpart.
+pub fn cross_validate(
+    guest: &TraceProfile,
+    model: &TraceProfile,
+    tol: &XvalTolerances,
+) -> XvalReport {
+    let mut checks = Vec::new();
+    let mut check = |name, guest, model, delta, limit| {
+        checks.push(XvalCheck {
+            name,
+            guest,
+            model,
+            delta_milli: delta,
+            limit_milli: limit,
+            pass: delta <= limit,
+        });
+    };
+
+    for (name, g, m) in [
+        ("mix:load", guest.loads, model.loads),
+        ("mix:store", guest.stores, model.stores),
+        ("mix:atomic", guest.atomics, model.atomics),
+        ("mix:fence", guest.fences, model.fences),
+    ] {
+        let gs = share_milli(g, guest.mem_ops);
+        let ms = share_milli(m, model.mem_ops);
+        check(name, gs, ms, gs.abs_diff(ms), tol.mix_milli);
+    }
+
+    let gl1: u64 = (0..STRIDE_BUCKETS)
+        .map(|i| {
+            let gs = share_milli(guest.stride[i], guest.addressed().saturating_sub(1).max(1));
+            let ms = share_milli(model.stride[i], model.addressed().saturating_sub(1).max(1));
+            gs.abs_diff(ms)
+        })
+        .sum();
+    check("stride_l1", gl1, 0, gl1, tol.stride_l1_milli);
+
+    let (r, d) = ratio_delta_milli(guest.distinct_rows, model.distinct_rows);
+    check("rows_ratio", r, 1000, d, tol.rows_ratio_milli);
+    let (r, d) = ratio_delta_milli(guest.touch_mean_milli, model.touch_mean_milli);
+    check("touch_ratio", r, 1000, d, tol.touch_ratio_milli);
+    let (r, d) = ratio_delta_milli(guest.mem_ops, model.mem_ops);
+    check("ops_ratio", r, 1000, d, tol.ops_ratio_milli);
+
+    let pass = checks.iter().all(|c| c.pass);
+    XvalReport { checks, pass }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mac_types::{MemOpKind, PhysAddr};
+
+    fn loads(addrs: &[u64]) -> Vec<ThreadOp> {
+        addrs
+            .iter()
+            .map(|&a| ThreadOp::Mem {
+                addr: PhysAddr::new(a),
+                kind: MemOpKind::Load,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn profile_counts_kinds_rows_and_strides() {
+        let trace = vec![vec![
+            ThreadOp::Compute(5),
+            ThreadOp::Mem {
+                addr: PhysAddr::new(0x1000),
+                kind: MemOpKind::Load,
+            },
+            ThreadOp::Mem {
+                addr: PhysAddr::new(0x1008),
+                kind: MemOpKind::Store,
+            },
+            ThreadOp::Mem {
+                addr: PhysAddr::new(0x1008),
+                kind: MemOpKind::Atomic,
+            },
+            ThreadOp::Mem {
+                addr: PhysAddr::new(0),
+                kind: MemOpKind::Fence,
+            },
+            ThreadOp::Done,
+        ]];
+        let p = TraceProfile::of(&trace);
+        assert_eq!((p.loads, p.stores, p.atomics, p.fences), (1, 1, 1, 1));
+        assert_eq!(p.mem_ops, 4);
+        assert_eq!(p.distinct_rows, 1, "0x1000 and 0x1008 share a row");
+        assert_eq!(p.touch_mean_milli, 3000);
+        assert_eq!(p.stride[1], 1, "+8 stride");
+        assert_eq!(p.stride[0], 1, "zero stride");
+    }
+
+    #[test]
+    fn identical_traces_validate() {
+        let trace = vec![loads(&(0..100).map(|i| 0x1000 + 8 * i).collect::<Vec<_>>())];
+        let p = TraceProfile::of(&trace);
+        let r = cross_validate(&p, &p, &XvalTolerances::default());
+        assert!(r.pass, "{r}");
+    }
+
+    #[test]
+    fn mismatched_traces_fail() {
+        // Sequential loads vs. same-count random stores: several checks
+        // must trip.
+        let seq = TraceProfile::of(&[loads(&(0..200).map(|i| 0x1000 + 8 * i).collect::<Vec<_>>())]);
+        let scattered: Vec<ThreadOp> = (0..200u64)
+            .map(|i| ThreadOp::Mem {
+                addr: PhysAddr::new((i * 7919 * 4096) % (1 << 26)),
+                kind: MemOpKind::Store,
+            })
+            .collect();
+        let rnd = TraceProfile::of(&[scattered]);
+        let r = cross_validate(&seq, &rnd, &XvalTolerances::default());
+        assert!(!r.pass);
+        let failed: Vec<_> = r.checks.iter().filter(|c| !c.pass).collect();
+        assert!(failed.iter().any(|c| c.name.starts_with("mix:")));
+        assert!(failed.iter().any(|c| c.name == "rows_ratio"));
+    }
+
+    #[test]
+    fn small_perturbations_stay_within_tolerance() {
+        let a: Vec<u64> = (0..1000).map(|i| 0x1000 + 8 * i).collect();
+        // Same stream plus one extra scalar access (a guest's argument
+        // spill, say).
+        let mut b = a.clone();
+        b.push(0x9000);
+        let pa = TraceProfile::of(&[loads(&a)]);
+        let pb = TraceProfile::of(&[loads(&b)]);
+        let r = cross_validate(&pb, &pa, &XvalTolerances::default());
+        assert!(r.pass, "{r}");
+    }
+
+    #[test]
+    fn zero_vs_nonzero_is_maximally_off() {
+        let p = TraceProfile::of(&[loads(&[0x1000])]);
+        let empty = TraceProfile::default();
+        let r = cross_validate(&p, &empty, &XvalTolerances::default());
+        assert!(!r.pass);
+        let r = cross_validate(&empty, &empty, &XvalTolerances::default());
+        assert!(r.pass, "empty vs empty is self-consistent");
+    }
+
+    #[test]
+    fn report_display_is_greppable() {
+        let p = TraceProfile::of(&[loads(&[0x1000, 0x1008])]);
+        let r = cross_validate(&p, &p, &XvalTolerances::default());
+        let text = format!("{r}");
+        assert!(text.contains("=> PASS"), "{text}");
+        assert!(text.contains("stride_l1"), "{text}");
+    }
+}

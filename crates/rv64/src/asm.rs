@@ -9,13 +9,45 @@
 use crate::encode::encode;
 use crate::isa::{AluImmOp, AluOp, AmoOp, BranchOp, Instruction, Reg, Width};
 
-/// A parsed line that may still reference a label.
-enum Item {
+/// A parsed statement that may still reference a label.
+///
+/// The flat `assemble` entry point resolves labels itself; richer
+/// front-ends (the `mac-guest` section-aware assembler) call
+/// [`parse_line`] and perform their own layout/relocation over these
+/// items.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmItem {
+    /// A fully-encoded instruction.
     Ready(Instruction),
     /// Branch to a label: (op, rs1, rs2, label).
     Branch(BranchOp, Reg, Reg, String),
     /// JAL to a label: (rd, label).
     Jal(Reg, String),
+}
+
+use AsmItem as Item;
+
+/// Parse one instruction statement (mnemonic + operands, no label, no
+/// comment) into items. Pseudo-ops may expand to several items (`li` up
+/// to eight).
+pub fn parse_line(line: &str) -> Result<Vec<AsmItem>, String> {
+    let mut out = Vec::new();
+    parse_instruction(line.trim(), &mut out)?;
+    Ok(out)
+}
+
+/// Expand `li rd, value` as the assembler would, returning the
+/// materialization sequence (used by front-ends to relax `la`).
+pub fn li_items(rd: Reg, value: i64) -> Vec<Instruction> {
+    let mut items = Vec::new();
+    li_sequence(rd, value, &mut items);
+    items
+        .into_iter()
+        .map(|i| match i {
+            AsmItem::Ready(ins) => ins,
+            _ => unreachable!("li expands to ready instructions only"),
+        })
+        .collect()
 }
 
 /// Assemble source text into a little-endian program image.

@@ -15,6 +15,13 @@ pub trait Memory {
     fn read(&mut self, addr: u64, buf: &mut [u8]);
     /// Write `buf` at `addr`.
     fn write(&mut self, addr: u64, buf: &[u8]);
+    /// Out-of-range accesses observed so far. The CPU samples this around
+    /// each access to turn silent zero-fill/drop into a deterministic
+    /// [`TrapKind::OutOfRange`] guest trap. Backings without bounds
+    /// return 0 forever (never trap).
+    fn fault_count(&self) -> u64 {
+        0
+    }
 }
 
 /// Flat `Vec<u8>`-backed memory, usable for programs and data.
@@ -38,10 +45,22 @@ impl FlatMemory {
         }
     }
 
-    /// Copy a program image to `addr`.
+    /// Copy a program image to `addr`. The portion (if any) that falls
+    /// outside the backing store is dropped and counted as one fault —
+    /// loaders are expected to size memory up front, but a bad image must
+    /// never panic the host.
     pub fn load_image(&mut self, addr: u64, image: &[u8]) {
         let a = addr as usize;
-        self.bytes[a..a + image.len()].copy_from_slice(image);
+        match self.bytes.get_mut(a..a.saturating_add(image.len())) {
+            Some(dst) => dst.copy_from_slice(image),
+            None => {
+                let fit = self.bytes.len().saturating_sub(a).min(image.len());
+                if fit > 0 {
+                    self.bytes[a..a + fit].copy_from_slice(&image[..fit]);
+                }
+                self.faults += 1;
+            }
+        }
     }
 
     /// Size in bytes.
@@ -58,7 +77,10 @@ impl FlatMemory {
 impl Memory for FlatMemory {
     fn read(&mut self, addr: u64, buf: &mut [u8]) {
         let a = addr as usize;
-        match self.bytes.get(a..a + buf.len()) {
+        match a
+            .checked_add(buf.len())
+            .and_then(|end| self.bytes.get(a..end))
+        {
             Some(src) => buf.copy_from_slice(src),
             None => {
                 buf.fill(0);
@@ -68,9 +90,72 @@ impl Memory for FlatMemory {
     }
     fn write(&mut self, addr: u64, buf: &[u8]) {
         let a = addr as usize;
-        match self.bytes.get_mut(a..a + buf.len()) {
+        let end = a.checked_add(buf.len());
+        match end.and_then(|e| self.bytes.get_mut(a..e)) {
             Some(dst) => dst.copy_from_slice(buf),
             None => self.faults += 1,
+        }
+    }
+    fn fault_count(&self) -> u64 {
+        self.faults
+    }
+}
+
+/// Why a hart trapped (deterministic guest-visible reason codes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrapKind {
+    /// The fetched word does not decode.
+    IllegalInstruction = 1,
+    /// A load/store/atomic address is not aligned to its access width.
+    MisalignedAccess = 2,
+    /// The access fell outside the backing memory.
+    OutOfRange = 3,
+    /// `spm.fetch`/`spm.flush` named a scratchpad range that is not one.
+    SpmRange = 4,
+}
+
+/// A trap record: what went wrong, where, and the offending address (or
+/// instruction word for [`TrapKind::IllegalInstruction`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Trap {
+    /// Reason code.
+    pub kind: TrapKind,
+    /// PC of the faulting instruction.
+    pub pc: u64,
+    /// Faulting address, or the undecodable instruction word.
+    pub info: u64,
+}
+
+impl Trap {
+    /// Stable numeric reason code for reports.
+    pub fn code(&self) -> u32 {
+        self.kind as u32
+    }
+}
+
+impl std::fmt::Display for Trap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            TrapKind::IllegalInstruction => {
+                write!(
+                    f,
+                    "illegal instruction {:#010x} at {:#x}",
+                    self.info, self.pc
+                )
+            }
+            TrapKind::MisalignedAccess => {
+                write!(f, "misaligned access {:#x} at {:#x}", self.info, self.pc)
+            }
+            TrapKind::OutOfRange => {
+                write!(f, "out-of-range access {:#x} at {:#x}", self.info, self.pc)
+            }
+            TrapKind::SpmRange => {
+                write!(
+                    f,
+                    "address {:#x} not in scratchpad at {:#x}",
+                    self.info, self.pc
+                )
+            }
         }
     }
 }
@@ -82,8 +167,8 @@ pub enum ExecResult {
     Continue,
     /// `ecall` executed — the hart halted.
     Halted,
-    /// Illegal instruction or out-of-range access.
-    Trap(String),
+    /// Illegal instruction, misaligned access, or out-of-range access.
+    Trap(Trap),
 }
 
 /// Default SPM window base in the hart's address space.
@@ -126,6 +211,17 @@ impl Cpu {
         self.halted
     }
 
+    /// Resume after an `ecall` halt: clears the halt latch and advances
+    /// the PC past the `ecall`. A guest runtime services the call (the
+    /// selector/arguments are in the registers, which `step` left
+    /// untouched) and then resumes the hart. No-op when not halted.
+    pub fn resume(&mut self) {
+        if self.halted {
+            self.halted = false;
+            self.pc = self.pc.wrapping_add(4);
+        }
+    }
+
     /// Read a register (`x0` is always zero).
     #[inline]
     pub fn reg(&self, r: Reg) -> u64 {
@@ -150,41 +246,112 @@ impl Cpu {
     }
 
     fn in_spm(&self, addr: u64, len: u64) -> bool {
-        addr >= self.spm_base && addr + len <= self.spm_base + self.spm.len() as u64
+        let Some(end) = addr.checked_add(len) else {
+            return false;
+        };
+        addr >= self.spm_base && end <= self.spm_base + self.spm.len() as u64
     }
 
-    fn mem_read(&mut self, mem: &mut impl Memory, addr: u64, buf: &mut [u8]) {
+    /// Misaligned naturally-sized accesses are deterministic guest traps
+    /// (the simulated SoC has no hardware misalignment support).
+    fn check_aligned(addr: u64, len: u64, pc: u64) -> Result<(), Trap> {
+        if len > 1 && !addr.is_multiple_of(len) {
+            return Err(Trap {
+                kind: TrapKind::MisalignedAccess,
+                pc,
+                info: addr,
+            });
+        }
+        Ok(())
+    }
+
+    fn mem_read(
+        &mut self,
+        mem: &mut impl Memory,
+        addr: u64,
+        buf: &mut [u8],
+        pc: u64,
+    ) -> Result<(), Trap> {
         if self.in_spm(addr, buf.len() as u64) {
             let o = (addr - self.spm_base) as usize;
             buf.copy_from_slice(&self.spm[o..o + buf.len()]);
+            Ok(())
         } else {
+            let before = mem.fault_count();
             mem.read(addr, buf);
+            if mem.fault_count() != before {
+                return Err(Trap {
+                    kind: TrapKind::OutOfRange,
+                    pc,
+                    info: addr,
+                });
+            }
+            Ok(())
         }
     }
 
-    fn mem_write(&mut self, mem: &mut impl Memory, addr: u64, buf: &[u8]) {
+    fn mem_write(
+        &mut self,
+        mem: &mut impl Memory,
+        addr: u64,
+        buf: &[u8],
+        pc: u64,
+    ) -> Result<(), Trap> {
         if self.in_spm(addr, buf.len() as u64) {
             let o = (addr - self.spm_base) as usize;
             self.spm[o..o + buf.len()].copy_from_slice(buf);
+            Ok(())
         } else {
+            let before = mem.fault_count();
             mem.write(addr, buf);
+            if mem.fault_count() != before {
+                return Err(Trap {
+                    kind: TrapKind::OutOfRange,
+                    pc,
+                    info: addr,
+                });
+            }
+            Ok(())
         }
     }
 
     /// Execute one instruction, appending any main-memory trace events to
     /// `events`.
     pub fn step(&mut self, mem: &mut impl Memory, events: &mut Vec<MemEvent>) -> ExecResult {
-        if self.halted {
-            return ExecResult::Halted;
+        match self.try_step(mem, events) {
+            Ok(r) => r,
+            Err(t) => ExecResult::Trap(t),
         }
+    }
+
+    fn try_step(
+        &mut self,
+        mem: &mut impl Memory,
+        events: &mut Vec<MemEvent>,
+    ) -> Result<ExecResult, Trap> {
+        if self.halted {
+            return Ok(ExecResult::Halted);
+        }
+        Self::check_aligned(self.pc, 4, self.pc)?;
         let mut word_bytes = [0u8; 4];
-        mem.read(self.pc, &mut word_bytes);
+        {
+            let before = mem.fault_count();
+            mem.read(self.pc, &mut word_bytes);
+            if mem.fault_count() != before {
+                return Err(Trap {
+                    kind: TrapKind::OutOfRange,
+                    pc: self.pc,
+                    info: self.pc,
+                });
+            }
+        }
         let word = u32::from_le_bytes(word_bytes);
         let Some(ins) = decode(word) else {
-            return ExecResult::Trap(format!(
-                "illegal instruction {word:#010x} at {:#x}",
-                self.pc
-            ));
+            return Err(Trap {
+                kind: TrapKind::IllegalInstruction,
+                pc: self.pc,
+                info: word as u64,
+            });
         };
         let pc = self.pc;
         let mut next_pc = pc.wrapping_add(4);
@@ -230,8 +397,9 @@ impl Cpu {
             } => {
                 let addr = self.reg(rs1).wrapping_add(offset as u64);
                 let n = width as usize;
+                Self::check_aligned(addr, n as u64, pc)?;
                 let mut buf = [0u8; 8];
-                self.mem_read(mem, addr, &mut buf[..n]);
+                self.mem_read(mem, addr, &mut buf[..n], pc)?;
                 let raw = u64::from_le_bytes(buf);
                 let val = if signed {
                     match width {
@@ -261,8 +429,9 @@ impl Cpu {
             } => {
                 let addr = self.reg(rs1).wrapping_add(offset as u64);
                 let n = width as usize;
+                Self::check_aligned(addr, n as u64, pc)?;
                 let bytes = self.reg(rs2).to_le_bytes();
-                self.mem_write(mem, addr, &bytes[..n]);
+                self.mem_write(mem, addr, &bytes[..n], pc)?;
                 if !self.in_spm(addr, n as u64) {
                     events.push(MemEvent {
                         addr,
@@ -368,13 +537,14 @@ impl Cpu {
             I::Ecall => {
                 self.halted = true;
                 self.retired += 1;
-                return ExecResult::Halted;
+                return Ok(ExecResult::Halted);
             }
             I::LoadReserved { rd, rs1, width } => {
                 let addr = self.reg(rs1);
                 let n = width as usize;
+                Self::check_aligned(addr, n as u64, pc)?;
                 let mut buf = [0u8; 8];
-                self.mem_read(mem, addr, &mut buf[..n]);
+                self.mem_read(mem, addr, &mut buf[..n], pc)?;
                 let v = if width == Width::W {
                     i32::from_le_bytes(buf[..4].try_into().unwrap()) as i64 as u64
                 } else {
@@ -397,9 +567,10 @@ impl Cpu {
             } => {
                 let addr = self.reg(rs1);
                 let n = width as usize;
+                Self::check_aligned(addr, n as u64, pc)?;
                 if self.reservation == Some(addr) {
                     let bytes = self.reg(rs2).to_le_bytes();
-                    self.mem_write(mem, addr, &bytes[..n]);
+                    self.mem_write(mem, addr, &bytes[..n], pc)?;
                     self.set_reg(rd, 0);
                     events.push(MemEvent {
                         addr,
@@ -421,8 +592,9 @@ impl Cpu {
             } => {
                 let addr = self.reg(rs1);
                 let n = width as usize;
+                Self::check_aligned(addr, n as u64, pc)?;
                 let mut buf = [0u8; 8];
-                self.mem_read(mem, addr, &mut buf[..n]);
+                self.mem_read(mem, addr, &mut buf[..n], pc)?;
                 let old = if width == Width::W {
                     i32::from_le_bytes(buf[..4].try_into().unwrap()) as i64 as u64
                 } else {
@@ -437,7 +609,7 @@ impl Cpu {
                     AmoOp::Or => old | b,
                 };
                 let bytes = new.to_le_bytes();
-                self.mem_write(mem, addr, &bytes[..n]);
+                self.mem_write(mem, addr, &bytes[..n], pc)?;
                 self.set_reg(rd, old);
                 events.push(MemEvent {
                     addr,
@@ -453,9 +625,23 @@ impl Cpu {
                 let dst = self.reg(rd);
                 let len = (imm.max(0) as u64).min(4096);
                 let mut buf = vec![0u8; len as usize];
-                mem.read(src, &mut buf);
+                {
+                    let before = mem.fault_count();
+                    mem.read(src, &mut buf);
+                    if mem.fault_count() != before {
+                        return Err(Trap {
+                            kind: TrapKind::OutOfRange,
+                            pc,
+                            info: src,
+                        });
+                    }
+                }
                 if !self.in_spm(dst, len) {
-                    return ExecResult::Trap(format!("spm.fetch target {dst:#x} not in SPM"));
+                    return Err(Trap {
+                        kind: TrapKind::SpmRange,
+                        pc,
+                        info: dst,
+                    });
                 }
                 let o = (dst - self.spm_base) as usize;
                 self.spm[o..o + len as usize].copy_from_slice(&buf);
@@ -476,11 +662,25 @@ impl Cpu {
                 let dst = self.reg(rd);
                 let len = (imm.max(0) as u64).min(4096);
                 if !self.in_spm(src, len) {
-                    return ExecResult::Trap(format!("spm.flush source {src:#x} not in SPM"));
+                    return Err(Trap {
+                        kind: TrapKind::SpmRange,
+                        pc,
+                        info: src,
+                    });
                 }
                 let o = (src - self.spm_base) as usize;
                 let buf = self.spm[o..o + len as usize].to_vec();
-                mem.write(dst, &buf);
+                {
+                    let before = mem.fault_count();
+                    mem.write(dst, &buf);
+                    if mem.fault_count() != before {
+                        return Err(Trap {
+                            kind: TrapKind::OutOfRange,
+                            pc,
+                            info: dst,
+                        });
+                    }
+                }
                 let mut off = 0;
                 while off < len {
                     events.push(MemEvent {
@@ -496,7 +696,7 @@ impl Cpu {
 
         self.pc = next_pc;
         self.retired += 1;
-        ExecResult::Continue
+        Ok(ExecResult::Continue)
     }
 
     /// Run until halt, trap, or `max_steps`; returns collected events.
@@ -724,6 +924,110 @@ mod tests {
         // In-range accesses don't fault.
         mem.write(0, &buf);
         assert_eq!(mem.faults, 2);
+    }
+
+    #[test]
+    fn misaligned_access_traps_with_reason_code() {
+        let image = assemble("li a0, 0x1001\nld a1, 0(a0)\necall\n").unwrap();
+        let mut mem = FlatMemory::new(1 << 16);
+        mem.load_image(0, &image);
+        let mut cpu = Cpu::new(0, 64);
+        let (_, r) = cpu.run(&mut mem, 100);
+        match r {
+            ExecResult::Trap(t) => {
+                assert_eq!(t.kind, TrapKind::MisalignedAccess);
+                assert_eq!(t.info, 0x1001);
+                assert_eq!(t.code(), 2);
+            }
+            other => panic!("expected misaligned trap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn misaligned_store_and_amo_trap() {
+        for src in [
+            "li a0, 0x1002\nsd a1, 0(a0)\necall\n",
+            "li a0, 0x1004\namoadd.d a1, a2, (a0)\necall\n",
+        ] {
+            let image = assemble(src).unwrap();
+            let mut mem = FlatMemory::new(1 << 16);
+            mem.load_image(0, &image);
+            let mut cpu = Cpu::new(0, 64);
+            let (_, r) = cpu.run(&mut mem, 100);
+            assert!(
+                matches!(r, ExecResult::Trap(t) if t.kind == TrapKind::MisalignedAccess),
+                "{src}: {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_guest_access_traps_instead_of_zero_fill() {
+        let image = assemble("li a0, 0x100000\nld a1, 0(a0)\necall\n").unwrap();
+        let mut mem = FlatMemory::new(4096);
+        mem.load_image(0, &image);
+        let mut cpu = Cpu::new(0, 64);
+        let (_, r) = cpu.run(&mut mem, 100);
+        match r {
+            ExecResult::Trap(t) => {
+                assert_eq!(t.kind, TrapKind::OutOfRange);
+                assert_eq!(t.info, 0x100000);
+                assert_eq!(t.code(), 3);
+            }
+            other => panic!("expected out-of-range trap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_fetch_traps() {
+        // Jump far past the end of a tiny memory.
+        let image = assemble("li a0, 0x10000\njr a0\n").unwrap();
+        let mut mem = FlatMemory::new(4096);
+        mem.load_image(0, &image);
+        let mut cpu = Cpu::new(0, 64);
+        let (_, r) = cpu.run(&mut mem, 100);
+        assert!(matches!(r, ExecResult::Trap(t) if t.kind == TrapKind::OutOfRange));
+    }
+
+    #[test]
+    fn load_image_out_of_range_faults_instead_of_panicking() {
+        let mut mem = FlatMemory::new(8);
+        mem.load_image(4, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(mem.faults, 1);
+        let mut buf = [0u8; 4];
+        mem.read(4, &mut buf);
+        assert_eq!(buf, [1, 2, 3, 4], "in-range prefix still copied");
+        // Entirely out of range: dropped, counted.
+        mem.load_image(1 << 40, &[9]);
+        assert_eq!(mem.faults, 2);
+    }
+
+    #[test]
+    fn resume_after_ecall_continues_past_the_call() {
+        let image = assemble("li a0, 1\necall\nli a0, 2\necall\n").unwrap();
+        let mut mem = FlatMemory::new(4096);
+        mem.load_image(0, &image);
+        let mut cpu = Cpu::new(0, 64);
+        let (_, r) = cpu.run(&mut mem, 100);
+        assert_eq!(r, ExecResult::Halted);
+        assert_eq!(cpu.reg(Reg(10)), 1);
+        assert!(cpu.halted());
+        cpu.resume();
+        assert!(!cpu.halted());
+        let (_, r) = cpu.run(&mut mem, 100);
+        assert_eq!(r, ExecResult::Halted);
+        assert_eq!(cpu.reg(Reg(10)), 2, "execution continued past the ecall");
+    }
+
+    #[test]
+    fn spm_window_near_address_space_top_does_not_overflow() {
+        // `in_spm` with addr + len overflowing u64 must be false, not panic.
+        let mut mem = FlatMemory::new(4096);
+        let image = assemble("li a0, -8\nld a1, 0(a0)\necall\n").unwrap();
+        mem.load_image(0, &image);
+        let mut cpu = Cpu::new(0, 64);
+        let (_, r) = cpu.run(&mut mem, 100);
+        assert!(matches!(r, ExecResult::Trap(t) if t.kind == TrapKind::OutOfRange));
     }
 
     #[test]

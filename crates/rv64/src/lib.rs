@@ -33,8 +33,8 @@ pub mod encode;
 pub mod isa;
 pub mod trace;
 
-pub use asm::assemble;
-pub use cpu::{Cpu, ExecResult, FlatMemory, Memory};
+pub use asm::{assemble, li_items, parse_line, AsmItem};
+pub use cpu::{Cpu, ExecResult, FlatMemory, Memory, Trap, TrapKind};
 pub use decode::decode;
 pub use disasm::{disassemble, disassemble_image};
 pub use encode::encode;

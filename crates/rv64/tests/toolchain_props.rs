@@ -1,0 +1,243 @@
+//! Property tests for the rv64 toolchain as a whole: encode→decode
+//! identity over generated instructions, and the assemble→disasm→
+//! assemble fixpoint over generated programs (every representation —
+//! words, decoded forms, text — must describe the same program).
+
+use proptest::prelude::*;
+
+use rv64_sim::isa::{AluImmOp, AluOp, AmoOp, BranchOp, Instruction, Reg, Width};
+use rv64_sim::{assemble, decode, disassemble_image, encode};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg)
+}
+
+fn arb_width() -> impl Strategy<Value = Width> {
+    prop_oneof![
+        Just(Width::B),
+        Just(Width::H),
+        Just(Width::W),
+        Just(Width::D)
+    ]
+}
+
+/// Every encodable instruction form, with immediates constrained to the
+/// ranges the binary format can carry (so encode is lossless).
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    use Instruction as I;
+    prop_oneof![
+        (arb_reg(), -(1i64 << 31)..(1i64 << 31)).prop_map(|(rd, v)| I::Lui {
+            rd,
+            imm: v & !0xFFF
+        }),
+        (arb_reg(), -(1i64 << 31)..(1i64 << 31)).prop_map(|(rd, v)| I::Auipc {
+            rd,
+            imm: v & !0xFFF
+        }),
+        (arb_reg(), -(1i64 << 19)..(1i64 << 19)).prop_map(|(rd, o)| I::Jal { rd, offset: o * 2 }),
+        (arb_reg(), arb_reg(), -2048i64..2048).prop_map(|(rd, rs1, offset)| I::Jalr {
+            rd,
+            rs1,
+            offset
+        }),
+        (
+            prop_oneof![
+                Just(BranchOp::Eq),
+                Just(BranchOp::Ne),
+                Just(BranchOp::Lt),
+                Just(BranchOp::Ge),
+                Just(BranchOp::Ltu),
+                Just(BranchOp::Geu)
+            ],
+            arb_reg(),
+            arb_reg(),
+            -(1i64 << 11)..(1i64 << 11)
+        )
+            .prop_map(|(op, rs1, rs2, o)| I::Branch {
+                op,
+                rs1,
+                rs2,
+                offset: o * 2
+            }),
+        (
+            arb_reg(),
+            arb_reg(),
+            -2048i64..2048,
+            arb_width(),
+            any::<bool>()
+        )
+            .prop_map(|(rd, rs1, offset, width, signed)| I::Load {
+                rd,
+                rs1,
+                offset,
+                width,
+                signed: signed || width == Width::D,
+            }),
+        (arb_reg(), arb_reg(), -2048i64..2048, arb_width()).prop_map(
+            |(rs1, rs2, offset, width)| I::Store {
+                rs1,
+                rs2,
+                offset,
+                width
+            }
+        ),
+        (
+            prop_oneof![
+                Just(AluImmOp::Addi),
+                Just(AluImmOp::Slti),
+                Just(AluImmOp::Sltiu),
+                Just(AluImmOp::Xori),
+                Just(AluImmOp::Ori),
+                Just(AluImmOp::Andi),
+                Just(AluImmOp::Addiw)
+            ],
+            arb_reg(),
+            arb_reg(),
+            -2048i64..2048
+        )
+            .prop_map(|(op, rd, rs1, imm)| I::AluImm { op, rd, rs1, imm }),
+        (
+            prop_oneof![
+                Just(AluImmOp::Slli),
+                Just(AluImmOp::Srli),
+                Just(AluImmOp::Srai)
+            ],
+            arb_reg(),
+            arb_reg(),
+            0i64..64
+        )
+            .prop_map(|(op, rd, rs1, imm)| I::AluImm { op, rd, rs1, imm }),
+        (
+            prop_oneof![
+                Just(AluImmOp::Slliw),
+                Just(AluImmOp::Srliw),
+                Just(AluImmOp::Sraiw)
+            ],
+            arb_reg(),
+            arb_reg(),
+            0i64..32
+        )
+            .prop_map(|(op, rd, rs1, imm)| I::AluImm { op, rd, rs1, imm }),
+        (
+            prop_oneof![
+                Just(AluOp::Add),
+                Just(AluOp::Sub),
+                Just(AluOp::Sll),
+                Just(AluOp::Slt),
+                Just(AluOp::Sltu),
+                Just(AluOp::Xor),
+                Just(AluOp::Srl),
+                Just(AluOp::Sra),
+                Just(AluOp::Or),
+                Just(AluOp::And),
+                Just(AluOp::Mul),
+                Just(AluOp::Mulh),
+                Just(AluOp::Mulhsu),
+                Just(AluOp::Mulhu),
+                Just(AluOp::Div),
+                Just(AluOp::Divu),
+                Just(AluOp::Rem),
+                Just(AluOp::Remu),
+                Just(AluOp::Addw),
+                Just(AluOp::Subw),
+                Just(AluOp::Sllw),
+                Just(AluOp::Srlw),
+                Just(AluOp::Sraw),
+                Just(AluOp::Mulw),
+                Just(AluOp::Divw),
+                Just(AluOp::Divuw),
+                Just(AluOp::Remw),
+                Just(AluOp::Remuw)
+            ],
+            arb_reg(),
+            arb_reg(),
+            arb_reg()
+        )
+            .prop_map(|(op, rd, rs1, rs2)| I::Alu { op, rd, rs1, rs2 }),
+        Just(I::Fence),
+        Just(I::Ecall),
+        (
+            arb_reg(),
+            arb_reg(),
+            prop_oneof![Just(Width::W), Just(Width::D)]
+        )
+            .prop_map(|(rd, rs1, width)| I::LoadReserved { rd, rs1, width }),
+        (
+            arb_reg(),
+            arb_reg(),
+            arb_reg(),
+            prop_oneof![Just(Width::W), Just(Width::D)]
+        )
+            .prop_map(|(rd, rs1, rs2, width)| I::StoreConditional {
+                rd,
+                rs1,
+                rs2,
+                width
+            }),
+        (
+            prop_oneof![
+                Just(AmoOp::Add),
+                Just(AmoOp::Swap),
+                Just(AmoOp::Xor),
+                Just(AmoOp::And),
+                Just(AmoOp::Or)
+            ],
+            arb_reg(),
+            arb_reg(),
+            arb_reg(),
+            prop_oneof![Just(Width::W), Just(Width::D)]
+        )
+            .prop_map(|(op, rd, rs1, rs2, width)| I::Amo {
+                op,
+                rd,
+                rs1,
+                rs2,
+                width
+            }),
+        (arb_reg(), arb_reg(), 0i64..2048).prop_map(|(rd, rs1, imm)| I::SpmFetch { rd, rs1, imm }),
+        (arb_reg(), arb_reg(), 0i64..2048).prop_map(|(rd, rs1, imm)| I::SpmFlush { rd, rs1, imm }),
+    ]
+}
+
+fn image_of(instrs: &[Instruction]) -> Vec<u8> {
+    instrs
+        .iter()
+        .flat_map(|&i| encode(i).to_le_bytes())
+        .collect()
+}
+
+proptest! {
+    /// decode(encode(i)) == i for every encodable instruction.
+    #[test]
+    fn encode_decode_identity(ins in arb_instruction()) {
+        let word = encode(ins);
+        prop_assert_eq!(decode(word), Some(ins));
+    }
+
+    /// The textual listing of a generated program reassembles to the
+    /// exact same image, and disassembly is a fixpoint from then on:
+    /// asm(disasm(img)) == img and disasm is stable across the trip.
+    #[test]
+    fn assemble_disasm_assemble_fixpoint(
+        instrs in proptest::collection::vec(arb_instruction(), 1..40)
+    ) {
+        let img1 = image_of(&instrs);
+        let text1 = disassemble_image(&img1).join("\n");
+        let img2 = assemble(&text1).expect("disassembly must be assemblable");
+        prop_assert_eq!(&img1, &img2, "text -> words is lossless");
+        let text2 = disassemble_image(&img2).join("\n");
+        prop_assert_eq!(text1, text2, "disassembly is a fixpoint");
+    }
+
+    /// Arbitrary words either fail to decode or survive the full
+    /// words -> text -> words trip with identical decoded meaning.
+    #[test]
+    fn arbitrary_words_round_trip_through_text(word in any::<u32>()) {
+        if let Some(ins) = decode(word) {
+            let listing = disassemble_image(&word.to_le_bytes()).join("\n");
+            let img = assemble(&listing).expect("decodable word reassembles");
+            let word2 = u32::from_le_bytes(img[..4].try_into().unwrap());
+            prop_assert_eq!(decode(word2), Some(ins));
+        }
+    }
+}

@@ -96,9 +96,10 @@ impl BaselineCheck {
 }
 
 /// The labelled simulation requests the baseline covers: every smoke
-/// calibration workload with and without the MAC, plus the net-smoke
-/// scatter/gather run over a 2-cube chain. Mirrors the `smoke` and
-/// `net_smoke` manifest entries so CI's warm cache serves both.
+/// calibration workload and every guest-binary workload with and
+/// without the MAC, plus the net-smoke scatter/gather run over a 2-cube
+/// chain. Mirrors the `smoke`, `guest_smoke`, and `net_smoke` manifest
+/// entries so CI's warm cache serves them all.
 pub fn baseline_requests() -> Vec<(String, SimRequest)> {
     let mut cfg = ExperimentConfig::paper(4);
     cfg.workload.scale = 1;
@@ -108,6 +109,16 @@ pub fn baseline_requests() -> Vec<(String, SimRequest)> {
 
     let mut out = Vec::new();
     for w in mac_workloads::micro::calibration_workloads() {
+        out.push((format!("{}/mac", w.name()), SimRequest::new(w.name(), &cfg)));
+        out.push((
+            format!("{}/nomac", w.name()),
+            SimRequest::new(w.name(), &base),
+        ));
+    }
+
+    // Guest-binary entries mirror the `guest_smoke` manifest entry
+    // (same config, with/without pairs), so CI's warm cache serves both.
+    for w in mac_workloads::guest::guest_workloads() {
         out.push((format!("{}/mac", w.name()), SimRequest::new(w.name(), &cfg)));
         out.push((
             format!("{}/nomac", w.name()),
@@ -805,6 +816,8 @@ mod tests {
         assert!(cases.iter().any(|(l, _)| l.ends_with("/mac")));
         assert!(cases.iter().any(|(l, _)| l.ends_with("/nomac")));
         assert!(cases.iter().any(|(l, _)| l == "sg/net2"));
+        assert!(cases.iter().any(|(l, _)| l == "guest_stream/mac"));
+        assert!(cases.iter().any(|(l, _)| l == "guest_ptrchase/nomac"));
         // The idle-heavy latency entries that anchor the perf
         // trajectory: one thread, one outstanding access.
         let lat: Vec<&(String, SimRequest)> =

@@ -8,6 +8,7 @@
 //! per-figure `mac-bench` binaries.
 
 use cache_model::MshrFile;
+use mac_guest::{cross_validate, ProgramSpec, TraceProfile, XvalReport, XvalTolerances};
 use mac_types::{bandwidth, ns_to_cycles, FlitTablePolicy, MacPlacement, NetTopology};
 use mac_workloads::{all_workloads, extended_workloads, WorkloadParams};
 use soc_sim::ThreadOp;
@@ -766,6 +767,107 @@ fn smoke(ctx: &ExpCtx) -> Vec<Artifact> {
     )]
 }
 
+fn guest_smoke(ctx: &ExpCtx) -> Vec<Artifact> {
+    // Every shipped guest binary through the full engine (assemble →
+    // ELF → rv64 execution → trace capture → SystemSim), with/without
+    // MAC, at the same reduced cycle cap as the other smoke entries.
+    let mut cfg = ExperimentConfig::paper(4);
+    cfg.workload.scale = 1;
+    cfg.max_cycles = 50_000_000;
+    let ws = mac_workloads::guest::guest_workloads();
+    let pairs = ctx.pool.run_suite_pairs(&ws, &cfg);
+    let rows = pairs
+        .iter()
+        .map(|(n, with, without)| {
+            vec![
+                n.clone(),
+                with.soc.raw_requests.to_string(),
+                with.hmc.accesses().to_string(),
+                pct(with.coalescing_efficiency()),
+                format!("{:.1}%", with.memory_speedup_vs(without)),
+            ]
+        })
+        .collect();
+    vec![art(
+        "guest_smoke",
+        "mac-guest CI smoke: ELF guest binaries through the full engine",
+        &[
+            "guest",
+            "raw requests",
+            "transactions",
+            "coalescing",
+            "speedup",
+        ],
+        rows,
+    )]
+}
+
+/// Cross-validate one guest program's captured address stream against
+/// its modeled counterpart's, at the given workload parameters. Returns
+/// `Ok(None)` for guests with no modeled counterpart. Shared by the
+/// `guest_xval` manifest entry and `mac-bench guest xval`.
+pub fn guest_xval_pair(
+    spec: &ProgramSpec,
+    params: &WorkloadParams,
+    tol: &XvalTolerances,
+) -> Result<Option<XvalReport>, String> {
+    let Some(modeled) = spec.modeled else {
+        return Ok(None);
+    };
+    let guest = mac_guest::capture_traces(spec, params.threads, params.scale, params.seed)?;
+    let w = mac_workloads::by_name(modeled)
+        .ok_or_else(|| format!("{}: modeled counterpart `{modeled}` unknown", spec.name))?;
+    let model = w.generate(params);
+    Ok(Some(cross_validate(
+        &TraceProfile::of(&guest),
+        &TraceProfile::of(&model),
+        tol,
+    )))
+}
+
+fn guest_xval(_ctx: &ExpCtx) -> Vec<Artifact> {
+    let params = WorkloadParams::default();
+    let tol = XvalTolerances::default();
+    let mut rows = Vec::new();
+    let mut all_pass = true;
+    for spec in mac_guest::shipped_programs() {
+        let report = match guest_xval_pair(spec, &params, &tol) {
+            Ok(Some(r)) => r,
+            Ok(None) => continue,
+            Err(e) => panic!("guest_xval: {e}"),
+        };
+        all_pass &= report.pass;
+        for c in &report.checks {
+            rows.push(vec![
+                spec.name.to_string(),
+                spec.modeled.unwrap_or("-").to_string(),
+                c.name.to_string(),
+                c.guest.to_string(),
+                c.model.to_string(),
+                c.delta_milli.to_string(),
+                c.limit_milli.to_string(),
+                if c.pass { "ok" } else { "FAIL" }.to_string(),
+            ]);
+        }
+    }
+    let mut a = art(
+        "guest_xval",
+        "mac-guest cross-validation: guest vs modeled address streams",
+        &[
+            "guest", "modeled", "check", "guest", "model", "|delta|", "limit", "status",
+        ],
+        rows,
+    );
+    a.notes = vec![
+        format!(
+            "xval verdict: {} (milli units; see DESIGN.md for tolerance rationale)",
+            if all_pass { "PASS" } else { "FAIL" }
+        ),
+        "guest/model columns are milli shares or ratios; ratios compare to 1000".into(),
+    ];
+    vec![a]
+}
+
 fn net_chain_sweep(ctx: &ExpCtx) -> Vec<Artifact> {
     let cubes = [1usize, 2, 4, 8];
     let mut reqs = Vec::new();
@@ -953,6 +1055,8 @@ pub fn execute(exp: &Experiment, ctx: &ExpCtx) -> Vec<Artifact> {
         ExpKind::NetPlacement => net_placement(ctx),
         ExpKind::NetTopology => net_topology(ctx),
         ExpKind::NetSmoke => net_smoke(ctx),
+        ExpKind::GuestSmoke => guest_smoke(ctx),
+        ExpKind::GuestXval => guest_xval(ctx),
     }
 }
 

@@ -15,7 +15,7 @@
 //! let figs = mac_sim::manifest::select("fig1?");
 //! assert!(figs.iter().all(|e| e.name.starts_with("fig1")));
 //! let smoke = mac_sim::manifest::select("smoke");
-//! assert_eq!(smoke.len(), 2); // engine smoke + net smoke
+//! assert_eq!(smoke.len(), 3); // engine smoke + net smoke + guest smoke
 //! ```
 
 /// What an experiment computes; the engine's catalog maps each variant to
@@ -82,6 +82,10 @@ pub enum ExpKind {
     NetTopology,
     /// mac-net CI smoke: one chain-of-2 run, reduced cycle cap.
     NetSmoke,
+    /// mac-guest CI smoke: guest binaries through the full engine.
+    GuestSmoke,
+    /// mac-guest cross-validation: guest vs modeled address streams.
+    GuestXval,
 }
 
 /// One manifest entry: a named, tagged experiment plus the paper claim it
@@ -314,6 +318,21 @@ pub fn manifest() -> Vec<Experiment> {
             tags: &["net", "smoke", "sim"],
             kind: ExpKind::NetSmoke,
         },
+        Experiment {
+            name: "guest_smoke",
+            title: "mac-guest CI smoke: ELF guest binaries through the full engine",
+            claim: "real rv64 binaries drive SystemSim like modeled traces (not a paper figure)",
+            tags: &["guest", "smoke", "sim"],
+            kind: ExpKind::GuestSmoke,
+        },
+        Experiment {
+            name: "guest_xval",
+            title: "mac-guest cross-validation: guest vs modeled address streams",
+            claim:
+                "guest binaries reproduce the modeled kernels' access statistics within tolerance",
+            tags: &["guest", "xval", "sim"],
+            kind: ExpKind::GuestXval,
+        },
     ]
 }
 
@@ -386,7 +405,7 @@ mod tests {
         let m = manifest();
         let names: std::collections::HashSet<_> = m.iter().map(|e| e.name).collect();
         assert_eq!(names.len(), m.len());
-        assert_eq!(m.len(), 30);
+        assert_eq!(m.len(), 32);
     }
 
     #[test]
@@ -405,7 +424,7 @@ mod tests {
     #[test]
     fn empty_filter_selects_all_but_smoke() {
         let sel = select("");
-        assert_eq!(sel.len(), manifest().len() - 2);
+        assert_eq!(sel.len(), manifest().len() - 3);
         assert!(sel.iter().all(|e| !e.tags.contains(&"smoke")));
         assert!(sel.iter().any(|e| e.name == "net_chain_sweep"));
     }
@@ -414,9 +433,10 @@ mod tests {
     fn filters_match_tags_and_names() {
         assert!(select("ablation").len() >= 9);
         assert!(select("paired").iter().any(|e| e.name == "fig17"));
-        assert_eq!(select("smoke").len(), 2);
+        assert_eq!(select("smoke").len(), 3);
         assert_eq!(select("net_*").len(), 4);
         assert_eq!(select("net").len(), 4);
+        assert_eq!(select("guest").len(), 2);
         let multi = select("table1,fig03");
         assert_eq!(multi.len(), 2);
         assert!(select("no-such-thing").is_empty());

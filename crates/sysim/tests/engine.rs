@@ -49,7 +49,7 @@ fn artifact_bytes(dir: &PathBuf) -> Vec<(String, Vec<u8>)> {
 #[test]
 fn parallel_runs_are_byte_identical_to_serial() {
     let exps = select("smoke");
-    assert_eq!(exps.len(), 2, "engine smoke + net smoke");
+    assert_eq!(exps.len(), 3, "engine smoke + net smoke + guest smoke");
 
     let serial_dir = scratch("serial");
     let parallel_dir = scratch("parallel");

@@ -1,0 +1,92 @@
+//! End-to-end tests for the guest-binary workload pipeline: checked-in
+//! `.s` sources assembled to ELF, executed on the rv64 interpreter, and
+//! driven through the full experiment engine with content-addressed
+//! caching, plus the guest-vs-model cross-validation gate.
+
+use mac_guest::{cross_validate, shipped_programs, TraceProfile, XvalTolerances};
+use mac_sim::catalog::guest_xval_pair;
+use mac_sim::engine::{run_experiments, EngineOptions, SimPool, SimRequest};
+use mac_sim::manifest::select;
+use mac_sim::ExperimentConfig;
+use mac_workloads::WorkloadParams;
+
+fn guest_cfg() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::paper(4);
+    cfg.workload.scale = 1;
+    cfg.max_cycles = 50_000_000;
+    cfg
+}
+
+fn temp_out(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("mac-guest-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn guest_run_reports_are_deterministic_across_pools() {
+    let cfg = guest_cfg();
+    let req = SimRequest::new("guest_stream", &cfg);
+    let a = SimPool::new(1).run_batch(std::slice::from_ref(&req));
+    let b = SimPool::new(2).run_batch(std::slice::from_ref(&req));
+    assert_eq!(a, b, "guest simulation is deterministic");
+    assert!(a[0].cycles > 0 && a[0].cycles < cfg.max_cycles, "drained");
+    assert!(a[0].soc.raw_requests > 1000, "guest drove real traffic");
+}
+
+#[test]
+fn guest_smoke_warm_rerun_simulates_nothing() {
+    let out = temp_out("warm");
+    let _ = std::fs::remove_dir_all(&out);
+    let opts = EngineOptions {
+        jobs: 2,
+        scale: 1,
+        out_dir: out.clone(),
+        ..EngineOptions::default()
+    };
+    let exps = select("guest_smoke");
+    assert_eq!(exps.len(), 1);
+
+    let cold = run_experiments(&exps, &opts).expect("cold run");
+    assert!(cold.passed(), "no cycle-cap timeouts");
+    assert!(cold.sims_executed > 0, "cold run simulates");
+    assert_eq!(cold.outcomes.len(), 1);
+    let cold_rows = cold.outcomes[0].artifacts[0].rows.clone();
+    assert_eq!(cold_rows.len(), shipped_programs().len());
+
+    // Warm re-run: artifact cache plus sim cache mean zero simulations.
+    let warm = run_experiments(&exps, &opts).expect("warm run");
+    assert!(warm.passed());
+    assert_eq!(warm.sims_executed, 0, "warm re-run executes 0 simulations");
+    assert_eq!(warm.outcomes[0].artifacts[0].rows, cold_rows);
+    let _ = std::fs::remove_dir_all(&out);
+}
+
+#[test]
+fn guest_xval_passes_for_every_modeled_pair() {
+    let params = WorkloadParams::default();
+    let tol = XvalTolerances::default();
+    let mut pairs = 0;
+    for spec in shipped_programs() {
+        let Some(report) = guest_xval_pair(spec, &params, &tol).expect(spec.name) else {
+            continue;
+        };
+        pairs += 1;
+        assert!(report.pass, "{}:\n{report}", spec.name);
+    }
+    assert!(pairs >= 3, "stream/gups/sg all have modeled counterparts");
+}
+
+#[test]
+fn intentionally_mismatched_pair_fails_xval() {
+    // guest_stream's sequential triad vs the modeled random-access gups
+    // stream: the stride and row statistics cannot agree.
+    let params = WorkloadParams::default();
+    let spec = mac_guest::program_by_name("guest_stream").unwrap();
+    let guest = mac_guest::capture_traces(spec, params.threads, params.scale, params.seed).unwrap();
+    let model = mac_workloads::by_name("gups").unwrap().generate(&params);
+    let report = cross_validate(
+        &TraceProfile::of(&guest),
+        &TraceProfile::of(&model),
+        &XvalTolerances::default(),
+    );
+    assert!(!report.pass, "mismatched kernels must fail:\n{report}");
+}

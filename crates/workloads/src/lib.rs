@@ -30,6 +30,7 @@
 pub mod bots;
 pub mod gap;
 pub mod grappolo;
+pub mod guest;
 pub mod hpcg;
 pub mod micro;
 pub mod nas;
@@ -107,9 +108,13 @@ pub fn extended_workloads() -> Vec<Box<dyn Workload>> {
     ws
 }
 
-/// Look a workload up by its report name.
+/// Look a workload up by its report name. Searches the extended
+/// modeled suite first, then the guest-binary kernels (`guest_*`).
 pub fn by_name(name: &str) -> Option<Box<dyn Workload>> {
-    extended_workloads().into_iter().find(|w| w.name() == name)
+    extended_workloads()
+        .into_iter()
+        .chain(guest::guest_workloads())
+        .find(|w| w.name() == name)
 }
 
 /// Owner thread of iteration `i` under OpenMP-style *static block*
