@@ -1,0 +1,87 @@
+//! Host-profiler overhead on the MAC hot path.
+//!
+//! The profiler makes the same promise as the tracer: zero overhead
+//! when disabled. A disabled [`Profiler`] is a `None`, so a counter
+//! bump or span guard at a hot site pays one branch and allocates
+//! nothing. These benchmarks drive the same accept+tick loop as
+//! `telemetry_overhead` through three wirings — no profiler call at
+//! all, a disabled profiler bumping a counter per cycle, and an enabled
+//! profiler doing the same — so `disabled` can be compared against
+//! `baseline` (they must be within noise) and `enabled` quantifies the
+//! cost of turning host profiling on at per-cycle granularity (real
+//! instrumentation sites are far coarser: per batch, per simulation,
+//! per cache probe).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use mac_coalescer::Mac;
+use mac_telemetry::Profiler;
+use mac_types::{MacConfig, MemOpKind, NodeId, PhysAddr, RawRequest, Target, TransactionId};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+fn raw(id: u64, addr: u64) -> RawRequest {
+    let a = PhysAddr::new(addr);
+    RawRequest {
+        id: TransactionId(id),
+        addr: a,
+        kind: MemOpKind::Load,
+        node: NodeId(0),
+        home: NodeId(0),
+        target: Target {
+            tid: (id & 0xFFFF) as u16,
+            tag: 0,
+            flit: a.flit(),
+        },
+        issued_at: 0,
+    }
+}
+
+fn drive(mac: &mut Mac, rng: &mut SmallRng, now: &mut u64) -> usize {
+    let a = rng.gen_range(0..1u64 << 24) & !0xF;
+    mac.try_accept(black_box(raw(*now, a)), *now);
+    let ev = mac.tick(*now);
+    *now += 1;
+    ev.len()
+}
+
+fn bench_profiler_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("profiler");
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("mac_cycle_baseline", |b| {
+        let mut mac = Mac::new(&MacConfig::default());
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut now = 0u64;
+        b.iter(|| black_box(drive(&mut mac, &mut rng, &mut now)));
+    });
+
+    g.bench_function("mac_cycle_profiler_disabled", |b| {
+        let mut mac = Mac::new(&MacConfig::default());
+        let p = Profiler::disabled();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut now = 0u64;
+        b.iter(|| {
+            p.add("bench/cycle", 1);
+            black_box(drive(&mut mac, &mut rng, &mut now))
+        });
+    });
+
+    g.bench_function("mac_cycle_profiler_enabled", |b| {
+        let mut mac = Mac::new(&MacConfig::default());
+        let p = Profiler::enabled();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut now = 0u64;
+        b.iter(|| {
+            p.add("bench/cycle", 1);
+            black_box(drive(&mut mac, &mut rng, &mut now))
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_profiler_overhead
+}
+criterion_main!(benches);

@@ -6,14 +6,15 @@
 //! ```text
 //! mac-bench [run] [--filter GLOB[,GLOB...]] [--jobs N] [--scale N]
 //!           [--out DIR] [--no-cache] [--trace]
-//!           [--metrics] [--metrics-interval N] [--list]
+//!           [--metrics] [--metrics-interval N] [--profile] [--list]
 //! mac-bench baseline [--check | --update] [--file PATH]
 //!           [--trajectory] [--stepped-ref]
 //!           [--jobs N] [--out DIR] [--no-cache]
 //! mac-bench fuzz [--iters N] [--seed S] [--out DIR] [--max-cycles N]
 //!           [--smoke] [--replay FILE]
 //! mac-bench serve [--addr A] [--workers N] [--sim-jobs N] [--out DIR]
-//!           [--queue N] [--per-client N] [--paused]
+//!           [--queue N] [--per-client N] [--paused] [--flush-every N]
+//!           [--metrics-interval N] [--watch-poll-ms N] [--profile]
 //! mac-bench client [--addr A] [--name NAME] VERB ...
 //! mac-bench guest list | assemble NAME [--out FILE] | disasm NAME
 //!           | run NAME [--threads N] [--scale N] [--seed S]
@@ -40,6 +41,13 @@
 //!   time-series as `<out>/metrics/<workload>-<fp>.{csv,json}` — the
 //!   directory `metrics_tools` resolves bare file names into. Cached
 //!   sims emit nothing; combine with `--no-cache` for full coverage.
+//! * `--profile` records host-side wall-clock spans and counters
+//!   through the pool and run loops, writes `profile.txt` (deterministic
+//!   structure) and `profile.json` (wall-clock figures) under
+//!   `<out>/profile/`, and merges host spans with any `--trace` records
+//!   and `--metrics` series into one Perfetto timeline at
+//!   `<out>/profile/merged-trace.json` (DESIGN.md §16). Profiling never
+//!   changes simulated results or cache fingerprints.
 //! * A `run` whose simulations all drain exits 0; any simulation that
 //!   hits its cycle cap marks its entry `[FAILED]` in the per-entry
 //!   summary and the run exits non-zero — truncated measurements must
@@ -94,12 +102,16 @@ use std::path::PathBuf;
 use std::process::exit;
 use std::time::Instant;
 
+use mac_metrics::MetricsSnapshot;
 use mac_serve::proto::{Fields, Scalar};
-use mac_serve::{serve, AdmissionConfig, JobSpec, JobState, Response, ServeClient, ServerConfig};
+use mac_serve::{
+    serve, AdmissionConfig, Frame, JobSpec, JobState, Response, ServeClient, ServerConfig,
+};
 use mac_sim::baseline::{self, Baseline, DEFAULT_BASELINE_PATH};
 use mac_sim::engine::{run_experiments, EngineOptions, SimPool};
 use mac_sim::fuzz::{self, FuzzOptions};
 use mac_sim::manifest::{manifest, select};
+use mac_telemetry::{export_merged, read_trace_file, CounterTrack, ProfSnapshot};
 use mac_types::JobId;
 
 const USAGE: &str = "\
@@ -108,7 +120,8 @@ usage: mac-bench [run] [options]
        mac-bench fuzz [--iters N] [--seed S] [--out DIR] [--max-cycles N]
                       [--smoke] [--replay FILE]
        mac-bench serve [--addr A] [--workers N] [--sim-jobs N] [--out DIR]
-                       [--queue N] [--per-client N] [--paused]
+                       [--queue N] [--per-client N] [--paused] [--flush-every N]
+                       [--metrics-interval N] [--watch-poll-ms N] [--profile]
        mac-bench client [--addr A] [--name NAME] VERB ...
        mac-bench guest list | assemble NAME [--out FILE] | disasm NAME
                  | run NAME [--threads N] [--scale N] [--seed S]
@@ -123,6 +136,8 @@ run options:
   --trace                write .mctr telemetry traces for executed sims
   --metrics              write per-sim metrics time-series (CSV+JSON) for executed sims
   --metrics-interval N   metrics sampling interval in cycles (default 10000)
+  --profile              record host-side spans/counters under <out>/profile/
+                         and write the merged Perfetto timeline
   --list                 list manifest entries and exit
 
 baseline options:
@@ -151,6 +166,11 @@ serve options:
   --queue N              queue capacity; watermarks derived (default 64)
   --per-client N         per-client in-flight fairness cap (default 16)
   --paused               start with dispatch paused (resume via client)
+  --flush-every N        flush server counters to disk every N finished jobs
+                         (default 8; 0 = only at shutdown)
+  --metrics-interval N   per-job metrics sampling interval in cycles (default 10000)
+  --watch-poll-ms N      watch-stream poll period in milliseconds (default 100)
+  --profile              record host-side spans; exports land next to the counters
 
 client verbs (after global --addr A and --name NAME):
   submit key=value...    submit a job (`entry=smoke scale=1`, or `workload=sg`
@@ -160,7 +180,11 @@ client verbs (after global --addr A and --name NAME):
                          finishes, --fetch prints the artifact; a shed
                          submission prints retry_after_ms and exits 3
   poll JOB               print a job's current state
-  wait JOB               wait server-side for the job (--timeout-ms N, default 60000)
+  wait JOB               wait for the job without busy-polling: chunked server-side
+                         waits with client-side backoff honoring the server's
+                         serve/retry_after_ms hint (--timeout-ms N, default 60000)
+  watch JOB              stream the job live: progress frames (cycles/retired/phase)
+                         and metrics sample chunks until it finishes
   fetch JOB              print a finished job's artifact to stdout
   stats                  print the server counters (mac-metrics v1 CSV)
   pause | resume         stop/restart dispatching queued jobs
@@ -240,6 +264,7 @@ fn parse_run_args(args: &[String]) -> Cli {
                 cli.opts.metrics = true;
                 i += 1;
             }
+            "--profile" => cli.opts.profile = true,
             "--list" => cli.list = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -305,6 +330,9 @@ fn run_main(args: &[String]) {
             cli.opts.metrics_dir().display()
         );
     }
+    if let Some(prof) = &run.prof {
+        write_merged_trace(&cli.opts, prof);
+    }
     eprintln!(
         "mac-bench: {} simulated, {} from disk cache, {} memoized, {:.1}s",
         run.sims_executed,
@@ -330,6 +358,70 @@ fn run_main(args: &[String]) {
         );
         exit(1);
     }
+}
+
+/// Collect files with `ext` under `dir` in sorted (deterministic) order.
+fn files_with_ext(dir: &std::path::Path, ext: &str) -> Vec<PathBuf> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == ext))
+        .collect();
+    paths.sort();
+    paths
+}
+
+/// Merge the three observability domains of one profiled run — `.mctr`
+/// telemetry records, `mac-metrics` CSV series, and the host-side span
+/// snapshot — into `<out>/profile/merged-trace.json`. Trace and metrics
+/// inputs are whatever this invocation's `--trace`/`--metrics` wrote;
+/// either (or both) may be absent, the host spans always render.
+fn write_merged_trace(opts: &EngineOptions, prof: &ProfSnapshot) {
+    let mut records = Vec::new();
+    for p in files_with_ext(&opts.traces_dir(), "mctr") {
+        match read_trace_file(&p) {
+            Ok(mut r) => records.append(&mut r),
+            Err(e) => eprintln!("mac-bench: merged trace skips {}: {e}", p.display()),
+        }
+    }
+    let mut tracks = Vec::new();
+    for p in files_with_ext(&opts.metrics_dir(), "csv") {
+        let Ok(text) = std::fs::read_to_string(&p) else {
+            continue;
+        };
+        match MetricsSnapshot::from_csv(&text) {
+            Ok(snap) => {
+                let stem = p
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                for s in snap.series {
+                    tracks.push(CounterTrack {
+                        name: format!("{stem}/{}", s.name),
+                        points: s.points,
+                    });
+                }
+            }
+            Err(e) => eprintln!("mac-bench: merged trace skips {}: {e}", p.display()),
+        }
+    }
+    let path = opts.profile_dir().join("merged-trace.json");
+    let json = export_merged(&records, &tracks, prof);
+    if let Err(e) =
+        std::fs::create_dir_all(opts.profile_dir()).and_then(|()| std::fs::write(&path, json))
+    {
+        eprintln!("mac-bench: cannot write {}: {e}", path.display());
+        return;
+    }
+    eprintln!(
+        "mac-bench: profile under {} ({} host spans, {} trace records, {} counter tracks)",
+        opts.profile_dir().display(),
+        prof.spans.len(),
+        records.len(),
+        tracks.len()
+    );
 }
 
 /// Exit code for a throughput regression (trajectory gate or aggregate
@@ -736,6 +828,28 @@ fn serve_main(args: &[String]) {
                 i += 1;
             }
             "--paused" => cfg.start_paused = true,
+            "--flush-every" => {
+                cfg.flush_every = value(args, i, "--flush-every")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--flush-every needs an integer"));
+                i += 1;
+            }
+            "--metrics-interval" => {
+                cfg.metrics_interval = value(args, i, "--metrics-interval")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--metrics-interval needs an integer"));
+                if cfg.metrics_interval == 0 {
+                    usage_error("--metrics-interval must be at least 1");
+                }
+                i += 1;
+            }
+            "--watch-poll-ms" => {
+                cfg.watch_poll_ms = value(args, i, "--watch-poll-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--watch-poll-ms needs an integer"));
+                i += 1;
+            }
+            "--profile" => cfg.profile = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 exit(0);
@@ -789,6 +903,20 @@ fn print_state(job: JobId, state: &JobState) {
     }
 }
 
+/// Last value of a named gauge/counter in a mac-metrics v1 CSV — how the
+/// client reads the server's published `serve/retry_after_ms` backoff
+/// hint out of a `stats` answer.
+fn stats_value(csv: &str, name: &str) -> Option<u64> {
+    csv.lines()
+        .filter(|l| !l.starts_with('#'))
+        .filter_map(|l| {
+            let mut f = l.split(',');
+            let _cycle = f.next()?;
+            (f.next()? == name).then(|| f.nth(1)?.parse().ok())?
+        })
+        .next_back()
+}
+
 fn client_main(args: &[String]) {
     let mut addr = "127.0.0.1:4650".to_string();
     let mut name = "mac-bench".to_string();
@@ -811,7 +939,9 @@ fn client_main(args: &[String]) {
         }
     }
     let Some(verb) = args.get(i) else {
-        usage_error("client needs a verb (submit/poll/wait/fetch/stats/pause/resume/shutdown)");
+        usage_error(
+            "client needs a verb (submit/poll/wait/watch/fetch/stats/pause/resume/shutdown)",
+        );
     };
     let rest = &args[i + 1..];
 
@@ -884,9 +1014,9 @@ fn client_main(args: &[String]) {
                         None => println!(),
                     }
                     if wait {
-                        let final_state = c.wait(job, timeout_ms).unwrap_or_else(|e| {
-                            fail("wait", e);
-                        });
+                        let (final_state, _round_trips) = c
+                            .wait_backoff(job, timeout_ms, None)
+                            .unwrap_or_else(|e| fail("wait", e));
                         print_state(job, &final_state);
                         match final_state {
                             JobState::Done => {
@@ -930,12 +1060,54 @@ fn client_main(args: &[String]) {
                     .unwrap_or_else(|_| usage_error("--timeout-ms needs an integer")),
                 _ => 60_000,
             };
-            let state = c.wait(job, timeout_ms).unwrap_or_else(|e| fail("wait", e));
+            // Honor the server's published backpressure hint when it has
+            // one; wait_backoff falls back to capped exponential backoff.
+            let hint = c
+                .stats()
+                .ok()
+                .and_then(|csv| stats_value(&csv, "serve/retry_after_ms"))
+                .filter(|&ms| ms > 0);
+            let (state, round_trips) = c
+                .wait_backoff(job, timeout_ms, hint)
+                .unwrap_or_else(|e| fail("wait", e));
+            eprintln!(
+                "mac-bench: wait: {round_trips} round trip(s), backoff {}",
+                match hint {
+                    Some(ms) => format!("hinted {ms}ms"),
+                    None => "exponential".to_string(),
+                }
+            );
             print_state(job, &state);
             match state {
                 JobState::Done => {}
                 JobState::Failed { .. } => exit(1),
                 _ => exit(4),
+            }
+        }
+        "watch" => {
+            let job = parse_job_arg(rest.first());
+            let state = c
+                .watch(job, |frame, body| match frame {
+                    Frame::Progress {
+                        cycles,
+                        retired,
+                        phase,
+                        ..
+                    } => println!(
+                        "progress job={job} cycles={cycles} retired={retired} phase={phase}"
+                    ),
+                    Frame::Sample { lines, .. } => {
+                        println!("sample job={job} lines={lines}");
+                        if let Some(chunk) = body {
+                            print!("{chunk}");
+                        }
+                    }
+                    Frame::End { .. } => {}
+                })
+                .unwrap_or_else(|e| fail("watch", e));
+            print_state(job, &state);
+            if matches!(state, JobState::Failed { .. }) {
+                exit(1);
             }
         }
         "fetch" => {

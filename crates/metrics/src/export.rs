@@ -89,6 +89,69 @@ impl MetricsSnapshot {
         out
     }
 
+    /// The CSV preamble shared by both row orders: the interval comment
+    /// plus the column header.
+    pub fn csv_header(&self) -> String {
+        format!(
+            "# mac-metrics v1 interval={}\ncycle,series,kind,value\n",
+            self.interval
+        )
+    }
+
+    /// Encode as CSV in **cycle-major** row order: all series' points at
+    /// one sample cycle (in series-name order) before the next cycle.
+    /// Same grammar and byte content as [`MetricsSnapshot::to_csv`], just
+    /// reordered — this is the *streaming* form: because the sampler
+    /// appends one point per series per interval atomically, every row
+    /// for a sampled cycle is final the moment the cycle appears, so a
+    /// live stream can emit rows incrementally with
+    /// [`MetricsSnapshot::csv_rows_after`] and the concatenation equals
+    /// this encoding of the final snapshot.
+    pub fn to_csv_cycle_major(&self) -> String {
+        let mut out = self.csv_header();
+        for row in self.csv_rows_after(None) {
+            out.push_str(&row);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Cycle-major data rows (no header, no trailing newline per row)
+    /// for sample cycles strictly greater than `after` (`None` = all).
+    /// Incremental streaming: remember the last cycle emitted and pass
+    /// it back on the next snapshot.
+    pub fn csv_rows_after(&self, after: Option<u64>) -> Vec<String> {
+        let mut rows: Vec<(u64, usize, u64)> = Vec::new();
+        for (i, s) in self.series.iter().enumerate() {
+            for &(cycle, value) in &s.points {
+                if after.is_none_or(|a| cycle > a) {
+                    rows.push((cycle, i, value));
+                }
+            }
+        }
+        rows.sort_unstable_by_key(|&(cycle, i, _)| (cycle, i));
+        rows.into_iter()
+            .map(|(cycle, i, value)| {
+                format!(
+                    "{},{},{},{}",
+                    cycle,
+                    self.series[i].name,
+                    self.series[i].kind.as_str(),
+                    value
+                )
+            })
+            .collect()
+    }
+
+    /// The largest sample cycle present in any series (`None` if no
+    /// points yet) — the stream cursor for [`MetricsSnapshot::csv_rows_after`].
+    pub fn last_cycle(&self) -> Option<u64> {
+        self.series
+            .iter()
+            .filter_map(|s| s.points.last().map(|&(c, _)| c))
+            .max()
+    }
+
     /// Encode as JSON (see module docs for the schema).
     pub fn to_json(&self) -> String {
         let mut out = String::new();
@@ -117,9 +180,10 @@ impl MetricsSnapshot {
         out
     }
 
-    /// Decode a CSV produced by [`MetricsSnapshot::to_csv`]. Rows must be
-    /// grouped by series (as the encoder writes them); unknown comment
-    /// lines are ignored.
+    /// Decode a CSV produced by [`MetricsSnapshot::to_csv`] or
+    /// [`MetricsSnapshot::to_csv_cycle_major`]. Rows may arrive in either
+    /// row order (they are regrouped by series name, in first-appearance
+    /// order); unknown comment lines are ignored.
     pub fn from_csv(text: &str) -> Result<MetricsSnapshot, String> {
         let mut interval = 0u64;
         let mut series: Vec<SeriesData> = Vec::new();
@@ -148,9 +212,9 @@ impl MetricsSnapshot {
             if fields.next().is_some() {
                 return Err(err());
             }
-            match series.last_mut() {
-                Some(s) if s.name == name => s.points.push((cycle, value)),
-                _ => series.push(SeriesData {
+            match series.iter_mut().find(|s| s.name == name) {
+                Some(s) => s.points.push((cycle, value)),
+                None => series.push(SeriesData {
                     name: name.to_string(),
                     kind,
                     points: vec![(cycle, value)],
@@ -215,6 +279,61 @@ mod tests {
             "{\"name\":\"emitted\",\"kind\":\"counter\",\"points\":[[50,150],[100,300]]}"
         ));
         assert!(json.ends_with("]}\n"));
+    }
+
+    #[test]
+    fn cycle_major_reorders_but_preserves_content() {
+        let snap = sample_snapshot();
+        let cm = snap.to_csv_cycle_major();
+        assert!(cm.starts_with("# mac-metrics v1 interval=50\ncycle,series,kind,value\n"));
+        // All series at cycle 50 precede anything at cycle 100, in
+        // series-name order within a cycle.
+        let rows: Vec<&str> = cm.lines().skip(2).collect();
+        assert_eq!(
+            rows,
+            [
+                "50,emitted,counter,150",
+                "50,node0/arq_occupancy,gauge,5",
+                "100,emitted,counter,300",
+                "100,node0/arq_occupancy,gauge,10",
+            ]
+        );
+        // Same rows as the series-major form, just reordered.
+        let sm = snap.to_csv();
+        let mut a: Vec<&str> = sm.lines().collect();
+        let mut b: Vec<&str> = cm.lines().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        // And it decodes back to the same snapshot.
+        assert_eq!(MetricsSnapshot::from_csv(&cm).unwrap(), snap);
+    }
+
+    #[test]
+    fn incremental_rows_concatenate_to_the_full_encoding() {
+        let hub = MetricsHub::new(50);
+        let mut streamed = String::new();
+        let mut cursor = None;
+        for cycle in [50u64, 100, 150] {
+            hub.sample(cycle, |s| {
+                s.counter("emitted", cycle * 3);
+                s.scoped("node0", |s| s.gauge("arq_occupancy", cycle / 10));
+            });
+            let snap = hub.snapshot().unwrap();
+            if cursor.is_none() {
+                streamed.push_str(&snap.csv_header());
+            }
+            for row in snap.csv_rows_after(cursor) {
+                streamed.push_str(&row);
+                streamed.push('\n');
+            }
+            cursor = snap.last_cycle();
+        }
+        let final_snap = hub.snapshot().unwrap();
+        assert_eq!(streamed, final_snap.to_csv_cycle_major());
+        assert_eq!(final_snap.last_cycle(), Some(150));
+        // Nothing new: no rows.
+        assert!(final_snap.csv_rows_after(Some(150)).is_empty());
     }
 
     #[test]

@@ -133,6 +133,13 @@ impl Admission {
         self.overloaded
     }
 
+    /// The retry suggestion a shed answer would carry at the given
+    /// queue depth — exported as the `serve/retry_after_ms` stats gauge
+    /// so clients can pace their polling off live server pressure.
+    pub fn retry_hint_ms(&self, queue_depth: usize) -> u64 {
+        self.retry_after_ms(queue_depth)
+    }
+
     /// Retry suggestion for the observed queue depth: base delay scaled
     /// up to 4× as the queue fills. Deterministic in the observation.
     fn retry_after_ms(&self, queue_depth: usize) -> u64 {

@@ -8,12 +8,12 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use mac_types::JobId;
 
 use crate::job::{JobSpec, JobState};
-use crate::proto::{Request, Response, PROTO_VERSION};
+use crate::proto::{Frame, Request, Response, PROTO_VERSION};
 
 /// A connected client speaking MACS-1 to one server.
 pub struct ServeClient {
@@ -113,6 +113,93 @@ impl ServeClient {
             Response::Status { state, .. } => Ok(state),
             Response::Error { msg } => Err(protocol_error(msg)),
             other => Err(protocol_error(format!("bad wait answer: {other:?}"))),
+        }
+    }
+
+    /// Wait for `job` to reach a terminal state, for up to `timeout_ms`
+    /// total, without busy-polling: each round trip parks server-side
+    /// for a bounded chunk, and between chunks the client sleeps for
+    /// the server's suggested backoff (`hint_ms`, e.g. from a shed
+    /// answer or the `serve/retry_after_ms` stats gauge), falling back
+    /// to a capped exponential backoff when no hint is known. Returns
+    /// the final observed state (possibly non-terminal on timeout) and
+    /// the number of wait round trips made.
+    pub fn wait_backoff(
+        &mut self,
+        job: JobId,
+        timeout_ms: u64,
+        hint_ms: Option<u64>,
+    ) -> std::io::Result<(JobState, u64)> {
+        // Chunked so one slow job cannot pin a server handler for the
+        // full client-side timeout (the server caps a single wait at
+        // 60 s anyway).
+        const CHUNK_MS: u64 = 2_000;
+        const BACKOFF_CAP_MS: u64 = 1_000;
+        let deadline = Instant::now() + Duration::from_millis(timeout_ms);
+        let mut backoff = hint_ms.unwrap_or(25).clamp(1, BACKOFF_CAP_MS);
+        let mut round_trips = 0u64;
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            let chunk = (left.as_millis() as u64).min(CHUNK_MS);
+            round_trips += 1;
+            let state = self.wait(job, chunk)?;
+            if state.is_terminal() || left.as_millis() == 0 {
+                return Ok((state, round_trips));
+            }
+            let sleep = backoff.min(
+                deadline
+                    .saturating_duration_since(Instant::now())
+                    .as_millis() as u64,
+            );
+            if sleep > 0 {
+                std::thread::sleep(Duration::from_millis(sleep));
+            }
+            if hint_ms.is_none() {
+                backoff = (backoff * 2).min(BACKOFF_CAP_MS);
+            }
+        }
+    }
+
+    /// Subscribe to a job's live stream (`watch`). Calls `on_frame` for
+    /// every frame the server sends until the terminal [`Frame::End`]
+    /// arrives, then returns its state. Sample frames pass their raw
+    /// CSV chunk as the second argument; concatenating the chunks of a
+    /// complete stream reproduces the job's metrics artifact
+    /// byte-for-byte.
+    pub fn watch<F>(&mut self, job: JobId, mut on_frame: F) -> std::io::Result<JobState>
+    where
+        F: FnMut(&Frame, Option<&str>),
+    {
+        self.send(&Request::Watch { job })?;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "watch stream truncated",
+                ));
+            }
+            let trimmed = line.trim_end();
+            let frame = match Frame::decode(trimmed) {
+                Ok(f) => f,
+                Err(_) => match Response::decode(trimmed) {
+                    Ok(Response::Error { msg }) => return Err(protocol_error(msg)),
+                    _ => return Err(protocol_error(format!("bad watch frame: {trimmed}"))),
+                },
+            };
+            match &frame {
+                Frame::Sample { lines, .. } => {
+                    let body = self.recv_payload(*lines)?;
+                    on_frame(&frame, Some(&body));
+                }
+                Frame::Progress { .. } => on_frame(&frame, None),
+                Frame::End { state, .. } => {
+                    let state = state.clone();
+                    on_frame(&frame, None);
+                    return Ok(state);
+                }
+            }
         }
     }
 

@@ -38,6 +38,6 @@ pub mod store;
 pub use admission::{Admission, AdmissionConfig, Decision, Observation};
 pub use client::ServeClient;
 pub use job::{JobKind, JobSpec, JobState};
-pub use proto::{Request, Response, PROTO_VERSION};
+pub use proto::{Frame, Request, Response, PROTO_VERSION};
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use store::ArtifactStore;

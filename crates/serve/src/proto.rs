@@ -350,6 +350,14 @@ pub enum Request {
         /// The job whose artifact to return.
         job: JobId,
     },
+    /// Subscribe to a job's live stream: the server answers with
+    /// [`Frame`] messages (progress, metrics samples) until the job
+    /// reaches a terminal state and a final [`Frame::End`] closes the
+    /// stream.
+    Watch {
+        /// The job to stream.
+        job: JobId,
+    },
     /// Fetch the server counters as a mac-metrics v1 CSV payload.
     Stats,
     /// Stop dispatching queued jobs to workers (admin flow control).
@@ -402,6 +410,7 @@ impl Request {
                 timeout_ms: f.get("timeoutms").and_then(Scalar::as_u64).unwrap_or(0),
             }),
             "fetch" => Ok(Request::Fetch { job: get_job(&f)? }),
+            "watch" => Ok(Request::Watch { job: get_job(&f)? }),
             "stats" => Ok(Request::Stats),
             "pause" => Ok(Request::Pause),
             "resume" => Ok(Request::Resume),
@@ -425,6 +434,7 @@ impl Request {
                 .num("timeoutms", *timeout_ms)
                 .encode(),
             Request::Fetch { job } => Msg::new("fetch").str("job", &job.to_string()).encode(),
+            Request::Watch { job } => Msg::new("watch").str("job", &job.to_string()).encode(),
             Request::Stats => Msg::new("stats").encode(),
             Request::Pause => Msg::new("pause").encode(),
             Request::Resume => Msg::new("resume").encode(),
@@ -601,6 +611,109 @@ impl Response {
     }
 }
 
+/// One streamed message on a `watch` subscription. Frames share the
+/// MACS-1 framing rules: one flat-JSON line each, with bulk payloads
+/// (metrics sample chunks) announced by a `"lines":N` field exactly
+/// like [`Response::Payload`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Live progress of the watched job.
+    Progress {
+        /// The watched job.
+        job: JobId,
+        /// Simulated cycles so far.
+        cycles: u64,
+        /// Requests retired (completions) so far.
+        retired: u64,
+        /// Coarse phase token (`queued`, `running`, `done`, `unknown`).
+        phase: String,
+    },
+    /// A chunk of the job's metrics CSV stream: `lines` raw lines
+    /// follow this frame, verbatim. Concatenating every sample chunk of
+    /// one stream reproduces the job's on-disk metrics artifact
+    /// byte-for-byte (cycle-major row order).
+    Sample {
+        /// The watched job.
+        job: JobId,
+        /// Number of raw payload lines following this frame.
+        lines: u64,
+    },
+    /// Terminal frame: the job reached `state`; the stream is over.
+    End {
+        /// The watched job.
+        job: JobId,
+        /// The terminal state.
+        state: JobState,
+    },
+}
+
+impl Frame {
+    /// Render as one frame line (no newline).
+    pub fn encode(&self) -> String {
+        match self {
+            Frame::Progress {
+                job,
+                cycles,
+                retired,
+                phase,
+            } => Msg::new("progress")
+                .str("job", &job.to_string())
+                .num("cycles", *cycles)
+                .num("retired", *retired)
+                .str("phase", phase)
+                .encode(),
+            Frame::Sample { job, lines } => Msg::new("sample")
+                .str("job", &job.to_string())
+                .num("lines", *lines)
+                .encode(),
+            Frame::End { job, state } => {
+                let mut m = Msg::new("end")
+                    .str("job", &job.to_string())
+                    .str("state", state.as_str());
+                if let JobState::Failed { reason } = state {
+                    m = m.str("reason", reason);
+                }
+                m.encode()
+            }
+        }
+    }
+
+    /// Parse one frame line.
+    pub fn decode(line: &str) -> Result<Frame, String> {
+        let f = decode_fields(line)?;
+        let kind = message_type(&f)?;
+        match kind.as_str() {
+            "progress" => Ok(Frame::Progress {
+                job: get_job(&f)?,
+                cycles: f
+                    .get("cycles")
+                    .and_then(Scalar::as_u64)
+                    .ok_or("missing cycles")?,
+                retired: f
+                    .get("retired")
+                    .and_then(Scalar::as_u64)
+                    .ok_or("missing retired")?,
+                phase: get_str(&f, "phase")?,
+            }),
+            "sample" => Ok(Frame::Sample {
+                job: get_job(&f)?,
+                lines: f
+                    .get("lines")
+                    .and_then(Scalar::as_u64)
+                    .ok_or("missing lines")?,
+            }),
+            "end" => Ok(Frame::End {
+                job: get_job(&f)?,
+                state: JobState::parse(
+                    &get_str(&f, "state")?,
+                    f.get("reason").and_then(Scalar::as_str),
+                )?,
+            }),
+            other => Err(format!("unknown frame type `{other}`")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -669,6 +782,9 @@ mod tests {
             Request::Fetch {
                 job: JobId::from(u128::MAX),
             },
+            Request::Watch {
+                job: JobId::from(0xdead),
+            },
             Request::Stats,
             Request::Pause,
             Request::Resume,
@@ -714,5 +830,42 @@ mod tests {
         for r in resps {
             assert_eq!(Response::decode(&r.encode()).unwrap(), r, "{r:?}");
         }
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let frames = [
+            Frame::Progress {
+                job: JobId::from(7),
+                cycles: 123_456,
+                retired: 789,
+                phase: "running".into(),
+            },
+            Frame::Sample {
+                job: JobId::from(7),
+                lines: 42,
+            },
+            Frame::End {
+                job: JobId::from(7),
+                state: JobState::Done,
+            },
+            Frame::End {
+                job: JobId::from(8),
+                state: JobState::Failed {
+                    reason: "hit the cycle cap".into(),
+                },
+            },
+        ];
+        for f in frames {
+            assert_eq!(Frame::decode(&f.encode()).unwrap(), f, "{f:?}");
+        }
+        // Frames carry the proto tag and reject foreign versions.
+        let line = Frame::Sample {
+            job: JobId::from(1),
+            lines: 0,
+        }
+        .encode();
+        assert!(line.contains("\"proto\":\"macs-1\""));
+        assert!(Frame::decode(&line.replace("macs-1", "macs-2")).is_err());
     }
 }

@@ -33,16 +33,18 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use mac_metrics::{MetricsSnapshot, SeriesData, SeriesKind};
-use mac_sim::engine::{ExpCtx, SimPool, SimRequest};
+use mac_metrics::{MetricsHub, MetricsSnapshot, SeriesData, SeriesKind};
+use mac_sim::engine::{atomic_write, ExpCtx, SimPool, SimRequest, DEFAULT_METRICS_INTERVAL};
 use mac_sim::experiment::run_workload_checked;
 use mac_sim::manifest;
+use mac_sim::{phase_name, ProgressProbe, PHASE_DONE, PHASE_QUEUED, PHASE_RUNNING};
+use mac_telemetry::Profiler;
 use mac_types::JobId;
 use mac_workloads::by_name;
 
 use crate::admission::{Admission, AdmissionConfig, Decision, Observation};
 use crate::job::{JobKind, JobSpec, JobState};
-use crate::proto::{Request, Response, PROTO_VERSION};
+use crate::proto::{Frame, Request, Response, PROTO_VERSION};
 use crate::store::ArtifactStore;
 
 /// Configuration for one server instance.
@@ -63,6 +65,19 @@ pub struct ServerConfig {
     /// Start with dispatch paused (jobs queue but do not run until a
     /// `resume`); used by flow-control tests and maintenance windows.
     pub start_paused: bool,
+    /// Metrics sampling interval (simulated cycles) for the per-job
+    /// hubs `watch` subscribers stream from.
+    pub metrics_interval: u64,
+    /// Re-export the server counters CSV after every N completed jobs
+    /// (0 = only at shutdown), so a crash or kill loses at most N jobs
+    /// of counter history.
+    pub flush_every: u64,
+    /// How often (milliseconds) a `watch` handler polls the watched
+    /// job's live state between stream frames.
+    pub watch_poll_ms: u64,
+    /// Record host-side wall-clock spans for the job lifecycle and the
+    /// shared pool, exporting `serve/profile.txt`/`.json` at shutdown.
+    pub profile: bool,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +89,10 @@ impl Default for ServerConfig {
             out_dir: PathBuf::from("results"),
             admission: AdmissionConfig::default(),
             start_paused: false,
+            metrics_interval: DEFAULT_METRICS_INTERVAL,
+            flush_every: 8,
+            watch_poll_ms: 100,
+            profile: false,
         }
     }
 }
@@ -114,6 +133,15 @@ struct JobEntry {
     state: JobState,
 }
 
+/// The live side-channel of one executing simulation job: the metrics
+/// hub its run loop samples into and the progress probe it updates
+/// every tick. `watch` handlers clone this and poll at their own pace.
+#[derive(Clone)]
+struct LiveJob {
+    hub: MetricsHub,
+    probe: Arc<ProgressProbe>,
+}
+
 /// Mutex-guarded server state.
 struct State {
     jobs: HashMap<u128, JobEntry>,
@@ -123,6 +151,10 @@ struct State {
     admission: Admission,
     paused: bool,
     draining: bool,
+    /// Live observers of currently-executing sim jobs, keyed like
+    /// `jobs`. Entries appear when execution starts and are removed in
+    /// the same critical section that records the terminal state.
+    live: HashMap<u128, LiveJob>,
 }
 
 struct Inner {
@@ -135,6 +167,8 @@ struct Inner {
     done_cv: Condvar,
     counters: Counters,
     addr: SocketAddr,
+    /// Host-side span profiler (disabled unless [`ServerConfig::profile`]).
+    profiler: Profiler,
 }
 
 /// A running server: its bound address plus the thread handles
@@ -152,7 +186,8 @@ impl ServerHandle {
     }
 
     /// Block until the server has drained and exited (a client must send
-    /// `shutdown`), then export the counters CSV and return it.
+    /// `shutdown`), then export the counters CSV (and, when profiling,
+    /// the span profile) and return the CSV.
     pub fn wait(self) -> std::io::Result<String> {
         let _ = self.listener.join();
         for w in self.workers {
@@ -160,7 +195,14 @@ impl ServerHandle {
         }
         let csv = self.inner.stats_csv();
         let path = self.inner.metrics_path();
-        mac_sim::engine::atomic_write(&path, &csv)?;
+        atomic_write(&path, &csv)?;
+        let serve_dir = self.inner.cfg.out_dir.join("serve");
+        if let Some(text) = self.inner.profiler.export_text() {
+            atomic_write(&serve_dir.join("profile.txt"), &text)?;
+        }
+        if let Some(json) = self.inner.profiler.export_json() {
+            atomic_write(&serve_dir.join("profile.json"), &json)?;
+        }
         Ok(csv)
     }
 }
@@ -187,11 +229,17 @@ pub fn serve(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
             admission: Admission::new(cfg.admission.clone()),
             paused: cfg.start_paused,
             draining: false,
+            live: HashMap::new(),
         }),
         work_cv: Condvar::new(),
         done_cv: Condvar::new(),
         counters: Counters::default(),
         addr,
+        profiler: if cfg.profile {
+            Profiler::enabled()
+        } else {
+            Profiler::disabled()
+        },
         store,
         cfg,
     });
@@ -263,6 +311,10 @@ fn handle_connection(stream: TcpStream, inner: &Arc<Inner>) -> std::io::Result<(
             Ok(Request::Poll { job }) => (inner.status_of(job), None),
             Ok(Request::Wait { job, timeout_ms }) => (inner.wait_for(job, timeout_ms), None),
             Ok(Request::Fetch { job }) => inner.handle_fetch(job),
+            Ok(Request::Watch { job }) => {
+                inner.handle_watch(job, &mut writer)?;
+                continue;
+            }
             Ok(Request::Stats) => {
                 let csv = inner.stats_csv();
                 let lines = csv.lines().count() as u64;
@@ -321,6 +373,15 @@ fn handle_connection(stream: TcpStream, inner: &Arc<Inner>) -> std::io::Result<(
 impl Inner {
     fn metrics_path(&self) -> PathBuf {
         self.cfg.out_dir.join("serve").join("server-metrics.csv")
+    }
+
+    /// Where one job's interval-metrics artifact lands (the same bytes a
+    /// complete `watch` stream delivers).
+    fn job_metrics_path(&self, job: JobId) -> PathBuf {
+        self.cfg
+            .out_dir
+            .join("serve")
+            .join(format!("job-{job}.metrics.csv"))
     }
 
     fn handle_submit(&self, client: &str, spec: JobSpec) -> Response {
@@ -529,6 +590,100 @@ impl Inner {
         }
     }
 
+    /// Stream a `watch` subscription: a progress frame every poll tick,
+    /// incremental metrics-sample chunks as the live hub fills, and one
+    /// terminal `end` frame. Sample chunks are cycle-major CSV rows in
+    /// final order — rows at or below the last sampled cycle never
+    /// change — so the concatenation of every chunk in one complete
+    /// stream is byte-identical to the job's on-disk metrics artifact.
+    fn handle_watch(&self, job: JobId, writer: &mut TcpStream) -> std::io::Result<()> {
+        let _span = self.profiler.span("serve/watch");
+        let fp = job.as_u128();
+        let poll = Duration::from_millis(self.cfg.watch_poll_ms.max(1));
+        let mut live: Option<LiveJob> = None;
+        let mut cursor: Option<u64> = None;
+        let mut sent_header = false;
+        let send = |writer: &mut TcpStream, line: String, body: Option<&str>| {
+            writer.write_all(line.as_bytes())?;
+            writer.write_all(b"\n")?;
+            if let Some(b) = body {
+                writer.write_all(b.as_bytes())?;
+            }
+            writer.flush()
+        };
+        loop {
+            let (state, fresh) = {
+                let st = self.state.lock().expect("state poisoned");
+                match st.jobs.get(&fp) {
+                    None => {
+                        let err = Response::Error {
+                            msg: format!("no such job {job}"),
+                        };
+                        return send(writer, err.encode(), None);
+                    }
+                    Some(e) => (e.state.clone(), st.live.get(&fp).cloned()),
+                }
+            };
+            if live.is_none() {
+                live = fresh;
+            }
+            let terminal = state.is_terminal();
+            // New metrics rows first, so the final chunk precedes `end`.
+            if let Some(l) = &live {
+                if let Some(snap) = l.hub.snapshot() {
+                    let rows = snap.csv_rows_after(cursor);
+                    let mut chunk = String::new();
+                    if !sent_header && (terminal || !rows.is_empty()) {
+                        chunk.push_str(&snap.csv_header());
+                        sent_header = true;
+                    }
+                    for r in &rows {
+                        chunk.push_str(r);
+                        chunk.push('\n');
+                    }
+                    if let Some(c) = snap.last_cycle() {
+                        cursor = Some(c);
+                    }
+                    if !chunk.is_empty() {
+                        let frame = Frame::Sample {
+                            job,
+                            lines: chunk.lines().count() as u64,
+                        };
+                        send(writer, frame.encode(), Some(&chunk))?;
+                    }
+                }
+            } else if terminal {
+                // Late subscriber: the run (if any) is long gone. Replay
+                // the stored metrics artifact as one chunk.
+                if let Ok(text) = std::fs::read_to_string(self.job_metrics_path(job)) {
+                    let frame = Frame::Sample {
+                        job,
+                        lines: text.lines().count() as u64,
+                    };
+                    send(writer, frame.encode(), Some(&text))?;
+                }
+            }
+            let (cycles, retired, phase) = match &live {
+                Some(l) => l.probe.read(),
+                None if terminal => (0, 0, PHASE_DONE),
+                None if matches!(state, JobState::Running) => (0, 0, PHASE_RUNNING),
+                None => (0, 0, PHASE_QUEUED),
+            };
+            let progress = Frame::Progress {
+                job,
+                cycles,
+                retired,
+                phase: phase_name(phase).into(),
+            };
+            send(writer, progress.encode(), None)?;
+            if terminal {
+                let end = Frame::End { job, state };
+                return send(writer, end.encode(), None);
+            }
+            std::thread::sleep(poll);
+        }
+    }
+
     fn set_paused(&self, paused: bool) {
         let mut st = self.state.lock().expect("state poisoned");
         st.paused = paused;
@@ -556,6 +711,7 @@ impl Inner {
         let queue_depth = st.queue.len() as u64;
         let running = st.running as u64;
         let evidence = st.admission.evidence() as u64;
+        let retry_hint = st.admission.retry_hint_ms(st.queue.len());
         drop(st);
         let series = |name: &str, kind: SeriesKind, v: u64| SeriesData {
             name: format!("serve/{name}"),
@@ -582,6 +738,7 @@ impl Inner {
                 ctr("jobs_submitted", &c.jobs_submitted),
                 series("queue_depth", SeriesKind::Gauge, queue_depth),
                 ctr("queue_peak", &c.queue_peak),
+                series("retry_after_ms", SeriesKind::Gauge, retry_hint),
                 series("running", SeriesKind::Gauge, running),
                 ctr("sims_executed", &c.sims_executed),
                 ctr("sims_from_disk", &c.sims_from_disk),
@@ -615,6 +772,10 @@ fn worker_loop(inner: &Arc<Inner>) {
         let outcome = execute_job(inner, &spec);
         let mut st = inner.state.lock().expect("state poisoned");
         st.running -= 1;
+        // The live handle dies with the run, in the same critical
+        // section that records the terminal state: watchers either
+        // cloned it while the job ran or replay the on-disk artifact.
+        st.live.remove(&fp);
         let entry = st.jobs.get_mut(&fp).expect("running job exists");
         entry.state = outcome;
         let client = entry.client.clone();
@@ -638,6 +799,16 @@ fn worker_loop(inner: &Arc<Inner>) {
         inner.done_cv.notify_all();
         // More queued work may be runnable now that a slot freed up.
         inner.work_cv.notify_one();
+        // Periodic counters flush: a crash loses at most `flush_every`
+        // jobs of history instead of everything since startup.
+        let n = inner.cfg.flush_every;
+        if n > 0 {
+            let finished = inner.counters.jobs_completed.load(Ordering::Relaxed)
+                + inner.counters.jobs_failed.load(Ordering::Relaxed);
+            if finished.is_multiple_of(n) {
+                let _ = atomic_write(&inner.metrics_path(), &inner.stats_csv());
+            }
+        }
     }
 }
 
@@ -645,7 +816,10 @@ fn worker_loop(inner: &Arc<Inner>) {
 /// land in the shared store before the state flips, so a `fetch` that
 /// observes `done` always finds the artifact.
 fn execute_job(inner: &Arc<Inner>, spec: &JobSpec) -> JobState {
-    let pool = SimPool::new(inner.cfg.sim_jobs).with_cache(&inner.store.cache_dir());
+    let _span = inner.profiler.span("serve/job");
+    let pool = SimPool::new(inner.cfg.sim_jobs)
+        .with_cache(&inner.store.cache_dir())
+        .with_profiler(inner.profiler.clone());
     let result = match &spec.kind {
         JobKind::Sim { workload, cfg } if spec.checked => {
             let Some(w) = by_name(workload) else {
@@ -674,10 +848,29 @@ fn execute_job(inner: &Arc<Inner>, spec: &JobSpec) -> JobState {
         }
         JobKind::Sim { workload, cfg } => {
             let req = SimRequest::new(workload, cfg);
-            let report = pool
-                .run_batch(std::slice::from_ref(&req))
-                .pop()
-                .expect("one report");
+            // Attach live observers so `watch` subscribers can stream
+            // this job while it runs, then run through the pool's
+            // cache-aware single-request path.
+            let hub = MetricsHub::new(inner.cfg.metrics_interval);
+            let probe = Arc::new(ProgressProbe::new());
+            let fp = spec.job_id().as_u128();
+            inner.state.lock().expect("state poisoned").live.insert(
+                fp,
+                LiveJob {
+                    hub: hub.clone(),
+                    probe: Arc::clone(&probe),
+                },
+            );
+            let report = pool.run_one_observed(&req, hub.clone(), Some(probe));
+            // Persist the job's metrics series before the state flips:
+            // a watcher that observes `done` either already holds the
+            // live hub or finds these exact bytes on disk.
+            if let Some(snap) = hub.snapshot() {
+                let _ = atomic_write(
+                    &inner.job_metrics_path(spec.job_id()),
+                    &snap.to_csv_cycle_major(),
+                );
+            }
             let timed_out = report.cycles >= cfg.max_cycles;
             // The pool has already cached the result; make sure the
             // store can serve it even if that best-effort write failed.

@@ -1,0 +1,150 @@
+//! Property and fuzz-style tests for the MACS-1 streaming extensions:
+//! encode→decode round-trips over arbitrary `watch` requests and stream
+//! frames, and the frame decoder on malformed, mutated, and truncated
+//! input must return `Err` — never panic, never mis-parse.
+
+use proptest::prelude::*;
+
+use mac_serve::{Frame, JobState, Request};
+use mac_types::JobId;
+
+/// A phase-token-flavoured string set: the real tokens plus arbitrary
+/// text, since the wire field is a free string.
+fn phase_from(raw: &[u8]) -> String {
+    const ALPHABET: &[u8] = b"queridonglabc_";
+    raw.iter()
+        .map(|&b| ALPHABET[b as usize % ALPHABET.len()] as char)
+        .collect()
+}
+
+/// Arbitrary text made of the characters that actually appear in the
+/// flat-JSON grammar, so fuzz inputs reach the parser's interesting
+/// paths (braces, quotes, escapes, digits, the proto tag) instead of
+/// bailing on the first byte.
+fn frame_soup(raw: &[u8]) -> String {
+    const ALPHABET: &[u8] = b"{}\":,\\0123456789abcdefgz macs-1typerogsl";
+    raw.iter()
+        .map(|&b| ALPHABET[b as usize % ALPHABET.len()] as char)
+        .collect()
+}
+
+fn job_id(hi: u64, lo: u64) -> JobId {
+    JobId::from(((hi as u128) << 64) | lo as u128)
+}
+
+fn terminal_state(failed: bool, reason_raw: &[u8]) -> JobState {
+    if failed {
+        JobState::Failed {
+            reason: phase_from(reason_raw),
+        }
+    } else {
+        JobState::Done
+    }
+}
+
+proptest! {
+    /// Encode→decode identity for every well-formed progress frame.
+    #[test]
+    fn progress_frames_round_trip(
+        job_hi in any::<u64>(),
+        job_lo in any::<u64>(),
+        cycles in any::<u64>(),
+        retired in any::<u64>(),
+        phase_raw in prop::collection::vec(any::<u8>(), 0..12),
+    ) {
+        let f = Frame::Progress {
+            job: job_id(job_hi, job_lo),
+            cycles,
+            retired,
+            phase: phase_from(&phase_raw),
+        };
+        prop_assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
+    }
+
+    /// Encode→decode identity for sample and end frames, including
+    /// failure reasons with characters that need JSON escaping.
+    #[test]
+    fn sample_and_end_frames_round_trip(
+        job_hi in any::<u64>(),
+        job_lo in any::<u64>(),
+        lines in any::<u64>(),
+        failed in any::<bool>(),
+        reason_raw in prop::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let sample = Frame::Sample { job: job_id(job_hi, job_lo), lines };
+        prop_assert_eq!(Frame::decode(&sample.encode()).unwrap(), sample);
+        let end = Frame::End {
+            job: job_id(job_hi, job_lo),
+            state: terminal_state(failed, &reason_raw),
+        };
+        prop_assert_eq!(Frame::decode(&end.encode()).unwrap(), end);
+    }
+
+    /// The watch request round-trips like every other verb.
+    #[test]
+    fn watch_requests_round_trip(job_hi in any::<u64>(), job_lo in any::<u64>()) {
+        let r = Request::Watch { job: job_id(job_hi, job_lo) };
+        prop_assert_eq!(Request::decode(&r.encode()).unwrap(), r);
+    }
+
+    /// Arbitrary grammar-flavoured soup: `Frame::decode` returns `Ok`
+    /// or `Err`, but never panics — and anything it accepts re-encodes
+    /// to a line it accepts again (decode∘encode is idempotent).
+    #[test]
+    fn frame_decode_never_panics_on_soup(raw in prop::collection::vec(any::<u8>(), 0..300)) {
+        let line = frame_soup(&raw);
+        if let Ok(frame) = Frame::decode(&line) {
+            let again = Frame::decode(&frame.encode()).expect("re-encoded frame must decode");
+            prop_assert_eq!(again, frame);
+        }
+    }
+
+    /// Truncating a valid frame line anywhere must not panic, and a
+    /// strict prefix of a frame line never decodes (the object is
+    /// unterminated until the final `}`).
+    #[test]
+    fn frame_decode_survives_truncation(
+        job_hi in any::<u64>(),
+        job_lo in any::<u64>(),
+        cycles in any::<u64>(),
+        cut_ppm in 0u64..1_000_000,
+    ) {
+        let line = Frame::Progress {
+            job: job_id(job_hi, job_lo),
+            cycles,
+            retired: cycles / 2,
+            phase: "running".into(),
+        }
+        .encode();
+        let cut = (line.len() as u64 * cut_ppm / 1_000_000) as usize;
+        let truncated = &line[..cut.min(line.len())];
+        if truncated.len() < line.len() {
+            prop_assert!(Frame::decode(truncated).is_err());
+        }
+    }
+
+    /// Flipping one byte of a valid frame line must not panic; if the
+    /// mutant still decodes, it must re-encode consistently.
+    #[test]
+    fn frame_decode_survives_single_byte_mutation(
+        job_hi in any::<u64>(),
+        job_lo in any::<u64>(),
+        lines in any::<u64>(),
+        pos_ppm in 0u64..1_000_000,
+        replacement in 0x20u8..0x7f,
+    ) {
+        let line = Frame::Sample { job: job_id(job_hi, job_lo), lines }.encode();
+        let pos = (line.len() as u64 * pos_ppm / 1_000_000) as usize;
+        if pos >= line.len() {
+            return Ok(());
+        }
+        let mut mutated = line.into_bytes();
+        mutated[pos] = replacement;
+        let mutated = String::from_utf8(mutated).expect("ascii stays ascii");
+        if let Ok(frame) = Frame::decode(&mutated) {
+            let again = Frame::decode(&frame.encode()).expect("re-encoded frame must decode");
+            prop_assert_eq!(again, frame);
+        }
+        Ok::<(), String>(())
+    }
+}

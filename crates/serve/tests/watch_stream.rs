@@ -1,0 +1,168 @@
+//! Acceptance tests for MACS-1 `watch` streaming: live progress frames,
+//! incremental metrics-sample chunks whose concatenation is
+//! byte-identical to the server-side artifact, terminal replay for late
+//! subscribers, and the periodic counters flush.
+
+use std::path::PathBuf;
+
+use mac_serve::{serve, Frame, JobSpec, JobState, Response, ServeClient, ServerConfig};
+use mac_sim::experiment::ExperimentConfig;
+use mac_types::JobId;
+
+/// A unique scratch directory per test (removed on entry so reruns start
+/// cold).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mac-serve-watch-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn fast_cfg(seed: u64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::paper(2);
+    cfg.workload.scale = 1;
+    cfg.workload.seed = seed;
+    cfg.max_cycles = 50_000_000;
+    cfg
+}
+
+fn server_config(out: PathBuf) -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        sim_jobs: 1,
+        out_dir: out,
+        // Small sampling interval and fast poll so even a short
+        // simulation yields several streamed chunks.
+        metrics_interval: 1_000,
+        watch_poll_ms: 5,
+        flush_every: 1,
+        ..ServerConfig::default()
+    }
+}
+
+struct Collected {
+    progress: u64,
+    samples: Vec<String>,
+    end_state: JobState,
+}
+
+fn watch_collect(addr: &str, job: JobId) -> Collected {
+    let mut c = ServeClient::connect(addr, "watcher").expect("connects");
+    let mut progress = 0u64;
+    let mut samples = Vec::new();
+    let end_state = c
+        .watch(job, |frame, body| match frame {
+            Frame::Progress { .. } => progress += 1,
+            Frame::Sample { .. } => samples.push(body.expect("sample carries chunk").to_string()),
+            Frame::End { .. } => {}
+        })
+        .expect("stream completes");
+    Collected {
+        progress,
+        samples,
+        end_state,
+    }
+}
+
+/// Acceptance: watching a live job yields ≥1 progress frame and ≥2
+/// metrics sample chunks whose concatenation is byte-identical to the
+/// job's on-disk metrics artifact; a late subscriber replays the same
+/// bytes; and the periodic flush exported counters before shutdown.
+#[test]
+fn live_watch_streams_progress_and_byte_identical_samples() {
+    let out = scratch("live");
+    let mut cfg = server_config(out.clone());
+    // Start paused so the watcher provably attaches before execution.
+    cfg.start_paused = true;
+    let handle = serve(cfg).expect("server starts");
+    let addr = handle.addr().to_string();
+
+    let mut c = ServeClient::connect(&addr, "submitter").expect("connects");
+    let spec = JobSpec::sim("stream", fast_cfg(42));
+    let job = match c.submit(&spec).expect("submits") {
+        Response::Accepted { job, .. } => job,
+        other => panic!("submission not admitted: {other:?}"),
+    };
+
+    // Subscribe while the job is still queued, then release it.
+    let watcher = {
+        let addr = addr.clone();
+        std::thread::spawn(move || watch_collect(&addr, job))
+    };
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    c.resume().expect("resumes");
+    let got = watcher.join().expect("watcher thread");
+
+    assert_eq!(got.end_state, JobState::Done);
+    assert!(got.progress >= 1, "no progress frames streamed");
+    assert!(
+        got.samples.len() >= 2,
+        "want >=2 sample chunks on a live watch, got {}",
+        got.samples.len()
+    );
+
+    let streamed: String = got.samples.concat();
+    let artifact_path = out.join("serve").join(format!("job-{job}.metrics.csv"));
+    let artifact = std::fs::read_to_string(&artifact_path).expect("metrics artifact written");
+    assert_eq!(
+        streamed, artifact,
+        "streamed chunks must concatenate to the artifact bytes"
+    );
+    assert!(artifact.starts_with("# mac-metrics v1 interval=1000\n"));
+    assert!(artifact.lines().count() > 4, "expected several sample rows");
+
+    // A late subscriber (job already terminal) replays the same bytes.
+    let late = watch_collect(&addr, job);
+    assert_eq!(late.end_state, JobState::Done);
+    assert_eq!(late.samples.concat(), artifact, "terminal replay differs");
+
+    // flush_every=1: the counters CSV is already on disk pre-shutdown.
+    let counters =
+        std::fs::read_to_string(out.join("serve").join("server-metrics.csv")).expect("flushed");
+    assert!(counters.contains("serve/jobs_completed"));
+    assert!(counters.contains("serve/retry_after_ms"));
+
+    c.shutdown().expect("shutdown acked");
+    handle.wait().expect("drains and exits");
+    let _ = std::fs::remove_dir_all(&out);
+}
+
+/// Watching an unknown job answers an explicit error, not a hang.
+#[test]
+fn watch_unknown_job_errors() {
+    let out = scratch("unknown");
+    let handle = serve(server_config(out.clone())).expect("server starts");
+    let addr = handle.addr().to_string();
+    let mut c = ServeClient::connect(&addr, "nosy").expect("connects");
+    let err = c
+        .watch(JobId::from(0xdeadbeef), |_, _| {})
+        .expect_err("unknown job must error");
+    assert!(err.to_string().contains("no such job"), "{err}");
+    c.shutdown().expect("shutdown acked");
+    handle.wait().expect("drains and exits");
+    let _ = std::fs::remove_dir_all(&out);
+}
+
+/// `wait_backoff` reaches the terminal state without busy-polling: the
+/// round-trip count stays far below what a tight poll loop would make.
+#[test]
+fn wait_backoff_is_not_a_busy_poll() {
+    let out = scratch("backoff");
+    let handle = serve(server_config(out.clone())).expect("server starts");
+    let addr = handle.addr().to_string();
+    let mut c = ServeClient::connect(&addr, "waiter").expect("connects");
+    let spec = JobSpec::sim("gups", fast_cfg(77));
+    let job = match c.submit(&spec).expect("submits") {
+        Response::Accepted { job, .. } => job,
+        other => panic!("submission not admitted: {other:?}"),
+    };
+    let (state, round_trips) = c.wait_backoff(job, 120_000, None).expect("waits");
+    assert_eq!(state, JobState::Done);
+    assert!(
+        round_trips <= 80,
+        "wait_backoff made {round_trips} round trips — that is a busy poll"
+    );
+    c.shutdown().expect("shutdown acked");
+    handle.wait().expect("drains and exits");
+    let _ = std::fs::remove_dir_all(&out);
+}

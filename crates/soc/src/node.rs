@@ -162,6 +162,12 @@ impl Node {
         }
     }
 
+    /// Completions recorded so far (read-only; cheap enough for the run
+    /// loop's live-progress probe to poll every tick).
+    pub fn completions(&self) -> u64 {
+        self.metrics.completions
+    }
+
     /// True when every thread finished and no requests are in flight.
     pub fn is_done(&self) -> bool {
         self.pending.is_empty() && self.cores.iter().all(Core::is_done)

@@ -53,12 +53,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use mac_metrics::MetricsHub;
-use mac_telemetry::{BinarySink, Tracer};
+use mac_telemetry::{BinarySink, ProfSnapshot, Profiler, Tracer};
 use mac_types::{Fingerprint, Fnv128};
 use mac_workloads::{by_name, Workload};
 
 use crate::catalog;
-use crate::experiment::{run_workload_instrumented, ExperimentConfig};
+use crate::experiment::{run_workload_observed, ExperimentConfig, RunObservers};
 use crate::figures::render_table;
 use crate::manifest::Experiment;
 use crate::report::RunReport;
@@ -303,6 +303,7 @@ pub struct SimPool {
     trace_dir: Option<PathBuf>,
     metrics_dir: Option<PathBuf>,
     metrics_interval: u64,
+    profiler: Profiler,
     memo: Mutex<HashMap<u128, RunReport>>,
     executed: AtomicU64,
     disk_hits: AtomicU64,
@@ -328,6 +329,7 @@ impl SimPool {
             trace_dir: None,
             metrics_dir: None,
             metrics_interval: DEFAULT_METRICS_INTERVAL,
+            profiler: Profiler::disabled(),
             memo: Mutex::new(HashMap::new()),
             executed: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
@@ -358,6 +360,17 @@ impl SimPool {
     pub fn with_metrics(mut self, dir: &Path, interval: u64) -> Self {
         self.metrics_dir = Some(dir.to_path_buf());
         self.metrics_interval = interval.max(1);
+        self
+    }
+
+    /// Attach a host-side span [`Profiler`] (pass an *enabled* handle).
+    /// The pool records `pool/run_batch` and `pool/execute` spans plus
+    /// cache-path counters, and every executed simulation shares the
+    /// same handle for its run-loop phase accumulators. Profiling is
+    /// observational: results, cache entries, and fingerprints are
+    /// byte-identical with or without it.
+    pub fn with_profiler(mut self, profiler: Profiler) -> Self {
+        self.profiler = profiler;
         self
     }
 
@@ -403,8 +416,10 @@ impl SimPool {
 
     fn load_cached(&self, fp: u128, req: &SimRequest) -> Option<RunReport> {
         let path = self.sim_cache_path(fp)?;
+        self.profiler.add("pool/cache_probe", 1);
         let text = std::fs::read_to_string(path).ok()?;
         let mut report = crate::cachefmt::decode_run(&text)?;
+        self.profiler.add("pool/cache_hit", 1);
         // The config is part of the key, not the value; re-attach it so
         // derived metrics (which read e.g. `config.mac_disabled`) agree.
         report.config = req.cfg.system.clone();
@@ -415,6 +430,7 @@ impl SimPool {
         let Some(path) = self.sim_cache_path(fp) else {
             return;
         };
+        self.profiler.add("pool/cache_store", 1);
         // Normalize: cache contents must not depend on whether this run
         // happened to be traced.
         let mut stored = report.clone();
@@ -423,6 +439,7 @@ impl SimPool {
     }
 
     fn execute(&self, req: &SimRequest, fp: u128) -> RunReport {
+        let _span = self.profiler.span("pool/execute");
         let w = by_name(&req.workload)
             .unwrap_or_else(|| panic!("unknown workload `{}` in SimRequest", req.workload));
         let tracer = self.trace_dir.as_ref().and_then(|dir| {
@@ -435,7 +452,13 @@ impl SimPool {
             None => MetricsHub::disabled(),
         };
         self.executed.fetch_add(1, Ordering::Relaxed);
-        let report = run_workload_instrumented(w.as_ref(), &req.cfg, tracer, metrics.clone());
+        let obs = RunObservers {
+            tracer,
+            metrics: metrics.clone(),
+            profiler: self.profiler.clone(),
+            progress: None,
+        };
+        let report = run_workload_observed(w.as_ref(), &req.cfg, obs);
         if let (Some(dir), Some(snap)) = (&self.metrics_dir, metrics.snapshot()) {
             let _ = std::fs::create_dir_all(dir);
             let stem = format!("{}-{:016x}", req.workload, fp as u64);
@@ -450,6 +473,7 @@ impl SimPool {
     /// in-process memo, and the disk cache are all consulted before any
     /// simulation is launched.
     pub fn run_batch(&self, reqs: &[SimRequest]) -> Vec<RunReport> {
+        let _span = self.profiler.span("pool/run_batch");
         let fps: Vec<u128> = reqs.iter().map(SimRequest::fingerprint).collect();
         let mut results: Vec<Option<RunReport>> = vec![None; reqs.len()];
 
@@ -464,6 +488,7 @@ impl SimPool {
                     r.config = reqs[i].cfg.system.clone();
                     results[i] = Some(r);
                     self.memo_hits.fetch_add(1, Ordering::Relaxed);
+                    self.profiler.add("pool/memo_hit", 1);
                 } else if !claimed.contains_key(fp) {
                     claimed.insert(*fp, i);
                     missing.push(i);
@@ -545,6 +570,79 @@ impl SimPool {
         out
     }
 
+    /// Run one request with caller-supplied *live* observers attached:
+    /// a metrics hub sampling while the simulation advances and an
+    /// optional progress probe streaming observers can poll. Consults
+    /// the memo and disk cache exactly like [`SimPool::run_batch`] — a
+    /// warm request skips execution entirely (so it records no samples)
+    /// and the probe jumps straight to `done` with the cached report's
+    /// final numbers. This is the `mac-serve` watch path.
+    pub fn run_one_observed(
+        &self,
+        req: &SimRequest,
+        metrics: MetricsHub,
+        progress: Option<std::sync::Arc<crate::progress::ProgressProbe>>,
+    ) -> RunReport {
+        use crate::progress::{PHASE_DONE, PHASE_RUNNING};
+        let fp = req.fingerprint();
+        let cached = {
+            let memo = self.memo.lock().expect("memo poisoned");
+            memo.get(&fp).cloned()
+        };
+        let cached = match cached {
+            Some(mut r) => {
+                self.memo_hits.fetch_add(1, Ordering::Relaxed);
+                self.profiler.add("pool/memo_hit", 1);
+                r.config = req.cfg.system.clone();
+                Some(r)
+            }
+            None => self.load_cached(fp, req).inspect(|r| {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                self.memo
+                    .lock()
+                    .expect("memo poisoned")
+                    .insert(fp, r.clone());
+            }),
+        };
+        let report = match cached {
+            Some(r) => r,
+            None => {
+                let _span = self.profiler.span("pool/execute");
+                let w = by_name(&req.workload)
+                    .unwrap_or_else(|| panic!("unknown workload `{}` in SimRequest", req.workload));
+                if let Some(p) = &progress {
+                    p.set_phase(PHASE_RUNNING);
+                }
+                self.executed.fetch_add(1, Ordering::Relaxed);
+                let obs = RunObservers {
+                    tracer: None,
+                    metrics,
+                    profiler: self.profiler.clone(),
+                    progress: progress.clone(),
+                };
+                let report = run_workload_observed(w.as_ref(), &req.cfg, obs);
+                self.store_cached(fp, &report);
+                self.memo
+                    .lock()
+                    .expect("memo poisoned")
+                    .insert(fp, report.clone());
+                report
+            }
+        };
+        if let Some(p) = &progress {
+            p.update(report.cycles, report.soc.completions);
+            p.set_phase(PHASE_DONE);
+        }
+        if report.cycles >= req.cfg.max_cycles {
+            self.timeouts.fetch_add(1, Ordering::Relaxed);
+            self.timeout_labels
+                .lock()
+                .expect("labels poisoned")
+                .push(format!("{}-{:016x}", req.workload, fp as u64));
+        }
+        report
+    }
+
     /// Run every workload in `ws` under `cfg`, labelled by name.
     pub fn run_suite(
         &self,
@@ -613,6 +711,10 @@ pub struct EngineOptions {
     /// Metrics sampling interval in simulated cycles
     /// (`--metrics-interval`).
     pub metrics_interval: u64,
+    /// Record host-side wall-clock spans and counters (`--profile`),
+    /// exporting `profile.txt`/`profile.json` under
+    /// [`EngineOptions::profile_dir`].
+    pub profile: bool,
 }
 
 impl Default for EngineOptions {
@@ -625,6 +727,7 @@ impl Default for EngineOptions {
             trace: false,
             metrics: false,
             metrics_interval: DEFAULT_METRICS_INTERVAL,
+            profile: false,
         }
     }
 }
@@ -647,6 +750,11 @@ impl EngineOptions {
     /// so the two CLIs agree.
     pub fn metrics_dir(&self) -> PathBuf {
         self.out_dir.join("metrics")
+    }
+
+    /// Where profiler exports live for this invocation (`--profile`).
+    pub fn profile_dir(&self) -> PathBuf {
+        self.out_dir.join("profile")
     }
 }
 
@@ -691,6 +799,11 @@ pub struct EngineRun {
     /// Simulations that hit their cycle cap without draining, across the
     /// whole run (sum of the per-outcome counts).
     pub sims_timed_out: u64,
+    /// The host-side profile of the run, when [`EngineOptions::profile`]
+    /// was set (the text/JSON exports are already on disk under
+    /// `profile/`); `None` otherwise. Carried here so callers can fold
+    /// the spans into a merged Perfetto timeline.
+    pub prof: Option<ProfSnapshot>,
 }
 
 impl EngineRun {
@@ -737,6 +850,12 @@ pub fn run_experiments(exps: &[Experiment], opts: &EngineOptions) -> std::io::Re
     if opts.metrics {
         pool = pool.with_metrics(&opts.metrics_dir(), opts.metrics_interval);
     }
+    let profiler = if opts.profile {
+        Profiler::enabled()
+    } else {
+        Profiler::disabled()
+    };
+    pool = pool.with_profiler(profiler.clone());
     std::fs::create_dir_all(&opts.out_dir)?;
 
     let mut outcomes = Vec::with_capacity(exps.len());
@@ -786,12 +905,24 @@ pub fn run_experiments(exps: &[Experiment], opts: &EngineOptions) -> std::io::Re
             timeout_labels,
         });
     }
+    let prof = profiler.snapshot();
+    if opts.profile {
+        let dir = opts.profile_dir();
+        std::fs::create_dir_all(&dir)?;
+        if let Some(text) = profiler.export_text() {
+            atomic_write(&dir.join("profile.txt"), &text)?;
+        }
+        if let Some(json) = profiler.export_json() {
+            atomic_write(&dir.join("profile.json"), &json)?;
+        }
+    }
     Ok(EngineRun {
         outcomes,
         sims_executed: pool.sims_executed(),
         sims_from_disk: pool.disk_cache_hits(),
         sims_from_memo: pool.memo_hits(),
         sims_timed_out: pool.sims_timed_out(),
+        prof,
     })
 }
 

@@ -3,14 +3,17 @@
 //! These are the low-level building blocks; batch execution with caching
 //! and work stealing lives in [`crate::engine`].
 
+use std::sync::Arc;
+
 use mac_check::{ConformanceChecker, OracleReplay, Violation};
 use mac_metrics::MetricsHub;
-use mac_telemetry::Tracer;
+use mac_telemetry::{Profiler, Tracer};
 use mac_types::{Fingerprint, Fnv128, MacPlacement, SystemConfig};
 use mac_workloads::{Workload, WorkloadParams};
 use soc_sim::{ReplayProgram, ThreadOp, ThreadProgram};
 
 use crate::netsystem::NetSystem;
+use crate::progress::ProgressProbe;
 use crate::report::RunReport;
 use crate::system::SystemSim;
 
@@ -94,7 +97,12 @@ pub fn run_workload_instrumented(
     tracer: Option<Tracer>,
     metrics: MetricsHub,
 ) -> RunReport {
-    run_workload_mode(w, cfg, tracer, metrics, false)
+    let obs = RunObservers {
+        tracer,
+        metrics,
+        ..RunObservers::default()
+    };
+    run_workload_mode(w, cfg, obs, false)
 }
 
 /// [`run_workload_instrumented`] forced onto the cycle-by-cycle
@@ -107,14 +115,49 @@ pub fn run_workload_stepped(
     tracer: Option<Tracer>,
     metrics: MetricsHub,
 ) -> RunReport {
-    run_workload_mode(w, cfg, tracer, metrics, true)
+    let obs = RunObservers {
+        tracer,
+        metrics,
+        ..RunObservers::default()
+    };
+    run_workload_mode(w, cfg, obs, true)
+}
+
+/// The full set of observational attachments one run can carry. Every
+/// member is purely observational: attaching any combination never
+/// changes the [`RunReport`] and none of them enter any fingerprint.
+/// `Default` is the all-disabled bundle (no tracer, disabled hub,
+/// disabled profiler, no probe) — identical behaviour and overhead to
+/// the plain [`run_workload`] path.
+#[derive(Default)]
+pub struct RunObservers {
+    /// Optional telemetry tracer (re-tagged per node).
+    pub tracer: Option<Tracer>,
+    /// Interval-sampled metrics hub ([`MetricsHub::disabled`] for none).
+    pub metrics: MetricsHub,
+    /// Host-side wall-clock span profiler ([`Profiler::disabled`] for none).
+    pub profiler: Profiler,
+    /// Live progress mailbox streaming observers poll while the run advances.
+    pub progress: Option<Arc<ProgressProbe>>,
+}
+
+/// Run one workload with the full observer bundle attached: tracer,
+/// metrics hub, host-side profiler, and live progress probe. This is
+/// the entry point mac-serve and the profiled engine path use; all the
+/// narrower `run_workload*` variants delegate here with the missing
+/// observers disabled.
+pub fn run_workload_observed(
+    w: &dyn Workload,
+    cfg: &ExperimentConfig,
+    obs: RunObservers,
+) -> RunReport {
+    run_workload_mode(w, cfg, obs, false)
 }
 
 fn run_workload_mode(
     w: &dyn Workload,
     cfg: &ExperimentConfig,
-    tracer: Option<Tracer>,
-    metrics: MetricsHub,
+    obs: RunObservers,
     stepped: bool,
 ) -> RunReport {
     let programs = programs_for(w, &cfg.workload);
@@ -123,18 +166,26 @@ fn run_workload_mode(
     // classic `SystemSim` path.
     if cfg.system.net.enabled && cfg.system.net.placement == MacPlacement::PerCube {
         let mut sim = NetSystem::new(&cfg.system, programs);
-        if let Some(t) = tracer {
+        if let Some(t) = obs.tracer {
             sim.set_tracer(t);
         }
-        sim.set_metrics(metrics);
+        sim.set_metrics(obs.metrics);
+        sim.set_profiler(obs.profiler);
+        if let Some(p) = obs.progress {
+            sim.set_progress(p);
+        }
         sim.set_stepped(stepped);
         return sim.run(cfg.max_cycles);
     }
     let mut sim = SystemSim::new(&cfg.system, programs);
-    if let Some(t) = tracer {
+    if let Some(t) = obs.tracer {
         sim.set_tracer(t);
     }
-    sim.set_metrics(metrics);
+    sim.set_metrics(obs.metrics);
+    sim.set_profiler(obs.profiler);
+    if let Some(p) = obs.progress {
+        sim.set_progress(p);
+    }
     sim.set_stepped(stepped);
     sim.run(cfg.max_cycles)
 }

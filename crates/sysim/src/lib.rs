@@ -45,6 +45,7 @@ pub mod figures;
 pub mod fuzz;
 pub mod manifest;
 pub mod netsystem;
+pub mod progress;
 pub mod report;
 pub mod system;
 
@@ -52,10 +53,12 @@ pub use analyzer::{analyze, TraceAnalysis};
 pub use baseline::{Baseline, BaselineCheck};
 pub use engine::{run_experiments, Artifact, EngineOptions, EngineRun, SimPool, SimRequest};
 pub use experiment::{
-    run_ops_checked, run_pair, run_workload, run_workload_checked, CheckedRun, ExperimentConfig,
+    run_ops_checked, run_pair, run_workload, run_workload_checked, run_workload_observed,
+    CheckedRun, ExperimentConfig, RunObservers,
 };
 pub use fuzz::{run_fuzz, FuzzOptions, FuzzReport};
 pub use manifest::{manifest, select, Experiment};
 pub use netsystem::NetSystem;
+pub use progress::{phase_name, ProgressProbe, PHASE_DONE, PHASE_QUEUED, PHASE_RUNNING};
 pub use report::RunReport;
 pub use system::SystemSim;

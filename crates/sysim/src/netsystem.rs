@@ -25,15 +25,17 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::Arc;
 
 use mac_check::{ConformanceChecker, FinishProbe, StatsProbe};
 use mac_coalescer::{Mac, MacEvent, RequestRouter, ResponseRouter, RoutedTo};
 use mac_metrics::MetricsHub;
 use mac_net::NetDevice;
-use mac_telemetry::{TraceEvent, Tracer, ROUTE_GLOBAL, ROUTE_LOCAL, ROUTE_STALLED};
+use mac_telemetry::{Profiler, TraceEvent, Tracer, ROUTE_GLOBAL, ROUTE_LOCAL, ROUTE_STALLED};
 use mac_types::{Cycle, FlitMap, HmcRequest, MemOpKind, NodeId, RawRequest, ReqSize, SystemConfig};
 use soc_sim::{Node, ThreadProgram};
 
+use crate::progress::{ProgressProbe, PHASE_DONE, PHASE_RUNNING};
 use crate::report::RunReport;
 
 /// One cube's ingress-side hardware: an arrival queue fed by the fabric
@@ -70,6 +72,8 @@ pub struct NetSystem {
     skip_cooldown: Cycle,
     tracer: Tracer,
     metrics: MetricsHub,
+    profiler: Profiler,
+    progress: Option<Arc<ProgressProbe>>,
     checker: Option<ConformanceChecker>,
 }
 
@@ -104,6 +108,8 @@ impl NetSystem {
             skip_cooldown: 0,
             tracer: Tracer::disabled(),
             metrics: MetricsHub::disabled(),
+            profiler: Profiler::disabled(),
+            progress: None,
             checker: None,
             cfg,
         }
@@ -133,6 +139,18 @@ impl NetSystem {
     /// observational and never changes simulated behavior.
     pub fn set_metrics(&mut self, metrics: MetricsHub) {
         self.metrics = metrics;
+    }
+
+    /// Attach a host-side wall-clock profiler (observational; see
+    /// [`crate::system::SystemSim::set_profiler`]).
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = profiler;
+    }
+
+    /// Attach a live progress probe (see
+    /// [`crate::system::SystemSim::set_progress`]).
+    pub fn set_progress(&mut self, progress: Arc<ProgressProbe>) {
+        self.progress = Some(progress);
     }
 
     /// Attach a conformance checker (observational; see
@@ -464,13 +482,39 @@ impl NetSystem {
 
     /// Run to completion (or `max_cycles`) and produce the report.
     pub fn run(&mut self, max_cycles: Cycle) -> RunReport {
+        let prof_on = self.profiler.is_enabled();
+        // Per-phase wall-clock accumulators, folded into the profiler
+        // once at run end (see SystemSim::run).
+        let (mut step_ns, mut steps) = (0u64, 0u64);
+        let (mut scan_ns, mut scans) = (0u64, 0u64);
+        let (mut check_ns, mut checks) = (0u64, 0u64);
+        let (mut sample_ns, mut samples) = (0u64, 0u64);
+        macro_rules! timed {
+            ($ns:ident, $n:ident, $e:expr) => {
+                if prof_on {
+                    let t0 = std::time::Instant::now();
+                    let r = $e;
+                    $ns += t0.elapsed().as_nanos() as u64;
+                    $n += 1;
+                    r
+                } else {
+                    $e
+                }
+            };
+        }
+        if let Some(p) = &self.progress {
+            p.set_phase(PHASE_RUNNING);
+        }
         while self.now < max_cycles {
-            let more = self.tick();
+            let more = timed!(step_ns, steps, self.tick());
+            if let Some(p) = &self.progress {
+                p.update(self.now, self.node.completions());
+            }
             if self.metrics.should_sample(self.now) {
-                self.take_metrics_sample();
+                timed!(sample_ns, samples, self.take_metrics_sample());
             }
             if self.checker.is_some() && self.now.is_multiple_of(crate::system::CHECK_BATCH) {
-                self.check_stats();
+                timed!(check_ns, checks, self.check_stats());
             }
             if !more {
                 break;
@@ -483,7 +527,7 @@ impl NetSystem {
                     self.skip_cooldown -= 1;
                 } else {
                     let before = self.now;
-                    self.skip_idle_span(max_cycles);
+                    timed!(scan_ns, scans, self.skip_idle_span(max_cycles));
                     if self.now == before {
                         self.skip_backoff =
                             (self.skip_backoff.max(1) * 2).min(crate::system::MAX_SKIP_BACKOFF);
@@ -493,6 +537,19 @@ impl NetSystem {
                     }
                 }
             }
+        }
+        if prof_on {
+            self.profiler.accum("netsystem/run/step", step_ns, steps);
+            self.profiler
+                .accum("netsystem/run/event_scan", scan_ns, scans);
+            self.profiler
+                .accum("netsystem/run/checker", check_ns, checks);
+            self.profiler
+                .accum("netsystem/run/sampler", sample_ns, samples);
+        }
+        if let Some(p) = &self.progress {
+            p.update(self.now, self.node.completions());
+            p.set_phase(PHASE_DONE);
         }
         if self.metrics.is_enabled() {
             // Tail window (deduped when the run ends on a boundary).

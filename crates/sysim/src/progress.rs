@@ -1,0 +1,91 @@
+//! Live run-progress probe for streaming observers (`mac-obs`).
+//!
+//! A [`ProgressProbe`] is a tiny lock-free mailbox the run loops write
+//! into while a simulation executes: current cycle, requests retired
+//! (completions), and a coarse phase token. mac-serve attaches one per
+//! running job so `watch` subscribers can stream progress without
+//! touching simulated state — like the tracer and metrics hub, the
+//! probe is purely observational (relaxed atomic stores on the writer
+//! side, one `Option` branch when absent) and never enters any
+//! fingerprint.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+/// Phase token: not yet started.
+pub const PHASE_QUEUED: u8 = 0;
+/// Phase token: the run loop is advancing.
+pub const PHASE_RUNNING: u8 = 1;
+/// Phase token: the run finished (report produced).
+pub const PHASE_DONE: u8 = 2;
+
+/// Wire/display name of a phase token.
+pub fn phase_name(phase: u8) -> &'static str {
+    match phase {
+        PHASE_QUEUED => "queued",
+        PHASE_RUNNING => "running",
+        PHASE_DONE => "done",
+        _ => "unknown",
+    }
+}
+
+/// Shared live progress of one running simulation. Writers store with
+/// relaxed ordering every tick; readers poll at their own pace — values
+/// are monotone, so a stale read is merely slightly behind.
+#[derive(Debug, Default)]
+pub struct ProgressProbe {
+    cycles: AtomicU64,
+    retired: AtomicU64,
+    phase: AtomicU8,
+}
+
+impl ProgressProbe {
+    /// A fresh probe in the `queued` phase.
+    pub fn new() -> Self {
+        ProgressProbe::default()
+    }
+
+    /// Writer side: record the current cycle and completion count.
+    #[inline]
+    pub fn update(&self, cycles: u64, retired: u64) {
+        self.cycles.store(cycles, Ordering::Relaxed);
+        self.retired.store(retired, Ordering::Relaxed);
+    }
+
+    /// Writer side: advance the phase token.
+    pub fn set_phase(&self, phase: u8) {
+        self.phase.store(phase, Ordering::Relaxed);
+    }
+
+    /// Reader side: `(cycles, retired, phase)` snapshot.
+    pub fn read(&self) -> (u64, u64, u8) {
+        (
+            self.cycles.load(Ordering::Relaxed),
+            self.retired.load(Ordering::Relaxed),
+            self.phase.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_round_trips_updates() {
+        let p = ProgressProbe::new();
+        assert_eq!(p.read(), (0, 0, PHASE_QUEUED));
+        p.set_phase(PHASE_RUNNING);
+        p.update(12_345, 67);
+        assert_eq!(p.read(), (12_345, 67, PHASE_RUNNING));
+        p.set_phase(PHASE_DONE);
+        assert_eq!(p.read().2, PHASE_DONE);
+    }
+
+    #[test]
+    fn phase_names_are_stable() {
+        assert_eq!(phase_name(PHASE_QUEUED), "queued");
+        assert_eq!(phase_name(PHASE_RUNNING), "running");
+        assert_eq!(phase_name(PHASE_DONE), "done");
+        assert_eq!(phase_name(99), "unknown");
+    }
+}

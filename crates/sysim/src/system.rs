@@ -24,10 +24,12 @@ use std::collections::VecDeque;
 use hmc_model::{DdrDevice, HbmDevice, HmcDevice, MemoryDevice};
 use mac_check::{ConformanceChecker, FinishProbe, StatsProbe};
 use mac_coalescer::{Mac, MacEvent, RequestRouter, ResponseRouter, RoutedTo};
+use std::sync::Arc;
+
 use mac_metrics::MetricsHub;
 use mac_net::NetDevice;
 use mac_telemetry::{
-    TraceEvent, Tracer, ROUTE_GLOBAL, ROUTE_LOCAL, ROUTE_REMOTE_IN, ROUTE_STALLED,
+    Profiler, TraceEvent, Tracer, ROUTE_GLOBAL, ROUTE_LOCAL, ROUTE_REMOTE_IN, ROUTE_STALLED,
 };
 use mac_types::{
     Cycle, FlitMap, HmcRequest, MemBackend, MemOpKind, NodeId, RawRequest, ReqSize, SystemConfig,
@@ -35,6 +37,7 @@ use mac_types::{
 };
 use soc_sim::{Node, ThreadProgram};
 
+use crate::progress::{ProgressProbe, PHASE_DONE, PHASE_RUNNING};
 use crate::report::RunReport;
 
 /// One node's hardware.
@@ -79,6 +82,8 @@ pub struct SystemSim {
     skip_cooldown: Cycle,
     tracer: Tracer,
     metrics: MetricsHub,
+    profiler: Profiler,
+    progress: Option<Arc<ProgressProbe>>,
     checker: Option<ConformanceChecker>,
 }
 
@@ -154,6 +159,8 @@ impl SystemSim {
             skip_cooldown: 0,
             tracer: Tracer::disabled(),
             metrics: MetricsHub::disabled(),
+            profiler: Profiler::disabled(),
+            progress: None,
             checker: None,
         }
     }
@@ -185,6 +192,24 @@ impl SystemSim {
     /// interval and never changes simulated behavior.
     pub fn set_metrics(&mut self, metrics: MetricsHub) {
         self.metrics = metrics;
+    }
+
+    /// Attach a host-side wall-clock profiler (disabled by default).
+    /// The run loop accumulates per-phase time (component-step,
+    /// idle-span scan, checker, sampler) locally and folds it into the
+    /// profiler once at run end, so enabled profiling adds only clock
+    /// reads to the hot loop and disabled profiling is one branch.
+    /// Profiling is observational: it never changes simulated behavior,
+    /// reports, or fingerprints.
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = profiler;
+    }
+
+    /// Attach a live progress probe (see [`ProgressProbe`]): the run
+    /// loop stores the current cycle and completion count into it every
+    /// tick with relaxed atomics, for streaming observers.
+    pub fn set_progress(&mut self, progress: Arc<ProgressProbe>) {
+        self.progress = Some(progress);
     }
 
     /// Attach a conformance checker. Like tracing and metrics, checking
@@ -552,13 +577,41 @@ impl SystemSim {
 
     /// Run to completion (or `max_cycles`) and produce the report.
     pub fn run(&mut self, max_cycles: Cycle) -> RunReport {
+        let prof_on = self.profiler.is_enabled();
+        // Per-phase wall-clock accumulators (component-step, idle-span
+        // event scan, checker, sampler), folded into the profiler once
+        // at run end so the hot loop never locks or allocates for it.
+        let (mut step_ns, mut steps) = (0u64, 0u64);
+        let (mut scan_ns, mut scans) = (0u64, 0u64);
+        let (mut check_ns, mut checks) = (0u64, 0u64);
+        let (mut sample_ns, mut samples) = (0u64, 0u64);
+        macro_rules! timed {
+            ($ns:ident, $n:ident, $e:expr) => {
+                if prof_on {
+                    let t0 = std::time::Instant::now();
+                    let r = $e;
+                    $ns += t0.elapsed().as_nanos() as u64;
+                    $n += 1;
+                    r
+                } else {
+                    $e
+                }
+            };
+        }
+        if let Some(p) = &self.progress {
+            p.set_phase(PHASE_RUNNING);
+        }
         while self.now < max_cycles {
-            let more = self.tick();
+            let more = timed!(step_ns, steps, self.tick());
+            if let Some(p) = &self.progress {
+                let retired = self.nodes.iter().map(|n| n.node.completions()).sum();
+                p.update(self.now, retired);
+            }
             if self.metrics.should_sample(self.now) {
-                self.take_metrics_sample();
+                timed!(sample_ns, samples, self.take_metrics_sample());
             }
             if self.checker.is_some() && self.now.is_multiple_of(CHECK_BATCH) {
-                self.check_stats();
+                timed!(check_ns, checks, self.check_stats());
             }
             if !more {
                 break;
@@ -573,7 +626,7 @@ impl SystemSim {
                     self.skip_cooldown -= 1;
                 } else {
                     let before = self.now;
-                    self.skip_idle_span(max_cycles);
+                    timed!(scan_ns, scans, self.skip_idle_span(max_cycles));
                     if self.now == before {
                         self.skip_backoff = (self.skip_backoff.max(1) * 2).min(MAX_SKIP_BACKOFF);
                         self.skip_cooldown = self.skip_backoff;
@@ -582,6 +635,18 @@ impl SystemSim {
                     }
                 }
             }
+        }
+        if prof_on {
+            self.profiler.accum("system/run/step", step_ns, steps);
+            self.profiler.accum("system/run/event_scan", scan_ns, scans);
+            self.profiler.accum("system/run/checker", check_ns, checks);
+            self.profiler
+                .accum("system/run/sampler", sample_ns, samples);
+        }
+        if let Some(p) = &self.progress {
+            let retired = self.nodes.iter().map(|n| n.node.completions()).sum();
+            p.update(self.now, retired);
+            p.set_phase(PHASE_DONE);
         }
         if self.metrics.is_enabled() {
             // Tail window: capture the final state even when the run did

@@ -30,6 +30,7 @@ pub mod analyzer;
 pub mod binfile;
 pub mod event;
 pub mod perfetto;
+pub mod profiler;
 pub mod ring;
 pub mod tracer;
 
@@ -39,7 +40,8 @@ pub use event::{
     TraceEvent, TraceRecord, POP_BUILDER, POP_BYPASS, POP_FENCE, ROUTE_GLOBAL, ROUTE_LOCAL,
     ROUTE_REMOTE_IN, ROUTE_STALLED,
 };
-pub use perfetto::{export_counter_tracks, export_json, CounterTrack, PerfettoSink};
+pub use perfetto::{export_counter_tracks, export_json, export_merged, CounterTrack, PerfettoSink};
+pub use profiler::{ProfSnapshot, Profiler, SpanGuard, SpanRecord};
 pub use ring::{RingHandle, RingSink};
 pub use tracer::{TraceSink, TraceSummary, Tracer};
 

@@ -13,6 +13,12 @@
 use std::fmt::Write as _;
 
 use crate::event::{TraceEvent, TraceRecord, POP_BUILDER, POP_BYPASS, POP_FENCE};
+use crate::profiler::ProfSnapshot;
+
+/// Process ids used by [`export_merged`] for the non-node track groups.
+/// Node pids are `u16` values, so these sit safely above them.
+const PID_METRICS: u32 = 70_000;
+const PID_HOST: u32 = 70_001;
 
 const TID_CORES: u32 = 1;
 const TID_ARQ: u32 = 2;
@@ -28,7 +34,14 @@ pub fn export_json(records: &[TraceRecord]) -> String {
     let mut out = String::with_capacity(records.len() * 96 + 1024);
     out.push_str("{\"traceEvents\":[\n");
     let mut first = true;
+    emit_node_events(&mut out, &mut first, records);
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
 
+/// Emit node/track metadata plus every record's event into an open
+/// `traceEvents` array. Shared by [`export_json`] and [`export_merged`].
+fn emit_node_events(out: &mut String, first: &mut bool, records: &[TraceRecord]) {
     // Metadata: name the processes (nodes) and threads (tracks) that
     // actually appear, so the UI shows labels instead of bare ids.
     let mut tracks: Vec<(u16, u32, String)> = Vec::new();
@@ -45,7 +58,7 @@ pub fn export_json(records: &[TraceRecord]) -> String {
     nodes.sort_unstable();
     tracks.sort();
     for node in &nodes {
-        emit_obj(&mut out, &mut first, |o| {
+        emit_obj(out, first, |o| {
             let _ = write!(
                 o,
                 "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{node},\"tid\":0,\
@@ -54,7 +67,7 @@ pub fn export_json(records: &[TraceRecord]) -> String {
         });
     }
     for (node, tid, name) in &tracks {
-        emit_obj(&mut out, &mut first, |o| {
+        emit_obj(out, first, |o| {
             let _ = write!(
                 o,
                 "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{node},\"tid\":{tid},\
@@ -64,7 +77,7 @@ pub fn export_json(records: &[TraceRecord]) -> String {
     }
 
     for rec in records {
-        let pid = rec.node;
+        let pid = rec.node as u32;
         match rec.event {
             TraceEvent::RawRoute { id, addr, queue } => {
                 let q = ["local", "global", "stalled", "remote-in"]
@@ -72,8 +85,8 @@ pub fn export_json(records: &[TraceRecord]) -> String {
                     .copied()
                     .unwrap_or("?");
                 instant(
-                    &mut out,
-                    &mut first,
+                    out,
+                    first,
                     pid,
                     TID_CORES,
                     rec.cycle,
@@ -89,8 +102,8 @@ pub fn export_json(records: &[TraceRecord]) -> String {
                 ..
             } => {
                 instant(
-                    &mut out,
-                    &mut first,
+                    out,
+                    first,
                     pid,
                     TID_ARQ,
                     rec.cycle,
@@ -99,8 +112,8 @@ pub fn export_json(records: &[TraceRecord]) -> String {
                     None,
                 );
                 counter(
-                    &mut out,
-                    &mut first,
+                    out,
+                    first,
                     pid,
                     rec.cycle,
                     "ARQ occupancy",
@@ -109,8 +122,8 @@ pub fn export_json(records: &[TraceRecord]) -> String {
             }
             TraceEvent::ArqMerge { entry, targets, .. } => {
                 instant(
-                    &mut out,
-                    &mut first,
+                    out,
+                    first,
                     pid,
                     TID_ARQ,
                     rec.cycle,
@@ -121,8 +134,8 @@ pub fn export_json(records: &[TraceRecord]) -> String {
             }
             TraceEvent::ArqFence { id } => {
                 instant(
-                    &mut out,
-                    &mut first,
+                    out,
+                    first,
                     pid,
                     TID_ARQ,
                     rec.cycle,
@@ -133,8 +146,8 @@ pub fn export_json(records: &[TraceRecord]) -> String {
             }
             TraceEvent::ArqFillBurst { occupancy } => {
                 instant(
-                    &mut out,
-                    &mut first,
+                    out,
+                    first,
                     pid,
                     TID_ARQ,
                     rec.cycle,
@@ -155,8 +168,8 @@ pub fn export_json(records: &[TraceRecord]) -> String {
                     _ => "pop",
                 };
                 instant(
-                    &mut out,
-                    &mut first,
+                    out,
+                    first,
                     pid,
                     TID_ARQ,
                     rec.cycle,
@@ -165,8 +178,8 @@ pub fn export_json(records: &[TraceRecord]) -> String {
                     None,
                 );
                 counter(
-                    &mut out,
-                    &mut first,
+                    out,
+                    first,
                     pid,
                     rec.cycle,
                     "ARQ occupancy",
@@ -175,8 +188,8 @@ pub fn export_json(records: &[TraceRecord]) -> String {
             }
             TraceEvent::FenceRetire { id } => {
                 instant(
-                    &mut out,
-                    &mut first,
+                    out,
+                    first,
                     pid,
                     TID_ARQ,
                     rec.cycle,
@@ -187,8 +200,8 @@ pub fn export_json(records: &[TraceRecord]) -> String {
             }
             TraceEvent::BuilderStage1 { entry } => {
                 instant(
-                    &mut out,
-                    &mut first,
+                    out,
+                    first,
                     pid,
                     TID_BUILDER,
                     rec.cycle,
@@ -199,8 +212,8 @@ pub fn export_json(records: &[TraceRecord]) -> String {
             }
             TraceEvent::BuilderStage2 { entry, chunk_mask } => {
                 instant(
-                    &mut out,
-                    &mut first,
+                    out,
+                    first,
                     pid,
                     TID_BUILDER,
                     rec.cycle,
@@ -215,8 +228,8 @@ pub fn export_json(records: &[TraceRecord]) -> String {
                 targets,
             } => {
                 instant(
-                    &mut out,
-                    &mut first,
+                    out,
+                    first,
                     pid,
                     TID_BUILDER,
                     rec.cycle,
@@ -240,8 +253,8 @@ pub fn export_json(records: &[TraceRecord]) -> String {
                     .copied()
                     .unwrap_or("?");
                 instant(
-                    &mut out,
-                    &mut first,
+                    out,
+                    first,
                     pid,
                     TID_DISPATCH,
                     rec.cycle,
@@ -263,8 +276,8 @@ pub fn export_json(records: &[TraceRecord]) -> String {
             } => {
                 let tid = if up { TID_LINK_UP } else { TID_LINK_DOWN } + link as u32;
                 span(
-                    &mut out,
-                    &mut first,
+                    out,
+                    first,
                     pid,
                     tid,
                     start,
@@ -275,8 +288,8 @@ pub fn export_json(records: &[TraceRecord]) -> String {
             }
             TraceEvent::VaultEnqueue { vault, occupancy } => {
                 counter(
-                    &mut out,
-                    &mut first,
+                    out,
+                    first,
                     pid,
                     rec.cycle,
                     &format!("vault{vault} queue"),
@@ -292,8 +305,8 @@ pub fn export_json(records: &[TraceRecord]) -> String {
             } => {
                 let tid = TID_VAULT + vault as u32;
                 span(
-                    &mut out,
-                    &mut first,
+                    out,
+                    first,
                     pid,
                     tid,
                     start,
@@ -309,8 +322,8 @@ pub fn export_json(records: &[TraceRecord]) -> String {
             } => {
                 let tid = TID_VAULT + vault as u32;
                 instant(
-                    &mut out,
-                    &mut first,
+                    out,
+                    first,
                     pid,
                     tid,
                     rec.cycle,
@@ -325,8 +338,8 @@ pub fn export_json(records: &[TraceRecord]) -> String {
                 latency,
             } => {
                 instant(
-                    &mut out,
-                    &mut first,
+                    out,
+                    first,
                     pid,
                     TID_DISPATCH,
                     rec.cycle,
@@ -341,8 +354,8 @@ pub fn export_json(records: &[TraceRecord]) -> String {
             }
             TraceEvent::Fanout { id } => {
                 instant(
-                    &mut out,
-                    &mut first,
+                    out,
+                    first,
                     pid,
                     TID_CORES,
                     rec.cycle,
@@ -359,8 +372,8 @@ pub fn export_json(records: &[TraceRecord]) -> String {
             } => {
                 let tid = TID_FABRIC + from_cube as u32;
                 instant(
-                    &mut out,
-                    &mut first,
+                    out,
+                    first,
                     pid,
                     tid,
                     rec.cycle,
@@ -377,8 +390,8 @@ pub fn export_json(records: &[TraceRecord]) -> String {
             } => {
                 let tid = TID_FABRIC + cube as u32;
                 span(
-                    &mut out,
-                    &mut first,
+                    out,
+                    first,
                     pid,
                     tid,
                     start,
@@ -389,9 +402,6 @@ pub fn export_json(records: &[TraceRecord]) -> String {
             }
         }
     }
-
-    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
-    out
 }
 
 /// Track id + display name an event renders on.
@@ -460,7 +470,7 @@ fn args_json(args: &[(&str, u64)], label: Option<&str>) -> String {
 fn instant(
     out: &mut String,
     first: &mut bool,
-    pid: u16,
+    pid: u32,
     tid: u32,
     ts: u64,
     name: &str,
@@ -481,7 +491,7 @@ fn instant(
 fn span(
     out: &mut String,
     first: &mut bool,
-    pid: u16,
+    pid: u32,
     tid: u32,
     start: u64,
     done: u64,
@@ -499,7 +509,7 @@ fn span(
     });
 }
 
-fn counter(out: &mut String, first: &mut bool, pid: u16, ts: u64, name: &str, value: u64) {
+fn counter(out: &mut String, first: &mut bool, pid: u32, ts: u64, name: &str, value: u64) {
     emit_obj(out, first, |o| {
         let _ = write!(
             o,
@@ -542,6 +552,85 @@ pub fn export_counter_tracks(tracks: &[CounterTrack]) -> String {
         for &(cycle, value) in &t.points {
             counter(&mut out, &mut first, 0, cycle, &t.name, value);
         }
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Serialize the three observability domains into one Chrome trace
+/// document — the `mac-obs` unified timeline:
+///
+/// * **telemetry** — cycle-stamped [`TraceRecord`]s, one process per
+///   node, exactly as [`export_json`] renders them;
+/// * **counters** — `mac-metrics` interval series as counter tracks in
+///   a dedicated `metrics` process;
+/// * **host** — wall-clock profiler spans ([`ProfSnapshot`]) in a
+///   dedicated `host` process, one thread per recording host thread,
+///   plus the profiler's named counters.
+///
+/// Domain alignment: telemetry and counter timestamps are *simulated
+/// cycles* written as microseconds, host-span timestamps are *wall
+/// nanoseconds since profiler creation* written as microseconds. The
+/// track groups share one timeline for side-by-side inspection, but
+/// only ordering within a domain is meaningful — the trace answers
+/// "what was the host doing while the sim was in this phase", not
+/// "how many cycles per nanosecond" (see DESIGN.md §16).
+pub fn export_merged(
+    records: &[TraceRecord],
+    counters: &[CounterTrack],
+    host: &ProfSnapshot,
+) -> String {
+    let mut out = String::with_capacity(records.len() * 96 + host.spans.len() * 96 + 4096);
+    out.push_str("{\"traceEvents\":[\n");
+    let mut first = true;
+    emit_node_events(&mut out, &mut first, records);
+    if !counters.is_empty() {
+        emit_obj(&mut out, &mut first, |o| {
+            let _ = write!(
+                o,
+                "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{PID_METRICS},\"tid\":0,\
+                 \"args\":{{\"name\":\"metrics\"}}}}"
+            );
+        });
+        for t in counters {
+            for &(cycle, value) in &t.points {
+                counter(&mut out, &mut first, PID_METRICS, cycle, &t.name, value);
+            }
+        }
+    }
+    emit_obj(&mut out, &mut first, |o| {
+        let _ = write!(
+            o,
+            "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{PID_HOST},\"tid\":0,\
+             \"args\":{{\"name\":\"host\"}}}}"
+        );
+    });
+    let mut tids: Vec<u64> = host.spans.iter().map(|s| s.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    for tid in &tids {
+        emit_obj(&mut out, &mut first, |o| {
+            let _ = write!(
+                o,
+                "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{PID_HOST},\"tid\":{tid},\
+                 \"args\":{{\"name\":\"host-thread-{tid}\"}}}}"
+            );
+        });
+    }
+    for s in &host.spans {
+        let ts = s.start_ns / 1_000;
+        let dur = (s.dur_ns / 1_000).max(1);
+        emit_obj(&mut out, &mut first, |o| {
+            let _ = write!(
+                o,
+                "{{\"ph\":\"X\",\"name\":\"{}\",\"pid\":{PID_HOST},\"tid\":{},\"ts\":{ts},\
+                 \"dur\":{dur},\"args\":{{}}}}",
+                s.path, s.tid
+            );
+        });
+    }
+    for (name, value) in &host.counters {
+        counter(&mut out, &mut first, PID_HOST, 0, name, *value);
     }
     out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
     out
@@ -697,6 +786,56 @@ mod tests {
         assert_eq!(json.matches("\"ph\":\"C\"").count(), 3);
         assert!(json.contains("\"name\":\"node0/arq_occupancy\",\"pid\":0,\"ts\":10000"));
         assert!(json.contains("{\"value\":42}"));
+        assert!(!json.contains(",\n]"));
+    }
+
+    #[test]
+    fn merged_export_carries_all_three_domains() {
+        use crate::profiler::{ProfSnapshot, SpanRecord};
+        let tracks = vec![CounterTrack {
+            name: "node0/arq_occupancy".into(),
+            points: vec![(10_000, 7)],
+        }];
+        let host = ProfSnapshot {
+            spans: vec![SpanRecord {
+                path: "pool/execute".into(),
+                tid: 3,
+                start_ns: 5_500,
+                dur_ns: 2_000_000,
+            }],
+            dropped: 0,
+            phases: vec![("pool/execute".into(), 1, 2_000_000)],
+            counters: vec![("pool/cache_hit".into(), 4)],
+        };
+        let json = export_merged(&records(), &tracks, &host);
+        // Telemetry domain: node processes and their events.
+        assert!(json.contains("\"name\":\"node0\""));
+        assert!(json.contains("\"ts\":4,\"dur\":16"));
+        // Counter domain: metrics process with the series.
+        assert!(json.contains("\"name\":\"metrics\""));
+        assert!(json.contains("\"name\":\"node0/arq_occupancy\",\"pid\":70000,\"ts\":10000"));
+        // Host domain: wall-clock spans in µs plus profiler counters.
+        assert!(json.contains("\"name\":\"host\""));
+        assert!(json.contains("\"name\":\"host-thread-3\""));
+        assert!(json.contains(
+            "\"ph\":\"X\",\"name\":\"pool/execute\",\"pid\":70001,\"tid\":3,\"ts\":5,\"dur\":2000"
+        ));
+        assert!(json.contains("\"name\":\"pool/cache_hit\",\"pid\":70001,\"ts\":0"));
+        assert!(!json.contains(",\n]"));
+        assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn merged_export_without_counters_or_spans_is_valid() {
+        let host = ProfSnapshot {
+            spans: vec![],
+            dropped: 0,
+            phases: vec![],
+            counters: vec![],
+        };
+        let json = export_merged(&[], &[], &host);
+        assert!(json.contains("\"name\":\"host\""));
+        assert!(!json.contains("\"name\":\"metrics\""));
         assert!(!json.contains(",\n]"));
     }
 
