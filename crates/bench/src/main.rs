@@ -11,7 +11,7 @@
 //!           [--trajectory] [--stepped-ref]
 //!           [--jobs N] [--out DIR] [--no-cache]
 //! mac-bench fuzz [--iters N] [--seed S] [--out DIR] [--max-cycles N]
-//!           [--smoke] [--replay FILE]
+//!           [--smoke] [--adaptive] [--replay FILE]
 //! mac-bench serve [--addr A] [--workers N] [--sim-jobs N] [--out DIR]
 //!           [--queue N] [--per-client N] [--paused] [--flush-every N]
 //!           [--metrics-interval N] [--watch-poll-ms N] [--profile]
@@ -59,8 +59,10 @@
 //!   trajectory: per-entry wall-clock sims/sec land in
 //!   `BENCH_<date>.json` at the repository root. With `--trajectory`
 //!   the fresh figures are compared against the newest previous
-//!   `BENCH_*.json`; any entry losing more than 30% throughput prints a
-//!   `[PERF-REGRESSION]` line and the check exits 5 (distinct from the
+//!   `BENCH_*.json`; a first run — or a previous file sharing no
+//!   comparable entries — prints a `[NO-PREVIOUS-BENCH]` note instead
+//!   of passing silently, and any entry losing more than 30% throughput
+//!   prints a `[PERF-REGRESSION]` line and the check exits 5 (distinct from the
 //!   metric-drift exit 1 so CI can gate the two separately). The same
 //!   marker and exit code apply when the aggregate throughput halves
 //!   vs the MACB baseline's recorded figure. `--stepped-ref` re-times
@@ -72,7 +74,10 @@
 //!   `mac-check` invariant checker attached and diffed against the
 //!   functional oracle. Failing cases shrink to reproducers under
 //!   `results/fuzz/`; `--replay FILE` re-runs one, `--smoke` adds the
-//!   deterministic checked workload set CI uses.
+//!   deterministic checked workload set CI uses, and `--adaptive` draws
+//!   a random enabled adaptive-controller config per case so the
+//!   checker and oracle run against a system that retunes itself
+//!   mid-flight (DESIGN.md §17).
 //! * `serve` starts the `mac-serve` job server (MACS-1 over TCP) on
 //!   `--addr`, sharing its artifact store with plain runs under the same
 //!   `--out`; it serves until a client sends `shutdown`, then drains and
@@ -118,7 +123,7 @@ const USAGE: &str = "\
 usage: mac-bench [run] [options]
        mac-bench baseline [--check | --update] [options]
        mac-bench fuzz [--iters N] [--seed S] [--out DIR] [--max-cycles N]
-                      [--smoke] [--replay FILE]
+                      [--smoke] [--adaptive] [--replay FILE]
        mac-bench serve [--addr A] [--workers N] [--sim-jobs N] [--out DIR]
                        [--queue N] [--per-client N] [--paused] [--flush-every N]
                        [--metrics-interval N] [--watch-poll-ms N] [--profile]
@@ -156,6 +161,7 @@ fuzz options:
   --out DIR              reproducer directory (default `results/fuzz`)
   --max-cycles N         cycle cap per case (default 2000000)
   --smoke                also run the deterministic checked smoke set
+  --adaptive             draw a random enabled AdaptConfig per case
   --replay FILE          re-run one reproducer file instead of fuzzing
 
 serve options:
@@ -538,11 +544,15 @@ fn baseline_main(args: &[String]) {
             match prev {
                 Some((prev_path, figures)) => {
                     let report = baseline::compare_trajectory(&figures, &samples);
-                    eprintln!(
-                        "mac-bench: trajectory vs {} ({} comparable entries)",
-                        prev_path.display(),
-                        report.deltas.len()
-                    );
+                    let shown = prev_path.display().to_string();
+                    if let Some(note) = baseline::trajectory_gap_note(Some(&shown), &report) {
+                        eprintln!("mac-bench: {note}");
+                    } else {
+                        eprintln!(
+                            "mac-bench: trajectory vs {shown} ({} comparable entries)",
+                            report.deltas.len()
+                        );
+                    }
                     for d in &report.deltas {
                         eprintln!("mac-bench:   {d}");
                     }
@@ -557,10 +567,11 @@ fn baseline_main(args: &[String]) {
                         exit(EXIT_PERF_REGRESSION);
                     }
                 }
-                None => eprintln!(
-                    "mac-bench: no previous BENCH_*.json; trajectory starts at {}",
-                    path.display()
-                ),
+                None => {
+                    let note = baseline::trajectory_gap_note(None, &Default::default())
+                        .expect("a missing previous file always warrants a note");
+                    eprintln!("mac-bench: {note} ({})", path.display());
+                }
             }
         }
         (current, samples)
@@ -659,6 +670,7 @@ fn fuzz_main(args: &[String]) {
                 i += 1;
             }
             "--smoke" => smoke = true,
+            "--adaptive" => opts.adaptive = true,
             "--replay" => {
                 replay = Some(PathBuf::from(value(args, i, "--replay")));
                 i += 1;

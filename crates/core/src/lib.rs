@@ -25,9 +25,12 @@
 //!   completion, and dispatch toward the device.
 //! * [`area`] — the space-overhead model behind Figure 16.
 //! * [`stats`] — coalescing-efficiency accounting (Eq. 3, Figures 10/15).
+//! * [`adapt`] — the adaptive controller that retunes the pop interval,
+//!   accept width, and bypass switch from sampled signals (DESIGN.md §17).
 
 #![warn(missing_docs)]
 
+pub mod adapt;
 pub mod area;
 pub mod arq;
 pub mod builder;
@@ -36,6 +39,7 @@ pub mod mac;
 pub mod router;
 pub mod stats;
 
+pub use adapt::{AdaptDecision, AdaptSignals, AdaptiveController};
 pub use arq::{Arq, ArqEntry, InsertOutcome};
 pub use builder::RequestBuilder;
 pub use flit_table::{FlitTable, TableEntry};

@@ -246,6 +246,21 @@ impl Mac {
         &self.cfg
     }
 
+    /// Retune the ARQ pop interval (the adaptive controller's rate
+    /// knob, DESIGN.md §17). `next_pop` is an absolute cycle set at pop
+    /// time, so a retune only affects pops scheduled *after* it — the
+    /// event-skip lower bounds computed from the old interval stay
+    /// valid. Clamped to ≥ 1.
+    pub fn set_pop_interval(&mut self, v: u64) {
+        self.cfg.pop_interval = v.max(1);
+    }
+
+    /// Open or close the 16 B bypass path (the adaptive controller's
+    /// bypass knob). Takes effect at the next ARQ pop.
+    pub fn set_bypass_enabled(&mut self, on: bool) {
+        self.cfg.bypass_enabled = on;
+    }
+
     /// Current ARQ occupancy (entries held, including a latched fence).
     pub fn arq_len(&self) -> usize {
         self.arq.len()

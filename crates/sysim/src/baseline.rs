@@ -22,7 +22,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use mac_types::{MacPlacement, NetTopology};
+use mac_types::{AdaptConfig, MacPlacement, NetTopology};
 
 use crate::engine::{SimPool, SimRequest};
 use crate::experiment::ExperimentConfig;
@@ -133,6 +133,17 @@ pub fn baseline_requests() -> Vec<(String, SimRequest)> {
         .system
         .with_net(2, NetTopology::DaisyChain, MacPlacement::HostOnly);
     out.push(("sg/net2".to_string(), SimRequest::new("sg", &net)));
+
+    // Adaptive-controller entries: the tuned controller over the same
+    // paper config, so baseline --check pins the whole decision
+    // trajectory (any controller change shifts these exact metrics).
+    let mut adapt = cfg.clone();
+    adapt.system.adapt = AdaptConfig::tuned();
+    out.push(("sg/adapt".to_string(), SimRequest::new("sg", &adapt)));
+    out.push((
+        "stream/adapt".to_string(),
+        SimRequest::new("stream", &adapt),
+    ));
 
     for (w, req) in latency_requests() {
         out.push((format!("{w}/lat1"), req));
@@ -478,6 +489,27 @@ pub fn compare_trajectory(
     out
 }
 
+/// Explain a trajectory gate that had nothing to compare. Returns a
+/// `[NO-PREVIOUS-BENCH]` note when there is no previous `BENCH_*.json`
+/// at all (`prev` is `None`) or when the previous file shares no
+/// comparable entries with this run — both cases used to pass silently,
+/// which reads as "gate ran and was clean" when it actually checked
+/// nothing. Returns `None` when at least one entry was compared.
+pub fn trajectory_gap_note(prev: Option<&str>, report: &TrajectoryReport) -> Option<String> {
+    match prev {
+        None => Some(
+            "[NO-PREVIOUS-BENCH] no earlier BENCH_*.json to gate against; this run only \
+             records the first trajectory point"
+                .to_string(),
+        ),
+        Some(p) if report.deltas.is_empty() => Some(format!(
+            "[NO-PREVIOUS-BENCH] {p} shares no comparable entries with this run; the \
+             trajectory gate checked nothing"
+        )),
+        Some(_) => None,
+    }
+}
+
 impl Baseline {
     /// Serialize to the `MACB` text format (deterministic: entries and
     /// metrics are emitted in sorted order).
@@ -810,12 +842,44 @@ mod tests {
     }
 
     #[test]
+    fn trajectory_gap_note_covers_first_and_disjoint_runs() {
+        // First run ever: no previous file at all.
+        let empty = TrajectoryReport::default();
+        let note = trajectory_gap_note(None, &empty).expect("first run notes the gap");
+        assert!(note.starts_with("[NO-PREVIOUS-BENCH]"), "{note}");
+        // A previous file that shares no entries with this run compared
+        // nothing — also a gap, naming the file.
+        let note = trajectory_gap_note(Some("BENCH_2026-01-01.json"), &empty)
+            .expect("disjoint entry sets note the gap");
+        assert!(note.starts_with("[NO-PREVIOUS-BENCH]"), "{note}");
+        assert!(note.contains("BENCH_2026-01-01.json"), "{note}");
+        // A comparison that actually ran stays silent.
+        let ran = TrajectoryReport {
+            deltas: vec!["a: 10.000 -> 9.000 sims/s (-10.0%)".into()],
+            regressions: vec![],
+        };
+        assert_eq!(
+            trajectory_gap_note(Some("BENCH_2026-01-01.json"), &ran),
+            None
+        );
+    }
+
+    #[test]
     fn baseline_requests_cover_pairs_and_net() {
         let cases = baseline_requests();
         assert!(cases.len() >= 3);
         assert!(cases.iter().any(|(l, _)| l.ends_with("/mac")));
         assert!(cases.iter().any(|(l, _)| l.ends_with("/nomac")));
         assert!(cases.iter().any(|(l, _)| l == "sg/net2"));
+        // Adaptive entries pin the controller's decision trajectory.
+        let adapt: Vec<&(String, SimRequest)> = cases
+            .iter()
+            .filter(|(l, _)| l.ends_with("/adapt"))
+            .collect();
+        assert_eq!(adapt.len(), 2, "two adaptive baseline entries");
+        for (_, req) in adapt {
+            assert!(req.cfg.system.adapt.enabled);
+        }
         assert!(cases.iter().any(|(l, _)| l == "guest_stream/mac"));
         assert!(cases.iter().any(|(l, _)| l == "guest_ptrchase/nomac"));
         // The idle-heavy latency entries that anchor the perf

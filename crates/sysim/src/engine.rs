@@ -67,7 +67,8 @@ use crate::report::RunReport;
 /// behaviour, config hashing, or the cache file formats change meaning,
 /// so stale entries can never be resurrected as fresh results.
 /// v3: `NetStats` gained hop/latency histograms (cache format v3).
-pub const CACHE_FORMAT_VERSION: u32 = 3;
+/// v4: `AdaptConfig` joined `SystemConfig` and its fingerprint.
+pub const CACHE_FORMAT_VERSION: u32 = 4;
 
 /// Default metrics sampling interval in simulated cycles.
 pub const DEFAULT_METRICS_INTERVAL: u64 = 10_000;

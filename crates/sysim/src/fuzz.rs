@@ -26,7 +26,8 @@ use std::path::{Path, PathBuf};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 
 use mac_types::{
-    CubeMapping, FlitTablePolicy, MacPlacement, MemOpKind, NetTopology, PhysAddr, SystemConfig,
+    AdaptConfig, CubeMapping, FlitTablePolicy, MacPlacement, MemOpKind, NetTopology, PhysAddr,
+    SystemConfig,
 };
 use soc_sim::ThreadOp;
 
@@ -44,6 +45,10 @@ pub struct FuzzOptions {
     /// Cycle cap per simulated case (a case that cannot drain within the
     /// cap is itself an I1 failure).
     pub max_cycles: u64,
+    /// Also draw a random enabled [`AdaptConfig`] per case, so the
+    /// invariant checker and oracle diff run against a system that
+    /// retunes itself mid-flight (DESIGN.md §17).
+    pub adaptive: bool,
 }
 
 impl Default for FuzzOptions {
@@ -53,6 +58,7 @@ impl Default for FuzzOptions {
             seed: 1,
             out_dir: PathBuf::from("results/fuzz"),
             max_cycles: 2_000_000,
+            adaptive: false,
         }
     }
 }
@@ -170,6 +176,26 @@ fn gen_config(rng: &mut SmallRng) -> SystemConfig {
     sys
 }
 
+/// Draw a random enabled adaptive-controller configuration. Bounds are
+/// drawn independently of the static operating point on purpose: the
+/// controller clamps the base point into the declared bounds, and the
+/// fuzzer should exercise that path too.
+fn gen_adapt(rng: &mut SmallRng) -> AdaptConfig {
+    let min_pop = pick(rng, &[1u64, 2]);
+    let min_acc = pick(rng, &[1usize, 2]);
+    AdaptConfig {
+        enabled: true,
+        interval: pick(rng, &[256u64, 1024, 4096, 8192]),
+        min_pop_interval: min_pop,
+        max_pop_interval: min_pop * pick(rng, &[1u64, 4, 8]),
+        min_accepts: min_acc,
+        max_accepts: min_acc + pick(rng, &[0usize, 1, 3]),
+        allow_bypass_toggle: rng.gen_bool(0.5),
+        evidence_threshold: pick(rng, &[1u32, 2, 4]),
+        hold_intervals: pick(rng, &[0u32, 1, 4]),
+    }
+}
+
 /// Draw one thread's operation stream.
 fn gen_thread_ops(rng: &mut SmallRng) -> Vec<ThreadOp> {
     let len = rng.gen_range(4usize..40);
@@ -221,9 +247,14 @@ fn gen_thread_ops(rng: &mut SmallRng) -> Vec<ThreadOp> {
     ops
 }
 
-/// Draw a complete case.
-fn gen_case(rng: &mut SmallRng, max_cycles: u64) -> FuzzCase {
-    let sys = gen_config(rng);
+/// Draw a complete case. The adaptive draw happens *after* the base
+/// config and is gated on `adaptive`, so non-adaptive campaigns keep
+/// their historical per-seed byte stability.
+fn gen_case(rng: &mut SmallRng, max_cycles: u64, adaptive: bool) -> FuzzCase {
+    let mut sys = gen_config(rng);
+    if adaptive {
+        sys.adapt = gen_adapt(rng);
+    }
     let nodes = if sys.net.enabled { 1 } else { sys.soc.nodes };
     let ops = (0..nodes.max(1))
         .map(|_| (0..sys.soc.threads).map(|_| gen_thread_ops(rng)).collect())
@@ -381,6 +412,25 @@ pub fn encode_reproducer(case: &FuzzCase, failure: &[String]) -> String {
             CubeMapping::Interleaved => "interleave",
         },
     );
+    // Emitted only for adaptive cases: decoders predating the adaptive
+    // controller reject the directive, and non-adaptive reproducers stay
+    // byte-identical to what they were before it existed.
+    if s.adapt.enabled {
+        let a = &s.adapt;
+        let _ = writeln!(
+            out,
+            "adapt interval={} minpop={} maxpop={} minacc={} maxacc={} toggle={} evidence={} \
+             hold={}",
+            a.interval,
+            a.min_pop_interval,
+            a.max_pop_interval,
+            a.min_accepts,
+            a.max_accepts,
+            a.allow_bypass_toggle as u8,
+            a.evidence_threshold,
+            a.hold_intervals,
+        );
+    }
     for (n, threads) in case.ops.iter().enumerate() {
         for (t, ops) in threads.iter().enumerate() {
             let _ = write!(out, "thread {n}.{t}");
@@ -425,6 +475,7 @@ pub fn decode_reproducer(text: &str) -> Result<FuzzCase, String> {
     let mut sys: Option<SystemConfig> = None;
     let mut nodes = 1usize;
     let mut net: Option<(bool, usize, NetTopology, MacPlacement, CubeMapping)> = None;
+    let mut adapt: Option<AdaptConfig> = None;
     let mut threads: Vec<(usize, usize, Vec<ThreadOp>)> = Vec::new();
     let parse = |v: &str| -> Result<u64, String> {
         v.parse::<u64>().map_err(|e| format!("bad number {v}: {e}"))
@@ -512,6 +563,34 @@ pub fn decode_reproducer(text: &str) -> Result<FuzzCase, String> {
                 }
                 net = Some((enabled, cubes, topology, placement, mapping));
             }
+            Some("adapt") => {
+                let mut a = AdaptConfig {
+                    enabled: true,
+                    ..AdaptConfig::default()
+                };
+                for tok in toks {
+                    if let Some(v) = kv(tok, "interval") {
+                        a.interval = parse(v)?;
+                    } else if let Some(v) = kv(tok, "minpop") {
+                        a.min_pop_interval = parse(v)?;
+                    } else if let Some(v) = kv(tok, "maxpop") {
+                        a.max_pop_interval = parse(v)?;
+                    } else if let Some(v) = kv(tok, "minacc") {
+                        a.min_accepts = parse(v)? as usize;
+                    } else if let Some(v) = kv(tok, "maxacc") {
+                        a.max_accepts = parse(v)? as usize;
+                    } else if let Some(v) = kv(tok, "toggle") {
+                        a.allow_bypass_toggle = v == "1";
+                    } else if let Some(v) = kv(tok, "evidence") {
+                        a.evidence_threshold = parse(v)? as u32;
+                    } else if let Some(v) = kv(tok, "hold") {
+                        a.hold_intervals = parse(v)? as u32;
+                    } else {
+                        return Err(format!("unknown adapt token {tok}"));
+                    }
+                }
+                adapt = Some(a);
+            }
             Some("thread") => {
                 let id = toks.next().ok_or("thread needs node.tid")?;
                 let (n, t) = id.split_once('.').ok_or_else(|| format!("bad id {id}"))?;
@@ -562,6 +641,9 @@ pub fn decode_reproducer(text: &str) -> Result<FuzzCase, String> {
     if !sys.net.enabled {
         sys.soc.nodes = nodes;
     }
+    if let Some(a) = adapt {
+        sys.adapt = a;
+    }
     let mut ops = vec![vec![Vec::new(); sys.soc.threads]; nodes.max(1)];
     for (n, t, list) in threads {
         let node = ops
@@ -585,7 +667,7 @@ pub fn run_fuzz(opts: &FuzzOptions) -> std::io::Result<FuzzReport> {
     let mut report = FuzzReport::default();
     for i in 0..opts.iters {
         let mut rng = iter_rng(opts.seed, i);
-        let case = gen_case(&mut rng, opts.max_cycles);
+        let case = gen_case(&mut rng, opts.max_cycles, opts.adaptive);
         if case.sys.net.enabled && case.sys.net.cubes > 1 {
             report.multi_cube += 1;
         } else {
@@ -657,35 +739,55 @@ mod tests {
 
     #[test]
     fn generated_cases_are_deterministic_per_seed() {
-        let mk = || {
-            let mut rng = iter_rng(42, 7);
-            gen_case(&mut rng, 1_000_000)
-        };
-        let a = mk();
-        let b = mk();
-        assert_eq!(format!("{:?}", a.sys), format!("{:?}", b.sys));
-        assert_eq!(a.ops, b.ops);
+        for adaptive in [false, true] {
+            let mk = || {
+                let mut rng = iter_rng(42, 7);
+                gen_case(&mut rng, 1_000_000, adaptive)
+            };
+            let a = mk();
+            let b = mk();
+            assert_eq!(format!("{:?}", a.sys), format!("{:?}", b.sys));
+            assert_eq!(a.ops, b.ops);
+            assert_eq!(a.sys.adapt.enabled, adaptive);
+        }
+    }
+
+    #[test]
+    fn adaptive_draw_does_not_perturb_the_base_config() {
+        // The `--adaptive` flag must not shift the random stream feeding
+        // the base config, or historical seeds stop reproducing.
+        let mut rng = iter_rng(42, 7);
+        let plain = gen_case(&mut rng, 1_000_000, false);
+        let mut rng = iter_rng(42, 7);
+        let adaptive = gen_case(&mut rng, 1_000_000, true);
+        let mut sys = adaptive.sys.clone();
+        sys.adapt = AdaptConfig::disabled();
+        assert_eq!(format!("{:?}", plain.sys), format!("{sys:?}"));
     }
 
     #[test]
     fn reproducer_round_trips() {
-        let mut rng = iter_rng(9, 3);
-        let case = gen_case(&mut rng, 500_000);
-        let text = encode_reproducer(&case, &["I6 @ cycle 10: example".into()]);
-        let back = decode_reproducer(&text).expect("decodes");
-        assert_eq!(back.max_cycles, case.max_cycles);
-        assert_eq!(back.ops, case.ops);
-        assert_eq!(back.sys.mac.arq_entries, case.sys.mac.arq_entries);
-        assert_eq!(back.sys.mac.flit_table, case.sys.mac.flit_table);
-        assert_eq!(back.sys.net.enabled, case.sys.net.enabled);
-        assert_eq!(back.sys.net.cubes, case.sys.net.cubes);
-        assert_eq!(back.sys.net.placement, case.sys.net.placement);
-        assert_eq!(back.sys.mac_disabled, case.sys.mac_disabled);
-        // And the decoded case must behave identically.
-        let a = case.run();
-        let b = back.run();
-        assert_eq!(a.report.cycles, b.report.cycles);
-        assert_eq!(a.report.soc, b.report.soc);
+        for adaptive in [false, true] {
+            let mut rng = iter_rng(9, 3);
+            let case = gen_case(&mut rng, 500_000, adaptive);
+            let text = encode_reproducer(&case, &["I6 @ cycle 10: example".into()]);
+            assert_eq!(text.contains("\nadapt "), adaptive);
+            let back = decode_reproducer(&text).expect("decodes");
+            assert_eq!(back.max_cycles, case.max_cycles);
+            assert_eq!(back.ops, case.ops);
+            assert_eq!(back.sys.mac.arq_entries, case.sys.mac.arq_entries);
+            assert_eq!(back.sys.mac.flit_table, case.sys.mac.flit_table);
+            assert_eq!(back.sys.net.enabled, case.sys.net.enabled);
+            assert_eq!(back.sys.net.cubes, case.sys.net.cubes);
+            assert_eq!(back.sys.net.placement, case.sys.net.placement);
+            assert_eq!(back.sys.mac_disabled, case.sys.mac_disabled);
+            assert_eq!(back.sys.adapt, case.sys.adapt);
+            // And the decoded case must behave identically.
+            let a = case.run();
+            let b = back.run();
+            assert_eq!(a.report.cycles, b.report.cycles);
+            assert_eq!(a.report.soc, b.report.soc);
+        }
     }
 
     #[test]
@@ -705,6 +807,25 @@ mod tests {
             seed: 1,
             out_dir: std::env::temp_dir().join("mac-fuzz-test"),
             max_cycles: 2_000_000,
+            adaptive: false,
+        };
+        let report = run_fuzz(&opts).expect("io");
+        assert_eq!(report.iters, 5);
+        assert!(
+            report.is_clean(),
+            "unexpected failures: {:?}",
+            report.failures
+        );
+    }
+
+    #[test]
+    fn tiny_adaptive_campaign_is_clean() {
+        let opts = FuzzOptions {
+            iters: 5,
+            seed: 1,
+            out_dir: std::env::temp_dir().join("mac-fuzz-adapt-test"),
+            max_cycles: 2_000_000,
+            adaptive: true,
         };
         let report = run_fuzz(&opts).expect("io");
         assert_eq!(report.iters, 5);

@@ -64,6 +64,8 @@ pub enum ExpKind {
     AblateSmt,
     /// Ablation: HMC link packet error rate sweep.
     AblateLinkErrors,
+    /// Ablation: static operating points vs the adaptive controller.
+    AdaptAblation,
     /// §4.3 applicability: the same MAC on an HBM back end.
     BackendHbm,
     /// §2.2 motivation: DDR4 vs raw HMC vs HMC+MAC.
@@ -256,6 +258,13 @@ pub fn manifest() -> Vec<Experiment> {
             kind: ExpKind::AblateLinkErrors,
         },
         Experiment {
+            name: "adapt_ablation",
+            title: "Ablation: static operating points vs the adaptive controller",
+            claim: "evidence-driven retuning matches the best static point per workload",
+            tags: &["ablation", "sim", "adapt"],
+            kind: ExpKind::AdaptAblation,
+        },
+        Experiment {
             name: "backend_hbm",
             title: "MAC on HMC vs HBM back ends",
             claim: "§4.3: the same coalescing logic transfers to HBM",
@@ -405,7 +414,7 @@ mod tests {
         let m = manifest();
         let names: std::collections::HashSet<_> = m.iter().map(|e| e.name).collect();
         assert_eq!(names.len(), m.len());
-        assert_eq!(m.len(), 32);
+        assert_eq!(m.len(), 33);
     }
 
     #[test]
@@ -431,7 +440,8 @@ mod tests {
 
     #[test]
     fn filters_match_tags_and_names() {
-        assert!(select("ablation").len() >= 9);
+        assert!(select("ablation").len() >= 10);
+        assert_eq!(select("adapt").len(), 1);
         assert!(select("paired").iter().any(|e| e.name == "fig17"));
         assert_eq!(select("smoke").len(), 3);
         assert_eq!(select("net_*").len(), 4);

@@ -29,6 +29,8 @@ use std::sync::Arc;
 
 use mac_check::{ConformanceChecker, FinishProbe, StatsProbe};
 use mac_coalescer::{Mac, MacEvent, RequestRouter, ResponseRouter, RoutedTo};
+
+use crate::system::{AdaptState, AdaptWindow};
 use mac_metrics::MetricsHub;
 use mac_net::NetDevice;
 use mac_telemetry::{Profiler, TraceEvent, Tracer, ROUTE_GLOBAL, ROUTE_LOCAL, ROUTE_STALLED};
@@ -75,6 +77,9 @@ pub struct NetSystem {
     profiler: Profiler,
     progress: Option<Arc<ProgressProbe>>,
     checker: Option<ConformanceChecker>,
+    /// Adaptive-controller runtime state (`Some` iff `cfg.adapt.enabled`
+    /// and the MAC is in the path); see [`crate::system::AdaptState`].
+    adapt: Option<AdaptState>,
 }
 
 impl NetSystem {
@@ -94,7 +99,8 @@ impl NetSystem {
                 dispatch_q: VecDeque::new(),
             })
             .collect();
-        NetSystem {
+        let adapt = AdaptState::try_new(&cfg);
+        let mut sim = NetSystem {
             node: Node::new(id, &cfg.soc, programs),
             router: RequestRouter::new(id, cfg.mac.router_queue_depth),
             dev,
@@ -111,8 +117,19 @@ impl NetSystem {
             profiler: Profiler::disabled(),
             progress: None,
             checker: None,
+            adapt,
             cfg,
+        };
+        if let Some(a) = &sim.adapt {
+            // Start every cube MAC from the bounds-clamped operating
+            // point the controller believes in (see SystemSim).
+            let d = a.ctl.current();
+            for stage in &mut sim.cubes {
+                stage.mac.set_pop_interval(d.pop_interval);
+                stage.mac.set_bypass_enabled(d.bypass_enabled);
+            }
         }
+        sim
     }
 
     /// Select the run-loop mode: `true` ticks every cycle unconditionally
@@ -227,7 +244,58 @@ impl NetSystem {
                 });
             }
             s.scoped("net", |s| self.dev.sample_metrics(now, s));
+            if let Some(a) = &self.adapt {
+                s.scoped("adapt", |s| {
+                    let d = a.ctl.current();
+                    s.gauge("pop_interval", d.pop_interval);
+                    s.gauge("accepts", a.accepts as u64);
+                    s.gauge("bypass_enabled", d.bypass_enabled as u64);
+                    s.gauge("retunes", a.ctl.retunes());
+                });
+            }
         });
+    }
+
+    /// Evaluate the adaptive controller at a decision boundary (summed
+    /// over every cube's MAC; see [`crate::system::SystemSim`]'s
+    /// identically-structured hook).
+    fn adapt_decide(&mut self) {
+        let now = self.now;
+        match &self.adapt {
+            Some(a) if a.last_decision != Some(now) => {}
+            _ => return,
+        }
+        let (mut arq_len, mut arq_cap) = (0u64, 0u64);
+        let mut cur = AdaptWindow::default();
+        for stage in &self.cubes {
+            arq_len += stage.mac.arq_len() as u64;
+            arq_cap += stage.mac.arq_capacity() as u64;
+            let m = stage.mac.stats();
+            cur.raw_total += m.raw_memory_requests();
+            cur.emitted_total += m.emitted_total();
+            cur.emitted_bypass += m.emitted_bypass;
+            cur.emitted_16b += m.emitted_by_size[0];
+        }
+        let h = self.dev.stats();
+        cur.conflicts = h.bank_conflicts;
+        cur.accesses = h.accesses();
+        let dev_pending = self.dev.pending() as u64;
+        let dev_vaults = self.cfg.hmc.vaults as u64;
+        let a = self.adapt.as_mut().expect("checked");
+        a.last_decision = Some(now);
+        let s = a.signals(arq_len, arq_cap, dev_pending, dev_vaults, cur);
+        if let Some(d) = a.ctl.observe(&s) {
+            a.accepts = d.accepts_per_cycle;
+            for stage in &mut self.cubes {
+                stage.mac.set_pop_interval(d.pop_interval);
+                stage.mac.set_bypass_enabled(d.bypass_enabled);
+            }
+            self.tracer.emit(now, || TraceEvent::AdaptDecision {
+                pop_interval: d.pop_interval,
+                accepts: d.accepts_per_cycle.min(u16::MAX as usize) as u16,
+                bypass: d.bypass_enabled,
+            });
+        }
     }
 
     /// Request packet length in FLITs for one *raw* (un-coalesced)
@@ -310,8 +378,13 @@ impl NetSystem {
             }
         }
 
-        // 3-4. Per-cube MAC stages and vault submission.
-        let accepts = self.cfg.mac.accepts_per_cycle.max(1);
+        // 3-4. Per-cube MAC stages and vault submission. With
+        // adaptation off this reads the same static config value as
+        // before, so the disabled path stays bit-identical.
+        let accepts = self
+            .adapt
+            .as_ref()
+            .map_or(self.cfg.mac.accepts_per_cycle.max(1), |a| a.accepts);
         for i in 0..self.cubes.len() {
             let stage = &mut self.cubes[i];
 
@@ -457,6 +530,7 @@ impl NetSystem {
             return;
         };
         let target = next.min(max_cycles);
+        let adapt_iv = self.adapt.as_ref().map(|a| a.interval);
         while self.now < target {
             let mut stop = target;
             let iv = self.metrics.interval();
@@ -467,6 +541,12 @@ impl NetSystem {
                 stop = stop
                     .min((self.now / crate::system::CHECK_BATCH + 1) * crate::system::CHECK_BATCH);
             }
+            if let Some(aiv) = adapt_iv {
+                // Decision boundaries are event-skip boundaries too
+                // (see SystemSim::skip_idle_span for the safety
+                // argument).
+                stop = stop.min((self.now / aiv + 1) * aiv);
+            }
             self.now = stop;
             // The skipped ticks were no-ops except for the node's cycle
             // counter, which a stepped run would have advanced to `stop`.
@@ -476,6 +556,9 @@ impl NetSystem {
             }
             if self.checker.is_some() && self.now.is_multiple_of(crate::system::CHECK_BATCH) {
                 self.check_stats();
+            }
+            if adapt_iv.is_some_and(|aiv| self.now.is_multiple_of(aiv)) {
+                self.adapt_decide();
             }
         }
     }
@@ -515,6 +598,13 @@ impl NetSystem {
             }
             if self.checker.is_some() && self.now.is_multiple_of(crate::system::CHECK_BATCH) {
                 timed!(check_ns, checks, self.check_stats());
+            }
+            if self
+                .adapt
+                .as_ref()
+                .is_some_and(|a| self.now.is_multiple_of(a.interval))
+            {
+                self.adapt_decide();
             }
             if !more {
                 break;

@@ -23,7 +23,10 @@ use std::collections::VecDeque;
 
 use hmc_model::{DdrDevice, HbmDevice, HmcDevice, MemoryDevice};
 use mac_check::{ConformanceChecker, FinishProbe, StatsProbe};
-use mac_coalescer::{Mac, MacEvent, RequestRouter, ResponseRouter, RoutedTo};
+use mac_coalescer::{
+    AdaptDecision, AdaptSignals, AdaptiveController, Mac, MacEvent, RequestRouter, ResponseRouter,
+    RoutedTo,
+};
 use std::sync::Arc;
 
 use mac_metrics::MetricsHub;
@@ -85,6 +88,10 @@ pub struct SystemSim {
     profiler: Profiler,
     progress: Option<Arc<ProgressProbe>>,
     checker: Option<ConformanceChecker>,
+    /// Adaptive-controller runtime state (`Some` iff `cfg.adapt.enabled`
+    /// and the MAC is in the path); `None` keeps every hot-loop read on
+    /// the static config, bit for bit.
+    adapt: Option<AdaptState>,
 }
 
 /// How often the attached conformance checker cross-checks aggregate
@@ -102,6 +109,98 @@ pub(crate) fn merge_next(next: Option<Cycle>, t: Option<Cycle>) -> Option<Cycle>
         (Some(a), Some(b)) => Some(a.min(b)),
         (a, None) => a,
         (None, b) => b,
+    }
+}
+
+/// Cumulative counters the adaptive controller's window signals are
+/// derived from (summed over every MAC/device in the system).
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct AdaptWindow {
+    pub(crate) raw_total: u64,
+    pub(crate) emitted_total: u64,
+    pub(crate) emitted_bypass: u64,
+    pub(crate) emitted_16b: u64,
+    pub(crate) conflicts: u64,
+    pub(crate) accesses: u64,
+}
+
+/// Runtime state of the adaptive controller, shared by both run loops
+/// ([`SystemSim`] and [`crate::netsystem::NetSystem`]). Lives *outside*
+/// `self.cfg`: the config cloned into the report must stay the one the
+/// run was requested with (cache reattachment depends on it), so the
+/// effective operating point is tracked here and applied to the MACs via
+/// their retune setters.
+pub(crate) struct AdaptState {
+    pub(crate) ctl: AdaptiveController,
+    /// Decision cadence in cycles (sanitized, ≥ 1). Decision points are
+    /// also event-skip clamp boundaries, so both run-loop modes visit
+    /// exactly the same boundaries.
+    pub(crate) interval: Cycle,
+    /// Effective accept width; the tick loops read this instead of
+    /// `cfg.mac.accepts_per_cycle` while adaptation is enabled.
+    pub(crate) accepts: usize,
+    /// Counter snapshot at the previous decision boundary.
+    pub(crate) prev: AdaptWindow,
+    /// Boundary a decision was last evaluated at, guarding against a
+    /// double evaluation when the tick loop and the skip loop both land
+    /// on the same cycle.
+    pub(crate) last_decision: Option<Cycle>,
+}
+
+impl AdaptState {
+    /// Build the runtime state when `cfg.adapt.enabled`, starting the
+    /// controller from the static MacConfig operating point.
+    pub(crate) fn try_new(cfg: &SystemConfig) -> Option<AdaptState> {
+        if !cfg.adapt.enabled || cfg.mac_disabled {
+            return None;
+        }
+        let ctl = AdaptiveController::new(
+            &cfg.adapt,
+            AdaptDecision {
+                pop_interval: cfg.mac.pop_interval,
+                accepts_per_cycle: cfg.mac.accepts_per_cycle.max(1),
+                bypass_enabled: cfg.mac.bypass_enabled,
+            },
+        );
+        Some(AdaptState {
+            interval: ctl.config().interval,
+            accepts: ctl.current().accepts_per_cycle,
+            ctl,
+            prev: AdaptWindow::default(),
+            last_decision: None,
+        })
+    }
+
+    /// Derive one observation's signals from the instantaneous ARQ
+    /// occupancy and device backlog and the counter deltas since the
+    /// previous boundary, then roll the window forward.
+    pub(crate) fn signals(
+        &mut self,
+        arq_len: u64,
+        arq_cap: u64,
+        dev_pending: u64,
+        dev_vaults: u64,
+        cur: AdaptWindow,
+    ) -> AdaptSignals {
+        fn milli(num: u64, den: u64) -> u32 {
+            (num * 1000).checked_div(den).unwrap_or(0).min(1000) as u32
+        }
+        let p = self.prev;
+        let raw = cur.raw_total.saturating_sub(p.raw_total);
+        let emitted = cur.emitted_total.saturating_sub(p.emitted_total);
+        let s = AdaptSignals {
+            arq_occupancy_milli: milli(arq_len, arq_cap),
+            device_backlog_milli: milli(dev_pending, dev_vaults),
+            merge_yield_milli: milli(raw.saturating_sub(emitted), raw),
+            bypass_share_milli: milli(cur.emitted_bypass.saturating_sub(p.emitted_bypass), emitted),
+            small_packet_share_milli: milli(cur.emitted_16b.saturating_sub(p.emitted_16b), emitted),
+            conflict_rate_milli: milli(
+                cur.conflicts.saturating_sub(p.conflicts),
+                cur.accesses.saturating_sub(p.accesses),
+            ),
+        };
+        self.prev = cur;
+        s
     }
 }
 
@@ -148,7 +247,8 @@ impl SystemSim {
                 }
             })
             .collect();
-        SystemSim {
+        let adapt = AdaptState::try_new(&cfg);
+        let mut sim = SystemSim {
             cfg,
             nodes,
             net_requests: VecDeque::new(),
@@ -162,7 +262,19 @@ impl SystemSim {
             profiler: Profiler::disabled(),
             progress: None,
             checker: None,
+            adapt,
+        };
+        if let Some(a) = &sim.adapt {
+            // The controller clamps the static operating point into the
+            // configured bounds; make the MACs start from that same
+            // point so controller belief and hardware state agree.
+            let d = a.ctl.current();
+            for n in &mut sim.nodes {
+                n.mac.set_pop_interval(d.pop_interval);
+                n.mac.set_bypass_enabled(d.bypass_enabled);
+            }
         }
+        sim
     }
 
     /// Select the run-loop mode: `true` ticks every cycle unconditionally
@@ -289,7 +401,61 @@ impl SystemSim {
                     s.scoped("hmc", |s| n.hmc.sample_metrics(now, s));
                 });
             }
+            if let Some(a) = &self.adapt {
+                s.scoped("adapt", |s| {
+                    let d = a.ctl.current();
+                    s.gauge("pop_interval", d.pop_interval);
+                    s.gauge("accepts", a.accepts as u64);
+                    s.gauge("bypass_enabled", d.bypass_enabled as u64);
+                    s.gauge("retunes", a.ctl.retunes());
+                });
+            }
         });
+    }
+
+    /// Evaluate the adaptive controller at a decision boundary: derive
+    /// the window signals from the (summed) MAC and device counters,
+    /// and apply any retune to every node's MAC uniformly. Guarded so a
+    /// boundary reached by both the tick loop and the skip loop is
+    /// evaluated exactly once.
+    fn adapt_decide(&mut self) {
+        let now = self.now;
+        match &self.adapt {
+            Some(a) if a.last_decision != Some(now) => {}
+            _ => return,
+        }
+        let (mut arq_len, mut arq_cap) = (0u64, 0u64);
+        let (mut dev_pending, mut dev_vaults) = (0u64, 0u64);
+        let mut cur = AdaptWindow::default();
+        for n in &self.nodes {
+            arq_len += n.mac.arq_len() as u64;
+            arq_cap += n.mac.arq_capacity() as u64;
+            dev_pending += n.hmc.pending() as u64;
+            dev_vaults += self.cfg.hmc.vaults as u64;
+            let m = n.mac.stats();
+            cur.raw_total += m.raw_memory_requests();
+            cur.emitted_total += m.emitted_total();
+            cur.emitted_bypass += m.emitted_bypass;
+            cur.emitted_16b += m.emitted_by_size[0];
+            let h = n.hmc.stats();
+            cur.conflicts += h.bank_conflicts;
+            cur.accesses += h.accesses();
+        }
+        let a = self.adapt.as_mut().expect("checked");
+        a.last_decision = Some(now);
+        let s = a.signals(arq_len, arq_cap, dev_pending, dev_vaults, cur);
+        if let Some(d) = a.ctl.observe(&s) {
+            a.accepts = d.accepts_per_cycle;
+            for n in &mut self.nodes {
+                n.mac.set_pop_interval(d.pop_interval);
+                n.mac.set_bypass_enabled(d.bypass_enabled);
+            }
+            self.tracer.emit(now, || TraceEvent::AdaptDecision {
+                pop_interval: d.pop_interval,
+                accepts: d.accepts_per_cycle.min(u16::MAX as usize) as u16,
+                bypass: d.bypass_enabled,
+            });
+        }
     }
 
     /// Origin node encoded in a transaction id (see `soc_sim::Node`).
@@ -319,6 +485,12 @@ impl SystemSim {
         let now = self.now;
         let latency = self.cfg.soc.interconnect_latency;
         let mac_disabled = self.cfg.mac_disabled;
+        // With adaptation off this reads the same static config value as
+        // before, so the disabled path stays bit-identical.
+        let accepts = self
+            .adapt
+            .as_ref()
+            .map_or(self.cfg.mac.accepts_per_cycle.max(1), |a| a.accepts);
 
         // Interconnect deliveries.
         while self
@@ -411,7 +583,7 @@ impl SystemSim {
                     }
                 }
             } else {
-                for _ in 0..self.cfg.mac.accepts_per_cycle.max(1) {
+                for _ in 0..accepts {
                     let Some(raw) = n.router.pop_for_mac() else {
                         break;
                     };
@@ -550,6 +722,7 @@ impl SystemSim {
             return;
         };
         let target = next.min(max_cycles);
+        let adapt_iv = self.adapt.as_ref().map(|a| a.interval);
         while self.now < target {
             let mut stop = target;
             let iv = self.metrics.interval();
@@ -558,6 +731,16 @@ impl SystemSim {
             }
             if self.checker.is_some() {
                 stop = stop.min((self.now / CHECK_BATCH + 1) * CHECK_BATCH);
+            }
+            if let Some(aiv) = adapt_iv {
+                // Decision boundaries are visited exactly like metrics
+                // and checker boundaries, so both run-loop modes feed
+                // the controller identical observation sequences. A
+                // mid-skip retune cannot invalidate `target`: `next_pop`
+                // is absolute, the accept width only matters when a
+                // queue already forces `next == now`, and the bypass
+                // switch only changes behavior at pop time.
+                stop = stop.min((self.now / aiv + 1) * aiv);
             }
             self.now = stop;
             // The skipped ticks were no-ops except for the per-node
@@ -571,6 +754,9 @@ impl SystemSim {
             }
             if self.checker.is_some() && self.now.is_multiple_of(CHECK_BATCH) {
                 self.check_stats();
+            }
+            if adapt_iv.is_some_and(|aiv| self.now.is_multiple_of(aiv)) {
+                self.adapt_decide();
             }
         }
     }
@@ -612,6 +798,13 @@ impl SystemSim {
             }
             if self.checker.is_some() && self.now.is_multiple_of(CHECK_BATCH) {
                 timed!(check_ns, checks, self.check_stats());
+            }
+            if self
+                .adapt
+                .as_ref()
+                .is_some_and(|a| self.now.is_multiple_of(a.interval))
+            {
+                self.adapt_decide();
             }
             if !more {
                 break;

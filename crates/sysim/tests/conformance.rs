@@ -185,6 +185,7 @@ fn fuzz_campaigns_are_deterministic() {
         seed: 99,
         out_dir: d.to_path_buf(),
         max_cycles: 2_000_000,
+        adaptive: false,
     };
     let a = run_fuzz(&opts(&dir1)).expect("io");
     let b = run_fuzz(&opts(&dir2)).expect("io");

@@ -150,6 +150,7 @@ fn fuzz_mini_campaign_is_clean_on_event_driven_loop() {
         seed: 0xED,
         out_dir: dir,
         max_cycles: 2_000_000,
+        adaptive: false,
     };
     let report = run_fuzz(&opts).expect("fuzz campaign runs");
     assert!(

@@ -26,7 +26,7 @@
 //!
 //! ```text
 //! offset  size  field
-//! 0       1     tag: u8, the TraceEvent discriminant (0..=18)
+//! 0       1     tag: u8, the TraceEvent discriminant (0..=19)
 //! 1       2     node: u16, SystemSim node id (Tracer::for_node)
 //! 3       8     cycle: u64, simulation cycle of the event
 //! 11      n     payload: fixed width per tag
@@ -50,8 +50,9 @@ use crate::tracer::TraceSink;
 pub const MAGIC: &[u8; 4] = b"MCTR";
 /// Format version written at offset 4; readers reject mismatches.
 /// Version 2 added the multi-cube `HopEnqueue`/`HopForward` events
-/// (tags 17/18).
-pub const VERSION: u16 = 2;
+/// (tags 17/18); version 3 added the adaptive-controller
+/// `AdaptDecision` event (tag 19).
+pub const VERSION: u16 = 3;
 
 /// Largest encoded record (LinkTx/VaultActivate class: 11-byte head +
 /// 20-byte payload), used to size stack buffers.
@@ -200,6 +201,15 @@ fn encode_into(rec: &TraceRecord, buf: &mut Vec<u8>) {
             buf.push(dest);
             buf.extend_from_slice(&start.to_le_bytes());
             buf.extend_from_slice(&done.to_le_bytes());
+        }
+        TraceEvent::AdaptDecision {
+            pop_interval,
+            accepts,
+            bypass,
+        } => {
+            buf.extend_from_slice(&pop_interval.to_le_bytes());
+            buf.extend_from_slice(&accepts.to_le_bytes());
+            buf.push(bypass as u8);
         }
     }
 }
@@ -396,6 +406,11 @@ impl<R: Read> TraceReader<R> {
                 start: b.u64()?,
                 done: b.u64()?,
             },
+            19 => TraceEvent::AdaptDecision {
+                pop_interval: b.u64()?,
+                accepts: b.u16()?,
+                bypass: b.u8()? != 0,
+            },
             t => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
@@ -560,6 +575,15 @@ mod tests {
                     done: 64,
                 },
             },
+            TraceRecord {
+                cycle: 24_576,
+                node: 0,
+                event: TraceEvent::AdaptDecision {
+                    pop_interval: 1,
+                    accepts: 2,
+                    bypass: true,
+                },
+            },
         ]
     }
 
@@ -593,8 +617,10 @@ mod tests {
     fn rejects_bad_magic_and_version() {
         assert!(TraceReader::new(&b"NOPE\x01\x00\x00\x00"[..]).is_err());
         assert!(TraceReader::new(&b"MCTR\x63\x00\x00\x00"[..]).is_err());
-        // Version-1 files (pre-Hop events) are rejected, not misread.
+        // Older-version files (pre-Hop, pre-AdaptDecision events) are
+        // rejected, not misread.
         assert!(TraceReader::new(&b"MCTR\x01\x00\x00\x00"[..]).is_err());
+        assert!(TraceReader::new(&b"MCTR\x02\x00\x00\x00"[..]).is_err());
     }
 
     #[test]

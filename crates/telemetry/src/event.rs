@@ -203,6 +203,16 @@ pub enum TraceEvent {
         /// Cycle the last FLIT left on the outgoing link.
         done: u64,
     },
+    /// The adaptive controller retuned the MAC operating point at an
+    /// interval boundary (DESIGN.md §17).
+    AdaptDecision {
+        /// New ARQ pop interval in cycles.
+        pop_interval: u64,
+        /// New accept width (raw requests per cycle).
+        accepts: u16,
+        /// Whether the 16 B bypass path is now open.
+        bypass: bool,
+    },
 }
 
 impl TraceEvent {
@@ -229,6 +239,7 @@ impl TraceEvent {
             TraceEvent::Fanout { .. } => 16,
             TraceEvent::HopEnqueue { .. } => 17,
             TraceEvent::HopForward { .. } => 18,
+            TraceEvent::AdaptDecision { .. } => 19,
         }
     }
 
@@ -254,6 +265,7 @@ impl TraceEvent {
             TraceEvent::Fanout { .. } => "fanout",
             TraceEvent::HopEnqueue { .. } => "hop_enqueue",
             TraceEvent::HopForward { .. } => "hop_forward",
+            TraceEvent::AdaptDecision { .. } => "adapt_decision",
         }
     }
 }
@@ -356,6 +368,11 @@ mod tests {
                 dest: 0,
                 start: 0,
                 done: 0,
+            },
+            TraceEvent::AdaptDecision {
+                pop_interval: 0,
+                accepts: 0,
+                bypass: false,
             },
         ];
         for (i, e) in events.iter().enumerate() {

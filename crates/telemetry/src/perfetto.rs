@@ -28,6 +28,7 @@ const TID_LINK_DOWN: u32 = 10;
 const TID_LINK_UP: u32 = 20;
 const TID_VAULT: u32 = 100;
 const TID_FABRIC: u32 = 200;
+const TID_ADAPT: u32 = 5;
 
 /// Serialize records into a complete Chrome trace JSON document.
 pub fn export_json(records: &[TraceRecord]) -> String {
@@ -400,6 +401,26 @@ fn emit_node_events(out: &mut String, first: &mut bool, records: &[TraceRecord])
                     &[("dest", dest as u64)],
                 );
             }
+            TraceEvent::AdaptDecision {
+                pop_interval,
+                accepts,
+                bypass,
+            } => {
+                instant(
+                    out,
+                    first,
+                    pid,
+                    TID_ADAPT,
+                    rec.cycle,
+                    "retune",
+                    &[
+                        ("pop_interval", pop_interval),
+                        ("accepts", accepts as u64),
+                        ("bypass", bypass as u64),
+                    ],
+                    None,
+                );
+            }
         }
     }
 }
@@ -437,6 +458,7 @@ fn track_of(event: &TraceEvent) -> (u32, String) {
         TraceEvent::HopForward { cube, .. } => {
             (TID_FABRIC + *cube as u32, format!("fabric cube{cube}"))
         }
+        TraceEvent::AdaptDecision { .. } => (TID_ADAPT, "adapt".into()),
     }
 }
 

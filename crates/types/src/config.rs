@@ -434,6 +434,82 @@ impl Default for NetConfig {
     }
 }
 
+/// Adaptive coalescer controller bounds and cadence (DESIGN.md §17).
+///
+/// Disabled by default: a default config runs the fixed Table 1 knobs
+/// and is byte-identical to a system built before this struct existed.
+/// When enabled, the `AdaptiveController` in `mac-coalescer` observes
+/// sampled MAC/device signals every `interval` cycles and may retune
+/// the ARQ pop interval, the accept width, and the bypass switch —
+/// always inside the min/max bounds declared here.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdaptConfig {
+    /// Run the adaptive controller at all.
+    pub enabled: bool,
+    /// Decision cadence in cycles. Decision points double as event-skip
+    /// clamp boundaries, so both run-loop modes land on them exactly.
+    pub interval: u64,
+    /// Lowest ARQ pop interval the controller may set (fastest drain).
+    pub min_pop_interval: u64,
+    /// Highest ARQ pop interval the controller may set (deepest merge).
+    pub max_pop_interval: u64,
+    /// Narrowest accept width the controller may set.
+    pub min_accepts: usize,
+    /// Widest accept width the controller may set.
+    pub max_accepts: usize,
+    /// May the controller toggle the 16 B bypass path?
+    pub allow_bypass_toggle: bool,
+    /// Consecutive-evidence votes required before a retune fires.
+    pub evidence_threshold: u32,
+    /// Decision intervals the controller holds still after any retune
+    /// (hysteresis): at most one retune per `hold_intervals + 1`
+    /// intervals.
+    pub hold_intervals: u32,
+}
+
+impl AdaptConfig {
+    /// The controller turned off — the fixed-knob system, byte-identical
+    /// to pre-adaptive runs. Same as `AdaptConfig::default()`.
+    pub fn disabled() -> Self {
+        AdaptConfig::default()
+    }
+
+    /// The default bounds with the controller switched on: pop interval
+    /// free in 1..=8, accept width in 1..=4, bypass toggling allowed.
+    pub fn tuned() -> Self {
+        AdaptConfig {
+            enabled: true,
+            // Responsive enough to retune within a few thousand cycles
+            // (short kernels finish in tens of thousands) while the
+            // threshold still filters single-window noise.
+            interval: 2048,
+            hold_intervals: 2,
+            // The 16 B bypass dispatches at *pop time*, after the entry
+            // already waited out its residency — closing the path can't
+            // buy merging, it only reroutes singles through the builder
+            // at 64 B. Leave the paper's bypass setting alone.
+            allow_bypass_toggle: false,
+            ..AdaptConfig::default()
+        }
+    }
+}
+
+impl Default for AdaptConfig {
+    fn default() -> Self {
+        AdaptConfig {
+            enabled: false,
+            interval: 8192,
+            min_pop_interval: 1,
+            max_pop_interval: 8,
+            min_accepts: 1,
+            max_accepts: 4,
+            allow_bypass_toggle: true,
+            evidence_threshold: 3,
+            hold_intervals: 4,
+        }
+    }
+}
+
 /// Complete system configuration.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SystemConfig {
@@ -454,6 +530,8 @@ pub struct SystemConfig {
     pub mac_disabled: bool,
     /// Multi-cube network parameters (ignored unless `net.enabled`).
     pub net: NetConfig,
+    /// Adaptive controller parameters (ignored unless `adapt.enabled`).
+    pub adapt: AdaptConfig,
 }
 
 impl SystemConfig {
@@ -500,6 +578,12 @@ impl SystemConfig {
             placement,
             ..NetConfig::default()
         };
+        self
+    }
+
+    /// Same system with the adaptive coalescer controller attached.
+    pub fn with_adapt(mut self, adapt: AdaptConfig) -> Self {
+        self.adapt = adapt;
         self
     }
 }
@@ -589,6 +673,27 @@ mod tests {
         assert_eq!(c.net.cube_bits(), 2);
         assert_eq!(c.net.topology, NetTopology::Ring);
         assert_eq!(c.net.placement, MacPlacement::PerCube);
+    }
+
+    #[test]
+    fn adapt_is_disabled_by_default_and_bounds_are_sane() {
+        let c = SystemConfig::default();
+        assert!(!c.adapt.enabled);
+        assert_eq!(c.adapt, AdaptConfig::disabled());
+        let t = AdaptConfig::tuned();
+        assert!(t.enabled);
+        assert!(t.min_pop_interval >= 1);
+        assert!(t.min_pop_interval <= t.max_pop_interval);
+        assert!(t.min_accepts >= 1);
+        assert!(t.min_accepts <= t.max_accepts);
+        assert!(t.interval >= 1);
+        // The default static knobs sit inside the default bounds, so an
+        // identity-bounded controller starts from the Table 1 system.
+        let m = MacConfig::default();
+        assert!((t.min_pop_interval..=t.max_pop_interval).contains(&m.pop_interval));
+        assert!((t.min_accepts..=t.max_accepts).contains(&m.accepts_per_cycle));
+        let on = SystemConfig::paper(4).with_adapt(AdaptConfig::tuned());
+        assert!(on.adapt.enabled);
     }
 
     #[test]

@@ -27,8 +27,8 @@
 //! resurrected under a new meaning.
 
 use crate::config::{
-    CubeMapping, DdrConfig, FlitTablePolicy, HbmConfig, HmcConfig, LinkSelectPolicy, MacConfig,
-    MacPlacement, MemBackend, NetConfig, NetTopology, SocConfig, SystemConfig,
+    AdaptConfig, CubeMapping, DdrConfig, FlitTablePolicy, HbmConfig, HmcConfig, LinkSelectPolicy,
+    MacConfig, MacPlacement, MemBackend, NetConfig, NetTopology, SocConfig, SystemConfig,
 };
 
 const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
@@ -268,6 +268,20 @@ impl Fingerprint for MemBackend {
     }
 }
 
+impl Fingerprint for AdaptConfig {
+    fn fingerprint(&self, h: &mut Fnv128) {
+        h.write_bool(self.enabled);
+        h.write_u64(self.interval);
+        h.write_u64(self.min_pop_interval);
+        h.write_u64(self.max_pop_interval);
+        h.write_usize(self.min_accepts);
+        h.write_usize(self.max_accepts);
+        h.write_bool(self.allow_bypass_toggle);
+        h.write_u64(self.evidence_threshold as u64);
+        h.write_u64(self.hold_intervals as u64);
+    }
+}
+
 impl Fingerprint for SystemConfig {
     fn fingerprint(&self, h: &mut Fnv128) {
         self.soc.fingerprint(h);
@@ -278,6 +292,9 @@ impl Fingerprint for SystemConfig {
         self.backend.fingerprint(h);
         h.write_bool(self.mac_disabled);
         self.net.fingerprint(h);
+        // Appended in the cache-format-v4 bump: AdaptConfig joined the
+        // system config (see the stability contract in the module doc).
+        self.adapt.fingerprint(h);
     }
 }
 
@@ -349,6 +366,46 @@ mod tests {
         let contig = fp(&c);
         c.net.forward_latency += 1;
         assert_ne!(contig, fp(&c));
+    }
+
+    #[test]
+    fn every_adapt_knob_changes_the_hash() {
+        let base = fp(&SystemConfig::default());
+        let mut c = SystemConfig::default();
+        c.adapt.enabled = true;
+        assert_ne!(base, fp(&c));
+        let enabled = fp(&c);
+        c.adapt.interval = 4096;
+        assert_ne!(enabled, fp(&c));
+        let iv = fp(&c);
+        c.adapt.min_pop_interval = 2;
+        assert_ne!(iv, fp(&c));
+        let minp = fp(&c);
+        c.adapt.max_pop_interval = 16;
+        assert_ne!(minp, fp(&c));
+        let maxp = fp(&c);
+        c.adapt.min_accepts = 2;
+        assert_ne!(maxp, fp(&c));
+        let mina = fp(&c);
+        c.adapt.max_accepts = 8;
+        assert_ne!(mina, fp(&c));
+        let maxa = fp(&c);
+        c.adapt.allow_bypass_toggle = false;
+        assert_ne!(maxa, fp(&c));
+        let tog = fp(&c);
+        c.adapt.evidence_threshold += 1;
+        assert_ne!(tog, fp(&c));
+        let ev = fp(&c);
+        c.adapt.hold_intervals += 1;
+        assert_ne!(ev, fp(&c));
+    }
+
+    #[test]
+    fn disabled_adapt_hashes_like_the_default() {
+        // `AdaptConfig::disabled()` IS the default, so an explicitly
+        // disabled controller shares the default config's cache entries.
+        let explicit = SystemConfig::default().with_adapt(AdaptConfig::disabled());
+        assert_eq!(fp(&SystemConfig::default()), fp(&explicit));
     }
 
     #[test]
